@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"planar/internal/core"
+)
+
+func TestParseDomains(t *testing.T) {
+	doms, err := parseDomains("1:4, -2:-1 ,0:5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doms[0] != (core.Domain{Lo: 1, Hi: 4}) ||
+		doms[1] != (core.Domain{Lo: -2, Hi: -1}) ||
+		doms[2] != (core.Domain{Lo: 0, Hi: 5}) {
+		t.Fatalf("doms=%v", doms)
+	}
+	// Default.
+	doms, err = parseDomains("", 2)
+	if err != nil || len(doms) != 2 || doms[0].Lo != 1 {
+		t.Fatalf("default doms=%v err=%v", doms, err)
+	}
+	for _, bad := range []string{"1:4", "1:4,xx:2", "1:4,2:yy", "1:4,5", "1:4,-1:1"} {
+		if _, err := parseDomains(bad, 2); err == nil {
+			t.Errorf("parseDomains(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := parseQuery("2, 3.5 ,1 <= 150", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Op != core.LE || q.B != 150 || q.A[1] != 3.5 {
+		t.Fatalf("q=%+v", q)
+	}
+	q, err = parseQuery("1,-1 >= -5", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Op != core.GE || q.B != -5 || q.A[1] != -1 {
+		t.Fatalf("q=%+v", q)
+	}
+	for _, bad := range []string{"1,2", "1,2 = 5", "1 <= 5", "1,x <= 5", "1,2 <= x"} {
+		if _, err := parseQuery(bad, 2); err == nil {
+			t.Errorf("parseQuery(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSelectionOption(t *testing.T) {
+	// Just ensure both names produce usable options.
+	for _, name := range []string{"volume", "angle", "other"} {
+		store, err := core.NewPointStore(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.NewMulti(store, selectionOption(name)); err != nil {
+			t.Fatalf("selectionOption(%q): %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command planarserve runs a durable planar index store behind a
+// JSON HTTP API (see internal/httpapi for the endpoint reference).
+//
+//	planarserve -data ./db -dim 4 -addr :8080
+//
+// The data directory holds a CRC-checked snapshot plus a write-ahead
+// log; kill the process at any point and reopen to recover.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"planar/internal/httpapi"
+	"planar/internal/service"
+)
+
+func main() {
+	var (
+		dataDir    = flag.String("data", "planar-data", "data directory (snapshot + write-ahead log)")
+		dim        = flag.Int("dim", 0, "φ dimensionality (required for a fresh directory)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		syncWrites = flag.Bool("sync", false, "fsync the log after every mutation")
+		checkpoint = flag.Int("checkpoint", 10000, "auto-checkpoint after this many mutations (0 = manual only)")
+	)
+	flag.Parse()
+
+	db, err := service.Open(*dataDir, service.Options{
+		Dim:             *dim,
+		SyncEveryWrite:  *syncWrites,
+		CheckpointEvery: *checkpoint,
+	})
+	if err != nil {
+		log.Fatalf("planarserve: %v", err)
+	}
+	api, err := httpapi.New(db)
+	if err != nil {
+		log.Fatalf("planarserve: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		log.Println("planarserve: shutting down")
+		srv.Close()
+		if err := db.Checkpoint(); err != nil {
+			log.Printf("planarserve: final checkpoint: %v", err)
+		}
+		if err := db.Close(); err != nil {
+			log.Printf("planarserve: close: %v", err)
+		}
+	}()
+
+	fmt.Printf("planarserve: %d points (dim %d), %d indexes, listening on %s\n",
+		db.Len(), db.Dim(), db.Multi().NumIndexes(), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("planarserve: %v", err)
+	}
+	<-done
+}

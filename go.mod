@@ -1,0 +1,3 @@
+module planar
+
+go 1.22

@@ -1,0 +1,293 @@
+// Package active implements the pool-based active-learning
+// application of the paper (Section 7.5.2): given a linear
+// classifier hyperplane, the planar index retrieves the top-k
+// unlabelled points closest to the hyperplane — the most informative
+// points to label next — exactly, in contrast to the approximate
+// hashing methods of Jain et al. and Liu et al. the paper cites.
+package active
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"planar/internal/core"
+	"planar/internal/scan"
+	"planar/internal/vecmath"
+)
+
+// Perceptron is a linear classifier sign(⟨W, x⟩ + B).
+type Perceptron struct {
+	W []float64
+	B float64
+}
+
+// NewPerceptron returns a zero-initialised classifier of the given
+// dimension.
+func NewPerceptron(dim int) (*Perceptron, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("active: dimension must be positive, got %d", dim)
+	}
+	return &Perceptron{W: make([]float64, dim)}, nil
+}
+
+// Predict returns the predicted label (+1 or −1); points exactly on
+// the hyperplane are labelled +1.
+func (p *Perceptron) Predict(x []float64) int {
+	if vecmath.Dot(p.W, x)+p.B >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Margin returns ⟨W, x⟩ + B.
+func (p *Perceptron) Margin(x []float64) float64 {
+	return vecmath.Dot(p.W, x) + p.B
+}
+
+// Train runs the perceptron update rule over the labelled examples
+// for the given number of epochs. Labels must be ±1.
+func (p *Perceptron) Train(xs [][]float64, ys []int, epochs int, lr float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("active: %d examples but %d labels", len(xs), len(ys))
+	}
+	if epochs <= 0 || lr <= 0 {
+		return fmt.Errorf("active: epochs and learning rate must be positive")
+	}
+	for e := 0; e < epochs; e++ {
+		mistakes := 0
+		for i, x := range xs {
+			if ys[i] != 1 && ys[i] != -1 {
+				return fmt.Errorf("active: label %d is %d, must be ±1", i, ys[i])
+			}
+			if p.Predict(x) != ys[i] {
+				mistakes++
+				f := lr * float64(ys[i])
+				for j, v := range x {
+					p.W[j] += f * v
+				}
+				p.B += f
+			}
+		}
+		if mistakes == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Accuracy returns the fraction of examples classified correctly.
+func (p *Perceptron) Accuracy(xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, x := range xs {
+		if p.Predict(x) == ys[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(xs))
+}
+
+// Sampler retrieves the top-k pool points closest to a classifier
+// hyperplane through planar indexes. Because the classifier's weight
+// signs change as it learns, the sampler lazily builds (and caches)
+// one index collection per hyper-octant of weight vectors it
+// encounters — the "use machine learning techniques to dynamically
+// update the indices" extension the paper's conclusion sketches.
+type Sampler struct {
+	store  *core.PointStore
+	budget int
+	rng    *rand.Rand
+	cache  map[string]*core.Multi
+	// Built counts octant index collections constructed so far.
+	Built int
+}
+
+// NewSampler wraps an unlabelled pool. budget is the number of
+// planar indexes per octant collection.
+func NewSampler(store *core.PointStore, budget int, rng *rand.Rand) (*Sampler, error) {
+	if store == nil {
+		return nil, errors.New("active: nil store")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("active: budget must be positive, got %d", budget)
+	}
+	if rng == nil {
+		return nil, errors.New("active: nil rng")
+	}
+	return &Sampler{store: store, budget: budget, rng: rng, cache: map[string]*core.Multi{}}, nil
+}
+
+// multiFor returns (building if needed) the index collection for the
+// octant of the normalized query coefficients.
+func (s *Sampler) multiFor(a []float64) (*core.Multi, error) {
+	signs := vecmath.SignsOf(a)
+	key := signs.String()
+	if m, ok := s.cache[key]; ok {
+		return m, nil
+	}
+	m, err := core.NewMulti(s.store)
+	if err != nil {
+		return nil, err
+	}
+	// Sample index normals around the observed weight magnitudes.
+	doms := make([]core.Domain, len(a))
+	for i, v := range a {
+		mag := math.Abs(v)
+		if mag == 0 {
+			mag = 1
+		}
+		lo, hi := 0.5*mag, 1.5*mag
+		if signs[i] > 0 {
+			doms[i] = core.Domain{Lo: lo, Hi: hi}
+		} else {
+			doms[i] = core.Domain{Lo: -hi, Hi: -lo}
+		}
+	}
+	if _, err := m.SampleBudget(s.budget, doms, s.rng); err != nil {
+		return nil, err
+	}
+	s.cache[key] = m
+	s.Built++
+	return m, nil
+}
+
+// Closest returns the k pool points nearest the classifier
+// hyperplane on the requested side: op = core.LE gives the negative
+// side (⟨W,x⟩ + B ≤ 0), core.GE the positive side.
+func (s *Sampler) Closest(p *Perceptron, k int, op core.Op) ([]core.Result, core.Stats, error) {
+	if err := vecmath.CheckDim("classifier weights", p.W, s.store.Dim()); err != nil {
+		return nil, core.Stats{}, err
+	}
+	q := core.Query{A: p.W, B: -p.B, Op: op}
+	nq := q
+	if op == core.GE {
+		// Cache key must reflect the normalized (LE) coefficients.
+		nq = core.Query{A: vecmath.Scale(q.A, -1), B: -q.B, Op: core.LE}
+	}
+	m, err := s.multiFor(nq.A)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return m.TopK(q, k)
+}
+
+// ClosestScan is the baseline: brute-force top-k on one side.
+func (s *Sampler) ClosestScan(p *Perceptron, k int, op core.Op) []core.Result {
+	return scan.TopK(s.store, core.Query{A: p.W, B: -p.B, Op: op}, k)
+}
+
+// Oracle labels a point ±1.
+type Oracle func(x []float64) int
+
+// LoopConfig configures a pool-based active-learning run.
+type LoopConfig struct {
+	Rounds    int // labelling rounds
+	PerSide   int // points labelled per side per round
+	InitSeeds int // randomly labelled points to bootstrap
+	Budget    int // planar indexes per octant collection
+	Epochs    int // perceptron epochs per round
+	LR        float64
+	Seed      int64
+}
+
+// RoundReport records one active-learning round.
+type RoundReport struct {
+	Round    int
+	Labelled int     // total labelled points after the round
+	Accuracy float64 // pool accuracy after retraining
+	FellBack bool    // any side answered by scan fallback
+	Verified int     // II points examined across both sides
+}
+
+// RunPool executes pool-based active learning over the pool using
+// planar-index uncertainty sampling and returns per-round reports.
+func RunPool(pool [][]float64, oracle Oracle, cfg LoopConfig) ([]RoundReport, *Perceptron, error) {
+	if len(pool) == 0 {
+		return nil, nil, errors.New("active: empty pool")
+	}
+	if oracle == nil {
+		return nil, nil, errors.New("active: nil oracle")
+	}
+	if cfg.Rounds <= 0 || cfg.PerSide <= 0 || cfg.InitSeeds <= 0 {
+		return nil, nil, errors.New("active: Rounds, PerSide and InitSeeds must be positive")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 10
+	}
+	dim := len(pool[0])
+	store, err := core.NewPointStore(dim)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([]int, len(pool))
+	for i, x := range pool {
+		if _, err := store.Append(x); err != nil {
+			return nil, nil, fmt.Errorf("active: pool point %d: %w", i, err)
+		}
+		labels[i] = oracle(x)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sampler, err := NewSampler(store, cfg.Budget, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := NewPerceptron(dim)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	labelled := map[uint32]bool{}
+	var xs [][]float64
+	var ys []int
+	addLabel := func(id uint32) {
+		if labelled[id] {
+			return
+		}
+		labelled[id] = true
+		xs = append(xs, pool[id])
+		ys = append(ys, labels[id])
+	}
+	for len(xs) < cfg.InitSeeds {
+		addLabel(uint32(rng.Intn(len(pool))))
+	}
+
+	var reports []RoundReport
+	for round := 1; round <= cfg.Rounds; round++ {
+		if err := p.Train(xs, ys, cfg.Epochs, cfg.LR); err != nil {
+			return nil, nil, err
+		}
+		rep := RoundReport{Round: round}
+		if vecmath.Norm(p.W) > 0 {
+			for _, op := range []core.Op{core.LE, core.GE} {
+				res, st, err := sampler.Closest(p, cfg.PerSide, op)
+				if err != nil {
+					return nil, nil, err
+				}
+				rep.FellBack = rep.FellBack || st.FellBack
+				rep.Verified += st.Verified
+				for _, r := range res {
+					addLabel(r.ID)
+				}
+			}
+		} else {
+			// Degenerate classifier: label random points instead.
+			for i := 0; i < 2*cfg.PerSide; i++ {
+				addLabel(uint32(rng.Intn(len(pool))))
+			}
+		}
+		rep.Labelled = len(xs)
+		rep.Accuracy = p.Accuracy(pool, labels)
+		reports = append(reports, rep)
+	}
+	return reports, p, nil
+}

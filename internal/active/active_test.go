@@ -1,0 +1,192 @@
+package active
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"planar/internal/core"
+)
+
+func TestPerceptronLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Ground truth: x0 + 2·x1 - 5 >= 0.
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		y := -1
+		if x[0]+2*x[1]-5 >= 0.5 { // margin keeps it separable
+			y = 1
+		} else if x[0]+2*x[1]-5 > -0.5 {
+			continue
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	p, err := NewPerceptron(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(xs, ys, 200, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Accuracy(xs, ys); acc < 0.99 {
+		t.Fatalf("accuracy %v on separable data", acc)
+	}
+}
+
+func TestPerceptronValidation(t *testing.T) {
+	if _, err := NewPerceptron(0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	p, _ := NewPerceptron(2)
+	if err := p.Train([][]float64{{1, 2}}, []int{1, -1}, 10, 0.1); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if err := p.Train([][]float64{{1, 2}}, []int{0}, 10, 0.1); err == nil {
+		t.Error("label 0 accepted")
+	}
+	if err := p.Train(nil, nil, 0, 0.1); err == nil {
+		t.Error("epochs 0 accepted")
+	}
+	if err := p.Train(nil, nil, 5, 0); err == nil {
+		t.Error("lr 0 accepted")
+	}
+	if p.Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if p.Margin([]float64{3, 4}) != 0 {
+		t.Error("zero perceptron margin should be 0")
+	}
+}
+
+func poolStore(t *testing.T, pool [][]float64) *core.PointStore {
+	t.Helper()
+	s, err := core.NewPointStore(len(pool[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range pool {
+		if _, err := s.Append(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSamplerClosestMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := make([][]float64, 1000)
+	for i := range pool {
+		pool[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	store := poolStore(t, pool)
+	sampler, err := NewSampler(store, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Perceptron{W: []float64{1, -2, 0.5}, B: 3}
+	for _, op := range []core.Op{core.LE, core.GE} {
+		got, st, err := sampler.Closest(p, 15, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sampler.ClosestScan(p, 15, op)
+		if len(got) != len(want) {
+			t.Fatalf("op %v: got %d want %d", op, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Distance-want[i].Distance) > 1e-9*(1+want[i].Distance) {
+				t.Fatalf("op %v rank %d: %v vs %v", op, i, got[i].Distance, want[i].Distance)
+			}
+		}
+		if st.FellBack {
+			t.Fatalf("op %v fell back despite an octant collection", op)
+		}
+	}
+	// Two octants built: (+,-,+) for LE and its negation for GE.
+	if sampler.Built != 2 {
+		t.Fatalf("Built=%d want 2", sampler.Built)
+	}
+	// Repeat query hits the cache.
+	if _, _, err := sampler.Closest(p, 5, core.LE); err != nil {
+		t.Fatal(err)
+	}
+	if sampler.Built != 2 {
+		t.Fatalf("cache miss on repeated octant: Built=%d", sampler.Built)
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := [][]float64{{1, 2}}
+	store := poolStore(t, pool)
+	if _, err := NewSampler(nil, 5, rng); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewSampler(store, 0, rng); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := NewSampler(store, 5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	s, _ := NewSampler(store, 5, rng)
+	p := &Perceptron{W: []float64{1, 2, 3}} // wrong dim
+	if _, _, err := s.Closest(p, 3, core.LE); err == nil {
+		t.Error("wrong-dim classifier accepted")
+	}
+}
+
+func TestRunPoolImprovesAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pool := make([][]float64, 2000)
+	for i := range pool {
+		pool[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	oracle := func(x []float64) int {
+		if 2*x[0]-x[1]-4 >= 0 {
+			return 1
+		}
+		return -1
+	}
+	reports, p, err := RunPool(pool, oracle, LoopConfig{
+		Rounds: 8, PerSide: 10, InitSeeds: 5, Budget: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 8 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	final := reports[len(reports)-1]
+	if final.Accuracy < 0.9 {
+		t.Fatalf("final accuracy %v", final.Accuracy)
+	}
+	if final.Labelled <= 5 {
+		t.Fatal("no points were labelled")
+	}
+	// Labelled counts must be non-decreasing.
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Labelled < reports[i-1].Labelled {
+			t.Fatal("labelled count decreased")
+		}
+	}
+	if p == nil {
+		t.Fatal("nil classifier returned")
+	}
+}
+
+func TestRunPoolValidation(t *testing.T) {
+	ok := LoopConfig{Rounds: 1, PerSide: 1, InitSeeds: 1}
+	if _, _, err := RunPool(nil, func([]float64) int { return 1 }, ok); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, _, err := RunPool([][]float64{{1}}, nil, ok); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	if _, _, err := RunPool([][]float64{{1}}, func([]float64) int { return 1 },
+		LoopConfig{Rounds: 0, PerSide: 1, InitSeeds: 1}); err == nil {
+		t.Error("Rounds 0 accepted")
+	}
+}

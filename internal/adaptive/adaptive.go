@@ -1,0 +1,171 @@
+// Package adaptive implements the paper's closing future-work idea:
+// "use machine learning techniques to dynamically update the indices
+// based on past queries" (Section 8). A Tuner observes every query's
+// normal direction, clusters the directions with online spherical
+// k-means, and periodically rebuilds the planar index set with one
+// index per cluster centroid — so the indexes track the workload and
+// stay near-parallel to the queries actually being asked, which is
+// exactly the regime where the planar index answers in logarithmic
+// time (Corollary 1).
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"planar/internal/core"
+	"planar/internal/vecmath"
+)
+
+// decay is the per-observation exponential decay applied to cluster
+// weights so the tuner follows workload drift.
+const decay = 0.995
+
+type cluster struct {
+	dir    []float64 // unit direction of the cluster centroid
+	weight float64
+}
+
+// Tuner adapts a Multi's index set to the observed query stream.
+// Unlike the Multi it wraps, a Tuner is not safe for concurrent use:
+// the cluster model mutates on every query, so callers with
+// concurrent query streams must serialise access (or shard one Tuner
+// per stream).
+type Tuner struct {
+	multi    *core.Multi
+	k        int // index budget = number of clusters
+	interval int // queries between retunes
+	clusters []cluster
+	observed int
+	sinceRe  int
+	retunes  int
+}
+
+// NewTuner wraps a Multi. k is the index budget; the index set is
+// rebuilt from the cluster centroids every interval queries.
+func NewTuner(m *core.Multi, k, interval int) (*Tuner, error) {
+	if m == nil {
+		return nil, errors.New("adaptive: nil multi")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("adaptive: budget must be positive, got %d", k)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("adaptive: interval must be positive, got %d", interval)
+	}
+	return &Tuner{multi: m, k: k, interval: interval}, nil
+}
+
+// Multi exposes the tuned index collection.
+func (t *Tuner) Multi() *core.Multi { return t.multi }
+
+// Observed returns the number of queries seen.
+func (t *Tuner) Observed() int { return t.observed }
+
+// Retunes returns how many times the index set was rebuilt.
+func (t *Tuner) Retunes() int { return t.retunes }
+
+// Clusters returns the number of active workload clusters.
+func (t *Tuner) Clusters() int { return len(t.clusters) }
+
+// observe folds one query direction into the cluster model and
+// retunes the index set when due.
+func (t *Tuner) observe(a []float64) {
+	norm := vecmath.Norm(a)
+	if norm == 0 {
+		return
+	}
+	u := vecmath.Scale(a, 1/norm)
+	t.observed++
+	t.sinceRe++
+
+	for i := range t.clusters {
+		t.clusters[i].weight *= decay
+	}
+	best, bestCos := -1, -2.0
+	for i, c := range t.clusters {
+		if cos := vecmath.Dot(c.dir, u); cos > bestCos {
+			best, bestCos = i, cos
+		}
+	}
+	// A direction far from every centroid seeds a new cluster while
+	// budget remains; otherwise it is absorbed by the nearest one.
+	const newClusterCos = 0.995
+	if best < 0 || (bestCos < newClusterCos && len(t.clusters) < t.k) {
+		t.clusters = append(t.clusters, cluster{dir: u, weight: 1})
+	} else {
+		c := &t.clusters[best]
+		lr := 1 / (c.weight + 1)
+		for j := range c.dir {
+			c.dir[j] = (1-lr)*c.dir[j] + lr*u[j]
+		}
+		if n := vecmath.Norm(c.dir); n > 0 {
+			c.dir = vecmath.Scale(c.dir, 1/n)
+		}
+		c.weight++
+	}
+
+	if t.sinceRe >= t.interval {
+		t.retune()
+	}
+}
+
+// retune rebuilds the index set from the cluster centroids, dropping
+// clusters whose weight has decayed to noise.
+func (t *Tuner) retune() {
+	t.sinceRe = 0
+	live := t.clusters[:0]
+	for _, c := range t.clusters {
+		if c.weight >= 0.5 {
+			live = append(live, c)
+		}
+	}
+	t.clusters = live
+	if len(t.clusters) == 0 {
+		return
+	}
+	t.retunes++
+	t.multi.RemoveAllIndexes()
+	for _, c := range t.clusters {
+		normal := make([]float64, len(c.dir))
+		for j, v := range c.dir {
+			normal[j] = math.Abs(v)
+			if normal[j] < 1e-9 {
+				normal[j] = 1e-9
+			}
+		}
+		// AddNormal skips redundant (parallel, same-octant) centroids.
+		_, _ = t.multi.AddNormal(normal, vecmath.SignsOf(c.dir))
+	}
+}
+
+// Inequality observes the query, then answers it through the tuned
+// index set (with the Multi's usual scan fallback before the first
+// retune installs indexes).
+func (t *Tuner) Inequality(q core.Query, visit func(id uint32) bool) (core.Stats, error) {
+	if err := q.Validate(t.multi.Store().Dim()); err != nil {
+		return core.Stats{}, err
+	}
+	t.observe(q.NormalizedCoefficients())
+	return t.multi.Inequality(q, visit)
+}
+
+// InequalityIDs collects all matching ids.
+func (t *Tuner) InequalityIDs(q core.Query) ([]uint32, core.Stats, error) {
+	var ids []uint32
+	st, err := t.Inequality(q, func(id uint32) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids, st, err
+}
+
+// TopK observes the query, then answers Problem 2.
+func (t *Tuner) TopK(q core.Query, k int) ([]core.Result, core.Stats, error) {
+	if err := q.Validate(t.multi.Store().Dim()); err != nil {
+		return nil, core.Stats{}, err
+	}
+	t.observe(q.NormalizedCoefficients())
+	return t.multi.TopK(q, k)
+}

@@ -1,0 +1,199 @@
+package adaptive
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"planar/internal/core"
+	"planar/internal/scan"
+)
+
+func buildStore(t *testing.T, n, dim int, seed int64) *core.PointStore {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	store, err := core.NewPointStore(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		store.Append(v)
+	}
+	return store
+}
+
+func TestNewTunerValidation(t *testing.T) {
+	store := buildStore(t, 10, 2, 1)
+	m, _ := core.NewMulti(store)
+	if _, err := NewTuner(nil, 5, 10); err == nil {
+		t.Error("nil multi accepted")
+	}
+	if _, err := NewTuner(m, 0, 10); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := NewTuner(m, 5, 0); err == nil {
+		t.Error("interval 0 accepted")
+	}
+	tn, err := NewTuner(m, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Multi() != m || tn.Observed() != 0 || tn.Retunes() != 0 || tn.Clusters() != 0 {
+		t.Fatal("fresh tuner state wrong")
+	}
+	if _, _, err := tn.InequalityIDs(core.Query{A: []float64{1}, B: 0, Op: core.LE}); err == nil {
+		t.Error("wrong-dim query accepted")
+	}
+}
+
+func TestTunerStaysExact(t *testing.T) {
+	store := buildStore(t, 1000, 3, 2)
+	m, _ := core.NewMulti(store)
+	tn, _ := NewTuner(m, 8, 25)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		q := core.Query{
+			A:  []float64{1 + rng.Float64()*3, 1 + rng.Float64()*3, 1 + rng.Float64()*3},
+			B:  rng.Float64() * 400,
+			Op: core.LE,
+		}
+		if i%3 == 0 { // mix in GE queries
+			q.Op = core.GE
+		}
+		ids, _, err := tn.InequalityIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.IDs(store, q)
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		if len(ids) != len(want) {
+			t.Fatalf("query %d: tuned answer %d vs scan %d", i, len(ids), len(want))
+		}
+		for j := range ids {
+			if ids[j] != want[j] {
+				t.Fatalf("query %d: id mismatch at %d", i, j)
+			}
+		}
+	}
+	if tn.Retunes() == 0 {
+		t.Fatal("tuner never retuned")
+	}
+	if tn.Observed() != 300 {
+		t.Fatalf("Observed=%d", tn.Observed())
+	}
+}
+
+func TestTunerAdaptsToWorkload(t *testing.T) {
+	store := buildStore(t, 20000, 4, 4)
+	m, _ := core.NewMulti(store)
+	tn, _ := NewTuner(m, 4, 20)
+	rng := rand.New(rand.NewSource(5))
+
+	// A focused workload: all queries share one direction up to tiny
+	// jitter. After a retune the tuner should hold a near-parallel
+	// index and pruning should be essentially total.
+	dir := []float64{2, 1, 3, 1.5}
+	query := func() core.Query {
+		a := make([]float64, 4)
+		for i, v := range dir {
+			a[i] = v * (1 + 0.001*rng.Float64())
+		}
+		return core.Query{A: a, B: 30000, Op: core.LE}
+	}
+	for i := 0; i < 40; i++ { // past the first retune
+		if _, _, err := tn.InequalityIDs(query()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.NumIndexes() == 0 {
+		t.Fatal("no indexes installed after retune")
+	}
+	_, st, err := tn.InequalityIDs(query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FellBack {
+		t.Fatal("still scanning after retune")
+	}
+	if st.PruningFraction() < 0.99 {
+		t.Fatalf("pruning %.4f after adapting to a single-direction workload", st.PruningFraction())
+	}
+}
+
+func TestTunerTracksDrift(t *testing.T) {
+	store := buildStore(t, 5000, 3, 6)
+	m, _ := core.NewMulti(store)
+	tn, _ := NewTuner(m, 3, 15)
+	rng := rand.New(rand.NewSource(7))
+
+	run := func(dir []float64, n int) float64 {
+		var lastPruning float64
+		for i := 0; i < n; i++ {
+			a := make([]float64, 3)
+			for j, v := range dir {
+				a[j] = v * (1 + 0.002*rng.Float64())
+			}
+			_, st, err := tn.InequalityIDs(core.Query{A: a, B: 5000, Op: core.LE})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastPruning = st.PruningFraction()
+		}
+		return lastPruning
+	}
+	run([]float64{1, 5, 1}, 40)
+	// Workload shifts to a very different direction; after enough
+	// queries the tuner must adapt and prune well again.
+	p := run([]float64{5, 1, 0.2}, 60)
+	if p < 0.95 {
+		t.Fatalf("pruning %.4f after drift; tuner failed to adapt", p)
+	}
+}
+
+func TestTunerTopK(t *testing.T) {
+	store := buildStore(t, 2000, 2, 8)
+	m, _ := core.NewMulti(store)
+	tn, _ := NewTuner(m, 4, 10)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		q := core.Query{
+			A:  []float64{1 + rng.Float64(), 1 + rng.Float64()},
+			B:  50 + rng.Float64()*100,
+			Op: core.LE,
+		}
+		got, _, err := tn.TopK(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.TopK(store, q, 5)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: topk %d vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if d := got[j].Distance - want[j].Distance; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("query %d rank %d: %v vs %v", i, j, got[j].Distance, want[j].Distance)
+			}
+		}
+	}
+	if _, _, err := tn.TopK(core.Query{A: []float64{1}, B: 0, Op: core.LE}, 5); err == nil {
+		t.Error("wrong-dim TopK accepted")
+	}
+}
+
+func TestZeroDirectionIgnored(t *testing.T) {
+	store := buildStore(t, 100, 2, 10)
+	m, _ := core.NewMulti(store)
+	tn, _ := NewTuner(m, 2, 5)
+	for i := 0; i < 10; i++ {
+		if _, _, err := tn.InequalityIDs(core.Query{A: []float64{0, 0}, B: 1, Op: core.LE}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tn.Clusters() != 0 {
+		t.Fatalf("zero-direction queries created %d clusters", tn.Clusters())
+	}
+}

@@ -1,0 +1,43 @@
+package btree_test
+
+import (
+	"fmt"
+
+	"planar/internal/btree"
+)
+
+// Example shows the three range primitives the planar index is built
+// on: the smaller interval (AscendLE), the intermediate interval
+// (AscendRange) and an O(log n) rank query.
+func Example() {
+	entries := []btree.Entry{
+		{Key: 10, ID: 0}, {Key: 20, ID: 1}, {Key: 30, ID: 2},
+		{Key: 40, ID: 3}, {Key: 50, ID: 4},
+	}
+	tree := btree.BulkLoad(entries)
+
+	var smaller []uint32
+	tree.AscendLE(25, func(e btree.Entry) bool {
+		smaller = append(smaller, e.ID)
+		return true
+	})
+	fmt.Println("smaller interval:", smaller)
+
+	var middle []uint32
+	tree.AscendRange(25, 45, func(e btree.Entry) bool {
+		middle = append(middle, e.ID)
+		return true
+	})
+	fmt.Println("intermediate interval:", middle)
+
+	fmt.Println("rank(35):", tree.RankLE(35))
+
+	tree.Delete(30, 2)
+	tree.Insert(35, 9)
+	fmt.Println("after update, rank(35):", tree.RankLE(35))
+	// Output:
+	// smaller interval: [0 1]
+	// intermediate interval: [2 3]
+	// rank(35): 3
+	// after update, rank(35): 3
+}

@@ -1,0 +1,320 @@
+// Package codec persists point stores and planar index
+// configurations as compact binary snapshots with CRC-32 integrity
+// checks, so large φ-materialisations (e.g. millions of
+// moving-object pairs) survive process restarts without
+// recomputation. The snapshot preserves the store's exact row layout
+// — including dead rows and the id recycling order — so point
+// identifiers remain stable, which write-ahead-log replay (package
+// wal) depends on. Index trees are rebuilt on load: bulk loading is
+// loglinear and avoids versioning the tree layout.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"planar/internal/core"
+	"planar/internal/vecmath"
+)
+
+// Snapshot is the serialisable state of a point store plus the
+// normals/octants of the planar indexes built over it. Data holds
+// every allocated row (row-major, dead rows included); Live marks
+// which rows hold points; Free is the id recycling order.
+type Snapshot struct {
+	Dim     int
+	Data    []float64
+	Live    []bool
+	Free    []uint32
+	Indexes []IndexSpec
+}
+
+// IndexSpec records one planar index's configuration.
+type IndexSpec struct {
+	Normal []float64
+	Signs  vecmath.SignPattern
+}
+
+const (
+	magic   = uint32(0x504c4e52) // "PLNR"
+	version = uint32(2)
+)
+
+// ErrCorrupt reports a failed checksum or malformed snapshot.
+var ErrCorrupt = errors.New("codec: corrupt snapshot")
+
+// NumRows returns the number of allocated rows (live + dead).
+func (s *Snapshot) NumRows() int { return len(s.Live) }
+
+// NumLive returns the number of live points.
+func (s *Snapshot) NumLive() int {
+	n := 0
+	for _, lv := range s.Live {
+		if lv {
+			n++
+		}
+	}
+	return n
+}
+
+// Capture builds a Snapshot of a Multi's store layout and index
+// configurations.
+func Capture(m *core.Multi) *Snapshot {
+	s := &Snapshot{Dim: m.Store().Dim()}
+	s.Data, s.Live, s.Free = m.Store().Raw()
+	for i := 0; i < m.NumIndexes(); i++ {
+		ix := m.Index(i)
+		s.Indexes = append(s.Indexes, IndexSpec{Normal: ix.Normal(), Signs: ix.Signs()})
+	}
+	return s
+}
+
+// Restore rebuilds a store and Multi from the snapshot. Point ids
+// match the captured store exactly.
+func (s *Snapshot) Restore(opts ...core.MultiOption) (*core.Multi, error) {
+	store, err := core.NewPointStoreFromRaw(s.Dim, s.Data, s.Live, s.Free)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMulti(store, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range s.Indexes {
+		if _, err := m.AddNormal(spec.Normal, spec.Signs); err != nil {
+			return nil, fmt.Errorf("codec: index %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
+// Write serialises the snapshot: magic, then a CRC-protected body of
+// version, dim, row/free/index counts, live bitmap, row data, free
+// list and index specs, followed by the CRC-32 trailer.
+func (s *Snapshot) Write(w io.Writer) error {
+	if s.Dim <= 0 {
+		return errors.New("codec: snapshot dimension must be positive")
+	}
+	if len(s.Data) != len(s.Live)*s.Dim {
+		return fmt.Errorf("codec: data has %d values for %d rows of dimension %d",
+			len(s.Data), len(s.Live), s.Dim)
+	}
+	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+		return err
+	}
+	h := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+
+	put32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	putF := func(v float64) error {
+		return binary.Write(bw, binary.LittleEndian, math.Float64bits(v))
+	}
+
+	if err := put32(version); err != nil {
+		return err
+	}
+	if err := put32(uint32(s.Dim)); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(s.Live))); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(s.Free))); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(s.Indexes))); err != nil {
+		return err
+	}
+	for _, lv := range s.Live {
+		b := byte(0)
+		if lv {
+			b = 1
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.Data {
+		if err := putF(v); err != nil {
+			return err
+		}
+	}
+	for _, id := range s.Free {
+		if err := put32(id); err != nil {
+			return err
+		}
+	}
+	for i, spec := range s.Indexes {
+		if len(spec.Normal) != s.Dim || len(spec.Signs) != s.Dim {
+			return fmt.Errorf("codec: index %d spec has wrong dimension", i)
+		}
+		for _, v := range spec.Normal {
+			if err := putF(v); err != nil {
+				return err
+			}
+		}
+		for _, sg := range spec.Signs {
+			if err := bw.WriteByte(byte(sg)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, h.Sum32())
+}
+
+// hashingReader updates a checksum with every byte the caller
+// actually consumes. Buffered read-ahead happens *below* this
+// wrapper, so the hash never sees unconsumed trailer bytes.
+type hashingReader struct {
+	r io.Reader
+	h io.Writer
+}
+
+func (hr hashingReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	if n > 0 {
+		hr.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// Read deserialises and verifies a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("codec: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %08x", ErrCorrupt, m)
+	}
+	h := crc32.NewIEEE()
+	hr := hashingReader{r: br, h: h}
+
+	get32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(hr, binary.LittleEndian, &v)
+		return v, err
+	}
+	getF := func() (float64, error) {
+		var b uint64
+		err := binary.Read(hr, binary.LittleEndian, &b)
+		return math.Float64frombits(b), err
+	}
+
+	ver, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("codec: unsupported version %d", ver)
+	}
+	dim32, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nRows, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nFree, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nIdx, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	const sanity = 1 << 28
+	if dim32 == 0 || dim32 > 1<<16 || nRows > sanity || nFree > nRows || nIdx > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible header (dim=%d rows=%d free=%d idx=%d)",
+			ErrCorrupt, dim32, nRows, nFree, nIdx)
+	}
+	s := &Snapshot{Dim: int(dim32)}
+	s.Live = make([]bool, nRows)
+	buf := make([]byte, 1)
+	for i := range s.Live {
+		if _, err := io.ReadFull(hr, buf); err != nil {
+			return nil, fmt.Errorf("codec: live bitmap: %w", err)
+		}
+		s.Live[i] = buf[0] != 0
+	}
+	s.Data = make([]float64, int(nRows)*s.Dim)
+	for i := range s.Data {
+		if s.Data[i], err = getF(); err != nil {
+			return nil, fmt.Errorf("codec: row data: %w", err)
+		}
+	}
+	s.Free = make([]uint32, nFree)
+	for i := range s.Free {
+		if s.Free[i], err = get32(); err != nil {
+			return nil, fmt.Errorf("codec: free list: %w", err)
+		}
+	}
+	for i := uint32(0); i < nIdx; i++ {
+		spec := IndexSpec{
+			Normal: make([]float64, s.Dim),
+			Signs:  make(vecmath.SignPattern, s.Dim),
+		}
+		for j := range spec.Normal {
+			if spec.Normal[j], err = getF(); err != nil {
+				return nil, fmt.Errorf("codec: index %d: %w", i, err)
+			}
+		}
+		for j := range spec.Signs {
+			var b int8
+			if err := binary.Read(hr, binary.LittleEndian, &b); err != nil {
+				return nil, fmt.Errorf("codec: index %d signs: %w", i, err)
+			}
+			spec.Signs[j] = b
+		}
+		s.Indexes = append(s.Indexes, spec)
+	}
+	want := h.Sum32()
+	// The checksum trailer is read below the hashing wrapper so it
+	// does not hash itself.
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("codec: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return s, nil
+}
+
+// Save writes the snapshot to a file and syncs it.
+func (s *Snapshot) Save(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if err := s.Write(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Load reads a snapshot from a file.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

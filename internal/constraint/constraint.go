@@ -1,0 +1,178 @@
+// Package constraint answers linear constraint queries — the
+// intersection of several scalar-product half-spaces — over a planar
+// index collection. The paper's related-work section notes that
+// "one could also apply multiple Planar indices in answering such
+// linear constraint queries"; this package is that application.
+//
+// Evaluation picks the constraint with the smallest guaranteed
+// answer-size upper bound (from core.SelectivityBounds, an O(log n)
+// computation per index) as the driving constraint, enumerates its
+// satisfiers through the planar machinery, and verifies the
+// remaining constraints per candidate. Results are exact.
+package constraint
+
+import (
+	"errors"
+	"fmt"
+
+	"planar/internal/core"
+)
+
+// Conjunction is a set of constraints that must all hold.
+type Conjunction struct {
+	Constraints []core.Query
+}
+
+// And appends a constraint and returns the conjunction for chaining.
+func (c Conjunction) And(q core.Query) Conjunction {
+	c.Constraints = append(c.Constraints, q)
+	return c
+}
+
+// Validate checks the conjunction against a dimensionality.
+func (c Conjunction) Validate(dim int) error {
+	if len(c.Constraints) == 0 {
+		return errors.New("constraint: empty conjunction")
+	}
+	for i, q := range c.Constraints {
+		if err := q.Validate(dim); err != nil {
+			return fmt.Errorf("constraint %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Box returns the conjunction describing the axis-parallel rectangle
+// lo ≤ x ≤ hi — the orthogonal range query of the related work,
+// expressed as 2·d unit-normal half-spaces.
+func Box(lo, hi []float64) (Conjunction, error) {
+	if len(lo) != len(hi) {
+		return Conjunction{}, fmt.Errorf("constraint: box corners have dimensions %d and %d", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return Conjunction{}, errors.New("constraint: empty box")
+	}
+	var c Conjunction
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return Conjunction{}, fmt.Errorf("constraint: box is empty on axis %d (%v > %v)", i, lo[i], hi[i])
+		}
+		unit := make([]float64, len(lo))
+		unit[i] = 1
+		c = c.And(core.Query{A: unit, B: hi[i], Op: core.LE})
+		c = c.And(core.Query{A: unit, B: lo[i], Op: core.GE})
+	}
+	return c, nil
+}
+
+// Plan describes how a conjunction was evaluated.
+type Plan struct {
+	// Driver is the index of the constraint that was enumerated via
+	// the planar machinery; the rest were verified per candidate.
+	Driver int
+	// UpperBounds holds each constraint's guaranteed answer-size
+	// upper bound used for driver selection.
+	UpperBounds []int
+	// Candidates is how many driver satisfiers were checked against
+	// the remaining constraints.
+	Candidates int
+	// Results is the final answer cardinality.
+	Results int
+	// DriverStats are the planar statistics of the driving query.
+	DriverStats core.Stats
+}
+
+// Evaluator answers conjunctions over one index collection.
+type Evaluator struct {
+	multi *core.Multi
+}
+
+// NewEvaluator wraps a Multi.
+func NewEvaluator(m *core.Multi) (*Evaluator, error) {
+	if m == nil {
+		return nil, errors.New("constraint: nil multi")
+	}
+	return &Evaluator{multi: m}, nil
+}
+
+// Evaluate streams the ids satisfying every constraint to visit.
+func (e *Evaluator) Evaluate(c Conjunction, visit func(id uint32) bool) (Plan, error) {
+	store := e.multi.Store()
+	if err := c.Validate(store.Dim()); err != nil {
+		return Plan{}, err
+	}
+	plan := Plan{Driver: 0, UpperBounds: make([]int, len(c.Constraints))}
+	bestHi := store.Len() + 1
+	for i, q := range c.Constraints {
+		_, hi, err := e.multi.SelectivityBounds(q)
+		if err != nil {
+			return Plan{}, err
+		}
+		plan.UpperBounds[i] = hi
+		if hi < bestHi {
+			bestHi = hi
+			plan.Driver = i
+		}
+	}
+	driver := c.Constraints[plan.Driver]
+	rest := make([]core.Query, 0, len(c.Constraints)-1)
+	for i, q := range c.Constraints {
+		if i != plan.Driver {
+			rest = append(rest, q)
+		}
+	}
+	st, err := e.multi.Inequality(driver, func(id uint32) bool {
+		plan.Candidates++
+		v := store.Vector(id)
+		for _, q := range rest {
+			if !q.Satisfies(v) {
+				return true
+			}
+		}
+		plan.Results++
+		return visit(id)
+	})
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.DriverStats = st
+	return plan, nil
+}
+
+// IDs collects all satisfying ids.
+func (e *Evaluator) IDs(c Conjunction) ([]uint32, Plan, error) {
+	var ids []uint32
+	plan, err := e.Evaluate(c, func(id uint32) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids, plan, err
+}
+
+// Count returns the exact cardinality of the conjunction's answer.
+func (e *Evaluator) Count(c Conjunction) (int, Plan, error) {
+	count := 0
+	plan, err := e.Evaluate(c, func(uint32) bool {
+		count++
+		return true
+	})
+	return count, plan, err
+}
+
+// Scan answers a conjunction by brute force (the baseline).
+func Scan(store *core.PointStore, c Conjunction) ([]uint32, error) {
+	if err := c.Validate(store.Dim()); err != nil {
+		return nil, err
+	}
+	var ids []uint32
+	store.Each(func(id uint32, v []float64) bool {
+		for _, q := range c.Constraints {
+			if !q.Satisfies(v) {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	return ids, nil
+}

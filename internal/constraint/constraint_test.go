@@ -1,0 +1,226 @@
+package constraint
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"planar/internal/core"
+)
+
+func buildMulti(t *testing.T, n, dim int, seed int64, budget int) *core.Multi {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	store, err := core.NewPointStore(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		store.Append(v)
+	}
+	m, err := core.NewMulti(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doms := make([]core.Domain, dim)
+	for i := range doms {
+		doms[i] = core.Domain{Lo: 0.5, Hi: 5}
+	}
+	if _, err := m.SampleBudget(budget, doms, rng); err != nil {
+		t.Fatal(err)
+	}
+	// A few negative-octant indexes so GE constraints are served too.
+	negDoms := make([]core.Domain, dim)
+	for i := range negDoms {
+		negDoms[i] = core.Domain{Lo: -5, Hi: -0.5}
+	}
+	if _, err := m.SampleBudget(budget, negDoms, rng); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func sortedIDs(ids []uint32) []uint32 {
+	out := append([]uint32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConjunctionValidate(t *testing.T) {
+	if err := (Conjunction{}).Validate(2); err == nil {
+		t.Error("empty conjunction accepted")
+	}
+	c := Conjunction{}.And(core.Query{A: []float64{1}, B: 5, Op: core.LE})
+	if err := c.Validate(2); err == nil {
+		t.Error("wrong-dim constraint accepted")
+	}
+	c = Conjunction{}.And(core.Query{A: []float64{1, 1}, B: 5, Op: core.LE})
+	if err := c.Validate(2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBox(t *testing.T) {
+	c, err := Box([]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Constraints) != 4 {
+		t.Fatalf("box has %d constraints", len(c.Constraints))
+	}
+	inside := []float64{2, 3}
+	outside := []float64{2, 5}
+	for _, q := range c.Constraints {
+		if !q.Satisfies(inside) {
+			t.Fatalf("inside point violates %+v", q)
+		}
+	}
+	violated := false
+	for _, q := range c.Constraints {
+		if !q.Satisfies(outside) {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("outside point satisfies the whole box")
+	}
+	if _, err := Box([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched corners accepted")
+	}
+	if _, err := Box(nil, nil); err == nil {
+		t.Error("empty box accepted")
+	}
+	if _, err := Box([]float64{5}, []float64{1}); err == nil {
+		t.Error("inverted box accepted")
+	}
+}
+
+func TestEvaluateMatchesScan(t *testing.T) {
+	m := buildMulti(t, 1500, 3, 1, 10)
+	e, err := NewEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		c := Conjunction{}.
+			And(core.Query{A: []float64{1 + rng.Float64(), 1 + rng.Float64(), 1 + rng.Float64()},
+				B: 100 + rng.Float64()*200, Op: core.LE}).
+			And(core.Query{A: []float64{1, 2, 1}, B: 50 + rng.Float64()*100, Op: core.GE}).
+			And(core.Query{A: []float64{3, 1, 2}, B: 150 + rng.Float64()*250, Op: core.LE})
+		got, plan, err := e.IDs(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Scan(m.Store(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(got), sortedIDs(want)) {
+			t.Fatalf("trial %d: evaluator %d ids, scan %d", trial, len(got), len(want))
+		}
+		if plan.Results != len(got) {
+			t.Fatalf("plan.Results=%d got %d", plan.Results, len(got))
+		}
+		if plan.Candidates < plan.Results {
+			t.Fatalf("candidates %d < results %d", plan.Candidates, plan.Results)
+		}
+		if len(plan.UpperBounds) != 3 {
+			t.Fatalf("plan bounds: %v", plan.UpperBounds)
+		}
+		// The driver's bound must cover its candidate count.
+		if plan.UpperBounds[plan.Driver] < plan.DriverStats.Results() {
+			t.Fatalf("driver bound %d < driver results %d",
+				plan.UpperBounds[plan.Driver], plan.DriverStats.Results())
+		}
+		count, _, err := e.Count(c)
+		if err != nil || count != len(want) {
+			t.Fatalf("Count=%d want %d err=%v", count, len(want), err)
+		}
+	}
+}
+
+func TestDriverPicksMostSelective(t *testing.T) {
+	m := buildMulti(t, 2000, 2, 3, 20)
+	e, _ := NewEvaluator(m)
+	// Constraint 1 is nearly empty; constraint 0 matches nearly all.
+	c := Conjunction{}.
+		And(core.Query{A: []float64{1, 1}, B: 1e6, Op: core.LE}).
+		And(core.Query{A: []float64{1, 1}, B: 5, Op: core.LE})
+	_, plan, err := e.IDs(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Driver != 1 {
+		t.Fatalf("driver=%d (bounds %v), want the selective constraint", plan.Driver, plan.UpperBounds)
+	}
+	if plan.Candidates > 200 {
+		t.Fatalf("checked %d candidates for a near-empty conjunction", plan.Candidates)
+	}
+}
+
+func TestBoxQueryMatchesScan(t *testing.T) {
+	m := buildMulti(t, 1500, 3, 4, 10)
+	e, _ := NewEvaluator(m)
+	c, err := Box([]float64{10, 20, 30}, []float64{60, 70, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.IDs(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Scan(m.Store(), c)
+	if !equalIDs(sortedIDs(got), sortedIDs(want)) {
+		t.Fatalf("box query: %d vs %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate box test: no points inside")
+	}
+	// Ground truth check on a sample.
+	for _, id := range got[:min(10, len(got))] {
+		v := m.Store().Vector(id)
+		for i := range v {
+			if v[i] < []float64{10, 20, 30}[i] || v[i] > []float64{60, 70, 80}[i] {
+				t.Fatalf("point %d outside the box: %v", id, v)
+			}
+		}
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(nil); err == nil {
+		t.Error("nil multi accepted")
+	}
+	m := buildMulti(t, 10, 2, 5, 2)
+	e, _ := NewEvaluator(m)
+	if _, _, err := e.IDs(Conjunction{}); err == nil {
+		t.Error("empty conjunction accepted")
+	}
+	if _, err := Scan(m.Store(), Conjunction{}); err == nil {
+		t.Error("scan of empty conjunction accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

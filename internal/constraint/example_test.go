@@ -1,0 +1,35 @@
+package constraint_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planar/internal/constraint"
+	"planar/internal/core"
+)
+
+// Example answers a conjunction of half-spaces (a linear constraint
+// query) over planar indexes, letting the selectivity bounds pick
+// the driving constraint.
+func Example() {
+	store, _ := core.NewPointStore(2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		store.Append([]float64{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	m, _ := core.NewMulti(store)
+	m.SampleBudget(10, []core.Domain{{Lo: 0.5, Hi: 3}, {Lo: 0.5, Hi: 3}}, rng)
+	m.SampleBudget(10, []core.Domain{{Lo: -3, Hi: -0.5}, {Lo: -3, Hi: -0.5}}, rng)
+
+	ev, _ := constraint.NewEvaluator(m)
+	// 40 ≤ x + y ≤ 60 and 2x + y ≤ 120.
+	c := constraint.Conjunction{}.
+		And(core.Query{A: []float64{1, 1}, B: 60, Op: core.LE}).
+		And(core.Query{A: []float64{1, 1}, B: 40, Op: core.GE}).
+		And(core.Query{A: []float64{2, 1}, B: 120, Op: core.LE})
+	count, plan, _ := ev.Count(c)
+	fmt.Printf("matches=%d driver-was-one-of-3=%v candidates>=matches=%v\n",
+		count, plan.Driver >= 0 && plan.Driver < 3, plan.Candidates >= count)
+	// Output:
+	// matches=1003 driver-was-one-of-3=true candidates>=matches=true
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"planar/internal/btree"
+)
+
+// Count returns the exact number of points satisfying q. The smaller
+// and larger intervals are counted in O(log n) through the key
+// tree's order statistics; only the intermediate interval is
+// verified point by point, so a well-aligned index answers COUNT(*)
+// queries in logarithmic time.
+func (ix *Index) Count(q Query) (int, Stats, error) {
+	if err := q.Validate(ix.store.Dim()); err != nil {
+		return 0, Stats{}, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	st := Stats{N: ix.tree.Len(), IndexUsed: -1}
+	nq := q.normalized()
+	tmin, tmax, _, all, none, err := ix.thresholds(nq)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	if none {
+		st.Rejected = st.N
+		return 0, st, nil
+	}
+	if all {
+		st.Accepted = st.N
+		return st.N, st, nil
+	}
+	st.Accepted = ix.tree.RankLE(tmin)
+	ix.tree.AscendRange(tmin, tmax, func(e btree.Entry) bool {
+		st.Verified++
+		if nq.Satisfies(ix.store.Vector(e.ID)) {
+			st.Matched++
+		}
+		return true
+	})
+	st.Rejected = st.N - st.Accepted - st.Verified
+	return st.Accepted + st.Matched, st, nil
+}
+
+// SelectivityBounds returns guaranteed bounds lo <= |answer| <= hi
+// in O(d'·log n) without computing a single scalar product: lo is
+// the smaller interval's cardinality, hi adds the intermediate
+// interval. A parallel index gives lo == hi — an exact COUNT in
+// logarithmic time. Query optimisers can use this for cardinality
+// estimation with hard guarantees.
+func (ix *Index) SelectivityBounds(q Query) (lo, hi int, err error) {
+	if err := q.Validate(ix.store.Dim()); err != nil {
+		return 0, 0, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	nq := q.normalized()
+	tmin, tmax, _, all, none, err := ix.thresholds(nq)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := ix.tree.Len()
+	if none {
+		return 0, 0, nil
+	}
+	if all {
+		return n, n, nil
+	}
+	lo = ix.tree.RankLE(tmin)
+	hi = lo + ix.tree.CountRange(tmin, tmax)
+	return lo, hi, nil
+}
+
+// Count answers an exact COUNT(*) through the best compatible index,
+// falling back to a scan when none exists (if fallback is enabled).
+func (m *Multi) Count(q Query) (int, Stats, error) {
+	if err := q.Validate(m.store.Dim()); err != nil {
+		return 0, Stats{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ix, pos, err := m.bestLocked(q)
+	if err != nil {
+		if !m.fallback {
+			return 0, Stats{}, err
+		}
+		st := Stats{N: m.store.Len(), FellBack: true, IndexUsed: -1}
+		st.Verified = st.N
+		count := 0
+		m.store.Each(func(_ uint32, v []float64) bool {
+			if q.Satisfies(v) {
+				count++
+			}
+			return true
+		})
+		st.Matched = count
+		return count, st, nil
+	}
+	count, st, err := ix.Count(q)
+	st.IndexUsed = pos
+	return count, st, err
+}
+
+// SelectivityBounds intersects the per-index bounds of every
+// compatible index — each is individually guaranteed, so the
+// tightest combination [max lo, min hi] is too. With no compatible
+// index it returns the trivial bounds [0, n].
+func (m *Multi) SelectivityBounds(q Query) (lo, hi int, err error) {
+	if err := q.Validate(m.store.Dim()); err != nil {
+		return 0, 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	nq := q.normalized()
+	lo, hi = 0, m.store.Len()
+	for _, ix := range m.indexes {
+		if !ix.signs.Matches(nq.A) {
+			continue
+		}
+		ilo, ihi, err := ix.SelectivityBounds(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ilo > lo {
+			lo = ilo
+		}
+		if ihi < hi {
+			hi = ihi
+		}
+	}
+	return lo, hi, nil
+}

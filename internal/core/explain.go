@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plan describes how a Multi would answer a query, without running
+// it — the EXPLAIN of this index. All estimates are exact interval
+// cardinalities computed in O(log n) from the chosen index's order
+// statistics; only the split of the intermediate interval into
+// matches and non-matches is unknown before verification.
+type Plan struct {
+	// IndexUsed is the position of the selected index, or −1 when
+	// the query would be answered by a sequential scan.
+	IndexUsed int
+	// Reason explains the choice in one sentence.
+	Reason string
+	// Compatible counts octant-compatible indexes.
+	Compatible int
+	// Stretch is the chosen index's Problem-3 objective (0 = query
+	// hyperplane parallel to the index family).
+	Stretch float64
+	// Cos is |cos| of the angle between the query hyperplane and the
+	// chosen index family.
+	Cos float64
+	// Accepted, Verified and Rejected are the exact interval sizes
+	// the indexed plan would see. For a scan plan, Verified = N.
+	Accepted, Verified, Rejected int
+	// N is the number of live points.
+	N int
+	// BoundsLo and BoundsHi bracket the answer cardinality
+	// (intersected across all compatible indexes).
+	BoundsLo, BoundsHi int
+}
+
+// String renders the plan for humans.
+func (p Plan) String() string {
+	var b strings.Builder
+	if p.IndexUsed < 0 {
+		fmt.Fprintf(&b, "plan: sequential scan (%s)\n", p.Reason)
+	} else {
+		fmt.Fprintf(&b, "plan: index %d (%s)\n", p.IndexUsed, p.Reason)
+		fmt.Fprintf(&b, "  stretch=%.4g |cos|=%.4f\n", p.Stretch, p.Cos)
+	}
+	fmt.Fprintf(&b, "  intervals: accept=%d verify=%d reject=%d of %d (pruning %.1f%%)\n",
+		p.Accepted, p.Verified, p.Rejected, p.N,
+		100*float64(p.N-p.Verified)/math.Max(1, float64(p.N)))
+	fmt.Fprintf(&b, "  answer cardinality in [%d, %d]", p.BoundsLo, p.BoundsHi)
+	return b.String()
+}
+
+// Explain returns the execution plan for q under the Multi's current
+// configuration (selection heuristic, cost model, fallback policy)
+// without visiting any data point.
+func (m *Multi) Explain(q Query) (Plan, error) {
+	if err := q.Validate(m.store.Dim()); err != nil {
+		return Plan{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	nq := q.normalized()
+	plan := Plan{IndexUsed: -1, N: m.store.Len(), BoundsLo: 0, BoundsHi: m.store.Len()}
+	for _, ix := range m.indexes {
+		if ix.signs.Matches(nq.A) {
+			plan.Compatible++
+		}
+	}
+	ix, pos, err := m.bestLocked(q)
+	if err != nil {
+		plan.Reason = "no index serves the query's hyper-octant"
+		plan.Verified = plan.N
+		return plan, nil
+	}
+
+	// Interval sizes for the chosen index.
+	ix.mu.RLock()
+	tmin, tmax, _, all, none, terr := ix.thresholds(nq)
+	n := ix.tree.Len()
+	var si, ii int
+	switch {
+	case terr != nil:
+		// bestLocked only returns compatible indexes, so this cannot
+		// happen; fall through with zero intervals.
+	case none:
+		// everything rejected
+	case all:
+		si = n
+	default:
+		si = ix.tree.RankLE(tmin)
+		if math.IsInf(tmax, 1) {
+			ii = n - si
+		} else {
+			ii = ix.tree.CountRange(tmin, tmax)
+		}
+	}
+	ix.mu.RUnlock()
+
+	if m.costPenalty > 0 && m.scanCheaper(ix, nq) {
+		plan.Reason = fmt.Sprintf("cost model prefers scan (accept %d + %.1f×verify %d ≥ n %d)",
+			si, m.costPenalty, ii, n)
+		plan.Verified = plan.N
+	} else {
+		plan.IndexUsed = pos
+		plan.Reason = fmt.Sprintf("best of %d compatible indexes by %s minimisation", plan.Compatible, m.sel)
+		plan.Stretch = ix.Stretch(nq)
+		plan.Cos = ix.CosToQuery(nq)
+		plan.Accepted = si
+		plan.Verified = ii
+		plan.Rejected = n - si - ii
+	}
+
+	// Tightest guaranteed bounds across every compatible index.
+	for _, cand := range m.indexes {
+		if !cand.signs.Matches(nq.A) {
+			continue
+		}
+		lo, hi, err := cand.SelectivityBounds(q)
+		if err != nil {
+			continue
+		}
+		if lo > plan.BoundsLo {
+			plan.BoundsLo = lo
+		}
+		if hi < plan.BoundsHi {
+			plan.BoundsHi = hi
+		}
+	}
+	return plan, nil
+}

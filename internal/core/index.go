@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"planar/internal/btree"
+	"planar/internal/vecmath"
+)
+
+// DefaultGuard is the relative width of the conservative band added
+// around the interval thresholds so floating-point rounding can only
+// enlarge the verified range, never corrupt an accept/reject
+// decision.
+const DefaultGuard = 1e-9
+
+// ErrIncompatibleOctant is returned when a query's coefficient signs
+// do not match the octant an index was built for (paper Section 4.5:
+// each index serves one hyper-octant of query normals).
+var ErrIncompatibleOctant = errors.New("core: query signs incompatible with index octant")
+
+// Index is a single Planar index: a family of parallel hyperplanes
+// with normal c, one through each point's φ vector, realised as a B+
+// tree over the keys ⟨c, z(x)⟩ where z is the octant translation of
+// φ (Section 4.5).
+type Index struct {
+	mu    sync.RWMutex
+	store *PointStore
+	c     []float64           // normal in the translated frame; all entries > 0
+	signs vecmath.SignPattern // octant the index serves
+	delta []float64           // translation offsets; all entries >= 0
+	cs    []float64           // cs[i] = c[i]*signs[i]: effective normal in φ space
+	base  float64             // ⟨c, delta⟩, so key = ⟨cs, φ⟩ + base
+	tree  *btree.Tree
+	guard float64
+}
+
+// IndexOption customises index construction.
+type IndexOption func(*Index)
+
+// WithGuard overrides the conservative threshold band (0 disables
+// it; exactness then depends on the data being away from query
+// boundaries).
+func WithGuard(g float64) IndexOption {
+	return func(ix *Index) { ix.guard = g }
+}
+
+// NewIndex builds a planar index over every live point of store. The
+// normal must be strictly positive (it lives in the translated
+// first-octant frame); signs selects the hyper-octant of query
+// coefficient vectors the index will serve. Build time is
+// O(n log n), memory O(n) (paper Section 4.2).
+func NewIndex(store *PointStore, normal []float64, signs vecmath.SignPattern, opts ...IndexOption) (*Index, error) {
+	if store == nil {
+		return nil, errors.New("core: nil point store")
+	}
+	d := store.Dim()
+	if err := vecmath.CheckDim("index normal", normal, d); err != nil {
+		return nil, err
+	}
+	if !vecmath.AllFinite(normal) {
+		return nil, errors.New("core: index normal must be finite")
+	}
+	for i, v := range normal {
+		if v <= 0 {
+			return nil, fmt.Errorf("core: index normal component %d is %v, must be > 0", i, v)
+		}
+	}
+	if len(signs) != d {
+		return nil, fmt.Errorf("core: sign pattern has dimension %d, want %d", len(signs), d)
+	}
+	for i, s := range signs {
+		if s != 1 && s != -1 {
+			return nil, fmt.Errorf("core: sign pattern component %d is %d, must be ±1", i, s)
+		}
+	}
+	ix := &Index{
+		store: store,
+		c:     vecmath.Clone(normal),
+		signs: append(vecmath.SignPattern(nil), signs...),
+		guard: DefaultGuard,
+	}
+	for _, o := range opts {
+		o(ix)
+	}
+	ix.rebuild()
+	return ix, nil
+}
+
+// rebuild recomputes the translation offsets from the current store
+// contents and bulk-loads the key tree. Callers hold ix.mu.
+func (ix *Index) rebuild() {
+	d := ix.store.Dim()
+	ix.delta = make([]float64, d)
+	ix.store.Each(func(_ uint32, v []float64) bool {
+		for i := 0; i < d; i++ {
+			if z := float64(ix.signs[i]) * v[i]; -z > ix.delta[i] {
+				ix.delta[i] = -z
+			}
+		}
+		return true
+	})
+	ix.cs = make([]float64, d)
+	for i := 0; i < d; i++ {
+		ix.cs[i] = ix.c[i] * float64(ix.signs[i])
+	}
+	ix.base = vecmath.Dot(ix.c, ix.delta)
+
+	entries := make([]btree.Entry, 0, ix.store.Len())
+	ix.store.Each(func(id uint32, v []float64) bool {
+		entries = append(entries, btree.Entry{Key: ix.key(v), ID: id})
+		return true
+	})
+	ix.tree = btree.BulkLoad(entries)
+}
+
+// key returns ⟨c, z(v)⟩ in the translated frame.
+func (ix *Index) key(v []float64) float64 {
+	return vecmath.Dot(ix.cs, v) + ix.base
+}
+
+// fits reports whether v respects the current translation, i.e. its
+// translated coordinates are all non-negative.
+func (ix *Index) fits(v []float64) bool {
+	for i := range v {
+		if float64(ix.signs[i])*v[i]+ix.delta[i] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Normal returns a copy of the index normal (translated frame).
+func (ix *Index) Normal() []float64 { return vecmath.Clone(ix.c) }
+
+// EffectiveNormal returns a copy of the index normal expressed in the
+// original φ space (c_i·s_i); this is the vector used for angle
+// comparisons with query hyperplanes.
+func (ix *Index) EffectiveNormal() []float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return vecmath.Clone(ix.cs)
+}
+
+// Signs returns a copy of the octant sign pattern.
+func (ix *Index) Signs() vecmath.SignPattern {
+	return append(vecmath.SignPattern(nil), ix.signs...)
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Len()
+}
+
+// MemoryBytes returns the approximate heap footprint of the index
+// structure itself (excluding the shared point store).
+func (ix *Index) MemoryBytes() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Stats().Bytes + 8*(len(ix.c)+len(ix.delta)+len(ix.cs)) + len(ix.signs)
+}
+
+// add indexes a point already present in the store. If the point
+// breaks the translation invariant the whole index is rebuilt with
+// fresh offsets. Callers hold ix.mu.
+func (ix *Index) add(id uint32, v []float64) {
+	if !ix.fits(v) {
+		ix.rebuild()
+		return
+	}
+	ix.tree.Insert(ix.key(v), id)
+}
+
+// remove unindexes a point given the φ vector it was indexed under.
+// Callers hold ix.mu.
+func (ix *Index) remove(id uint32, old []float64) {
+	ix.tree.Delete(ix.key(old), id)
+}
+
+// update re-keys a point whose φ vector changed from old to new.
+// Callers hold ix.mu. Per Section 4.4 this costs O(d' log n).
+func (ix *Index) update(id uint32, old, new []float64) {
+	ix.tree.Delete(ix.key(old), id)
+	ix.add(id, new)
+}
+
+// Add indexes a point that was appended to the shared store. Use
+// Multi for multi-index maintenance; Add is the standalone
+// single-index path.
+func (ix *Index) Add(id uint32) error {
+	if !ix.store.Live(id) {
+		return fmt.Errorf("core: point %d is not live", id)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.add(id, ix.store.Vector(id))
+	return nil
+}
+
+// thresholds computes the interval boundaries for a normalized (LE)
+// query. Callers hold ix.mu (read).
+//
+// Returned cases:
+//   - all:   every point matches (all coefficients zero, B >= 0)
+//   - none:  no point can match (all zero with B < 0, or b' < 0)
+//   - else tmin/tmax delimit SI/II/LI in key space; tmax may be +Inf
+//     when some coefficient is zero (rejection impossible, paper
+//     Section 4.1).
+func (ix *Index) thresholds(q Query) (tmin, tmax, bPrime float64, all, none bool, err error) {
+	if !ix.signs.Matches(q.A) {
+		return 0, 0, 0, false, false, ErrIncompatibleOctant
+	}
+	bPrime = q.B
+	nonZero := 0
+	for i, a := range q.A {
+		bPrime += math.Abs(a) * ix.delta[i]
+		if a != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		if q.B >= 0 {
+			return 0, 0, bPrime, true, false, nil
+		}
+		return 0, 0, bPrime, false, true, nil
+	}
+	if bPrime < 0 {
+		return 0, 0, bPrime, false, true, nil
+	}
+	tmin = math.Inf(1)
+	tmax = math.Inf(-1)
+	for i, a := range q.A {
+		if a == 0 {
+			tmax = math.Inf(1) // rejection impossible on ignored axes
+			continue
+		}
+		t := ix.c[i] * bPrime / math.Abs(a)
+		if t < tmin {
+			tmin = t
+		}
+		if t > tmax {
+			tmax = t
+		}
+	}
+	// Conservative band: only ever widens the verified range.
+	if ix.guard > 0 {
+		g := ix.guard * (1 + math.Abs(tmin))
+		tmin -= g
+		if !math.IsInf(tmax, 1) {
+			tmax += ix.guard * (1 + math.Abs(tmax))
+		}
+	}
+	return tmin, tmax, bPrime, false, false, nil
+}
+
+// Inequality answers Problem 1 with Algorithm 1: points in the
+// smaller interval are reported without verification, points in the
+// intermediate interval are verified by computing the true scalar
+// product, and the larger interval is rejected wholesale. visit is
+// called once per matching point id, in no particular order; a false
+// return stops early (Stats are then partial).
+func (ix *Index) Inequality(q Query, visit func(id uint32) bool) (Stats, error) {
+	if err := q.Validate(ix.store.Dim()); err != nil {
+		return Stats{}, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	st := Stats{N: ix.tree.Len(), IndexUsed: -1}
+	nq := q.normalized()
+	tmin, tmax, _, all, none, err := ix.thresholds(nq)
+	if err != nil {
+		return Stats{}, err
+	}
+	if none {
+		st.Rejected = st.N
+		return st, nil
+	}
+	if all {
+		st.Accepted = st.N
+		ix.tree.Ascend(func(e btree.Entry) bool { return visit(e.ID) })
+		return st, nil
+	}
+
+	stopped := false
+	ix.tree.AscendLE(tmin, func(e btree.Entry) bool {
+		st.Accepted++
+		if !visit(e.ID) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return st, nil
+	}
+	ix.tree.AscendRange(tmin, tmax, func(e btree.Entry) bool {
+		st.Verified++
+		if nq.Satisfies(ix.store.Vector(e.ID)) {
+			st.Matched++
+			if !visit(e.ID) {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	})
+	st.Rejected = st.N - st.Accepted - st.Verified
+	return st, nil
+}
+
+// InequalityIDs is a convenience wrapper collecting all matching ids.
+func (ix *Index) InequalityIDs(q Query) ([]uint32, Stats, error) {
+	var ids []uint32
+	st, err := ix.Inequality(q, func(id uint32) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids, st, err
+}
+
+// Stretch evaluates the paper's Problem 3 objective for this index
+// against a query: the maximum stretch of the intermediate interval
+// along any axis, (tmax − tmin) / min_i c_i. Smaller is better; 0
+// means the index normal is parallel to the query hyperplane and the
+// intermediate interval is empty (Corollary 1). It returns +Inf for
+// incompatible octants or degenerate queries.
+func (ix *Index) Stretch(q Query) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	nq := q.normalized()
+	tmin, tmax, _, all, none, err := ix.thresholds(nq)
+	if err != nil {
+		return math.Inf(1)
+	}
+	if all || none {
+		return 0 // trivially answered without any verification
+	}
+	if math.IsInf(tmax, 1) {
+		return math.Inf(1)
+	}
+	cmin := ix.c[0]
+	for _, v := range ix.c[1:] {
+		if v < cmin {
+			cmin = v
+		}
+	}
+	return (tmax - tmin) / cmin
+}
+
+// CosToQuery returns |cos| of the angle between the query hyperplane
+// normal and the index's effective normal — the angle-minimisation
+// selection criterion of Section 5.1.2 (larger is better).
+func (ix *Index) CosToQuery(q Query) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return math.Abs(vecmath.CosAngle(q.A, ix.cs))
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"planar/internal/vecmath"
+)
+
+// Selection names a best-index selection heuristic (Section 5.1).
+type Selection int
+
+const (
+	// SelectVolume picks the index minimising the maximum stretch of
+	// the intermediate interval (Problem 3). The paper finds this
+	// usually superior; it is the default.
+	SelectVolume Selection = iota
+	// SelectAngle picks the index whose hyperplane family makes the
+	// smallest angle with the query hyperplane.
+	SelectAngle
+)
+
+// String implements fmt.Stringer.
+func (s Selection) String() string {
+	switch s {
+	case SelectVolume:
+		return "volume"
+	case SelectAngle:
+		return "angle"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// ErrNoCompatibleIndex is returned (or causes a scan fallback) when
+// no index in a Multi serves the query's hyper-octant.
+var ErrNoCompatibleIndex = errors.New("core: no index compatible with query octant")
+
+// Domain is the a-priori range of one query coefficient (paper
+// Section 4.1). Lo and Hi must not straddle zero: the octant of each
+// coefficient must be known for indexes to be built.
+type Domain struct {
+	Lo, Hi float64
+}
+
+// Sign returns the coefficient sign implied by the domain.
+func (d Domain) Sign() int8 {
+	if d.Lo >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Validate rejects empty, non-finite or zero-straddling domains.
+func (d Domain) Validate() error {
+	if math.IsNaN(d.Lo) || math.IsNaN(d.Hi) || math.IsInf(d.Lo, 0) || math.IsInf(d.Hi, 0) {
+		return errors.New("core: domain bounds must be finite")
+	}
+	if d.Lo > d.Hi {
+		return fmt.Errorf("core: empty domain [%v, %v]", d.Lo, d.Hi)
+	}
+	if d.Lo < 0 && d.Hi > 0 {
+		return fmt.Errorf("core: domain [%v, %v] straddles zero; split the workload by octant", d.Lo, d.Hi)
+	}
+	return nil
+}
+
+// sample draws a magnitude uniformly from the domain's absolute
+// range, clamped away from zero (index normals must be positive).
+func (d Domain) sample(rng *rand.Rand) float64 {
+	lo, hi := math.Abs(d.Lo), math.Abs(d.Hi)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	v := lo + rng.Float64()*(hi-lo)
+	if v <= 0 {
+		v = hi * 1e-6
+		if v <= 0 {
+			v = 1e-9
+		}
+	}
+	return v
+}
+
+// Multi is a budgeted collection of planar indexes over one shared
+// point store, with best-index selection at query time (Section 5)
+// and coordinated dynamic updates (Section 4.4). All methods are
+// safe for concurrent use; mutations are serialised.
+type Multi struct {
+	mu          sync.RWMutex
+	store       *PointStore
+	indexes     []*Index
+	sel         Selection
+	fallback    bool
+	guard       float64
+	costPenalty float64 // >0 enables cost-based index-vs-scan choice
+}
+
+// MultiOption customises a Multi.
+type MultiOption func(*Multi)
+
+// WithSelection sets the best-index heuristic.
+func WithSelection(s Selection) MultiOption {
+	return func(m *Multi) { m.sel = s }
+}
+
+// WithFallback controls whether queries with no compatible index are
+// answered by a sequential scan (default true) or fail with
+// ErrNoCompatibleIndex.
+func WithFallback(on bool) MultiOption {
+	return func(m *Multi) { m.fallback = on }
+}
+
+// WithIndexGuard sets the conservative threshold band used by
+// indexes subsequently added to this Multi.
+func WithIndexGuard(g float64) MultiOption {
+	return func(m *Multi) { m.guard = g }
+}
+
+// WithCostBased enables cost-based execution for inequality queries
+// (top-k always prefers an index: its SI walk is pruned early, so
+// the scan rarely wins there). Before answering through an index,
+// the Multi estimates the indexed plan's cost in
+// O(log n) from the interval cardinalities — |SI| accepted
+// sequentially plus |II| verified with random point accesses, the
+// latter weighted by penalty (how much a random access costs
+// relative to one sequential scan step; 2–4 is typical) — and falls
+// back to the sequential scan when that estimate exceeds n. This
+// captures the paper's observation that with high dimensionality and
+// query randomness "the points in the intermediate interval require
+// a random access — which takes more time" than the baseline's
+// sequential pass (Section 7.2.2). penalty <= 0 disables the model.
+func WithCostBased(penalty float64) MultiOption {
+	return func(m *Multi) { m.costPenalty = penalty }
+}
+
+// scanCheaper estimates whether a sequential scan would beat the
+// indexed plan for this (already normalized) query. Callers hold
+// m.mu (read).
+func (m *Multi) scanCheaper(ix *Index, nq Query) bool {
+	if m.costPenalty <= 0 {
+		return false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	tmin, tmax, _, all, none, err := ix.thresholds(nq)
+	if err != nil || all || none {
+		return false
+	}
+	n := ix.tree.Len()
+	si := ix.tree.RankLE(tmin)
+	var ii int
+	if math.IsInf(tmax, 1) {
+		ii = n - si
+	} else {
+		ii = ix.tree.CountRange(tmin, tmax)
+	}
+	return float64(si)+m.costPenalty*float64(ii) >= float64(n)
+}
+
+// NewMulti creates an empty index collection over store.
+func NewMulti(store *PointStore, opts ...MultiOption) (*Multi, error) {
+	if store == nil {
+		return nil, errors.New("core: nil point store")
+	}
+	m := &Multi{store: store, sel: SelectVolume, fallback: true, guard: DefaultGuard}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Store returns the shared point store.
+func (m *Multi) Store() *PointStore { return m.store }
+
+// NumIndexes returns the number of planar indexes held.
+func (m *Multi) NumIndexes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.indexes)
+}
+
+// Index returns the i-th index (for inspection and ablation).
+func (m *Multi) Index(i int) *Index {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.indexes[i]
+}
+
+// AddNormal builds and adds an index with the given normal and
+// octant, unless a redundant index (parallel normal, same octant) is
+// already present (Section 5.2). It reports whether an index was
+// added.
+func (m *Multi) AddNormal(normal []float64, signs vecmath.SignPattern) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ix := range m.indexes {
+		if ix.signs.Equal(signs) && vecmath.Parallel(ix.c, normal, 1e-9) {
+			return false, nil
+		}
+	}
+	ix, err := NewIndex(m.store, normal, signs, WithGuard(m.guard))
+	if err != nil {
+		return false, err
+	}
+	m.indexes = append(m.indexes, ix)
+	return true, nil
+}
+
+// SampleBudget draws up to budget index normals uniformly from the
+// per-coefficient domains (Section 5.2), skipping redundant ones. It
+// returns how many indexes were actually added. The rng makes index
+// construction reproducible.
+func (m *Multi) SampleBudget(budget int, domains []Domain, rng *rand.Rand) (int, error) {
+	if budget <= 0 {
+		return 0, fmt.Errorf("core: budget must be positive, got %d", budget)
+	}
+	if len(domains) != m.store.Dim() {
+		return 0, fmt.Errorf("core: got %d domains, want %d", len(domains), m.store.Dim())
+	}
+	signs := make(vecmath.SignPattern, len(domains))
+	for i, d := range domains {
+		if err := d.Validate(); err != nil {
+			return 0, fmt.Errorf("domain %d: %w", i, err)
+		}
+		signs[i] = d.Sign()
+	}
+	added := 0
+	normal := make([]float64, len(domains))
+	// Sampling can hit redundant normals (especially on discrete
+	// domains); allow a generous number of retries before giving up.
+	for attempts := 0; added < budget && attempts < budget*20; attempts++ {
+		for i, d := range domains {
+			normal[i] = d.sample(rng)
+		}
+		ok, err := m.AddNormal(normal, signs)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// RemoveAllIndexes drops every index (the MOVIES-style "throw the
+// index away" step for moving-object workloads) while keeping the
+// point store.
+func (m *Multi) RemoveAllIndexes() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.indexes = nil
+}
+
+// Best returns the index the selection heuristic prefers for q,
+// along with its position. Only octant-compatible indexes are
+// considered.
+func (m *Multi) Best(q Query) (*Index, int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bestLocked(q)
+}
+
+func (m *Multi) bestLocked(q Query) (*Index, int, error) {
+	nq := q.normalized()
+	bestIdx := -1
+	bestScore := math.Inf(1)
+	for i, ix := range m.indexes {
+		if !ix.signs.Matches(nq.A) {
+			continue
+		}
+		var score float64
+		switch m.sel {
+		case SelectAngle:
+			score = -ix.CosToQuery(nq) // maximise |cos|
+		default:
+			score = ix.Stretch(nq)
+		}
+		if score < bestScore {
+			bestScore, bestIdx = score, i
+		}
+	}
+	if bestIdx < 0 {
+		return nil, -1, ErrNoCompatibleIndex
+	}
+	return m.indexes[bestIdx], bestIdx, nil
+}
+
+// Inequality answers Problem 1 using the best compatible index, or a
+// sequential scan when none exists and fallback is enabled.
+//
+// The Multi's read lock is held for the whole operation: it is what
+// makes concurrent queries safe against Update/Append/Remove, which
+// mutate the shared point store under the write lock.
+func (m *Multi) Inequality(q Query, visit func(id uint32) bool) (Stats, error) {
+	if err := q.Validate(m.store.Dim()); err != nil {
+		return Stats{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ix, pos, err := m.bestLocked(q)
+	if err != nil {
+		if !m.fallback {
+			return Stats{}, err
+		}
+		return m.scanInequality(q, visit), nil
+	}
+	if m.scanCheaper(ix, q.normalized()) {
+		return m.scanInequality(q, visit), nil
+	}
+	st, err := ix.Inequality(q, visit)
+	st.IndexUsed = pos
+	return st, err
+}
+
+// InequalityIDs collects all matching point ids.
+func (m *Multi) InequalityIDs(q Query) ([]uint32, Stats, error) {
+	var ids []uint32
+	st, err := m.Inequality(q, func(id uint32) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids, st, err
+}
+
+// TopK answers Problem 2 using the best compatible index, or a
+// sequential scan fallback. Like Inequality, it holds the read lock
+// for the whole operation.
+func (m *Multi) TopK(q Query, k int) ([]Result, Stats, error) {
+	if err := q.Validate(m.store.Dim()); err != nil {
+		return nil, Stats{}, err
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: TopK requires k > 0, got %d", k)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ix, pos, err := m.bestLocked(q)
+	if err != nil {
+		if !m.fallback {
+			return nil, Stats{}, err
+		}
+		res, st := m.scanTopK(q, k)
+		return res, st, nil
+	}
+	res, st, err := ix.TopK(q, k)
+	st.IndexUsed = pos
+	return res, st, err
+}
+
+// scanInequality is the naive baseline path for incompatible queries.
+func (m *Multi) scanInequality(q Query, visit func(id uint32) bool) Stats {
+	st := Stats{N: m.store.Len(), FellBack: true, IndexUsed: -1}
+	st.Verified = st.N
+	m.store.Each(func(id uint32, v []float64) bool {
+		if q.Satisfies(v) {
+			st.Matched++
+			return visit(id)
+		}
+		return true
+	})
+	return st
+}
+
+func (m *Multi) scanTopK(q Query, k int) ([]Result, Stats) {
+	st := Stats{N: m.store.Len(), FellBack: true, IndexUsed: -1}
+	st.Verified = st.N
+	type cand struct {
+		id uint32
+		d  float64
+	}
+	var cands []cand
+	m.store.Each(func(id uint32, v []float64) bool {
+		if q.Satisfies(v) {
+			st.Matched++
+			cands = append(cands, cand{id, q.Distance(v)})
+		}
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: c.id, Distance: c.d}
+	}
+	return out, st
+}
+
+// Append adds a point to the store and to every index. It returns
+// the new point id.
+func (m *Multi) Append(v []float64) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, err := m.store.Append(v)
+	if err != nil {
+		return 0, err
+	}
+	for _, ix := range m.indexes {
+		ix.mu.Lock()
+		ix.add(id, m.store.Vector(id))
+		ix.mu.Unlock()
+	}
+	return id, nil
+}
+
+// Update replaces a point's φ vector and re-keys it in every index —
+// the O(d'·log n)-per-index dynamic update of Section 4.4.
+func (m *Multi) Update(id uint32, v []float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.store.Live(id) {
+		return fmt.Errorf("core: point %d is not live", id)
+	}
+	old := vecmath.Clone(m.store.Vector(id))
+	if err := m.store.Set(id, v); err != nil {
+		return err
+	}
+	cur := m.store.Vector(id)
+	for _, ix := range m.indexes {
+		ix.mu.Lock()
+		ix.update(id, old, cur)
+		ix.mu.Unlock()
+	}
+	return nil
+}
+
+// Remove deletes a point from the store and every index.
+func (m *Multi) Remove(id uint32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.store.Live(id) {
+		return fmt.Errorf("core: point %d is not live", id)
+	}
+	old := vecmath.Clone(m.store.Vector(id))
+	for _, ix := range m.indexes {
+		ix.mu.Lock()
+		ix.remove(id, old)
+		ix.mu.Unlock()
+	}
+	return m.store.Remove(id)
+}
+
+// MemoryBytes returns the approximate footprint of all indexes plus
+// the shared store.
+func (m *Multi) MemoryBytes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := m.store.MemoryBytes()
+	for _, ix := range m.indexes {
+		total += ix.MemoryBytes()
+	}
+	return total
+}

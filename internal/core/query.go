@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"planar/internal/vecmath"
+)
+
+// Op is the comparison direction of a scalar product query.
+type Op int
+
+const (
+	// LE asks for ⟨a, φ(x)⟩ ≤ b.
+	LE Op = iota
+	// GE asks for ⟨a, φ(x)⟩ ≥ b.
+	GE
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Query is a scalar product query ⟨A, φ(x)⟩ Op B (paper Problem 1).
+// Both A and B are known only at query time.
+type Query struct {
+	A  []float64
+	B  float64
+	Op Op
+}
+
+// NewQuery validates and returns a query.
+func NewQuery(a []float64, b float64, op Op) (Query, error) {
+	q := Query{A: a, B: b, Op: op}
+	return q, q.Validate(len(a))
+}
+
+// Validate checks the query against an expected dimensionality.
+func (q Query) Validate(dim int) error {
+	if err := vecmath.CheckDim("query coefficient vector", q.A, dim); err != nil {
+		return err
+	}
+	if !vecmath.AllFinite(q.A) {
+		return errors.New("core: query coefficients must be finite")
+	}
+	if math.IsNaN(q.B) || math.IsInf(q.B, 0) {
+		return errors.New("core: query bound must be finite")
+	}
+	if q.Op != LE && q.Op != GE {
+		return fmt.Errorf("core: unknown op %d", int(q.Op))
+	}
+	return nil
+}
+
+// normalized returns the query rewritten in LE form: a GE query is
+// negated on both sides (⟨a,φ⟩ ≥ b ⇔ ⟨−a,φ⟩ ≤ −b).
+func (q Query) normalized() Query {
+	if q.Op == LE {
+		return q
+	}
+	neg := make([]float64, len(q.A))
+	for i, v := range q.A {
+		neg[i] = -v
+	}
+	return Query{A: neg, B: -q.B, Op: LE}
+}
+
+// NormalizedCoefficients returns the coefficient vector of the
+// query's LE form (GE queries are negated), which determines the
+// hyper-octant an index must serve. The result is a fresh slice.
+func (q Query) NormalizedCoefficients() []float64 {
+	return vecmath.Clone(q.normalized().A)
+}
+
+// Satisfies evaluates the predicate directly on a φ vector.
+func (q Query) Satisfies(phi []float64) bool {
+	p := vecmath.Dot(q.A, phi)
+	if q.Op == LE {
+		return p <= q.B
+	}
+	return p >= q.B
+}
+
+// Distance returns the Euclidean distance from φ to the query
+// hyperplane ⟨A, y⟩ = B: |⟨A,φ⟩ − B| / |A|.
+func (q Query) Distance(phi []float64) float64 {
+	return math.Abs(vecmath.Dot(q.A, phi)-q.B) / vecmath.Norm(q.A)
+}
+
+// Hyperplane returns the query hyperplane H(q) (Equation 2).
+func (q Query) Hyperplane() (vecmath.Hyperplane, error) {
+	return vecmath.NewHyperplane(q.A, q.B)
+}
+
+// Stats reports how a single inequality query was answered. It is
+// the source of the paper's "pruning percentage" figures (Figures 9
+// and 10): Accepted + Rejected points never had their scalar product
+// computed.
+type Stats struct {
+	// N is the number of live points considered.
+	N int
+	// Accepted is the size of the smaller interval (accepted without
+	// verification).
+	Accepted int
+	// Verified is the size of the intermediate interval.
+	Verified int
+	// Matched is how many verified points satisfied the query.
+	Matched int
+	// Rejected is the size of the larger interval.
+	Rejected int
+	// FellBack reports that no compatible index existed and the
+	// answer came from a sequential scan.
+	FellBack bool
+	// IndexUsed is the position of the selected index inside a Multi
+	// (-1 for a direct Index query or a fallback scan).
+	IndexUsed int
+}
+
+// Results returns the total number of points reported.
+func (s Stats) Results() int { return s.Accepted + s.Matched }
+
+// PruningFraction is the fraction of points whose scalar product was
+// never computed (the paper's pruning percentage, divided by 100).
+func (s Stats) PruningFraction() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.N-s.Verified) / float64(s.N)
+}

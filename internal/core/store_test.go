@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPointStoreValidation(t *testing.T) {
+	if _, err := NewPointStore(0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewPointStore(-3); err == nil {
+		t.Error("negative dim accepted")
+	}
+	s, err := NewPointStore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 || s.Len() != 0 {
+		t.Fatalf("Dim=%d Len=%d", s.Dim(), s.Len())
+	}
+}
+
+func TestAppendSetRemove(t *testing.T) {
+	s, _ := NewPointStore(2)
+	id0, err := s.Append([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, _ := s.Append([]float64{3, 4})
+	if id0 == id1 {
+		t.Fatal("duplicate ids")
+	}
+	if s.Len() != 2 || s.Cap() != 2 {
+		t.Fatalf("Len=%d Cap=%d", s.Len(), s.Cap())
+	}
+	v := s.Vector(id1)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("Vector=%v", v)
+	}
+	if err := s.Set(id0, []float64{9, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Vector(id0)[0] != 9 {
+		t.Fatal("Set did not take effect")
+	}
+	if err := s.Remove(id0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Live(id0) {
+		t.Fatal("removed point still live")
+	}
+	if err := s.Remove(id0); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	if err := s.Set(id0, []float64{1, 1}); err == nil {
+		t.Fatal("Set on dead point succeeded")
+	}
+	// Row recycling.
+	id2, _ := s.Append([]float64{5, 6})
+	if id2 != id0 {
+		t.Fatalf("expected recycled id %d, got %d", id0, id2)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s, _ := NewPointStore(2)
+	if _, err := s.Append([]float64{1}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if _, err := s.Append([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := s.Append([]float64{1, math.Inf(-1)}); err == nil {
+		t.Error("-Inf accepted")
+	}
+}
+
+func TestFromMatrix(t *testing.T) {
+	s, err := FromMatrix([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Dim() != 2 {
+		t.Fatalf("Len=%d Dim=%d", s.Len(), s.Dim())
+	}
+	if _, err := FromMatrix(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := FromMatrix([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestEachAndAxisRange(t *testing.T) {
+	s, _ := FromMatrix([][]float64{{1, -5}, {3, 7}, {2, 0}})
+	count := 0
+	s.Each(func(id uint32, v []float64) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("Each visited %d", count)
+	}
+	count = 0
+	s.Each(func(id uint32, v []float64) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Each early stop visited %d", count)
+	}
+	lo, hi, ok := s.AxisRange(1)
+	if !ok || lo != -5 || hi != 7 {
+		t.Fatalf("AxisRange=(%v,%v,%v)", lo, hi, ok)
+	}
+	// Removing the extremes changes the range.
+	s.Remove(0)
+	lo, hi, _ = s.AxisRange(1)
+	if lo != 0 || hi != 7 {
+		t.Fatalf("AxisRange after remove=(%v,%v)", lo, hi)
+	}
+	empty, _ := NewPointStore(1)
+	if _, _, ok := empty.AxisRange(0); ok {
+		t.Fatal("AxisRange ok on empty store")
+	}
+}
+
+func TestVectorIsView(t *testing.T) {
+	s, _ := FromMatrix([][]float64{{1, 2}})
+	v := s.Vector(0)
+	s.Set(0, []float64{7, 8})
+	if v[0] != 7 {
+		t.Fatal("Vector should alias storage")
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes non-positive")
+	}
+}

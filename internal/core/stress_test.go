@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"planar/internal/vecmath"
+)
+
+// TestConcurrentQueriesAndUpdates hammers a Multi with concurrent
+// readers (inequality, top-k, count) and writers (update, append,
+// remove). Run with -race; correctness of the final state is then
+// checked against brute force.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	s := randomStore(t, rng, 2000, 3, 1, 100)
+	m, err := NewMulti(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddNormal([]float64{1, 1, 1}, vecmath.FirstOctant(3))
+	m.AddNormal([]float64{3, 1, 2}, vecmath.FirstOctant(3))
+
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 32)
+
+	// Readers run until the writers finish.
+	for g := 0; g < 8; g++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := Query{
+					A:  []float64{1 + r.Float64()*4, 1 + r.Float64()*4, 1 + r.Float64()*4},
+					B:  r.Float64() * 500,
+					Op: LE,
+				}
+				switch r.Intn(3) {
+				case 0:
+					if _, _, err := m.InequalityIDs(q); err != nil {
+						errCh <- err
+						return
+					}
+				case 1:
+					if _, _, err := m.TopK(q, 5); err != nil {
+						errCh <- err
+						return
+					}
+				default:
+					if _, _, err := m.Count(q); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+
+	// Writers.
+	for g := 0; g < 2; g++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			r := rand.New(rand.NewSource(seed + 100))
+			for i := 0; i < 500; i++ {
+				id := uint32(r.Intn(2000))
+				v := []float64{1 + r.Float64()*99, 1 + r.Float64()*99, 1 + r.Float64()*99}
+				if err := m.Update(id, v); err != nil {
+					// Another writer may have removed the point; only
+					// report unexpected failures.
+					continue
+				}
+				if i%50 == 0 {
+					if _, err := m.Append(v); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Final state must still answer exactly.
+	for trial := 0; trial < 20; trial++ {
+		q := Query{
+			A:  []float64{1 + rng.Float64()*4, 1 + rng.Float64()*4, 1 + rng.Float64()*4},
+			B:  rng.Float64() * 500,
+			Op: LE,
+		}
+		ids, _, err := m.InequalityIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(ids), bruteForce(s, q)) {
+			t.Fatalf("trial %d: state corrupted by concurrent load", trial)
+		}
+	}
+	for i := 0; i < m.NumIndexes(); i++ {
+		if m.Index(i).Len() != s.Len() {
+			t.Fatalf("index %d size %d, store %d", i, m.Index(i).Len(), s.Len())
+		}
+	}
+}

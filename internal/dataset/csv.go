@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with an optional header row of column
+// names (pass nil for no header).
+func (d *Data) WriteCSV(w io.Writer, columns []string) error {
+	cw := csv.NewWriter(w)
+	if columns != nil {
+		if len(columns) != d.Dim() {
+			return fmt.Errorf("dataset: %d column names for dimension %d", len(columns), d.Dim())
+		}
+		if err := cw.Write(columns); err != nil {
+			return err
+		}
+	}
+	rec := make([]string, d.Dim())
+	for _, row := range d.Rows {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the dataset to a file.
+func (d *Data) SaveCSV(path string, columns []string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return d.WriteCSV(f, columns)
+}
+
+// ReadCSV parses a dataset from CSV. When header is true the first
+// record is skipped. Every field must parse as a float64 and every
+// row must have the same width.
+func ReadCSV(r io.Reader, name string, header bool) (*Data, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	d := &Data{Name: name}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line+1, err)
+		}
+		line++
+		if header && line == 1 {
+			continue
+		}
+		row := make([]float64, len(rec))
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d field %d: %w", line, j+1, err)
+			}
+			row[j] = v
+		}
+		if len(d.Rows) > 0 && len(row) != d.Dim() {
+			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d", line, len(row), d.Dim())
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+// LoadCSV reads a dataset from a file.
+func LoadCSV(path, name string, header bool) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, name, header)
+}

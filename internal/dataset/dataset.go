@@ -1,0 +1,296 @@
+// Package dataset provides the workloads of the paper's evaluation
+// (Section 7.1): the three synthetic distributions of the Börzsönyi
+// skyline generator (independent, correlated, anti-correlated) and
+// synthetic stand-ins for the three real-world datasets (Consumption,
+// CMoment, CTexture), generated to match the published
+// dimensionalities, value ranges and broad attribute relationships.
+// See DESIGN.md ("Substitutions") for why stand-ins are used: the
+// original UCI / Corel files are not available offline, and the
+// experiments' shape depends only on range and correlation structure.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"planar/internal/core"
+)
+
+// Data is an in-memory dataset: named rows of equal dimensionality.
+type Data struct {
+	Name string
+	Rows [][]float64
+}
+
+// Dim returns the dimensionality (0 for an empty dataset).
+func (d *Data) Dim() int {
+	if len(d.Rows) == 0 {
+		return 0
+	}
+	return len(d.Rows[0])
+}
+
+// Len returns the number of rows.
+func (d *Data) Len() int { return len(d.Rows) }
+
+// Store copies the rows into a fresh core.PointStore.
+func (d *Data) Store() (*core.PointStore, error) {
+	s, err := core.NewPointStore(d.Dim())
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", d.Name, err)
+	}
+	for i, r := range d.Rows {
+		if _, err := s.Append(r); err != nil {
+			return nil, fmt.Errorf("dataset %q row %d: %w", d.Name, i, err)
+		}
+	}
+	return s, nil
+}
+
+// AxisMax returns max(i) over the rows — the quantity used on the
+// right-hand side of the paper's generalised query (Equation 18).
+func (d *Data) AxisMax(i int) float64 {
+	m := math.Inf(-1)
+	for _, r := range d.Rows {
+		if r[i] > m {
+			m = r[i]
+		}
+	}
+	return m
+}
+
+// AxisMin returns min(i) over the rows.
+func (d *Data) AxisMin(i int) float64 {
+	m := math.Inf(1)
+	for _, r := range d.Rows {
+		if r[i] < m {
+			m = r[i]
+		}
+	}
+	return m
+}
+
+// AxisMaxes returns AxisMax for every axis.
+func (d *Data) AxisMaxes() []float64 {
+	out := make([]float64, d.Dim())
+	for i := range out {
+		out[i] = d.AxisMax(i)
+	}
+	return out
+}
+
+// Synthetic attribute range used throughout the paper: (1, 100).
+const (
+	synthLo = 1.0
+	synthHi = 100.0
+)
+
+func clip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Independent generates n points of dimension dim with every
+// attribute drawn independently and uniformly from (1, 100).
+func Independent(n, dim int, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		r := make([]float64, dim)
+		for j := range r {
+			r[j] = synthLo + rng.Float64()*(synthHi-synthLo)
+		}
+		rows[i] = r
+	}
+	return &Data{Name: "indp", Rows: rows}
+}
+
+// Correlated generates points where a high value in one dimension
+// implies high values in the others: each point is a common diagonal
+// value plus small independent jitter (Börzsönyi et al., ICDE 2001).
+func Correlated(n, dim int, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	const jitter = 6.0
+	rows := make([][]float64, n)
+	for i := range rows {
+		base := synthLo + rng.Float64()*(synthHi-synthLo)
+		r := make([]float64, dim)
+		for j := range r {
+			r[j] = clip(base+rng.NormFloat64()*jitter, synthLo, synthHi)
+		}
+		rows[i] = r
+	}
+	return &Data{Name: "corr", Rows: rows}
+}
+
+// AntiCorrelated generates points near the anti-diagonal hyperplane
+// Σx_i ≈ dim·midpoint: a high value in one dimension forces low
+// values elsewhere. This distribution maximises the intermediate
+// interval for most planar indexes (paper Section 7.2.2).
+func AntiCorrelated(n, dim int, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	mid := (synthLo + synthHi) / 2
+	const planeJitter = 8.0
+	rows := make([][]float64, n)
+	for i := range rows {
+		r := make([]float64, dim)
+		// Sample a direction inside the plane by drawing uniform
+		// coordinates and retargeting their sum.
+		sum := 0.0
+		for j := range r {
+			r[j] = rng.Float64()
+			sum += r[j]
+		}
+		target := float64(dim)*mid + rng.NormFloat64()*planeJitter
+		scale := target / sum
+		for j := range r {
+			r[j] = clip(r[j]*scale, synthLo, synthHi)
+		}
+		rows[i] = r
+	}
+	return &Data{Name: "anti", Rows: rows}
+}
+
+// Consumption synthesises the UCI household electric power
+// consumption dataset's shape: columns (active power [kW], reactive
+// power [kW], voltage [V], current [A]) with active ≈ pf·V·I/1000 for
+// a power factor pf in (0.2, 1). Published ranges: 0-11, 0-1,
+// 223-254, 0-48.
+func Consumption(n int, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		voltage := 223 + rng.Float64()*(254-223)
+		// Household current is heavy-tailed: most readings small,
+		// occasional large appliances.
+		current := clip(rng.ExpFloat64()*5, 0.05, 48)
+		pf := 0.2 + 0.8*math.Sqrt(rng.Float64())
+		apparent := voltage * current / 1000 // kVA
+		// Multiplicative measurement noise keeps active <= apparent,
+		// so the power factor the workload queries stays in (0, 1].
+		active := clip(pf*apparent*(1+0.02*rng.NormFloat64()), 0, math.Min(11, apparent))
+		reactive := clip(math.Sqrt(1-pf*pf)*apparent*(1+0.02*rng.NormFloat64()), 0, 1)
+		rows[i] = []float64{active, reactive, voltage, current}
+	}
+	return &Data{Name: "consumption", Rows: rows}
+}
+
+// ConsumptionColumns names the Consumption attributes in order.
+var ConsumptionColumns = []string{"active_power", "reactive_power", "voltage", "current"}
+
+// CMoment synthesises the 9-dimensional Corel colour-moment features:
+// a Gaussian mixture clipped to the published range (-4.15, 4.59).
+func CMoment(n int, seed int64) *Data {
+	return gaussianMixture("cmoment", n, 9, 8, -4.15, 4.59, 0.9, seed)
+}
+
+// CTexture synthesises the 16-dimensional Corel co-occurrence texture
+// features clipped to the published range (-5.25, 50.21). Real
+// texture energies are heavily right-skewed — most values are small
+// with a long tail toward the maximum — which is exactly the
+// distribution shape the planar index exploits on this dataset
+// (paper Figure 6(c)): clusters of per-dimension exponential scales
+// produce that skew.
+func CTexture(n int, seed int64) *Data {
+	const (
+		dim = 16
+		k   = 10
+		lo  = -5.25
+		hi  = 50.21
+	)
+	rng := rand.New(rand.NewSource(seed))
+	scales := make([][]float64, k)
+	for c := range scales {
+		s := make([]float64, dim)
+		for j := range s {
+			s[j] = 0.5 + rng.Float64()*4.5
+		}
+		scales[c] = s
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		s := scales[rng.Intn(k)]
+		r := make([]float64, dim)
+		for j := range r {
+			r[j] = clip(rng.NormFloat64()*0.4+rng.ExpFloat64()*s[j], lo, hi)
+		}
+		rows[i] = r
+	}
+	return &Data{Name: "ctexture", Rows: rows}
+}
+
+// gaussianMixture draws points from k Gaussian clusters with centres
+// uniform in the lower half of [lo, hi] (image features cluster near
+// small magnitudes) and standard deviation sigma, clipped to range.
+func gaussianMixture(name string, n, dim, k int, lo, hi, sigma float64, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	span := hi - lo
+	for c := range centers {
+		ctr := make([]float64, dim)
+		for j := range ctr {
+			// Bias centres toward the lower part of the range.
+			u := rng.Float64()
+			ctr[j] = lo + span*u*u
+		}
+		centers[c] = ctr
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		ctr := centers[rng.Intn(k)]
+		r := make([]float64, dim)
+		for j := range r {
+			r[j] = clip(ctr[j]+rng.NormFloat64()*sigma, lo, hi)
+		}
+		rows[i] = r
+	}
+	return &Data{Name: name, Rows: rows}
+}
+
+// Kind names one of the paper's synthetic distributions.
+type Kind int
+
+const (
+	// KindIndependent is the uniform, independent distribution.
+	KindIndependent Kind = iota
+	// KindCorrelated is the correlated distribution.
+	KindCorrelated
+	// KindAntiCorrelated is the anti-correlated distribution.
+	KindAntiCorrelated
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindIndependent:
+		return "indp"
+	case KindCorrelated:
+		return "corr"
+	case KindAntiCorrelated:
+		return "anti"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Synthetic dispatches to the named synthetic generator.
+func Synthetic(k Kind, n, dim int, seed int64) *Data {
+	switch k {
+	case KindCorrelated:
+		return Correlated(n, dim, seed)
+	case KindAntiCorrelated:
+		return AntiCorrelated(n, dim, seed)
+	default:
+		return Independent(n, dim, seed)
+	}
+}
+
+// Kinds lists the three synthetic distributions in the order the
+// paper's figures present them.
+var Kinds = []Kind{KindIndependent, KindCorrelated, KindAntiCorrelated}

@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestIndependentShape(t *testing.T) {
+	d := Independent(1000, 6, 1)
+	if d.Len() != 1000 || d.Dim() != 6 {
+		t.Fatalf("Len=%d Dim=%d", d.Len(), d.Dim())
+	}
+	for _, r := range d.Rows {
+		for _, v := range r {
+			if v < 1 || v > 100 {
+				t.Fatalf("value %v out of range", v)
+			}
+		}
+	}
+	// Uniformity sanity: mean near 50.5.
+	var sum float64
+	for _, r := range d.Rows {
+		sum += r[0]
+	}
+	mean := sum / 1000
+	if mean < 45 || mean > 56 {
+		t.Fatalf("mean %v implausible for uniform(1,100)", mean)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Independent(50, 3, 7)
+	b := Independent(50, 3, 7)
+	c := Independent(50, 3, 8)
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	same := true
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != c.Rows[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// pearson computes the sample correlation of two columns.
+func pearson(d *Data, i, j int) float64 {
+	n := float64(d.Len())
+	var si, sj, sii, sjj, sij float64
+	for _, r := range d.Rows {
+		si += r[i]
+		sj += r[j]
+		sii += r[i] * r[i]
+		sjj += r[j] * r[j]
+		sij += r[i] * r[j]
+	}
+	cov := sij/n - si/n*sj/n
+	vi := sii/n - si/n*si/n
+	vj := sjj/n - sj/n*sj/n
+	return cov / math.Sqrt(vi*vj)
+}
+
+func TestCorrelationStructure(t *testing.T) {
+	corr := Correlated(5000, 4, 2)
+	anti := AntiCorrelated(5000, 4, 3)
+	indp := Independent(5000, 4, 4)
+	if c := pearson(corr, 0, 1); c < 0.7 {
+		t.Fatalf("correlated data has pairwise correlation %v, want > 0.7", c)
+	}
+	if c := pearson(anti, 0, 1); c > -0.1 {
+		t.Fatalf("anti-correlated data has pairwise correlation %v, want < -0.1", c)
+	}
+	if c := pearson(indp, 0, 1); math.Abs(c) > 0.08 {
+		t.Fatalf("independent data has pairwise correlation %v, want ~0", c)
+	}
+	for _, d := range []*Data{corr, anti} {
+		for _, r := range d.Rows {
+			for _, v := range r {
+				if v < 1 || v > 100 {
+					t.Fatalf("%s value %v out of range", d.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestConsumptionRangesAndPhysics(t *testing.T) {
+	d := Consumption(5000, 5)
+	if d.Dim() != 4 {
+		t.Fatalf("Dim=%d", d.Dim())
+	}
+	inRange := func(v, lo, hi float64) bool { return v >= lo && v <= hi }
+	lowPF := 0
+	for _, r := range d.Rows {
+		active, reactive, voltage, current := r[0], r[1], r[2], r[3]
+		if !inRange(active, 0, 11) || !inRange(reactive, 0, 1) ||
+			!inRange(voltage, 223, 254) || !inRange(current, 0, 48) {
+			t.Fatalf("row out of published ranges: %v", r)
+		}
+		// Power factor = active / (V·I/1000) should mostly lie in
+		// (0, 1] — that is the quantity Example 1 queries.
+		pf := active / (voltage * current / 1000)
+		if pf > 1.2 {
+			t.Fatalf("power factor %v > 1.2 breaks the workload's physics", pf)
+		}
+		if pf < 0.5 {
+			lowPF++
+		}
+	}
+	// The Critical_Consume query needs a non-trivial fraction of
+	// households below moderate thresholds.
+	if lowPF == 0 || lowPF == d.Len() {
+		t.Fatalf("degenerate power-factor distribution: %d/%d below 0.5", lowPF, d.Len())
+	}
+}
+
+func TestImageFeatureRanges(t *testing.T) {
+	cm := CMoment(2000, 6)
+	if cm.Dim() != 9 {
+		t.Fatalf("CMoment Dim=%d", cm.Dim())
+	}
+	for _, r := range cm.Rows {
+		for _, v := range r {
+			if v < -4.15 || v > 4.59 {
+				t.Fatalf("CMoment value %v out of range", v)
+			}
+		}
+	}
+	ct := CTexture(2000, 7)
+	if ct.Dim() != 16 {
+		t.Fatalf("CTexture Dim=%d", ct.Dim())
+	}
+	for _, r := range ct.Rows {
+		for _, v := range r {
+			if v < -5.25 || v > 50.21 {
+				t.Fatalf("CTexture value %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestStoreAndAxisHelpers(t *testing.T) {
+	d := &Data{Name: "x", Rows: [][]float64{{1, 9}, {5, 2}, {3, 4}}}
+	s, err := d.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Dim() != 2 {
+		t.Fatalf("store Len=%d Dim=%d", s.Len(), s.Dim())
+	}
+	if d.AxisMax(0) != 5 || d.AxisMax(1) != 9 {
+		t.Fatal("AxisMax wrong")
+	}
+	if d.AxisMin(1) != 2 {
+		t.Fatal("AxisMin wrong")
+	}
+	maxes := d.AxisMaxes()
+	if maxes[0] != 5 || maxes[1] != 9 {
+		t.Fatal("AxisMaxes wrong")
+	}
+	empty := &Data{Name: "e"}
+	if empty.Dim() != 0 {
+		t.Fatal("empty Dim")
+	}
+	if _, err := empty.Store(); err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+func TestSyntheticDispatchAndKindString(t *testing.T) {
+	for _, k := range Kinds {
+		d := Synthetic(k, 10, 2, 1)
+		if d.Name != k.String() {
+			t.Fatalf("Synthetic(%v).Name=%s", k, d.Name)
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Independent(20, 3, 9)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()), "round", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Dim() != d.Dim() {
+		t.Fatalf("round trip shape: %d×%d", back.Len(), back.Dim())
+	}
+	for i := range d.Rows {
+		for j := range d.Rows[i] {
+			if back.Rows[i][j] != d.Rows[i][j] {
+				t.Fatalf("round trip value mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	// Header mismatch.
+	if err := d.WriteCSV(&buf, []string{"a"}); err == nil {
+		t.Fatal("wrong header width accepted")
+	}
+	// Parse errors.
+	if _, err := ReadCSV(strings.NewReader("1,2\n3,oops\n"), "bad", false); err == nil {
+		t.Fatal("non-numeric field accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), "ragged", false); err == nil {
+		t.Fatal("ragged csv accepted")
+	}
+}

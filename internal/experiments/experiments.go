@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 7) as plain-text tables. Each
+// experiment is registered under the paper's figure/table id and is
+// runnable through cmd/planarbench or the root benchmark suite.
+//
+// Absolute times depend on the machine; what the experiments are
+// meant to reproduce is the paper's shape: who wins, by roughly what
+// factor, and where the crossovers are. EXPERIMENTS.md records
+// paper-vs-measured for each id.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"planar/internal/core"
+	"planar/internal/dataset"
+	"planar/internal/queries"
+	"planar/internal/scan"
+)
+
+// Config scales the workloads. The paper's settings (1M synthetic
+// points, 100-run averages, 5K objects per moving set) are available
+// through PaperConfig; DefaultConfig is laptop-scale and preserves
+// every experiment's shape.
+type Config struct {
+	Points     int   // synthetic dataset cardinality
+	RealPoints int   // rows for the simulated real-world datasets
+	Queries    int   // queries averaged per measurement
+	MovingN    int   // moving objects per set
+	Seed       int64 // global reproducibility seed
+}
+
+// DefaultConfig returns laptop-scale settings.
+func DefaultConfig() Config {
+	return Config{Points: 100000, RealPoints: 20000, Queries: 20, MovingN: 400, Seed: 1}
+}
+
+// PaperConfig returns the paper's full-scale settings.
+func PaperConfig() Config {
+	return Config{Points: 1000000, RealPoints: 68040, Queries: 100, MovingN: 5000, Seed: 1}
+}
+
+// TinyConfig returns settings small enough for unit tests.
+func TinyConfig() Config {
+	return Config{Points: 2000, RealPoints: 1500, Queries: 5, MovingN: 60, Seed: 1}
+}
+
+// Validate rejects degenerate configurations.
+func (c Config) Validate() error {
+	if c.Points <= 0 || c.RealPoints <= 0 || c.Queries <= 0 || c.MovingN <= 0 {
+		return fmt.Errorf("experiments: all config sizes must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Experiment is one reproducible figure or table.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment sorted by id.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find looks an experiment up by id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config, w io.Writer) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	e, ok := Find(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (use one of %v)", id, ids())
+	}
+	return e.Run(cfg, w)
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// measured aggregates one query-set measurement.
+type measured struct {
+	avg      time.Duration
+	pruning  float64 // mean pruning fraction, 0..1
+	matched  float64 // mean result-set size
+	fellBack int
+}
+
+// runIndexed averages nq generated queries through m.
+func runIndexed(m *core.Multi, gen func() core.Query, nq int) (measured, error) {
+	var out measured
+	var total time.Duration
+	for i := 0; i < nq; i++ {
+		q := gen()
+		start := time.Now()
+		st, err := m.Inequality(q, func(uint32) bool { return true })
+		total += time.Since(start)
+		if err != nil {
+			return out, err
+		}
+		out.pruning += st.PruningFraction()
+		out.matched += float64(st.Results())
+		if st.FellBack {
+			out.fellBack++
+		}
+	}
+	out.avg = total / time.Duration(nq)
+	out.pruning /= float64(nq)
+	out.matched /= float64(nq)
+	return out, nil
+}
+
+// runBaseline averages nq generated queries via sequential scan.
+func runBaseline(store *core.PointStore, gen func() core.Query, nq int) time.Duration {
+	var total time.Duration
+	for i := 0; i < nq; i++ {
+		q := gen()
+		start := time.Now()
+		n := 0
+		scan.Inequality(store, q, func(uint32) bool { n++; return true })
+		total += time.Since(start)
+	}
+	return total / time.Duration(nq)
+}
+
+// synthSetup builds a synthetic dataset, its store, an Eq18
+// generator and a Multi with the requested index budget.
+func synthSetup(kind dataset.Kind, n, dim, rq, budget int, seed int64) (*core.PointStore, *core.Multi, queries.Eq18, error) {
+	d := dataset.Synthetic(kind, n, dim, seed)
+	store, err := d.Store()
+	if err != nil {
+		return nil, nil, queries.Eq18{}, err
+	}
+	g, err := queries.NewEq18(d.AxisMaxes(), rq)
+	if err != nil {
+		return nil, nil, queries.Eq18{}, err
+	}
+	m, err := core.NewMulti(store)
+	if err != nil {
+		return nil, nil, queries.Eq18{}, err
+	}
+	if budget > 0 {
+		if _, err := g.BuildIndexes(m, budget, rand.New(rand.NewSource(seed+1000))); err != nil {
+			return nil, nil, queries.Eq18{}, err
+		}
+	}
+	return store, m, g, nil
+}
+
+// cloneWithSelection rebuilds a Multi over the same store and
+// normals but with angle-minimisation selection, for the selection
+// ablation.
+func cloneWithSelection(m *core.Multi) (*core.Multi, error) {
+	out, err := core.NewMulti(m.Store(), core.WithSelection(core.SelectAngle))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m.NumIndexes(); i++ {
+		ix := m.Index(i)
+		if _, err := out.AddNormal(ix.Normal(), ix.Signs()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// genFor returns a deterministic query generator for a given seed.
+func genFor(g queries.Eq18, seed int64) func() core.Query {
+	rng := rand.New(rand.NewSource(seed))
+	return func() core.Query { return g.Query(rng) }
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation-select",
+		"ext-adaptive", "ext-constraint", "ext-count", "ext-reduce",
+		"fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
+		"fig14a", "fig14b", "fig14c",
+		"fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7", "fig8", "fig9",
+		"table2", "table3",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d is %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q lacks title or runner", e.ID)
+		}
+	}
+	if _, ok := Find("fig7"); !ok {
+		t.Fatal("Find(fig7) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find(nope) succeeded")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Points = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero points accepted")
+	}
+	var buf bytes.Buffer
+	if err := Run("fig7", bad, &buf); err == nil {
+		t.Fatal("Run with bad config accepted")
+	}
+	if err := Run("nope", DefaultConfig(), &buf); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestEveryExperimentRuns executes the full registry at tiny scale
+// and sanity-checks the rendered output. This is the integration
+// test that the whole reproduction pipeline is wired correctly.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	cfg := TinyConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(cfg, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			// Every experiment renders at least one table with a
+			// header separator.
+			if !strings.Contains(out, "--") {
+				t.Fatalf("%s output lacks a table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFig14aAnswersAgree(t *testing.T) {
+	// fig14a already cross-checks planar, MBR-tree and baseline pair
+	// counts internally and fails on mismatch; run it at a slightly
+	// larger scale to make that check meaningful.
+	cfg := TinyConfig()
+	cfg.MovingN = 120
+	var buf bytes.Buffer
+	if err := Run("fig14a", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mbr-tree") {
+		t.Fatal("fig14a output missing MBR-tree column")
+	}
+}

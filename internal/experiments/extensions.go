@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"planar/internal/adaptive"
+	"planar/internal/constraint"
+	"planar/internal/core"
+	"planar/internal/dataset"
+	"planar/internal/queries"
+	"planar/internal/reduce"
+	"planar/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-count",
+		Title: "Extension: O(log n) COUNT(*) and selectivity bounds via order statistics",
+		Run:   extCount,
+	})
+	register(Experiment{
+		ID:    "ext-constraint",
+		Title: "Extension: linear constraint (conjunctive) queries over planar indexes",
+		Run:   extConstraint,
+	})
+	register(Experiment{
+		ID:    "ext-adaptive",
+		Title: "Extension: workload-adaptive index tuning (the paper's future work)",
+		Run:   extAdaptive,
+	})
+	register(Experiment{
+		ID:    "ext-reduce",
+		Title: "Extension: PCA dimensionality-reduction filter (the paper's future work)",
+		Run:   extReduce,
+	})
+}
+
+// extReduce runs the exact PCA filter on correlated high-dimensional
+// data — the regime the paper's future-work remark targets — and
+// compares against the full-dimension scan.
+func extReduce(cfg Config, w io.Writer) error {
+	d := dataset.Correlated(cfg.Points, 10, cfg.Seed)
+	store, err := d.Store()
+	if err != nil {
+		return err
+	}
+	g, err := queries.NewEq18(d.AxisMaxes(), 4)
+	if err != nil {
+		return err
+	}
+	out := stats.NewTable(
+		fmt.Sprintf("Extension — PCA filter (Corr, n=%d, d=10, RQ=4)", cfg.Points),
+		"components", "varexpl%", "filter", "pruned%", "scan")
+	for _, r := range []int{1, 2, 4} {
+		f, err := reduce.NewFilter(store, r)
+		if err != nil {
+			return err
+		}
+		gen := genFor(g, cfg.Seed+42)
+		var filterT time.Duration
+		var pruned float64
+		for i := 0; i < cfg.Queries; i++ {
+			q := gen()
+			start := time.Now()
+			st, err := f.Inequality(q, func(uint32) bool { return true })
+			filterT += time.Since(start)
+			if err != nil {
+				return err
+			}
+			pruned += st.PruningFraction()
+		}
+		base := runBaseline(store, genFor(g, cfg.Seed+42), cfg.Queries)
+		nq := time.Duration(cfg.Queries)
+		out.AddRow(f.Reducer().Components(), 100*f.VarianceExplained(),
+			filterT/nq, 100*pruned/float64(cfg.Queries), base)
+	}
+	_, err = io.WriteString(w, out.String())
+	return err
+}
+
+// extCount compares exact COUNT(*) through the index (order
+// statistics + II verification) against counting by scan, and shows
+// the width of the zero-cost selectivity bounds.
+func extCount(cfg Config, w io.Writer) error {
+	store, m, g, err := synthSetup(dataset.KindIndependent, cfg.Points, 6, 4, 100, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	out := stats.NewTable(
+		fmt.Sprintf("Extension — COUNT(*) (Indp, n=%d, dim=6, RQ=4, #index=100)", cfg.Points),
+		"metric", "value")
+	gen := genFor(g, cfg.Seed+42)
+	var indexT, scanT time.Duration
+	var width float64
+	for i := 0; i < cfg.Queries; i++ {
+		q := gen()
+		start := time.Now()
+		cnt, _, err := m.Count(q)
+		indexT += time.Since(start)
+		if err != nil {
+			return err
+		}
+		lo, hi, err := m.SelectivityBounds(q)
+		if err != nil {
+			return err
+		}
+		if lo > cnt || hi < cnt {
+			return fmt.Errorf("experiments: bounds [%d,%d] miss count %d", lo, hi, cnt)
+		}
+		width += float64(hi-lo) / float64(store.Len())
+		start = time.Now()
+		scanCnt := 0
+		store.Each(func(_ uint32, v []float64) bool {
+			if q.Satisfies(v) {
+				scanCnt++
+			}
+			return true
+		})
+		scanT += time.Since(start)
+		if scanCnt != cnt {
+			return fmt.Errorf("experiments: index count %d, scan count %d", cnt, scanCnt)
+		}
+	}
+	nq := time.Duration(cfg.Queries)
+	out.AddRow("indexed COUNT(*)", indexT/nq)
+	out.AddRow("scan COUNT(*)", scanT/nq)
+	out.AddRow("avg bounds width (% of n)", 100*width/float64(cfg.Queries))
+	_, err = io.WriteString(w, out.String())
+	return err
+}
+
+// extConstraint runs conjunctions of three half-spaces and compares
+// the bound-driven evaluator with a full scan.
+func extConstraint(cfg Config, w io.Writer) error {
+	_, m, _, err := synthSetup(dataset.KindIndependent, cfg.Points, 3, 4, 30, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	// Negative-octant indexes so GE constraints are also indexable.
+	negDoms := []core.Domain{{Lo: -4, Hi: -1}, {Lo: -4, Hi: -1}, {Lo: -4, Hi: -1}}
+	if _, err := m.SampleBudget(30, negDoms, rand.New(rand.NewSource(cfg.Seed+5))); err != nil {
+		return err
+	}
+	ev, err := constraint.NewEvaluator(m)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 42))
+	out := stats.NewTable(
+		fmt.Sprintf("Extension — conjunctive queries (Indp, n=%d, dim=3)", cfg.Points),
+		"metric", "value")
+	var evalT, scanT time.Duration
+	var candidates, results int
+	for i := 0; i < cfg.Queries; i++ {
+		c := constraint.Conjunction{}.
+			And(core.Query{A: []float64{1 + rng.Float64()*3, 1 + rng.Float64()*3, 1 + rng.Float64()*3}, B: 150 + rng.Float64()*150, Op: core.LE}).
+			And(core.Query{A: []float64{1, 2, 1}, B: 60 + rng.Float64()*60, Op: core.GE}).
+			And(core.Query{A: []float64{2, 1, 3}, B: 200 + rng.Float64()*200, Op: core.LE})
+		start := time.Now()
+		ids, plan, err := ev.IDs(c)
+		evalT += time.Since(start)
+		if err != nil {
+			return err
+		}
+		candidates += plan.Candidates
+		results += plan.Results
+		start = time.Now()
+		want, err := constraint.Scan(m.Store(), c)
+		scanT += time.Since(start)
+		if err != nil {
+			return err
+		}
+		if len(ids) != len(want) {
+			return fmt.Errorf("experiments: conjunction answer %d vs scan %d", len(ids), len(want))
+		}
+	}
+	nq := time.Duration(cfg.Queries)
+	out.AddRow("evaluator", evalT/nq)
+	out.AddRow("scan", scanT/nq)
+	out.AddRow("avg candidates", float64(candidates)/float64(cfg.Queries))
+	out.AddRow("avg results", float64(results)/float64(cfg.Queries))
+	_, err = io.WriteString(w, out.String())
+	return err
+}
+
+// extAdaptive replays a drifting workload through the adaptive tuner
+// and reports pruning before and after it locks on.
+func extAdaptive(cfg Config, w io.Writer) error {
+	d := dataset.Independent(cfg.Points, 4, cfg.Seed)
+	store, err := d.Store()
+	if err != nil {
+		return err
+	}
+	m, err := core.NewMulti(store)
+	if err != nil {
+		return err
+	}
+	tn, err := adaptive.NewTuner(m, 4, 20)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 42))
+	out := stats.NewTable(
+		fmt.Sprintf("Extension — adaptive index tuning (Indp, n=%d, dim=4, budget=4)", cfg.Points),
+		"phase", "queries", "avg time", "avg pruned%", "retunes")
+	phase := func(name string, dir []float64, n int) error {
+		var total time.Duration
+		var pruned float64
+		for i := 0; i < n; i++ {
+			a := make([]float64, 4)
+			for j, v := range dir {
+				a[j] = v * (1 + 0.002*rng.Float64())
+			}
+			q := core.Query{A: a, B: 0.25 * 100 * (a[0] + a[1] + a[2] + a[3]), Op: core.LE}
+			start := time.Now()
+			_, st, err := tn.InequalityIDs(q)
+			total += time.Since(start)
+			if err != nil {
+				return err
+			}
+			pruned += st.PruningFraction()
+		}
+		out.AddRow(name, n, total/time.Duration(n), 100*pruned/float64(n), tn.Retunes())
+		return nil
+	}
+	if err := phase("direction A (cold)", []float64{2, 1, 3, 1}, 25); err != nil {
+		return err
+	}
+	if err := phase("direction A (tuned)", []float64{2, 1, 3, 1}, 50); err != nil {
+		return err
+	}
+	if err := phase("drift to B", []float64{1, 4, 1, 2}, 25); err != nil {
+		return err
+	}
+	if err := phase("direction B (tuned)", []float64{1, 4, 1, 2}, 50); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, out.String())
+	return err
+}

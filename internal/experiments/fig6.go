@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"planar/internal/core"
+	"planar/internal/dataset"
+	"planar/internal/queries"
+	"planar/internal/sqlfunc"
+	"planar/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6a",
+		Title: "Figure 6(a): query time, Consumption SQL function (Critical_Consume)",
+		Run:   fig6a,
+	})
+	register(Experiment{
+		ID:    "fig6b",
+		Title: "Figure 6(b): query time, CMoment, RQ × #index",
+		Run:   func(cfg Config, w io.Writer) error { return fig6bc(cfg, w, "cmoment") },
+	})
+	register(Experiment{
+		ID:    "fig6c",
+		Title: "Figure 6(c): query time, CTexture, RQ × #index",
+		Run:   func(cfg Config, w io.Writer) error { return fig6bc(cfg, w, "ctexture") },
+	})
+	register(Experiment{
+		ID:    "fig6d",
+		Title: "Figure 6(d): index construction time, real-world datasets",
+		Run:   fig6d,
+	})
+}
+
+// fig6a reproduces the Consumption experiment: the Critical_Consume
+// SQL function answered with 10..200 planar indexes versus a
+// sequential scan. The paper reports 62ms baseline vs 9ms with 200
+// indexes (~7× speed-up) on 2.07M rows.
+func fig6a(cfg Config, w io.Writer) error {
+	d := dataset.Consumption(cfg.RealPoints, cfg.Seed)
+	tbl, err := sqlfunc.FromData(d, dataset.ConsumptionColumns)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := stats.NewTable(
+		fmt.Sprintf("Figure 6(a) — Consumption (n=%d), threshold ~ U(0.1, 1.0)", cfg.RealPoints),
+		"#index", "query", "pruned%", "fellback")
+
+	// One CriticalConsume reused; budgets grow incrementally.
+	cc, err := sqlfunc.NewCriticalConsume(tbl, "active_power", "voltage", "current",
+		core.Domain{Lo: 0.1, Hi: 1.0}, 10, rng)
+	if err != nil {
+		return err
+	}
+	thresholds := func(seed int64) func() float64 {
+		r := rand.New(rand.NewSource(seed))
+		return func() float64 { return 0.1 + 0.9*r.Float64() }
+	}
+	measure := func() (time.Duration, float64, int, error) {
+		next := thresholds(cfg.Seed + 7)
+		var total time.Duration
+		var pruning float64
+		fellBack := 0
+		for i := 0; i < cfg.Queries; i++ {
+			th := next()
+			start := time.Now()
+			_, st, err := cc.Query(th)
+			total += time.Since(start)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			pruning += st.PruningFraction()
+			if st.FellBack {
+				fellBack++
+			}
+		}
+		return total / time.Duration(cfg.Queries), pruning / float64(cfg.Queries), fellBack, nil
+	}
+
+	have := 10
+	for _, budget := range []int{10, 50, 100, 200} {
+		if budget > have {
+			doms := []core.Domain{{Lo: 1, Hi: 1}, {Lo: -1.0, Hi: -0.1}}
+			if _, err := cc.Index().AddIndexes(budget-have, doms, rng); err != nil {
+				return err
+			}
+			have = budget
+		}
+		avg, pruning, fb, err := measure()
+		if err != nil {
+			return err
+		}
+		out.AddRow(cc.Index().Multi().NumIndexes(), avg, 100*pruning, fb)
+	}
+
+	// Baseline scan.
+	next := thresholds(cfg.Seed + 7)
+	var total time.Duration
+	for i := 0; i < cfg.Queries; i++ {
+		th := next()
+		start := time.Now()
+		cc.QueryScan(th)
+		total += time.Since(start)
+	}
+	out.AddRow("baseline", total/time.Duration(cfg.Queries), 0.0, 0)
+	_, err = io.WriteString(w, out.String())
+	return err
+}
+
+// fig6bc reproduces the image-feature experiments: Equation 18
+// queries over CMoment (9-d) or CTexture (16-d) sweeping RQ and the
+// index budget.
+func fig6bc(cfg Config, w io.Writer, which string) error {
+	var d *dataset.Data
+	if which == "cmoment" {
+		d = dataset.CMoment(cfg.RealPoints, cfg.Seed)
+	} else {
+		d = dataset.CTexture(cfg.RealPoints, cfg.Seed)
+	}
+	store, err := d.Store()
+	if err != nil {
+		return err
+	}
+	out := stats.NewTable(
+		fmt.Sprintf("Figure 6 — %s (n=%d, d=%d)", d.Name, d.Len(), d.Dim()),
+		"RQ", "#index", "query", "pruned%", "baseline")
+	for _, rq := range []int{2, 4, 8, 12} {
+		g, err := queries.NewEq18(d.AxisMaxes(), rq)
+		if err != nil {
+			return err
+		}
+		m, err := core.NewMulti(store)
+		if err != nil {
+			return err
+		}
+		base := runBaseline(store, genFor(g, cfg.Seed+99), cfg.Queries)
+		have := 0
+		for _, budget := range []int{1, 10, 50, 100} {
+			if budget > have {
+				added, err := g.BuildIndexes(m, budget-have, rand.New(rand.NewSource(cfg.Seed+int64(budget))))
+				if err != nil {
+					return err
+				}
+				have += added
+			}
+			res, err := runIndexed(m, genFor(g, cfg.Seed+99), cfg.Queries)
+			if err != nil {
+				return err
+			}
+			out.AddRow(rq, m.NumIndexes(), res.avg, 100*res.pruning, base)
+		}
+	}
+	_, err = io.WriteString(w, out.String())
+	return err
+}
+
+// fig6d times planar index construction over the three real-world
+// datasets for growing budgets. The paper reports 0.12–3.11 s per
+// index at full scale.
+func fig6d(cfg Config, w io.Writer) error {
+	sets := []*dataset.Data{
+		dataset.CMoment(cfg.RealPoints, cfg.Seed),
+		dataset.CTexture(cfg.RealPoints, cfg.Seed),
+		dataset.Consumption(cfg.RealPoints, cfg.Seed),
+	}
+	out := stats.NewTable("Figure 6(d) — index construction time (total for the budget)",
+		"dataset", "#index", "build", "per-index")
+	for _, d := range sets {
+		store, err := d.Store()
+		if err != nil {
+			return err
+		}
+		doms := make([]core.Domain, d.Dim())
+		for i := range doms {
+			doms[i] = core.Domain{Lo: 1, Hi: 12}
+		}
+		for _, budget := range []int{1, 10, 50, 100, 200} {
+			m, err := core.NewMulti(store)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			start := time.Now()
+			added, err := m.SampleBudget(budget, doms, rng)
+			build := time.Since(start)
+			if err != nil {
+				return err
+			}
+			if added == 0 {
+				return fmt.Errorf("experiments: no indexes added for %s", d.Name)
+			}
+			out.AddRow(d.Name, added, build, build/time.Duration(added))
+		}
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}

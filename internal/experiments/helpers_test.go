@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"testing"
+
+	"planar/internal/dataset"
+	"planar/internal/scan"
+)
+
+func TestSynthSetupAndHelpers(t *testing.T) {
+	store, m, g, err := synthSetup(dataset.KindCorrelated, 500, 3, 4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 500 || store.Dim() != 3 {
+		t.Fatalf("store %d×%d", store.Len(), store.Dim())
+	}
+	if m.NumIndexes() == 0 {
+		t.Fatal("no indexes built")
+	}
+	if g.RQ != 4 || g.Dim() != 3 {
+		t.Fatalf("generator %+v", g)
+	}
+
+	// genFor is deterministic per seed.
+	g1, g2 := genFor(g, 42), genFor(g, 42)
+	for i := 0; i < 5; i++ {
+		a, b := g1(), g2()
+		if a.B != b.B {
+			t.Fatal("genFor not deterministic")
+		}
+		for j := range a.A {
+			if a.A[j] != b.A[j] {
+				t.Fatal("genFor not deterministic")
+			}
+		}
+	}
+
+	// runIndexed aggregates sane statistics and matches the scan.
+	res, err := runIndexed(m, genFor(g, 7), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.avg <= 0 {
+		t.Fatal("non-positive average time")
+	}
+	if res.pruning < 0 || res.pruning > 1 {
+		t.Fatalf("pruning=%v", res.pruning)
+	}
+	if res.fellBack != 0 {
+		t.Fatalf("fellBack=%d", res.fellBack)
+	}
+	gen := genFor(g, 7)
+	var matched float64
+	for i := 0; i < 5; i++ {
+		matched += float64(scan.Count(store, gen()))
+	}
+	if matched/5 != res.matched {
+		t.Fatalf("matched %v vs scan %v", res.matched, matched/5)
+	}
+	if d := runBaseline(store, genFor(g, 7), 3); d <= 0 {
+		t.Fatalf("baseline time %v", d)
+	}
+
+	// cloneWithSelection mirrors the index set.
+	angle, err := cloneWithSelection(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if angle.NumIndexes() != m.NumIndexes() {
+		t.Fatalf("clone has %d indexes, original %d", angle.NumIndexes(), m.NumIndexes())
+	}
+	q := genFor(g, 9)()
+	a, _, err := m.InequalityIDs(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := angle.InequalityIDs(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("clone answers differently")
+	}
+}
+
+func TestSynthSetupErrors(t *testing.T) {
+	if _, _, _, err := synthSetup(dataset.KindIndependent, 100, 2, 0, 5, 1); err == nil {
+		t.Fatal("RQ=0 accepted")
+	}
+}

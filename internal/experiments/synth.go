@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"planar/internal/core"
+	"planar/internal/dataset"
+	"planar/internal/queries"
+	"planar/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Figure 7: query time, synthetic datasets, dim × RQ, 100 indexes",
+		Run:   func(cfg Config, w io.Writer) error { return synthSweepRQ(cfg, w, false) },
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: query time, synthetic datasets, dim × #index, RQ=4",
+		Run:   func(cfg Config, w io.Writer) error { return synthSweepBudget(cfg, w, false) },
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: pruning percentage, synthetic datasets, dim × RQ, 100 indexes",
+		Run:   func(cfg Config, w io.Writer) error { return synthSweepRQ(cfg, w, true) },
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: pruning percentage, synthetic datasets, dim × #index, RQ=4",
+		Run:   func(cfg Config, w io.Writer) error { return synthSweepBudget(cfg, w, true) },
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Figure 11: selectivity and query time vs inequality parameter",
+		Run:   fig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Figure 12: scalability with the number of data points",
+		Run:   fig12,
+	})
+}
+
+var (
+	sweepDims    = []int{2, 6, 10, 14}
+	sweepRQs     = []int{2, 4, 8, 12}
+	sweepBudgets = []int{1, 10, 50, 100}
+)
+
+// synthSweepRQ reproduces Figures 7 (times) and 9 (pruning): 100
+// indexes, dimensions 2–14, RQ 2–12, all three synthetic
+// distributions.
+func synthSweepRQ(cfg Config, w io.Writer, pruningOnly bool) error {
+	what := "query time"
+	if pruningOnly {
+		what = "pruning %"
+	}
+	for _, dim := range sweepDims {
+		out := stats.NewTable(
+			fmt.Sprintf("dim=%d (%s, n=%d, #index=100)", dim, what, cfg.Points),
+			"RQ", "indp", "corr", "anti", "baseline")
+		for _, rq := range sweepRQs {
+			row := []interface{}{rq}
+			var base interface{}
+			for _, kind := range dataset.Kinds {
+				store, m, g, err := synthSetup(kind, cfg.Points, dim, rq, 100, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				res, err := runIndexed(m, genFor(g, cfg.Seed+42), cfg.Queries)
+				if err != nil {
+					return err
+				}
+				if pruningOnly {
+					row = append(row, 100*res.pruning)
+					base = "-"
+				} else {
+					row = append(row, res.avg)
+					if kind == dataset.KindIndependent {
+						base = runBaseline(store, genFor(g, cfg.Seed+42), cfg.Queries)
+					}
+				}
+			}
+			row = append(row, base)
+			out.AddRow(row...)
+		}
+		if _, err := io.WriteString(w, out.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// synthSweepBudget reproduces Figures 8 (times) and 10 (pruning):
+// RQ=4, budgets 1–100.
+func synthSweepBudget(cfg Config, w io.Writer, pruningOnly bool) error {
+	what := "query time"
+	if pruningOnly {
+		what = "pruning %"
+	}
+	const rq = 4
+	for _, dim := range sweepDims {
+		out := stats.NewTable(
+			fmt.Sprintf("dim=%d (%s, n=%d, RQ=%d)", dim, what, cfg.Points, rq),
+			"#index", "indp", "corr", "anti", "baseline")
+		type state struct {
+			store *core.PointStore
+			m     *core.Multi
+			g     queries.Eq18
+			have  int
+		}
+		var sts []*state
+		for _, kind := range dataset.Kinds {
+			store, m, g, err := synthSetup(kind, cfg.Points, dim, rq, 0, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			sts = append(sts, &state{store: store, m: m, g: g})
+		}
+		for _, budget := range sweepBudgets {
+			row := []interface{}{budget}
+			var base interface{} = "-"
+			for si, st := range sts {
+				if budget > st.have {
+					added, err := st.g.BuildIndexes(st.m, budget-st.have,
+						rand.New(rand.NewSource(cfg.Seed+int64(budget))))
+					if err != nil {
+						return err
+					}
+					st.have += added
+				}
+				res, err := runIndexed(st.m, genFor(st.g, cfg.Seed+42), cfg.Queries)
+				if err != nil {
+					return err
+				}
+				if pruningOnly {
+					row = append(row, 100*res.pruning)
+				} else {
+					row = append(row, res.avg)
+					if si == 0 {
+						base = runBaseline(st.store, genFor(st.g, cfg.Seed+42), cfg.Queries)
+					}
+				}
+			}
+			row = append(row, base)
+			out.AddRow(row...)
+		}
+		if _, err := io.WriteString(w, out.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig11 sweeps the inequality parameter from 0.10 to 1.00 at RQ=4
+// and 100 indexes, reporting selectivity and query time. The paper
+// observes time peaking around 0.50–0.75.
+func fig11(cfg Config, w io.Writer) error {
+	ineqs := []float64{0.10, 0.25, 0.50, 0.75, 1.00}
+	for _, dim := range []int{6, 10} {
+		out := stats.NewTable(
+			fmt.Sprintf("Figure 11 — dim=%d (n=%d, RQ=4, #index=100)", dim, cfg.Points),
+			"ineq", "sel-indp%", "t-indp", "sel-corr%", "t-corr", "sel-anti%", "t-anti", "baseline")
+		type state struct {
+			store *core.PointStore
+			m     *core.Multi
+			g     queries.Eq18
+		}
+		var sts []*state
+		for _, kind := range dataset.Kinds {
+			store, m, g, err := synthSetup(kind, cfg.Points, dim, 4, 100, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			sts = append(sts, &state{store, m, g})
+		}
+		for _, ineq := range ineqs {
+			row := []interface{}{ineq}
+			var base interface{}
+			for si, st := range sts {
+				g := st.g
+				g.Ineq = ineq
+				res, err := runIndexed(st.m, genFor(g, cfg.Seed+42), cfg.Queries)
+				if err != nil {
+					return err
+				}
+				row = append(row, 100*res.matched/float64(st.store.Len()), res.avg)
+				if si == 0 {
+					base = runBaseline(st.store, genFor(g, cfg.Seed+42), cfg.Queries)
+				}
+			}
+			row = append(row, base)
+			out.AddRow(row...)
+		}
+		if _, err := io.WriteString(w, out.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig12 measures build and query time while growing the dataset from
+// 10% to 100% of cfg.Points (dim=6, RQ=4). Index time should grow
+// loglinearly and query time sublinearly.
+func fig12(cfg Config, w io.Writer) error {
+	fractions := []float64{0.1, 0.3, 0.5, 0.7, 1.0}
+	budgets := []int{1, 10, 50, 100}
+
+	build := stats.NewTable(
+		fmt.Sprintf("Figure 12(a) — index build time (dim=6, up to n=%d)", cfg.Points),
+		"n", "#ind=1", "#ind=10", "#ind=50", "#ind=100")
+	type qrow struct {
+		kind dataset.Kind
+		tbl  *stats.Table
+	}
+	var qtables []qrow
+	for _, kind := range dataset.Kinds {
+		qtables = append(qtables, qrow{kind, stats.NewTable(
+			fmt.Sprintf("Figure 12 — query time, %s (dim=6, RQ=4)", kind),
+			"n", "#ind=1", "#ind=10", "#ind=50", "#ind=100", "baseline")})
+	}
+
+	for _, frac := range fractions {
+		n := int(frac * float64(cfg.Points))
+		if n < 10 {
+			n = 10
+		}
+		buildRow := []interface{}{n}
+		measuredBuild := false
+		for qi, kind := range dataset.Kinds {
+			row := []interface{}{n}
+			store, _, g, err := synthSetup(kind, n, 6, 4, 0, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			for _, budget := range budgets {
+				m, err := core.NewMulti(store)
+				if err != nil {
+					return err
+				}
+				timer := stats.Timer{}
+				timer.Measure(func() {
+					_, err = g.BuildIndexes(m, budget, rand.New(rand.NewSource(cfg.Seed+int64(budget))))
+				})
+				if err != nil {
+					return err
+				}
+				if !measuredBuild {
+					buildRow = append(buildRow, timer.Mean())
+				}
+				res, err := runIndexed(m, genFor(g, cfg.Seed+42), cfg.Queries)
+				if err != nil {
+					return err
+				}
+				row = append(row, res.avg)
+			}
+			measuredBuild = true
+			row = append(row, runBaseline(store, genFor(g, cfg.Seed+42), cfg.Queries))
+			qtables[qi].tbl.AddRow(row...)
+		}
+		build.AddRow(buildRow...)
+	}
+	if _, err := io.WriteString(w, build.String()+"\n"); err != nil {
+		return err
+	}
+	for _, q := range qtables {
+		if _, err := io.WriteString(w, q.tbl.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

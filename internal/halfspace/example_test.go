@@ -1,0 +1,27 @@
+package halfspace_test
+
+import (
+	"fmt"
+
+	"planar/internal/halfspace"
+)
+
+// Example demonstrates half-space range searching — the classic
+// special case of scalar product queries with φ = identity.
+func Example() {
+	points := [][]float64{
+		{1, 1}, {2, 8}, {9, 2}, {5, 5}, {8, 9},
+	}
+	ix, _ := halfspace.New(points, halfspace.Options{Budget: 4, Seed: 1})
+
+	// All points below the hyperplane x + 2y = 17.
+	below, _, _ := ix.Report([]float64{1, 2}, 17, halfspace.Below)
+	fmt.Println("below:", below)
+
+	// The single point above it closest to it.
+	nearest, _, _ := ix.Nearest([]float64{1, 2}, 17, halfspace.Above, 1)
+	fmt.Println("closest above:", nearest[0].ID)
+	// Output:
+	// below: [0 2 3]
+	// closest above: 1
+}

@@ -1,0 +1,124 @@
+// Package halfspace specialises the planar index to the classic
+// half-space range searching problem of computational geometry
+// (Agarwal et al., Matousek, Arya et al. — the paper's Table 1):
+// φ is the identity, so queries ask for all points on one side of an
+// arbitrary hyperplane ⟨a, x⟩ = b, and the top-k variant returns the
+// k points nearest the hyperplane (the hyperplane-to-nearest-point
+// problem of Jain et al. / Liu et al., answered exactly here).
+package halfspace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"planar/internal/core"
+	"planar/internal/vecmath"
+)
+
+// Side selects which closed half-space to report.
+type Side int
+
+const (
+	// Below reports points with ⟨a, x⟩ ≤ b.
+	Below Side = iota
+	// Above reports points with ⟨a, x⟩ ≥ b.
+	Above
+)
+
+// Index answers half-space queries over a fixed point set.
+type Index struct {
+	multi *core.Multi
+}
+
+// Options configures construction.
+type Options struct {
+	// Budget is the number of planar indexes per hyper-octant pair
+	// (default 16).
+	Budget int
+	// Seed drives index-normal sampling.
+	Seed int64
+	// Octants lists the sign patterns of query normals to prepare
+	// for. Default: the all-positive octant and its negation, which
+	// serves every query whose coefficients share a sign; other
+	// queries fall back to a scan.
+	Octants []vecmath.SignPattern
+}
+
+// New indexes the points (rows of equal dimensionality).
+func New(points [][]float64, opts Options) (*Index, error) {
+	if len(points) == 0 {
+		return nil, errors.New("halfspace: no points")
+	}
+	dim := len(points[0])
+	store, err := core.NewPointStore(dim)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		if _, err := store.Append(p); err != nil {
+			return nil, fmt.Errorf("halfspace: point %d: %w", i, err)
+		}
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 16
+	}
+	if len(opts.Octants) == 0 {
+		pos := vecmath.FirstOctant(dim)
+		opts.Octants = []vecmath.SignPattern{pos, pos.Negate()}
+	}
+	m, err := core.NewMulti(store)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for _, oct := range opts.Octants {
+		if len(oct) != dim {
+			return nil, fmt.Errorf("halfspace: octant %s has dimension %d, want %d", oct, len(oct), dim)
+		}
+		doms := make([]core.Domain, dim)
+		for i := range doms {
+			if oct[i] > 0 {
+				doms[i] = core.Domain{Lo: 0.1, Hi: 10}
+			} else {
+				doms[i] = core.Domain{Lo: -10, Hi: -0.1}
+			}
+		}
+		if _, err := m.SampleBudget(opts.Budget, doms, rng); err != nil {
+			return nil, err
+		}
+	}
+	return &Index{multi: m}, nil
+}
+
+// query builds the core query for a hyperplane side.
+func query(normal []float64, offset float64, side Side) core.Query {
+	op := core.LE
+	if side == Above {
+		op = core.GE
+	}
+	return core.Query{A: normal, B: offset, Op: op}
+}
+
+// Report returns the ids (row numbers of the input points) on the
+// requested side of ⟨normal, x⟩ = offset.
+func (ix *Index) Report(normal []float64, offset float64, side Side) ([]uint32, core.Stats, error) {
+	return ix.multi.InequalityIDs(query(normal, offset, side))
+}
+
+// Count returns how many points lie on the requested side.
+func (ix *Index) Count(normal []float64, offset float64, side Side) (int, core.Stats, error) {
+	return ix.multi.Count(query(normal, offset, side))
+}
+
+// Nearest returns the k points on the requested side closest to the
+// hyperplane, exactly (Problem 2 with φ = identity).
+func (ix *Index) Nearest(normal []float64, offset float64, side Side, k int) ([]core.Result, core.Stats, error) {
+	return ix.multi.TopK(query(normal, offset, side), k)
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.multi.Store().Len() }
+
+// Multi exposes the underlying index collection for advanced use.
+func (ix *Index) Multi() *core.Multi { return ix.multi }

@@ -1,0 +1,168 @@
+package halfspace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"planar/internal/vecmath"
+)
+
+func randomPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()*20 - 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("empty point set accepted")
+	}
+	if _, err := New([][]float64{{1, 2}}, Options{Octants: []vecmath.SignPattern{{1}}}); err == nil {
+		t.Error("wrong-dim octant accepted")
+	}
+	ix, err := New(randomPoints(50, 3, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 50 || ix.Multi() == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestReportBothSides(t *testing.T) {
+	pts := randomPoints(2000, 3, 2)
+	ix, err := New(pts, Options{Budget: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		// Same-sign normals are served by the prepared octants.
+		sign := 1.0
+		if trial%2 == 0 {
+			sign = -1
+		}
+		normal := []float64{
+			sign * (0.2 + rng.Float64()*5),
+			sign * (0.2 + rng.Float64()*5),
+			sign * (0.2 + rng.Float64()*5),
+		}
+		offset := rng.Float64()*40 - 20
+		for _, side := range []Side{Below, Above} {
+			ids, st, err := ix.Report(normal, offset, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.FellBack {
+				t.Fatalf("trial %d side %v fell back", trial, side)
+			}
+			var want []uint32
+			for i, p := range pts {
+				v := dot(normal, p)
+				if (side == Below && v <= offset) || (side == Above && v >= offset) {
+					want = append(want, uint32(i))
+				}
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			if len(ids) != len(want) {
+				t.Fatalf("trial %d side %v: %d vs %d", trial, side, len(ids), len(want))
+			}
+			for i := range want {
+				if ids[i] != want[i] {
+					t.Fatalf("trial %d side %v mismatch at %d", trial, side, i)
+				}
+			}
+			count, _, err := ix.Count(normal, offset, side)
+			if err != nil || count != len(want) {
+				t.Fatalf("Count=%d want %d err=%v", count, len(want), err)
+			}
+		}
+	}
+}
+
+func TestMixedSignFallsBackCorrectly(t *testing.T) {
+	pts := randomPoints(500, 2, 5)
+	ix, _ := New(pts, Options{Budget: 5, Seed: 6})
+	normal := []float64{1, -1}
+	ids, st, err := ix.Report(normal, 0, Below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FellBack {
+		t.Fatal("mixed-sign query should fall back with default octants")
+	}
+	want := 0
+	for _, p := range pts {
+		if p[0]-p[1] <= 0 {
+			want++
+		}
+	}
+	if len(ids) != want {
+		t.Fatalf("fallback answer %d want %d", len(ids), want)
+	}
+	// Preparing the right octant removes the fallback.
+	ix2, err := New(pts, Options{Budget: 5, Seed: 6, Octants: []vecmath.SignPattern{{1, -1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err = ix2.Report(normal, 0, Below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FellBack {
+		t.Fatal("prepared octant still fell back")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	pts := randomPoints(1500, 2, 7)
+	ix, _ := New(pts, Options{Budget: 10, Seed: 8})
+	normal := []float64{2, 3}
+	offset := 5.0
+	res, _, err := ix.Nearest(normal, offset, Below, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Verify against brute force distances.
+	type cand struct {
+		d float64
+	}
+	var below []cand
+	norm := 0.0
+	for _, v := range normal {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	for _, p := range pts {
+		v := dot(normal, p)
+		if v <= offset {
+			below = append(below, cand{math.Abs(v-offset) / norm})
+		}
+	}
+	sort.Slice(below, func(i, j int) bool { return below[i].d < below[j].d })
+	for i, r := range res {
+		if diff := r.Distance - below[i].d; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("rank %d: %v vs %v", i, r.Distance, below[i].d)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package httpapi exposes a durable planar index store (package
+// service) over a JSON HTTP API — the deployment surface of
+// cmd/planarserve. All endpoints are rooted at /v1:
+//
+//	POST   /v1/query       {"a":[..],"b":n,"op":"<="}            → ids + stats
+//	POST   /v1/topk        {"a":[..],"b":n,"op":"<=","k":n}      → nearest points
+//	POST   /v1/count       {"a":[..],"b":n,"op":"<="}            → exact count + bounds
+//	POST   /v1/explain     {"a":[..],"b":n,"op":"<="}            → execution plan (no data touched)
+//	POST   /v1/points      {"vec":[..]}                          → new point id
+//	PUT    /v1/points/{id} {"vec":[..]}                          → re-key a point
+//	DELETE /v1/points/{id}                                       → remove a point
+//	POST   /v1/indexes     {"normal":[..],"signs":[1,-1,..]}     → add an index
+//	POST   /v1/checkpoint                                        → snapshot + truncate log
+//	GET    /v1/stats                                             → store/index statistics
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"planar/internal/core"
+	"planar/internal/service"
+	"planar/internal/vecmath"
+)
+
+// Server wraps a service.DB with HTTP handlers.
+type Server struct {
+	db *service.DB
+}
+
+// New creates a Server over an open DB.
+func New(db *service.DB) (*Server, error) {
+	if db == nil {
+		return nil, errors.New("httpapi: nil db")
+	}
+	return &Server{db: db}, nil
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/count", s.handleCount)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/points", s.handleAppend)
+	mux.HandleFunc("PUT /v1/points/{id}", s.handleUpdate)
+	mux.HandleFunc("DELETE /v1/points/{id}", s.handleRemove)
+	mux.HandleFunc("POST /v1/indexes", s.handleAddIndex)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+type queryRequest struct {
+	A  []float64 `json:"a"`
+	B  float64   `json:"b"`
+	Op string    `json:"op"`
+	K  int       `json:"k,omitempty"`
+}
+
+func (r queryRequest) query() (core.Query, error) {
+	var op core.Op
+	switch r.Op {
+	case "<=", "le", "LE", "":
+		op = core.LE
+	case ">=", "ge", "GE":
+		op = core.GE
+	default:
+		return core.Query{}, fmt.Errorf("unknown op %q (use \"<=\" or \">=\")", r.Op)
+	}
+	return core.Query{A: r.A, B: r.B, Op: op}, nil
+}
+
+type statsJSON struct {
+	N         int     `json:"n"`
+	Accepted  int     `json:"accepted"`
+	Verified  int     `json:"verified"`
+	Matched   int     `json:"matched"`
+	Rejected  int     `json:"rejected"`
+	Pruned    float64 `json:"prunedFraction"`
+	FellBack  bool    `json:"fellBack"`
+	IndexUsed int     `json:"indexUsed"`
+}
+
+func toStatsJSON(st core.Stats) statsJSON {
+	return statsJSON{
+		N: st.N, Accepted: st.Accepted, Verified: st.Verified,
+		Matched: st.Matched, Rejected: st.Rejected,
+		Pruned: st.PruningFraction(), FellBack: st.FellBack, IndexUsed: st.IndexUsed,
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := req.query()
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ids, st, err := s.db.Multi().InequalityIDs(q)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if ids == nil {
+		ids = []uint32{}
+	}
+	reply(w, map[string]interface{}{"ids": ids, "stats": toStatsJSON(st)})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := req.query()
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, st, err := s.db.Multi().TopK(q, req.K)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	type item struct {
+		ID       uint32  `json:"id"`
+		Distance float64 `json:"distance"`
+	}
+	items := make([]item, len(res))
+	for i, rr := range res {
+		items[i] = item{rr.ID, rr.Distance}
+	}
+	reply(w, map[string]interface{}{"results": items, "stats": toStatsJSON(st)})
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := req.query()
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	count, st, err := s.db.Multi().Count(q)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	lo, hi, err := s.db.Multi().SelectivityBounds(q)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, map[string]interface{}{
+		"count":  count,
+		"bounds": map[string]int{"lo": lo, "hi": hi},
+		"stats":  toStatsJSON(st),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := req.query()
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := s.db.Multi().Explain(q)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, map[string]interface{}{
+		"indexUsed":  plan.IndexUsed,
+		"reason":     plan.Reason,
+		"compatible": plan.Compatible,
+		"stretch":    plan.Stretch,
+		"cos":        plan.Cos,
+		"accepted":   plan.Accepted,
+		"verified":   plan.Verified,
+		"rejected":   plan.Rejected,
+		"n":          plan.N,
+		"bounds":     map[string]int{"lo": plan.BoundsLo, "hi": plan.BoundsHi},
+		"text":       plan.String(),
+	})
+}
+
+type pointRequest struct {
+	Vec []float64 `json:"vec"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req pointRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	id, err := s.db.Append(req.Vec)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, map[string]interface{}{"id": id})
+}
+
+func pathID(r *http.Request) (uint32, error) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad point id %q", raw)
+	}
+	return uint32(id), nil
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var req pointRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.db.Update(id, req.Vec); err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, map[string]interface{}{"ok": true})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.db.Remove(id); err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, map[string]interface{}{"ok": true})
+}
+
+type indexRequest struct {
+	Normal []float64 `json:"normal"`
+	Signs  []int8    `json:"signs"`
+}
+
+func (s *Server) handleAddIndex(w http.ResponseWriter, r *http.Request) {
+	var req indexRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	signs := vecmath.SignPattern(req.Signs)
+	if len(signs) == 0 {
+		signs = vecmath.FirstOctant(len(req.Normal))
+	}
+	added, err := s.db.AddNormal(req.Normal, signs)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, map[string]interface{}{"added": added})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.db.Checkpoint(); err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	reply(w, map[string]interface{}{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.db.Multi()
+	reply(w, map[string]interface{}{
+		"points":      m.Store().Len(),
+		"dim":         m.Store().Dim(),
+		"indexes":     m.NumIndexes(),
+		"memoryBytes": m.MemoryBytes(),
+	})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, body interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func fail(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

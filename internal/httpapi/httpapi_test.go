@@ -1,0 +1,197 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"planar/internal/service"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *service.DB) {
+	t.Helper()
+	db, err := service.Open(t.TempDir(), service.Options{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	api, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+func call(t *testing.T, ts *httptest.Server, method, path string, body interface{}, wantStatus int) map[string]interface{} {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d want %d", method, path, resp.StatusCode, wantStatus)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, path, err)
+	}
+	return out
+}
+
+func TestEndToEndFlow(t *testing.T) {
+	ts, _ := testServer(t)
+
+	// Install an index.
+	out := call(t, ts, "POST", "/v1/indexes",
+		map[string]interface{}{"normal": []float64{1, 2}}, http.StatusOK)
+	if out["added"] != true {
+		t.Fatalf("index not added: %v", out)
+	}
+
+	// Insert points.
+	var ids []float64
+	for _, v := range [][]float64{{1, 1}, {5, 5}, {9, 1}, {2, 8}} {
+		out := call(t, ts, "POST", "/v1/points",
+			map[string]interface{}{"vec": v}, http.StatusOK)
+		ids = append(ids, out["id"].(float64))
+	}
+
+	// Query: x + y <= 7 matches {1,1} and... (5,5)=10 no, (9,1)=10 no, (2,8)=10 no.
+	out = call(t, ts, "POST", "/v1/query",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 7, "op": "<="}, http.StatusOK)
+	got := out["ids"].([]interface{})
+	if len(got) != 1 || got[0].(float64) != ids[0] {
+		t.Fatalf("query ids=%v want [%v]", got, ids[0])
+	}
+
+	// Count with bounds.
+	out = call(t, ts, "POST", "/v1/count",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 7}, http.StatusOK)
+	if out["count"].(float64) != 1 {
+		t.Fatalf("count=%v", out["count"])
+	}
+	bounds := out["bounds"].(map[string]interface{})
+	if bounds["lo"].(float64) > 1 || bounds["hi"].(float64) < 1 {
+		t.Fatalf("bounds=%v", bounds)
+	}
+
+	// Top-k.
+	out = call(t, ts, "POST", "/v1/topk",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 12, "op": "<=", "k": 2}, http.StatusOK)
+	results := out["results"].([]interface{})
+	if len(results) != 2 {
+		t.Fatalf("topk results=%v", results)
+	}
+
+	// Update then re-query.
+	call(t, ts, "PUT", fmt.Sprintf("/v1/points/%.0f", ids[0]),
+		map[string]interface{}{"vec": []float64{50, 50}}, http.StatusOK)
+	out = call(t, ts, "POST", "/v1/query",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 7}, http.StatusOK)
+	if len(out["ids"].([]interface{})) != 0 {
+		t.Fatalf("after update: ids=%v", out["ids"])
+	}
+
+	// Remove.
+	call(t, ts, "DELETE", fmt.Sprintf("/v1/points/%.0f", ids[1]), nil, http.StatusOK)
+	out = call(t, ts, "GET", "/v1/stats", nil, http.StatusOK)
+	if out["points"].(float64) != 3 || out["indexes"].(float64) != 1 {
+		t.Fatalf("stats=%v", out)
+	}
+
+	// Explain.
+	out = call(t, ts, "POST", "/v1/explain",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 7}, http.StatusOK)
+	if out["indexUsed"].(float64) != 0 || out["text"] == "" {
+		t.Fatalf("explain=%v", out)
+	}
+
+	// Checkpoint.
+	call(t, ts, "POST", "/v1/checkpoint", nil, http.StatusOK)
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, _ := testServer(t)
+	// Malformed JSON.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/query", bytes.NewReader([]byte("{oops")))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+	// Unknown op.
+	call(t, ts, "POST", "/v1/query",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 1, "op": "=="}, http.StatusBadRequest)
+	// Wrong dimension.
+	call(t, ts, "POST", "/v1/query",
+		map[string]interface{}{"a": []float64{1}, "b": 1}, http.StatusBadRequest)
+	// Bad point id.
+	call(t, ts, "PUT", "/v1/points/notanid",
+		map[string]interface{}{"vec": []float64{1, 2}}, http.StatusBadRequest)
+	// Update of unknown point.
+	call(t, ts, "PUT", "/v1/points/999",
+		map[string]interface{}{"vec": []float64{1, 2}}, http.StatusBadRequest)
+	// Remove of unknown point.
+	call(t, ts, "DELETE", "/v1/points/999", nil, http.StatusBadRequest)
+	// Bad index normal.
+	call(t, ts, "POST", "/v1/indexes",
+		map[string]interface{}{"normal": []float64{-1, 1}}, http.StatusBadRequest)
+	// TopK with k=0.
+	call(t, ts, "POST", "/v1/topk",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 1, "k": 0}, http.StatusBadRequest)
+	// Unknown fields rejected.
+	call(t, ts, "POST", "/v1/query",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 1, "bogus": 1}, http.StatusBadRequest)
+}
+
+func TestDurabilityThroughAPI(t *testing.T) {
+	dir := t.TempDir()
+	db, err := service.Open(dir, service.Options{Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, _ := New(db)
+	ts := httptest.NewServer(api.Handler())
+	call(t, ts, "POST", "/v1/points", map[string]interface{}{"vec": []float64{42}}, http.StatusOK)
+	call(t, ts, "POST", "/v1/checkpoint", nil, http.StatusOK)
+	ts.Close()
+	db.Close()
+
+	db2, err := service.Open(dir, service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 1 {
+		t.Fatalf("Len=%d after reopen", db2.Len())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil db accepted")
+	}
+}

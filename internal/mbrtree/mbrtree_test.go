@@ -1,0 +1,139 @@
+package mbrtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"planar/internal/moving"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty object set accepted")
+	}
+	bad := []moving.Linear2D{{P: moving.Vec2{X: math.NaN()}}}
+	if _, err := Build(bad); err == nil {
+		t.Error("NaN state accepted")
+	}
+}
+
+func TestRectMinDist(t *testing.T) {
+	r := rect{0, 0, 10, 10}
+	if d := r.minDistSq(5, 5); d != 0 {
+		t.Fatalf("inside dist=%v", d)
+	}
+	if d := r.minDistSq(13, 14); d != 9+16 {
+		t.Fatalf("corner dist=%v", d)
+	}
+	if d := r.minDistSq(-2, 5); d != 4 {
+		t.Fatalf("edge dist=%v", d)
+	}
+}
+
+func TestTPBoxExpansion(t *testing.T) {
+	b := tpBox{pos: rect{0, 0, 1, 1}, vel: rect{-1, 0, 2, 1}}
+	at2 := b.at(2)
+	if at2.minX != -2 || at2.maxX != 5 || at2.minY != 0 || at2.maxY != 3 {
+		t.Fatalf("at(2)=%+v", at2)
+	}
+}
+
+func TestWithinAtExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	objs := moving.GenLinear2D(500, 1000, 0.1, 1, rng)
+	tr, err := Build(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := moving.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		tm := 10 + rng.Float64()*5
+		s := 10 + rng.Float64()*40
+		var got []int
+		tr.WithinAt(q, tm, s, func(i int) bool { got = append(got, i); return true })
+		var want []int
+		for i, o := range objs {
+			if o.At(tm).Sub(q).Norm2() <= s*s {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestWithinAtEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	objs := moving.GenLinear2D(200, 100, 0.1, 0.2, rng)
+	tr, _ := Build(objs)
+	count := 0
+	tr.WithinAt(moving.Vec2{X: 50, Y: 50}, 0, 100, func(int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestJoinMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	setA := moving.GenLinear2D(80, 500, 0.1, 1, rng)
+	setB := moving.GenLinear2D(90, 500, 0.1, 1, rng)
+	tr, err := Build(setB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := &moving.LinearSpace{A: setA, B: setB}
+	for _, tm := range []float64{10, 12.5, 15} {
+		got := tr.Join(setA, tm, 20)
+		want := moving.Baseline(space, tm, 20)
+		sortPairs := func(ps []moving.IntersectionPair) {
+			sort.Slice(ps, func(i, j int) bool {
+				if ps[i].I != ps[j].I {
+					return ps[i].I < ps[j].I
+				}
+				return ps[i].J < ps[j].J
+			})
+		}
+		sortPairs(got)
+		sortPairs(want)
+		if len(got) != len(want) {
+			t.Fatalf("t=%v: join %d baseline %d", tm, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("t=%v: pair mismatch at %d", tm, i)
+			}
+		}
+	}
+}
+
+func TestSingleObjectTree(t *testing.T) {
+	tr, err := Build([]moving.Linear2D{{P: moving.Vec2{X: 5, Y: 5}, V: moving.Vec2{X: 1, Y: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	tr.WithinAt(moving.Vec2{X: 15, Y: 5}, 10, 1, func(int) bool { found++; return true })
+	if found != 1 {
+		t.Fatalf("found=%d", found)
+	}
+	found = 0
+	tr.WithinAt(moving.Vec2{X: 0, Y: 0}, 10, 1, func(int) bool { found++; return true })
+	if found != 0 {
+		t.Fatalf("found=%d for a miss", found)
+	}
+}

@@ -1,0 +1,314 @@
+package moving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"planar/internal/core"
+	"planar/internal/vecmath"
+)
+
+// IntersectionPair is one answer of an intersection query: objects i
+// (first set) and j (second set) within the query distance at the
+// query time.
+type IntersectionPair struct{ I, J int }
+
+// Join answers intersection queries over a PairSpace through planar
+// indexes, following the paper's MOVIES-style setup: one index per
+// anticipated future time slot, with the best-matching index chosen
+// per query. Every index's normal is |params(t_slot)| — exactly
+// parallel to the query hyperplane when t equals the slot, which
+// collapses the intermediate interval (Corollary 1).
+type Join struct {
+	space PairSpace
+	store *core.PointStore
+	multi *core.Multi
+}
+
+// NewJoin materialises φ for every pair and builds one planar index
+// per entry of timeSlots.
+func NewJoin(space PairSpace, timeSlots []float64) (*Join, error) {
+	if err := checkSpace(space); err != nil {
+		return nil, err
+	}
+	if len(timeSlots) == 0 {
+		return nil, fmt.Errorf("moving: need at least one time slot")
+	}
+	store, err := core.NewPointStore(space.Dim())
+	if err != nil {
+		return nil, err
+	}
+	phi := make([]float64, space.Dim())
+	for p := 0; p < space.NumPairs(); p++ {
+		space.Feature(p, phi)
+		if _, err := store.Append(phi); err != nil {
+			return nil, fmt.Errorf("moving: pair %d: %w", p, err)
+		}
+	}
+	multi, err := core.NewMulti(store)
+	if err != nil {
+		return nil, err
+	}
+	j := &Join{space: space, store: store, multi: multi}
+	for _, t := range timeSlots {
+		if err := j.AddTimeSlot(t); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// AddTimeSlot builds one more index tuned to queries near time t.
+func (j *Join) AddTimeSlot(t float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("moving: time slot must be finite, got %v", t)
+	}
+	params := j.space.Params(t)
+	normal := make([]float64, len(params))
+	signs := vecmath.SignsOf(params)
+	for i, p := range params {
+		normal[i] = math.Abs(p)
+		if normal[i] < 1e-9 {
+			// A zero parametric component (e.g. cos ωt = 0) cannot be
+			// an index normal component; nudge it while keeping the
+			// direction essentially parallel.
+			normal[i] = 1e-9
+		}
+	}
+	_, err := j.multi.AddNormal(normal, signs)
+	return err
+}
+
+// ResetTimeSlots drops all indexes and installs new slots — the
+// MOVIES "throw the index away and use a new one" step as the query
+// horizon advances.
+func (j *Join) ResetTimeSlots(timeSlots []float64) error {
+	j.multi.RemoveAllIndexes()
+	for _, t := range timeSlots {
+		if err := j.AddTimeSlot(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumIndexes returns the number of time-slot indexes held.
+func (j *Join) NumIndexes() int { return j.multi.NumIndexes() }
+
+// Multi exposes the underlying index collection (for stats).
+func (j *Join) Multi() *core.Multi { return j.multi }
+
+// At returns the pairs within distance s of each other at future
+// time t, answered through the best planar index. The returned stats
+// describe the pruning achieved.
+func (j *Join) At(t, s float64, visit func(IntersectionPair) bool) (core.Stats, error) {
+	if !(s >= 0) {
+		return core.Stats{}, fmt.Errorf("moving: distance must be non-negative, got %v", s)
+	}
+	q := core.Query{A: j.space.Params(t), B: s * s, Op: core.LE}
+	return j.multi.Inequality(q, func(id uint32) bool {
+		i, jj := j.space.Pair(int(id))
+		return visit(IntersectionPair{I: i, J: jj})
+	})
+}
+
+// AtPairs collects the intersecting pairs at time t.
+func (j *Join) AtPairs(t, s float64) ([]IntersectionPair, core.Stats, error) {
+	var out []IntersectionPair
+	st, err := j.At(t, s, func(p IntersectionPair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out, st, err
+}
+
+// Baseline verifies every pair by computing its exact distance at t —
+// the naive method of Example 2.
+func Baseline(space PairSpace, t, s float64) []IntersectionPair {
+	var out []IntersectionPair
+	s2 := s * s
+	for p := 0; p < space.NumPairs(); p++ {
+		if space.SqDist(p, t) <= s2 {
+			i, j := space.Pair(p)
+			out = append(out, IntersectionPair{I: i, J: j})
+		}
+	}
+	return out
+}
+
+// UpdatePairs re-keys every pair whose φ changed after an object's
+// kinematic state was modified. pairIDs are pair indexes as produced
+// by the space's enumeration. Cost is O(d'·log n) per pair per index
+// (Section 4.4).
+func (j *Join) UpdatePairs(pairIDs []int) error {
+	phi := make([]float64, j.space.Dim())
+	for _, p := range pairIDs {
+		if p < 0 || p >= j.space.NumPairs() {
+			return fmt.Errorf("moving: pair %d out of range", p)
+		}
+		j.space.Feature(p, phi)
+		if err := j.multi.Update(uint32(p), phi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CircularWorkload answers circular-versus-linear intersection
+// queries when circular objects have several angular velocities: one
+// Join (and one scalar-product query) per distinct ω group, results
+// merged. Object indexes in the answers refer to positions within
+// the original slices.
+type CircularWorkload struct {
+	groups []*circGroup
+}
+
+type circGroup struct {
+	join    *Join
+	space   *CircularSpace
+	origIdx []int // position of each group member in the original C slice
+}
+
+// NewCircularWorkload groups circular objects by exact angular
+// velocity and builds one Join per group. omegas[i] is the angular
+// velocity of circ[i].
+func NewCircularWorkload(circ []Circular, omegas []float64, lin []Linear2D, timeSlots []float64) (*CircularWorkload, error) {
+	if len(circ) != len(omegas) {
+		return nil, fmt.Errorf("moving: %d circular objects but %d angular velocities", len(circ), len(omegas))
+	}
+	if len(circ) == 0 || len(lin) == 0 {
+		return nil, fmt.Errorf("moving: both object sets must be non-empty")
+	}
+	byOmega := map[float64][]int{}
+	for i, w := range omegas {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("moving: angular velocity %d is not finite", i)
+		}
+		byOmega[w] = append(byOmega[w], i)
+	}
+	w := &CircularWorkload{}
+	for omega, members := range byOmega {
+		sp := &CircularSpace{Omega: omega, L: lin}
+		for _, m := range members {
+			sp.C = append(sp.C, circ[m])
+		}
+		jn, err := NewJoin(sp, timeSlots)
+		if err != nil {
+			return nil, err
+		}
+		w.groups = append(w.groups, &circGroup{join: jn, space: sp, origIdx: members})
+	}
+	return w, nil
+}
+
+// NumGroups returns the number of distinct angular velocities.
+func (w *CircularWorkload) NumGroups() int { return len(w.groups) }
+
+// At returns all (circular, linear) pairs within distance s at time
+// t, and aggregate stats summed over the per-group queries.
+func (w *CircularWorkload) At(t, s float64) ([]IntersectionPair, core.Stats, error) {
+	var out []IntersectionPair
+	var agg core.Stats
+	agg.IndexUsed = -1
+	for _, g := range w.groups {
+		pairs, st, err := g.join.AtPairs(t, s)
+		if err != nil {
+			return nil, agg, err
+		}
+		for _, p := range pairs {
+			out = append(out, IntersectionPair{I: g.origIdx[p.I], J: p.J})
+		}
+		agg.N += st.N
+		agg.Accepted += st.Accepted
+		agg.Verified += st.Verified
+		agg.Matched += st.Matched
+		agg.Rejected += st.Rejected
+		agg.FellBack = agg.FellBack || st.FellBack
+	}
+	return out, agg, nil
+}
+
+// Baseline computes the same answer naively across all groups.
+func (w *CircularWorkload) Baseline(t, s float64) []IntersectionPair {
+	var out []IntersectionPair
+	for _, g := range w.groups {
+		for _, p := range Baseline(g.space, t, s) {
+			out = append(out, IntersectionPair{I: g.origIdx[p.I], J: p.J})
+		}
+	}
+	return out
+}
+
+// Workload generators matching Section 7.5.1's simulation setups.
+
+// GenLinear2D generates n objects uniform in a side×side square with
+// per-axis speeds uniform in ±[vmin, vmax].
+func GenLinear2D(n int, side, vmin, vmax float64, rng *rand.Rand) []Linear2D {
+	out := make([]Linear2D, n)
+	for i := range out {
+		out[i] = Linear2D{
+			P: Vec2{rng.Float64() * side, rng.Float64() * side},
+			V: Vec2{randSpeed(rng, vmin, vmax), randSpeed(rng, vmin, vmax)},
+		}
+	}
+	return out
+}
+
+// GenCircular generates n objects on concentric circles around
+// center with radius uniform in [rmin, rmax] and random phase; the
+// angular velocities are drawn uniformly from the discrete set
+// omegas (radians per time unit) and returned alongside.
+func GenCircular(n int, center Vec2, rmin, rmax float64, omegas []float64, rng *rand.Rand) ([]Circular, []float64) {
+	objs := make([]Circular, n)
+	ws := make([]float64, n)
+	for i := range objs {
+		objs[i] = Circular{
+			Center: center,
+			R:      rmin + rng.Float64()*(rmax-rmin),
+			Phase:  rng.Float64() * 2 * math.Pi,
+		}
+		ws[i] = omegas[rng.Intn(len(omegas))]
+	}
+	return objs, ws
+}
+
+// GenLinear3D generates n linearly moving 3-D objects in a
+// side-cube with per-axis speeds in ±[vmin, vmax].
+func GenLinear3D(n int, side, vmin, vmax float64, rng *rand.Rand) []Linear3D {
+	out := make([]Linear3D, n)
+	for i := range out {
+		out[i] = Linear3D{
+			P: Vec3{rng.Float64() * side, rng.Float64() * side, rng.Float64() * side},
+			V: Vec3{randSpeed(rng, vmin, vmax), randSpeed(rng, vmin, vmax), randSpeed(rng, vmin, vmax)},
+		}
+	}
+	return out
+}
+
+// GenAccel3D generates n accelerating 3-D objects with per-axis
+// speeds in ±[vmin, vmax] and per-axis accelerations in ±[amin,
+// amax].
+func GenAccel3D(n int, side, vmin, vmax, amin, amax float64, rng *rand.Rand) []Accel3D {
+	out := make([]Accel3D, n)
+	for i := range out {
+		out[i] = Accel3D{
+			P: Vec3{rng.Float64() * side, rng.Float64() * side, rng.Float64() * side},
+			V: Vec3{randSpeed(rng, vmin, vmax), randSpeed(rng, vmin, vmax), randSpeed(rng, vmin, vmax)},
+			A: Vec3{randSpeed(rng, amin, amax), randSpeed(rng, amin, amax), randSpeed(rng, amin, amax)},
+		}
+	}
+	return out
+}
+
+// randSpeed draws a magnitude in [lo, hi] with random sign.
+func randSpeed(rng *rand.Rand, lo, hi float64) float64 {
+	v := lo + rng.Float64()*(hi-lo)
+	if rng.Intn(2) == 0 {
+		return -v
+	}
+	return v
+}
+
+// DegPerMin converts degrees/minute to radians/minute.
+func DegPerMin(deg float64) float64 { return deg * math.Pi / 180 }

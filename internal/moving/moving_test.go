@@ -1,0 +1,416 @@
+package moving
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"planar/internal/vecmath"
+)
+
+// checkDecomposition verifies ⟨params(t), φ(pair)⟩ equals the exact
+// squared distance for every pair at several times.
+func checkDecomposition(t *testing.T, s PairSpace, times []float64) {
+	t.Helper()
+	phi := make([]float64, s.Dim())
+	for _, tm := range times {
+		params := s.Params(tm)
+		if len(params) != s.Dim() {
+			t.Fatalf("params dim %d want %d", len(params), s.Dim())
+		}
+		for p := 0; p < s.NumPairs(); p++ {
+			s.Feature(p, phi)
+			got := vecmath.Dot(params, phi)
+			want := s.SqDist(p, tm)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("pair %d t=%v: scalar product %v, exact %v", p, tm, got, want)
+			}
+		}
+	}
+}
+
+func TestLinearDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := &LinearSpace{
+		A: GenLinear2D(20, 1000, 0.1, 1, rng),
+		B: GenLinear2D(25, 1000, 0.1, 1, rng),
+	}
+	checkDecomposition(t, s, []float64{0, 1, 10, 12.5, 15})
+}
+
+func TestCircularDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lin := GenLinear2D(15, 100, 0.1, 1, rng)
+	circ, _ := GenCircular(12, Vec2{50, 50}, 1, 49, []float64{DegPerMin(3)}, rng)
+	s := &CircularSpace{C: circ, L: lin, Omega: DegPerMin(3)}
+	checkDecomposition(t, s, []float64{0, 5, 10, 11.5, 15, 40})
+}
+
+func TestAccelDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := &AccelSpace{
+		A: GenAccel3D(10, 1000, 0.1, 1, 0.01, 0.05, rng),
+		L: GenLinear3D(12, 1000, 0.1, 1, rng),
+	}
+	checkDecomposition(t, s, []float64{0, 1, 10, 13.7, 15})
+}
+
+func TestCircularCircularDecompositionAndJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	center := Vec2{50, 50}
+	a, _ := GenCircular(15, center, 1, 40, []float64{DegPerMin(2)}, rng)
+	b, _ := GenCircular(18, center, 1, 40, []float64{DegPerMin(5)}, rng)
+	s := &CircularCircularSpace{A: a, B: b, OmegaA: DegPerMin(2), OmegaB: DegPerMin(5)}
+	checkDecomposition(t, s, []float64{0, 7, 10, 12.3, 15, 100})
+
+	j, err := NewCircularCircularJoin(s, []float64{10, 11, 12, 13, 14, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{10, 12.5, 15} {
+		got, _, err := j.AtPairs(tm, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPairs(sortPairs(got), sortPairs(Baseline(s, tm, 8))) {
+			t.Fatalf("t=%v: circular-circular join mismatched baseline", tm)
+		}
+	}
+
+	// Non-concentric sets are rejected (the decomposition needs a
+	// shared centre).
+	bad := &CircularCircularSpace{
+		A:      []Circular{{Center: Vec2{0, 0}, R: 5}},
+		B:      []Circular{{Center: Vec2{1, 0}, R: 5}},
+		OmegaA: 1, OmegaB: 2,
+	}
+	if _, err := NewCircularCircularJoin(bad, []float64{10}); err == nil {
+		t.Fatal("non-concentric sets accepted")
+	}
+	if _, err := NewCircularCircularJoin(&CircularCircularSpace{}, []float64{10}); err == nil {
+		t.Fatal("empty sets accepted")
+	}
+}
+
+// Property: the scalar-product decomposition equals the exact
+// squared distance for arbitrary kinematic states and times — the
+// identity every moving-object experiment rests on.
+func TestDecompositionProperty(t *testing.T) {
+	f := func(px, py, ux, uy, r, phase, omega, qx, qy, vx, vy, tRaw float64) bool {
+		clamp := func(x, lim float64) float64 {
+			if x != x || x > lim {
+				return lim
+			}
+			if x < -lim {
+				return -lim
+			}
+			return x
+		}
+		tm := math.Abs(clamp(tRaw, 100))
+		lin := Linear2D{
+			P: Vec2{clamp(px, 1e3), clamp(py, 1e3)},
+			V: Vec2{clamp(ux, 10), clamp(uy, 10)},
+		}
+		lin2 := Linear2D{
+			P: Vec2{clamp(qx, 1e3), clamp(qy, 1e3)},
+			V: Vec2{clamp(vx, 10), clamp(vy, 10)},
+		}
+		circ := Circular{
+			Center: Vec2{clamp(qx, 1e3), clamp(qy, 1e3)},
+			R:      math.Abs(clamp(r, 1e3)),
+			Phase:  clamp(phase, 10),
+		}
+		w := clamp(omega, 3)
+
+		ls := &LinearSpace{A: []Linear2D{lin}, B: []Linear2D{lin2}}
+		cs := &CircularSpace{C: []Circular{circ}, L: []Linear2D{lin}, Omega: w}
+		phi := make([]float64, 7)
+		for _, s := range []PairSpace{ls, cs} {
+			s.Feature(0, phi[:s.Dim()])
+			got := 0.0
+			for i, p := range s.Params(tm) {
+				got += p * phi[i]
+			}
+			want := s.SqDist(0, tm)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectKinematics(t *testing.T) {
+	l := Linear2D{P: Vec2{1, 2}, V: Vec2{3, -1}}
+	if got := l.At(2); got != (Vec2{7, 0}) {
+		t.Fatalf("Linear2D.At=%v", got)
+	}
+	c := Circular{Center: Vec2{10, 10}, R: 5, Phase: 0}
+	p := c.At(0, 1)
+	if math.Abs(p.X-15) > 1e-12 || math.Abs(p.Y-10) > 1e-12 {
+		t.Fatalf("Circular.At(0)=%v", p)
+	}
+	// Quarter turn at ω=π/2 per unit time.
+	p = c.At(1, math.Pi/2)
+	if math.Abs(p.X-10) > 1e-9 || math.Abs(p.Y-15) > 1e-9 {
+		t.Fatalf("Circular.At quarter=%v", p)
+	}
+	a := Accel3D{P: Vec3{0, 0, 0}, V: Vec3{1, 0, 0}, A: Vec3{0, 2, 0}}
+	q := a.At(2)
+	if q != (Vec3{2, 4, 0}) {
+		t.Fatalf("Accel3D.At=%v", q)
+	}
+	l3 := Linear3D{P: Vec3{1, 1, 1}, V: Vec3{0, 0, 1}}
+	if l3.At(3) != (Vec3{1, 1, 4}) {
+		t.Fatal("Linear3D.At wrong")
+	}
+}
+
+func pairKey(p IntersectionPair) int { return p.I*1000000 + p.J }
+
+func sortPairs(ps []IntersectionPair) []IntersectionPair {
+	out := append([]IntersectionPair(nil), ps...)
+	sort.Slice(out, func(i, j int) bool { return pairKey(out[i]) < pairKey(out[j]) })
+	return out
+}
+
+func equalPairs(a, b []IntersectionPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLinearJoinMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := &LinearSpace{
+		A: GenLinear2D(60, 300, 0.1, 1, rng),
+		B: GenLinear2D(70, 300, 0.1, 1, rng),
+	}
+	slots := []float64{10, 11, 12, 13, 14, 15}
+	j, err := NewJoin(s, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumIndexes() != 6 {
+		t.Fatalf("NumIndexes=%d", j.NumIndexes())
+	}
+	for _, tm := range []float64{10, 11.5, 13, 15} {
+		got, st, err := j.AtPairs(tm, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Baseline(s, tm, 25)
+		if !equalPairs(sortPairs(got), sortPairs(want)) {
+			t.Fatalf("t=%v: join %d pairs, baseline %d", tm, len(got), len(want))
+		}
+		if st.FellBack {
+			t.Fatalf("t=%v fell back to scan", tm)
+		}
+		// On an exact slot the chosen index is parallel: II ~ 0.
+		if tm == 13 && st.Verified > 10 {
+			t.Fatalf("t=13 verified %d pairs despite a parallel slot index", st.Verified)
+		}
+	}
+}
+
+func TestCircularWorkloadMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	omegas := []float64{DegPerMin(1), DegPerMin(2), DegPerMin(5)}
+	circ, ws := GenCircular(30, Vec2{50, 50}, 1, 49, omegas, rng)
+	lin := GenLinear2D(40, 100, 0.1, 1, rng)
+	w, err := NewCircularWorkload(circ, ws, lin, []float64{10, 11, 12, 13, 14, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumGroups() < 2 || w.NumGroups() > 3 {
+		t.Fatalf("NumGroups=%d", w.NumGroups())
+	}
+	for _, tm := range []float64{10, 12.3, 15} {
+		got, st, err := w.At(tm, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.Baseline(tm, 10)
+		if !equalPairs(sortPairs(got), sortPairs(want)) {
+			t.Fatalf("t=%v: workload %d pairs, baseline %d", tm, len(got), len(want))
+		}
+		if st.N != 30*40 {
+			t.Fatalf("aggregate N=%d", st.N)
+		}
+	}
+}
+
+func TestAccelJoinMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := &AccelSpace{
+		A: GenAccel3D(40, 500, 0.1, 1, 0.01, 0.05, rng),
+		L: GenLinear3D(40, 500, 0.1, 1, rng),
+	}
+	j, err := NewJoin(s, []float64{10, 12, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{10, 11, 14.9} {
+		got, _, err := j.AtPairs(tm, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPairs(sortPairs(got), sortPairs(Baseline(s, tm, 40))) {
+			t.Fatalf("t=%v mismatch", tm)
+		}
+	}
+}
+
+func TestJoinValidationAndReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := &LinearSpace{A: GenLinear2D(5, 100, 0.1, 1, rng), B: GenLinear2D(5, 100, 0.1, 1, rng)}
+	if _, err := NewJoin(s, nil); err == nil {
+		t.Error("no time slots accepted")
+	}
+	if _, err := NewJoin(&LinearSpace{}, []float64{10}); err == nil {
+		t.Error("empty space accepted")
+	}
+	j, err := NewJoin(s, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddTimeSlot(math.NaN()); err == nil {
+		t.Error("NaN slot accepted")
+	}
+	if _, _, err := j.AtPairs(10, -1); err == nil {
+		t.Error("negative distance accepted")
+	}
+	if err := j.ResetTimeSlots([]float64{20, 21}); err != nil {
+		t.Fatal(err)
+	}
+	if j.NumIndexes() != 2 {
+		t.Fatalf("NumIndexes after reset=%d", j.NumIndexes())
+	}
+	got, _, err := j.AtPairs(20.5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPairs(sortPairs(got), sortPairs(Baseline(s, 20.5, 30))) {
+		t.Fatal("join wrong after reset")
+	}
+	if j.Multi() == nil {
+		t.Fatal("Multi accessor nil")
+	}
+}
+
+func TestUpdatePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := &LinearSpace{
+		A: GenLinear2D(20, 200, 0.1, 1, rng),
+		B: GenLinear2D(20, 200, 0.1, 1, rng),
+	}
+	j, err := NewJoin(s, []float64{10, 12, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object 3 of set A changes velocity: all its pairs re-key.
+	s.A[3].V = Vec2{0.9, -0.9}
+	var affected []int
+	for p := 0; p < s.NumPairs(); p++ {
+		if i, _ := s.Pair(p); i == 3 {
+			affected = append(affected, p)
+		}
+	}
+	if err := j.UpdatePairs(affected); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := j.AtPairs(12, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPairs(sortPairs(got), sortPairs(Baseline(s, 12, 40))) {
+		t.Fatal("join stale after UpdatePairs")
+	}
+	if err := j.UpdatePairs([]int{-1}); err == nil {
+		t.Error("negative pair id accepted")
+	}
+	if err := j.UpdatePairs([]int{s.NumPairs()}); err == nil {
+		t.Error("out-of-range pair id accepted")
+	}
+}
+
+func TestCircularWorkloadValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	circ, ws := GenCircular(3, Vec2{0, 0}, 1, 10, []float64{0.1}, rng)
+	lin := GenLinear2D(3, 10, 0.1, 1, rng)
+	if _, err := NewCircularWorkload(circ, ws[:2], lin, []float64{10}); err == nil {
+		t.Error("mismatched omegas accepted")
+	}
+	if _, err := NewCircularWorkload(nil, nil, lin, []float64{10}); err == nil {
+		t.Error("empty circular set accepted")
+	}
+	if _, err := NewCircularWorkload(circ, ws, nil, []float64{10}); err == nil {
+		t.Error("empty linear set accepted")
+	}
+	if _, err := NewCircularWorkload(circ, []float64{0.1, math.NaN(), 0.1}, lin, []float64{10}); err == nil {
+		t.Error("NaN omega accepted")
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	a, b := Vec2{1, 2}, Vec2{3, 4}
+	if a.Add(b) != (Vec2{4, 6}) || a.Sub(b) != (Vec2{-2, -2}) {
+		t.Fatal("Vec2 add/sub")
+	}
+	if a.Scale(2) != (Vec2{2, 4}) || a.Dot(b) != 11 || b.Norm2() != 25 {
+		t.Fatal("Vec2 scale/dot/norm")
+	}
+	u, v := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if u.Add(v) != (Vec3{5, 7, 9}) || u.Sub(v) != (Vec3{-3, -3, -3}) {
+		t.Fatal("Vec3 add/sub")
+	}
+	if u.Scale(2) != (Vec3{2, 4, 6}) || u.Dot(v) != 32 || u.Norm2() != 14 {
+		t.Fatal("Vec3 scale/dot/norm")
+	}
+	if math.Abs(DegPerMin(180)-math.Pi) > 1e-15 {
+		t.Fatal("DegPerMin")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lin := GenLinear2D(100, 1000, 0.1, 1, rng)
+	for _, o := range lin {
+		if o.P.X < 0 || o.P.X > 1000 || o.P.Y < 0 || o.P.Y > 1000 {
+			t.Fatal("position out of area")
+		}
+		for _, v := range []float64{o.V.X, o.V.Y} {
+			if math.Abs(v) < 0.1 || math.Abs(v) > 1 {
+				t.Fatalf("speed %v out of range", v)
+			}
+		}
+	}
+	circ, ws := GenCircular(100, Vec2{50, 50}, 1, 100, []float64{0.1, 0.2}, rng)
+	for i, o := range circ {
+		if o.R < 1 || o.R > 100 {
+			t.Fatalf("radius %v out of range", o.R)
+		}
+		if ws[i] != 0.1 && ws[i] != 0.2 {
+			t.Fatalf("omega %v not from the discrete set", ws[i])
+		}
+	}
+	acc := GenAccel3D(50, 1000, 0.1, 1, 0.01, 0.05, rng)
+	for _, o := range acc {
+		for _, a := range []float64{o.A.X, o.A.Y, o.A.Z} {
+			if math.Abs(a) < 0.01 || math.Abs(a) > 0.05 {
+				t.Fatalf("acceleration %v out of range", a)
+			}
+		}
+	}
+}

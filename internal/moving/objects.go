@@ -1,0 +1,110 @@
+// Package moving implements the moving-objects-intersection
+// application of the paper (Example 2 and Section 7.5.1): kinematic
+// object models (linear, circular, accelerating), exact
+// scalar-product decompositions of pairwise squared distance, and a
+// planar-index-backed intersection join with MOVIES-style
+// time-slotted indexes.
+//
+// For every scenario the squared distance between a pair of objects
+// at a future time t factors exactly as ⟨params(t), φ(pair)⟩, where
+// φ depends only on the pair's kinematic state (indexable ahead of
+// time) and params depends only on t (known at query time):
+//
+//	linear–linear (2-D or 3-D):  d' = 3,  params = (1, t, t²)
+//	circular–linear (2-D):       d' = 7,  params = (1, t, t², cos ωt,
+//	                                        t·cos ωt, sin ωt, t·sin ωt)
+//	accelerating–linear (3-D):   d' = 5,  params = (1, t, t², t³, t⁴)
+//
+// The circular decomposition requires the angular velocity ω to be
+// shared by all circular objects covered by one query; workloads with
+// several angular velocities issue one query per ω group (see
+// CircularWorkload). The paper's Example 2 makes the same implicit
+// assumption.
+package moving
+
+import "math"
+
+// Vec2 is a 2-D vector.
+type Vec2 struct{ X, Y float64 }
+
+// Add returns v+w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v−w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns k·v.
+func (v Vec2) Scale(k float64) Vec2 { return Vec2{k * v.X, k * v.Y} }
+
+// Dot returns ⟨v, w⟩.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Norm2 returns |v|².
+func (v Vec2) Norm2() float64 { return v.Dot(v) }
+
+// Vec3 is a 3-D vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v+w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v−w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns k·v.
+func (v Vec3) Scale(k float64) Vec3 { return Vec3{k * v.X, k * v.Y, k * v.Z} }
+
+// Dot returns ⟨v, w⟩.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Norm2 returns |v|².
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Linear2D moves in a straight line: position(t) = P + V·t.
+type Linear2D struct {
+	P Vec2 // initial position
+	V Vec2 // velocity
+}
+
+// At returns the position at time t.
+func (o Linear2D) At(t float64) Vec2 { return o.P.Add(o.V.Scale(t)) }
+
+// Circular orbits a centre at fixed radius: position(t) =
+// Center + R·(cos(ωt+Phase), sin(ωt+Phase)). The angular velocity ω
+// is a property of the object's group (see CircularSpace), not of
+// the object, so that queries can factor it into the parametric
+// part.
+type Circular struct {
+	Center Vec2
+	R      float64 // radius
+	Phase  float64 // initial angle, radians
+}
+
+// At returns the position at time t for angular velocity omega
+// (radians per time unit).
+func (o Circular) At(t, omega float64) Vec2 {
+	a := omega*t + o.Phase
+	return Vec2{o.Center.X + o.R*math.Cos(a), o.Center.Y + o.R*math.Sin(a)}
+}
+
+// Linear3D moves in a straight line in 3-D.
+type Linear3D struct {
+	P Vec3
+	V Vec3
+}
+
+// At returns the position at time t.
+func (o Linear3D) At(t float64) Vec3 { return o.P.Add(o.V.Scale(t)) }
+
+// Accel3D moves with constant acceleration: position(t) =
+// P + V·t + ½·A·t².
+type Accel3D struct {
+	P Vec3
+	V Vec3
+	A Vec3
+}
+
+// At returns the position at time t.
+func (o Accel3D) At(t float64) Vec3 {
+	return o.P.Add(o.V.Scale(t)).Add(o.A.Scale(0.5 * t * t))
+}

@@ -1,0 +1,253 @@
+package moving
+
+import (
+	"fmt"
+	"math"
+)
+
+// PairSpace abstracts a scenario's set of object pairs: it exposes
+// the φ feature vector of each pair, the params(t) map, and the
+// exact squared distance used by baselines and verification.
+type PairSpace interface {
+	// Dim is the dimensionality d' of the scalar product.
+	Dim() int
+	// NumPairs is the number of candidate pairs (|set1|·|set2|).
+	NumPairs() int
+	// Feature writes φ(pair) into out (len Dim).
+	Feature(pair int, out []float64)
+	// Params returns the parametric part for query time t.
+	Params(t float64) []float64
+	// SqDist computes the exact squared distance of the pair at t
+	// directly from the kinematic state.
+	SqDist(pair int, t float64) float64
+	// Pair decodes a pair index into (i, j) positions in the two
+	// object sets.
+	Pair(pair int) (i, j int)
+}
+
+// LinearSpace pairs two sets of linearly moving 2-D objects
+// (Section 7.5.1, "objects moving with uniform velocity").
+type LinearSpace struct {
+	A, B []Linear2D
+}
+
+// Dim implements PairSpace.
+func (s *LinearSpace) Dim() int { return 3 }
+
+// NumPairs implements PairSpace.
+func (s *LinearSpace) NumPairs() int { return len(s.A) * len(s.B) }
+
+// Pair implements PairSpace.
+func (s *LinearSpace) Pair(pair int) (int, int) { return pair / len(s.B), pair % len(s.B) }
+
+// Feature implements PairSpace: with Δp = p−q, Δu = u−v,
+// d(t)² = |Δp|² + 2Δp·Δu·t + |Δu|²·t², so
+// φ = (|Δp|², 2Δp·Δu, |Δu|²).
+func (s *LinearSpace) Feature(pair int, out []float64) {
+	i, j := s.Pair(pair)
+	dp := s.A[i].P.Sub(s.B[j].P)
+	du := s.A[i].V.Sub(s.B[j].V)
+	out[0] = dp.Norm2()
+	out[1] = 2 * dp.Dot(du)
+	out[2] = du.Norm2()
+}
+
+// Params implements PairSpace: (1, t, t²).
+func (s *LinearSpace) Params(t float64) []float64 { return []float64{1, t, t * t} }
+
+// SqDist implements PairSpace.
+func (s *LinearSpace) SqDist(pair int, t float64) float64 {
+	i, j := s.Pair(pair)
+	return s.A[i].At(t).Sub(s.B[j].At(t)).Norm2()
+}
+
+// CircularSpace pairs circular objects sharing one angular velocity
+// Omega (radians per time unit) with linearly moving objects.
+type CircularSpace struct {
+	C     []Circular
+	L     []Linear2D
+	Omega float64
+}
+
+// Dim implements PairSpace.
+func (s *CircularSpace) Dim() int { return 7 }
+
+// NumPairs implements PairSpace.
+func (s *CircularSpace) NumPairs() int { return len(s.C) * len(s.L) }
+
+// Pair implements PairSpace.
+func (s *CircularSpace) Pair(pair int) (int, int) { return pair / len(s.L), pair % len(s.L) }
+
+// Feature implements PairSpace. With the linear object's state taken
+// relative to the circle centre (p = P_lin − Center, u = V_lin) and
+// the circular object at radius r, phase θ:
+//
+//	d(t)² = r² + |p+ut|² − 2r[cos(ωt+θ)(p_x+u_x t) + sin(ωt+θ)(p_y+u_y t)]
+//
+// which expands over params (1, t, t², cos ωt, t·cos ωt, sin ωt,
+// t·sin ωt) with coefficients
+//
+//	φ = ( r²+|p|², 2p·u, |u|²,
+//	      −2r(p_x cosθ + p_y sinθ), −2r(u_x cosθ + u_y sinθ),
+//	      −2r(p_y cosθ − p_x sinθ), −2r(u_y cosθ − u_x sinθ) )
+func (s *CircularSpace) Feature(pair int, out []float64) {
+	i, j := s.Pair(pair)
+	c := s.C[i]
+	p := s.L[j].P.Sub(c.Center)
+	u := s.L[j].V
+	sin, cos := math.Sincos(c.Phase)
+	out[0] = c.R*c.R + p.Norm2()
+	out[1] = 2 * p.Dot(u)
+	out[2] = u.Norm2()
+	out[3] = -2 * c.R * (p.X*cos + p.Y*sin)
+	out[4] = -2 * c.R * (u.X*cos + u.Y*sin)
+	out[5] = -2 * c.R * (p.Y*cos - p.X*sin)
+	out[6] = -2 * c.R * (u.Y*cos - u.X*sin)
+}
+
+// Params implements PairSpace.
+func (s *CircularSpace) Params(t float64) []float64 {
+	sin, cos := math.Sincos(s.Omega * t)
+	return []float64{1, t, t * t, cos, t * cos, sin, t * sin}
+}
+
+// SqDist implements PairSpace.
+func (s *CircularSpace) SqDist(pair int, t float64) float64 {
+	i, j := s.Pair(pair)
+	return s.C[i].At(t, s.Omega).Sub(s.L[j].At(t)).Norm2()
+}
+
+// CircularCircularSpace pairs two sets of objects orbiting a common
+// centre. With angular velocities ωa (set A) and ωb (set B) shared
+// per space, the angle difference is Δω·t + Δθ and the squared
+// distance factors over params (1, cos Δωt, sin Δωt) — showing the
+// scalar-product reduction extends beyond the paper's
+// circular-versus-linear case.
+type CircularCircularSpace struct {
+	A, B           []Circular
+	OmegaA, OmegaB float64
+}
+
+// Dim implements PairSpace.
+func (s *CircularCircularSpace) Dim() int { return 3 }
+
+// NumPairs implements PairSpace.
+func (s *CircularCircularSpace) NumPairs() int { return len(s.A) * len(s.B) }
+
+// Pair implements PairSpace.
+func (s *CircularCircularSpace) Pair(pair int) (int, int) { return pair / len(s.B), pair % len(s.B) }
+
+// Feature implements PairSpace. For concentric orbits with radii
+// r₁, r₂ and phases θ₁, θ₂:
+//
+//	d(t)² = r₁² + r₂² − 2r₁r₂·cos(Δω·t + Δθ)
+//
+// and expanding the cosine gives
+// φ = (r₁²+r₂², −2r₁r₂·cos Δθ, 2r₁r₂·sin Δθ).
+// Non-concentric pairs would add separate cos ωa·t / sin ωa·t terms,
+// so this space requires a shared centre, validated at join time.
+func (s *CircularCircularSpace) Feature(pair int, out []float64) {
+	i, j := s.Pair(pair)
+	a, b := s.A[i], s.B[j]
+	dTheta := a.Phase - b.Phase
+	sin, cos := math.Sincos(dTheta)
+	out[0] = a.R*a.R + b.R*b.R
+	out[1] = -2 * a.R * b.R * cos
+	out[2] = 2 * a.R * b.R * sin
+}
+
+// Params implements PairSpace: (1, cos Δω·t, sin Δω·t).
+func (s *CircularCircularSpace) Params(t float64) []float64 {
+	sin, cos := math.Sincos((s.OmegaA - s.OmegaB) * t)
+	return []float64{1, cos, sin}
+}
+
+// SqDist implements PairSpace.
+func (s *CircularCircularSpace) SqDist(pair int, t float64) float64 {
+	i, j := s.Pair(pair)
+	return s.A[i].At(t, s.OmegaA).Sub(s.B[j].At(t, s.OmegaB)).Norm2()
+}
+
+// validateConcentric reports an error unless every object in both
+// sets shares one centre (the decomposition above requires it).
+func (s *CircularCircularSpace) validateConcentric() error {
+	if len(s.A) == 0 || len(s.B) == 0 {
+		return fmt.Errorf("moving: both circular sets must be non-empty")
+	}
+	c := s.A[0].Center
+	for i, o := range s.A {
+		if o.Center != c {
+			return fmt.Errorf("moving: set A object %d is not concentric", i)
+		}
+	}
+	for j, o := range s.B {
+		if o.Center != c {
+			return fmt.Errorf("moving: set B object %d is not concentric", j)
+		}
+	}
+	return nil
+}
+
+// NewCircularCircularJoin builds a Join over concentric
+// circular-circular pairs, validating concentricity first.
+func NewCircularCircularJoin(s *CircularCircularSpace, timeSlots []float64) (*Join, error) {
+	if err := s.validateConcentric(); err != nil {
+		return nil, err
+	}
+	return NewJoin(s, timeSlots)
+}
+
+// AccelSpace pairs 3-D objects under constant acceleration with
+// linearly moving 3-D objects (the paper's non-uniform workload).
+type AccelSpace struct {
+	A []Accel3D
+	L []Linear3D
+}
+
+// Dim implements PairSpace.
+func (s *AccelSpace) Dim() int { return 5 }
+
+// NumPairs implements PairSpace.
+func (s *AccelSpace) NumPairs() int { return len(s.A) * len(s.L) }
+
+// Pair implements PairSpace.
+func (s *AccelSpace) Pair(pair int) (int, int) { return pair / len(s.L), pair % len(s.L) }
+
+// Feature implements PairSpace. With Δp = p−q, Δu = u−v and
+// acceleration a of the first object,
+// R(t) = Δp + Δu·t + ½a·t² and
+//
+//	|R(t)|² = |Δp|² + 2Δp·Δu·t + (|Δu|² + Δp·a)·t² + (Δu·a)·t³ + ¼|a|²·t⁴
+//
+// (this corrects the typos in the paper's Example 2 expansion).
+func (s *AccelSpace) Feature(pair int, out []float64) {
+	i, j := s.Pair(pair)
+	dp := s.A[i].P.Sub(s.L[j].P)
+	du := s.A[i].V.Sub(s.L[j].V)
+	a := s.A[i].A
+	out[0] = dp.Norm2()
+	out[1] = 2 * dp.Dot(du)
+	out[2] = du.Norm2() + dp.Dot(a)
+	out[3] = du.Dot(a)
+	out[4] = 0.25 * a.Norm2()
+}
+
+// Params implements PairSpace.
+func (s *AccelSpace) Params(t float64) []float64 {
+	t2 := t * t
+	return []float64{1, t, t2, t2 * t, t2 * t2}
+}
+
+// SqDist implements PairSpace.
+func (s *AccelSpace) SqDist(pair int, t float64) float64 {
+	i, j := s.Pair(pair)
+	return s.A[i].At(t).Sub(s.L[j].At(t)).Norm2()
+}
+
+// checkSpace validates common PairSpace preconditions.
+func checkSpace(s PairSpace) error {
+	if s.NumPairs() == 0 {
+		return fmt.Errorf("moving: pair space is empty")
+	}
+	return nil
+}

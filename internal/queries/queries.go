@@ -1,0 +1,177 @@
+// Package queries generates the paper's query workloads and tracks
+// parameter domains.
+//
+// The generalised scalar-product workload (Equation 18) draws each
+// coefficient a_i from a discrete domain {1, …, RQ} — RQ is the
+// paper's "randomness of query" — and sets the bound to a fraction
+// (the inequality parameter, 0.25 by default) of Σ a_i·max(i), so a
+// small share of points qualifies. Index normals are sampled from the
+// same domains (Section 5.2).
+package queries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"planar/internal/core"
+)
+
+// DefaultIneq is the paper's default inequality parameter.
+const DefaultIneq = 0.25
+
+// Eq18 generates the paper's generalised scalar product queries over
+// a dataset with known per-axis maxima.
+type Eq18 struct {
+	// MaxPerAxis is max(i) per dimension of the dataset.
+	MaxPerAxis []float64
+	// RQ is the domain size of each coefficient; coefficients are
+	// drawn uniformly from {1, …, RQ}.
+	RQ int
+	// Ineq is the inequality parameter multiplying the right-hand
+	// side (paper Figure 11 sweeps it from 0.10 to 1.00).
+	Ineq float64
+}
+
+// NewEq18 validates and constructs a generator with the default
+// inequality parameter.
+func NewEq18(maxPerAxis []float64, rq int) (Eq18, error) {
+	g := Eq18{MaxPerAxis: maxPerAxis, RQ: rq, Ineq: DefaultIneq}
+	return g, g.Validate()
+}
+
+// Validate reports configuration errors.
+func (g Eq18) Validate() error {
+	if len(g.MaxPerAxis) == 0 {
+		return errors.New("queries: Eq18 needs at least one axis maximum")
+	}
+	for i, m := range g.MaxPerAxis {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return fmt.Errorf("queries: axis %d maximum is not finite", i)
+		}
+	}
+	if g.RQ < 1 {
+		return fmt.Errorf("queries: RQ must be >= 1, got %d", g.RQ)
+	}
+	if !(g.Ineq > 0) || math.IsInf(g.Ineq, 0) {
+		return fmt.Errorf("queries: inequality parameter must be positive and finite, got %v", g.Ineq)
+	}
+	return nil
+}
+
+// Dim returns the query dimensionality.
+func (g Eq18) Dim() int { return len(g.MaxPerAxis) }
+
+// Query draws one query: Σ a_i x_i ≤ Ineq·Σ a_i·max(i) with a_i
+// uniform over {1, …, RQ}.
+func (g Eq18) Query(rng *rand.Rand) core.Query {
+	a := make([]float64, g.Dim())
+	var rhs float64
+	for i := range a {
+		a[i] = float64(1 + rng.Intn(g.RQ))
+		rhs += a[i] * g.MaxPerAxis[i]
+	}
+	return core.Query{A: a, B: g.Ineq * rhs, Op: core.LE}
+}
+
+// Domains returns the continuous hull of the coefficient domains,
+// suitable for core.Multi.SampleBudget.
+func (g Eq18) Domains() []core.Domain {
+	out := make([]core.Domain, g.Dim())
+	for i := range out {
+		out[i] = core.Domain{Lo: 1, Hi: float64(g.RQ)}
+	}
+	return out
+}
+
+// BuildIndexes adds up to budget indexes to m, sampling normals from
+// the same discrete domains the queries use. Since only RQ^d distinct
+// normals exist (and fewer distinct directions), the number actually
+// added can be smaller than the budget once redundant normals are
+// removed; that count is returned.
+func (g Eq18) BuildIndexes(m *core.Multi, budget int, rng *rand.Rand) (int, error) {
+	if budget <= 0 {
+		return 0, fmt.Errorf("queries: budget must be positive, got %d", budget)
+	}
+	d := g.Dim()
+	signs := make([]int8, d)
+	for i := range signs {
+		signs[i] = 1
+	}
+	added := 0
+	normal := make([]float64, d)
+	for attempts := 0; added < budget && attempts < budget*20; attempts++ {
+		for i := range normal {
+			normal[i] = float64(1 + rng.Intn(g.RQ))
+		}
+		ok, err := m.AddNormal(normal, signs)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// DomainTracker learns per-coefficient domains from past queries
+// (Section 4.1: "one may learn the domain ∆a_i for each query
+// parameter based on the past queries, and dynamically update their
+// domains with time").
+type DomainTracker struct {
+	lo, hi []float64
+	n      int
+}
+
+// NewDomainTracker tracks dim coefficients.
+func NewDomainTracker(dim int) (*DomainTracker, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("queries: tracker dimension must be positive, got %d", dim)
+	}
+	return &DomainTracker{lo: make([]float64, dim), hi: make([]float64, dim)}, nil
+}
+
+// Observe widens the tracked domains to cover a query's coefficients.
+func (t *DomainTracker) Observe(a []float64) error {
+	if len(a) != len(t.lo) {
+		return fmt.Errorf("queries: observed %d coefficients, tracking %d", len(a), len(t.lo))
+	}
+	if t.n == 0 {
+		copy(t.lo, a)
+		copy(t.hi, a)
+	} else {
+		for i, v := range a {
+			if v < t.lo[i] {
+				t.lo[i] = v
+			}
+			if v > t.hi[i] {
+				t.hi[i] = v
+			}
+		}
+	}
+	t.n++
+	return nil
+}
+
+// Count returns how many queries have been observed.
+func (t *DomainTracker) Count() int { return t.n }
+
+// Domains returns the learned domains. It fails if no queries were
+// observed or a coefficient changed sign across observations (such
+// workloads must be split by octant before indexing).
+func (t *DomainTracker) Domains() ([]core.Domain, error) {
+	if t.n == 0 {
+		return nil, errors.New("queries: no queries observed")
+	}
+	out := make([]core.Domain, len(t.lo))
+	for i := range out {
+		d := core.Domain{Lo: t.lo[i], Hi: t.hi[i]}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("coefficient %d: %w", i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package queries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"planar/internal/core"
+	"planar/internal/dataset"
+	"planar/internal/scan"
+)
+
+func TestEq18Validation(t *testing.T) {
+	if _, err := NewEq18(nil, 4); err == nil {
+		t.Error("empty maxes accepted")
+	}
+	if _, err := NewEq18([]float64{1, math.NaN()}, 4); err == nil {
+		t.Error("NaN max accepted")
+	}
+	if _, err := NewEq18([]float64{1, 2}, 0); err == nil {
+		t.Error("RQ=0 accepted")
+	}
+	g, err := NewEq18([]float64{10, 20}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dim() != 2 || g.Ineq != DefaultIneq {
+		t.Fatalf("Dim=%d Ineq=%v", g.Dim(), g.Ineq)
+	}
+	g.Ineq = -1
+	if err := g.Validate(); err == nil {
+		t.Error("negative inequality parameter accepted")
+	}
+}
+
+func TestEq18QueryShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, _ := NewEq18([]float64{100, 100, 100}, 4)
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		q := g.Query(rng)
+		if len(q.A) != 3 || q.Op != core.LE {
+			t.Fatalf("bad query %+v", q)
+		}
+		var rhs float64
+		for _, a := range q.A {
+			if a < 1 || a > 4 || a != math.Trunc(a) {
+				t.Fatalf("coefficient %v outside {1..4}", a)
+			}
+			seen[a] = true
+			rhs += a * 100
+		}
+		if math.Abs(q.B-0.25*rhs) > 1e-9 {
+			t.Fatalf("bound %v want %v", q.B, 0.25*rhs)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("coefficients drawn: %v, want all of {1..4}", seen)
+	}
+}
+
+func TestEq18SelectivityTracksIneqParameter(t *testing.T) {
+	d := dataset.Independent(3000, 4, 2)
+	s, err := d.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	g, _ := NewEq18(d.AxisMaxes(), 4)
+	sel := func(ineq float64) float64 {
+		g.Ineq = ineq
+		total := 0
+		for i := 0; i < 20; i++ {
+			total += scan.Count(s, g.Query(rng))
+		}
+		return float64(total) / (20 * float64(s.Len()))
+	}
+	low := sel(0.10)
+	mid := sel(0.50)
+	high := sel(1.00)
+	if !(low < mid && mid < high) {
+		t.Fatalf("selectivity not monotone: %v %v %v", low, mid, high)
+	}
+	if low > 0.2 {
+		t.Fatalf("ineq=0.10 selectivity %v, want small", low)
+	}
+	if high < 0.95 {
+		t.Fatalf("ineq=1.00 selectivity %v, want ~1", high)
+	}
+}
+
+func TestBuildIndexes(t *testing.T) {
+	d := dataset.Independent(500, 3, 4)
+	s, _ := d.Store()
+	m, _ := core.NewMulti(s)
+	rng := rand.New(rand.NewSource(5))
+	g, _ := NewEq18(d.AxisMaxes(), 2)
+	added, err := g.BuildIndexes(m, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RQ=2 in 3 dimensions: only 8 discrete normals exist and two
+	// pairs are parallel directions at most — the budget cannot be
+	// met and redundancy removal must kick in.
+	if added > 8 {
+		t.Fatalf("added %d indexes from an 8-normal domain", added)
+	}
+	if added < 2 {
+		t.Fatalf("added only %d indexes", added)
+	}
+	if m.NumIndexes() != added {
+		t.Fatalf("NumIndexes=%d added=%d", m.NumIndexes(), added)
+	}
+	if _, err := g.BuildIndexes(m, 0, rng); err == nil {
+		t.Error("budget 0 accepted")
+	}
+
+	// Queries answered through these indexes are exact.
+	for i := 0; i < 30; i++ {
+		q := g.Query(rng)
+		ids, st, err := m.InequalityIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FellBack {
+			t.Fatal("query fell back despite compatible indexes")
+		}
+		if len(ids) != scan.Count(s, q) {
+			t.Fatalf("query %d: planar %d vs scan %d", i, len(ids), scan.Count(s, q))
+		}
+	}
+}
+
+func TestParallelIndexPrunesEverything(t *testing.T) {
+	// With RQ=2 and enough budget the sampler enumerates every
+	// normal, so each query finds an exactly-parallel index and the
+	// intermediate interval collapses (paper: "the size of the
+	// intermediate interval can be zero for carefully designed
+	// Planar index").
+	d := dataset.Independent(2000, 2, 6)
+	s, _ := d.Store()
+	m, _ := core.NewMulti(s)
+	rng := rand.New(rand.NewSource(7))
+	g, _ := NewEq18(d.AxisMaxes(), 2)
+	if _, err := g.BuildIndexes(m, 50, rng); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		q := g.Query(rng)
+		_, st, err := m.InequalityIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Verified > 4 {
+			t.Fatalf("query %d verified %d points; expected a parallel index (stats %+v)", i, st.Verified, st)
+		}
+	}
+}
+
+func TestDomains(t *testing.T) {
+	g, _ := NewEq18([]float64{10, 10}, 6)
+	doms := g.Domains()
+	if len(doms) != 2 || doms[0].Lo != 1 || doms[0].Hi != 6 {
+		t.Fatalf("Domains=%v", doms)
+	}
+}
+
+// TestDomainLearningDrivesIndexRefresh exercises the Section 4.1
+// loop end to end: observe queries, learn domains, rebuild the index
+// set from them, and answer subsequent queries exactly and without
+// fallback.
+func TestDomainLearningDrivesIndexRefresh(t *testing.T) {
+	d := dataset.Independent(1000, 3, 9)
+	s, _ := d.Store()
+	m, _ := core.NewMulti(s)
+	tr, _ := NewDomainTracker(3)
+	rng := rand.New(rand.NewSource(10))
+
+	// Phase 1: queries arrive with no index; observe their normals.
+	makeQuery := func() core.Query {
+		a := []float64{2 + rng.Float64(), 5 + rng.Float64()*2, 1 + rng.Float64()*0.5}
+		return core.Query{A: a, B: 0.3 * (a[0] + a[1] + a[2]) * 100, Op: core.LE}
+	}
+	for i := 0; i < 30; i++ {
+		q := makeQuery()
+		if err := tr.Observe(q.A); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.InequalityIDs(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase 2: rebuild indexes from the learned domains.
+	doms, err := tr.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SampleBudget(10, doms, rng); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		q := makeQuery()
+		ids, st, err := m.InequalityIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FellBack {
+			t.Fatal("learned-domain indexes did not serve the workload")
+		}
+		if len(ids) != scan.Count(s, q) {
+			t.Fatal("learned-domain index answered incorrectly")
+		}
+		if st.PruningFraction() < 0.3 {
+			t.Fatalf("pruning %v with workload-fitted indexes", st.PruningFraction())
+		}
+	}
+}
+
+func TestDomainTracker(t *testing.T) {
+	if _, err := NewDomainTracker(0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	tr, err := NewDomainTracker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Domains(); err == nil {
+		t.Error("Domains before any observation accepted")
+	}
+	if err := tr.Observe([]float64{1, 2, 3}); err == nil {
+		t.Error("wrong-dim observation accepted")
+	}
+	tr.Observe([]float64{2, 5})
+	tr.Observe([]float64{4, 3})
+	tr.Observe([]float64{3, 9})
+	if tr.Count() != 3 {
+		t.Fatalf("Count=%d", tr.Count())
+	}
+	doms, err := tr.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doms[0] != (core.Domain{Lo: 2, Hi: 4}) || doms[1] != (core.Domain{Lo: 3, Hi: 9}) {
+		t.Fatalf("Domains=%v", doms)
+	}
+	// Sign-straddling coefficients are rejected at extraction time.
+	tr.Observe([]float64{-1, 4})
+	if _, err := tr.Domains(); err == nil {
+		t.Error("zero-straddling learned domain accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package reduce_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planar/internal/core"
+	"planar/internal/reduce"
+)
+
+// Example shows the exact PCA filter: almost all of this strongly
+// correlated 8-d data is decided from 1 reduced coordinate plus a
+// residual bound, and only the thin uncertain band is verified in
+// full dimension.
+func Example() {
+	store, _ := core.NewPointStore(8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		base := rng.Float64() * 100
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = base + rng.NormFloat64()
+		}
+		store.Append(row)
+	}
+	f, _ := reduce.NewFilter(store, 1)
+
+	q, _ := core.NewQuery([]float64{1, 1, 1, 1, 1, 1, 1, 1}, 400, core.LE)
+	ids, st, _ := f.InequalityIDs(q)
+	fmt.Printf("matches=%d pruned=%.0f%% varianceExplained>0.99=%v\n",
+		len(ids), 100*st.PruningFraction(), f.VarianceExplained() > 0.99)
+	// Output:
+	// matches=2439 pruned=100% varianceExplained>0.99=true
+}

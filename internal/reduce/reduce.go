@@ -1,0 +1,306 @@
+// Package reduce implements the paper's first future-work item
+// (Section 8): "since Planar index has high pruning capacity for
+// low-dimensional datasets, it would be interesting to apply various
+// dimensionality reduction techniques as a preprocessing method."
+//
+// FitPCA computes a principal-component basis of the φ vectors with
+// power iteration (stdlib only). Filter then stores, per point, the
+// r reduced coordinates y = Vᵀ(φ−μ) plus the residual norm
+// ρ = |φ − μ − V·y|. For a query ⟨a, φ⟩ ≤ b, split a the same way
+// (â = Vᵀa with residual norm α); Cauchy–Schwarz gives
+//
+//	⟨â, y⟩ + ⟨a, μ⟩ − α·ρ  ≤  ⟨a, φ⟩  ≤  ⟨â, y⟩ + ⟨a, μ⟩ + α·ρ
+//
+// so points whose upper bound is ≤ b are accepted and points whose
+// lower bound is > b are rejected — both without touching the full
+// d'-dimensional vector — and only the remainder is verified
+// exactly. Answers are therefore exact, with per-point filter cost
+// O(r) instead of O(d').
+package reduce
+
+import (
+	"errors"
+	"fmt"
+
+	"planar/internal/core"
+	"planar/internal/vecmath"
+)
+
+// Reducer is a fitted PCA basis.
+type Reducer struct {
+	mean  []float64
+	basis [][]float64 // r orthonormal rows of length d'
+	evals []float64   // eigenvalue estimates, descending
+}
+
+// FitPCA fits an r-component basis to the live points of store using
+// power iteration with deflation. iters bounds the iterations per
+// component (50 is plenty for well-separated spectra).
+func FitPCA(store *core.PointStore, r, iters int) (*Reducer, error) {
+	if store == nil || store.Len() == 0 {
+		return nil, errors.New("reduce: empty store")
+	}
+	d := store.Dim()
+	if r <= 0 || r > d {
+		return nil, fmt.Errorf("reduce: components must be in [1, %d], got %d", d, r)
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	n := float64(store.Len())
+
+	mean := make([]float64, d)
+	store.Each(func(_ uint32, v []float64) bool {
+		for i, x := range v {
+			mean[i] += x
+		}
+		return true
+	})
+	for i := range mean {
+		mean[i] /= n
+	}
+
+	// Covariance matrix, O(n·d²) once.
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	cen := make([]float64, d)
+	store.Each(func(_ uint32, v []float64) bool {
+		for i := range cen {
+			cen[i] = v[i] - mean[i]
+		}
+		for i := 0; i < d; i++ {
+			ci := cen[i]
+			row := cov[i]
+			for j := i; j < d; j++ {
+				row[j] += ci * cen[j]
+			}
+		}
+		return true
+	})
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= n
+			cov[j][i] = cov[i][j]
+		}
+	}
+
+	red := &Reducer{mean: mean}
+	vec := make([]float64, d)
+	next := make([]float64, d)
+	for comp := 0; comp < r; comp++ {
+		// Deterministic start that is unlikely to be orthogonal to
+		// the dominant eigenvector.
+		for i := range vec {
+			vec[i] = 1 / float64(i+comp+1)
+		}
+		var lambda float64
+		for it := 0; it < iters; it++ {
+			for i := 0; i < d; i++ {
+				s := 0.0
+				for j := 0; j < d; j++ {
+					s += cov[i][j] * vec[j]
+				}
+				next[i] = s
+			}
+			lambda = vecmath.Norm(next)
+			if lambda < 1e-12 {
+				break
+			}
+			for i := range vec {
+				vec[i] = next[i] / lambda
+			}
+		}
+		if lambda < 1e-12 {
+			break // remaining variance is numerically zero
+		}
+		red.basis = append(red.basis, vecmath.Clone(vec))
+		red.evals = append(red.evals, lambda)
+		// Deflate: C ← C − λ·v·vᵀ.
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				cov[i][j] -= lambda * vec[i] * vec[j]
+			}
+		}
+	}
+	if len(red.basis) == 0 {
+		return nil, errors.New("reduce: data has no variance")
+	}
+	return red, nil
+}
+
+// Components returns the number of fitted components.
+func (r *Reducer) Components() int { return len(r.basis) }
+
+// Eigenvalues returns the variance captured by each component.
+func (r *Reducer) Eigenvalues() []float64 {
+	return append([]float64(nil), r.evals...)
+}
+
+// Project returns the reduced coordinates of x and the norm of the
+// part of (x − mean) outside the basis.
+func (r *Reducer) Project(x []float64) (y []float64, residual float64) {
+	d := len(r.mean)
+	cen := make([]float64, d)
+	for i := range cen {
+		cen[i] = x[i] - r.mean[i]
+	}
+	y = make([]float64, len(r.basis))
+	for k, v := range r.basis {
+		y[k] = vecmath.Dot(v, cen)
+	}
+	// residual = |cen − Σ y_k v_k|
+	res := append([]float64(nil), cen...)
+	for k, v := range r.basis {
+		for i := range res {
+			res[i] -= y[k] * v[i]
+		}
+	}
+	return y, vecmath.Norm(res)
+}
+
+// splitQuery decomposes query coefficients like a point: â in the
+// basis, α the out-of-basis norm, plus the constant ⟨a, mean⟩.
+func (r *Reducer) splitQuery(a []float64) (ahat []float64, alpha, shift float64) {
+	ahat = make([]float64, len(r.basis))
+	for k, v := range r.basis {
+		ahat[k] = vecmath.Dot(v, a)
+	}
+	res := append([]float64(nil), a...)
+	for k, v := range r.basis {
+		for i := range res {
+			res[i] -= ahat[k] * v[i]
+		}
+	}
+	return ahat, vecmath.Norm(res), vecmath.Dot(a, r.mean)
+}
+
+// Stats describes how a filtered query was answered.
+type Stats struct {
+	N        int // points considered
+	Accepted int // accepted from reduced bounds alone
+	Rejected int // rejected from reduced bounds alone
+	Verified int // full-dimension verifications
+	Matched  int // verified points that satisfied the query
+}
+
+// PruningFraction is the share of points never touched in full
+// dimension.
+func (s Stats) PruningFraction() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.N-s.Verified) / float64(s.N)
+}
+
+// Filter answers scalar product queries through the reduced
+// representation, verifying only the uncertain band in full
+// dimension. It is exact for any query.
+type Filter struct {
+	store *core.PointStore
+	red   *Reducer
+	// Reduced data, row-major: r coords + residual per point, aligned
+	// with point ids.
+	rdim int
+	rows []float64
+	ids  []uint32
+}
+
+// NewFilter fits PCA (r components, default iterations) over store
+// and materialises the reduced representation.
+func NewFilter(store *core.PointStore, r int) (*Filter, error) {
+	red, err := FitPCA(store, r, 0)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{store: store, red: red, rdim: red.Components() + 1}
+	store.Each(func(id uint32, v []float64) bool {
+		y, rho := red.Project(v)
+		f.rows = append(f.rows, y...)
+		f.rows = append(f.rows, rho)
+		f.ids = append(f.ids, id)
+		return true
+	})
+	return f, nil
+}
+
+// Reducer exposes the fitted basis.
+func (f *Filter) Reducer() *Reducer { return f.red }
+
+// Inequality answers ⟨a, φ(x)⟩ op b exactly, touching full vectors
+// only for points the reduced bounds cannot decide.
+func (f *Filter) Inequality(q core.Query, visit func(id uint32) bool) (Stats, error) {
+	if err := q.Validate(f.store.Dim()); err != nil {
+		return Stats{}, err
+	}
+	// Normalise to LE form.
+	a, b := q.A, q.B
+	if q.Op == core.GE {
+		a = vecmath.Scale(a, -1)
+		b = -b
+	}
+	ahat, alpha, shift := f.red.splitQuery(a)
+	st := Stats{N: len(f.ids)}
+	r := f.red.Components()
+	for row, id := range f.ids {
+		off := row * f.rdim
+		y := f.rows[off : off+r]
+		rho := f.rows[off+r]
+		mid := vecmath.Dot(ahat, y) + shift
+		slack := alpha * rho
+		switch {
+		case mid+slack <= b:
+			st.Accepted++
+			if !visit(id) {
+				return st, nil
+			}
+		case mid-slack > b:
+			st.Rejected++
+		default:
+			st.Verified++
+			if q.Satisfies(f.store.Vector(id)) {
+				st.Matched++
+				if !visit(id) {
+					return st, nil
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// InequalityIDs collects all matching ids.
+func (f *Filter) InequalityIDs(q core.Query) ([]uint32, Stats, error) {
+	var ids []uint32
+	st, err := f.Inequality(q, func(id uint32) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids, st, err
+}
+
+// VarianceExplained returns the fraction of total variance captured
+// by the basis, a fitting diagnostic.
+func (f *Filter) VarianceExplained() float64 {
+	var captured float64
+	for _, ev := range f.red.evals {
+		captured += ev
+	}
+	var total float64
+	f.store.Each(func(_ uint32, v []float64) bool {
+		for i, x := range v {
+			d := x - f.red.mean[i]
+			total += d * d
+		}
+		return true
+	})
+	total /= float64(f.store.Len())
+	if total == 0 {
+		return 1
+	}
+	if frac := captured / total; frac < 1 {
+		return frac
+	}
+	return 1
+}

@@ -1,0 +1,231 @@
+package reduce
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"planar/internal/core"
+	"planar/internal/dataset"
+	"planar/internal/scan"
+	"planar/internal/vecmath"
+)
+
+// lineStore builds points concentrated along one direction plus
+// small isotropic noise — the regime PCA is made for.
+func lineStore(t *testing.T, n, dim int, seed int64) *core.PointStore {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dir := make([]float64, dim)
+	for i := range dir {
+		dir[i] = 1 + float64(i)
+	}
+	norm := vecmath.Norm(dir)
+	for i := range dir {
+		dir[i] /= norm
+	}
+	s, err := core.NewPointStore(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		c := rng.NormFloat64() * 20
+		for j := range v {
+			v[j] = 50 + c*dir[j] + rng.NormFloat64()*0.5
+		}
+		s.Append(v)
+	}
+	return s
+}
+
+func TestFitPCAValidation(t *testing.T) {
+	if _, err := FitPCA(nil, 1, 0); err == nil {
+		t.Error("nil store accepted")
+	}
+	empty, _ := core.NewPointStore(2)
+	if _, err := FitPCA(empty, 1, 0); err == nil {
+		t.Error("empty store accepted")
+	}
+	s := lineStore(t, 50, 3, 1)
+	if _, err := FitPCA(s, 0, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := FitPCA(s, 4, 0); err == nil {
+		t.Error("r>dim accepted")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	dim := 5
+	s := lineStore(t, 3000, dim, 2)
+	red, err := FitPCA(s, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Components() != 2 {
+		t.Fatalf("Components=%d", red.Components())
+	}
+	evals := red.Eigenvalues()
+	if evals[0] < 50*evals[1] {
+		t.Fatalf("eigenvalue gap too small: %v", evals)
+	}
+	// The first basis vector must be (anti)parallel to the true
+	// direction (1,2,3,4,5)/|·|.
+	truth := []float64{1, 2, 3, 4, 5}
+	cos := math.Abs(vecmath.CosAngle(red.basis[0], truth))
+	if cos < 0.999 {
+		t.Fatalf("dominant direction cos=%v", cos)
+	}
+	// Basis is orthonormal.
+	if math.Abs(vecmath.Norm(red.basis[0])-1) > 1e-9 ||
+		math.Abs(vecmath.Norm(red.basis[1])-1) > 1e-9 {
+		t.Fatal("basis vectors not unit length")
+	}
+	if math.Abs(vecmath.Dot(red.basis[0], red.basis[1])) > 1e-6 {
+		t.Fatal("basis vectors not orthogonal")
+	}
+}
+
+func TestProjectionReconstructs(t *testing.T) {
+	s := lineStore(t, 500, 4, 3)
+	red, err := FitPCA(s, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a full-rank basis the residual must (numerically) vanish —
+	// trailing power-iteration components carry a little noise, so
+	// compare against the data scale (~50).
+	s.Each(func(_ uint32, v []float64) bool {
+		_, rho := red.Project(v)
+		if rho > 1e-3 {
+			t.Fatalf("full-rank residual %v", rho)
+		}
+		return true
+	})
+}
+
+func sortIDs(ids []uint32) []uint32 {
+	out := append([]uint32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFilterExactness(t *testing.T) {
+	s := lineStore(t, 2000, 8, 4)
+	f, err := NewFilter(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		a := make([]float64, 8)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 3 // arbitrary signs: no octant limits
+		}
+		b := rng.NormFloat64() * 800
+		op := core.LE
+		if trial%2 == 0 {
+			op = core.GE
+		}
+		q := core.Query{A: a, B: b, Op: op}
+		ids, st, err := f.InequalityIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.IDs(s, q)
+		if !equalIDs(sortIDs(ids), sortIDs(want)) {
+			t.Fatalf("trial %d: filter %d ids, scan %d", trial, len(ids), len(want))
+		}
+		if st.Accepted+st.Rejected+st.Verified != st.N {
+			t.Fatalf("stats inconsistent: %+v", st)
+		}
+	}
+}
+
+func TestFilterPrunesOnCorrelatedData(t *testing.T) {
+	// Correlated data lives near the diagonal: 1–2 components capture
+	// nearly all variance, so most points are decided in reduced
+	// space.
+	d := dataset.Correlated(5000, 10, 6)
+	s, err := d.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFilter(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ve := f.VarianceExplained(); ve < 0.9 {
+		t.Fatalf("variance explained %v on correlated data", ve)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var pruned float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 10)
+		var rhs float64
+		for j := range a {
+			a[j] = 1 + rng.Float64()*3
+			rhs += a[j] * 100
+		}
+		q := core.Query{A: a, B: 0.25 * rhs, Op: core.LE}
+		ids, st, err := f.InequalityIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortIDs(ids), sortIDs(scan.IDs(s, q))) {
+			t.Fatalf("trial %d mismatch", i)
+		}
+		pruned += st.PruningFraction()
+	}
+	if avg := pruned / trials; avg < 0.8 {
+		t.Fatalf("average pruning %v, want >0.8 on correlated data", avg)
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	s := lineStore(t, 100, 3, 8)
+	f, err := NewFilter(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.InequalityIDs(core.Query{A: []float64{1}, B: 0, Op: core.LE}); err == nil {
+		t.Error("wrong-dim query accepted")
+	}
+	if f.Reducer() == nil {
+		t.Error("Reducer accessor nil")
+	}
+	// Early stop.
+	count := 0
+	_, err = f.Inequality(core.Query{A: []float64{0, 0, 0}, B: 1, Op: core.LE}, func(uint32) bool {
+		count++
+		return count < 3
+	})
+	if err != nil || count != 3 {
+		t.Fatalf("early stop count=%d err=%v", count, err)
+	}
+}
+
+func TestZeroVarianceData(t *testing.T) {
+	s, _ := core.NewPointStore(2)
+	for i := 0; i < 10; i++ {
+		s.Append([]float64{5, 5})
+	}
+	if _, err := FitPCA(s, 1, 0); err == nil {
+		t.Error("zero-variance data accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package service combines the planar index collection with
+// durability: a directory holds a CRC-checked snapshot (package
+// codec) plus a write-ahead log of point mutations (package wal).
+// Opening the directory restores the snapshot, replays the log, and
+// rebuilds the indexes, giving a crash-safe dynamic scalar-product
+// store a downstream application can embed or expose over HTTP
+// (cmd/planarserve).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"planar/internal/codec"
+	"planar/internal/core"
+	"planar/internal/vecmath"
+	"planar/internal/wal"
+)
+
+const (
+	snapshotFile = "snapshot.plnr"
+	walFile      = "wal.log"
+	snapshotTmp  = "snapshot.plnr.tmp"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Dim is the φ dimensionality; required when creating a fresh
+	// directory, validated against the snapshot otherwise.
+	Dim int
+	// SyncEveryWrite fsyncs the log after each mutation (durable but
+	// slower). Off by default: the log is synced on Checkpoint and
+	// Close.
+	SyncEveryWrite bool
+	// CheckpointEvery triggers an automatic checkpoint after this
+	// many logged mutations (0 disables automatic checkpoints).
+	CheckpointEvery int
+	// Multi options (selection heuristic, fallback, guard band).
+	MultiOptions []core.MultiOption
+}
+
+// DB is a durable planar index store.
+type DB struct {
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	multi   *core.Multi
+	log     *wal.Writer
+	pending int // mutations since the last checkpoint
+}
+
+// Open restores (or initialises) a DB in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	if dir == "" {
+		return nil, errors.New("service: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snapPath := filepath.Join(dir, snapshotFile)
+	walPath := filepath.Join(dir, walFile)
+
+	var m *core.Multi
+	if snap, err := codec.Load(snapPath); err == nil {
+		if opts.Dim != 0 && opts.Dim != snap.Dim {
+			return nil, fmt.Errorf("service: snapshot dimension %d, options say %d", snap.Dim, opts.Dim)
+		}
+		opts.Dim = snap.Dim
+		m, err = snap.Restore(opts.MultiOptions...)
+		if err != nil {
+			return nil, err
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		if opts.Dim <= 0 {
+			return nil, errors.New("service: Dim required to create a fresh store")
+		}
+		store, err := core.NewPointStore(opts.Dim)
+		if err != nil {
+			return nil, err
+		}
+		m, err = core.NewMulti(store, opts.MultiOptions...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	// Replay mutations logged after the snapshot.
+	replayed, err := wal.Replay(walPath, func(r wal.Record) error {
+		switch r.Op {
+		case wal.OpAppend:
+			id, err := m.Append(r.Vec)
+			if err != nil {
+				return err
+			}
+			if id != r.ID {
+				return fmt.Errorf("service: replay assigned id %d, log says %d", id, r.ID)
+			}
+			return nil
+		case wal.OpUpdate:
+			return m.Update(r.ID, r.Vec)
+		case wal.OpRemove:
+			return m.Remove(r.ID)
+		default:
+			return fmt.Errorf("service: unknown op %d in log", r.Op)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: replaying log: %w", err)
+	}
+
+	log, err := wal.Open(walPath, opts.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{dir: dir, opts: opts, multi: m, log: log, pending: replayed}, nil
+}
+
+// Multi exposes the underlying index collection; queries go straight
+// through it (they need no durability hooks).
+func (db *DB) Multi() *core.Multi { return db.multi }
+
+// Dim returns the φ dimensionality.
+func (db *DB) Dim() int { return db.multi.Store().Dim() }
+
+// Len returns the number of live points.
+func (db *DB) Len() int { return db.multi.Store().Len() }
+
+// AddNormal installs a planar index; the configuration is persisted
+// at the next checkpoint.
+func (db *DB) AddNormal(normal []float64, signs vecmath.SignPattern) (bool, error) {
+	return db.multi.AddNormal(normal, signs)
+}
+
+// logged applies a mutation after journaling it.
+func (db *DB) logged(rec wal.Record, apply func() error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.log.Append(rec); err != nil {
+		return err
+	}
+	if db.opts.SyncEveryWrite {
+		if err := db.log.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := apply(); err != nil {
+		return err
+	}
+	db.pending++
+	if db.opts.CheckpointEvery > 0 && db.pending >= db.opts.CheckpointEvery {
+		return db.checkpointLocked()
+	}
+	return nil
+}
+
+// Append durably adds a point and returns its id.
+func (db *DB) Append(v []float64) (uint32, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// The id the store will assign is deterministic; journal it
+	// first so replay can verify.
+	id, err := db.multi.Append(v)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.log.Append(wal.Record{Op: wal.OpAppend, ID: id, Vec: v}); err != nil {
+		return 0, err
+	}
+	if db.opts.SyncEveryWrite {
+		if err := db.log.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	db.pending++
+	if db.opts.CheckpointEvery > 0 && db.pending >= db.opts.CheckpointEvery {
+		return id, db.checkpointLocked()
+	}
+	return id, nil
+}
+
+// Update durably replaces a point's φ vector.
+func (db *DB) Update(id uint32, v []float64) error {
+	return db.logged(wal.Record{Op: wal.OpUpdate, ID: id, Vec: v}, func() error {
+		return db.multi.Update(id, v)
+	})
+}
+
+// Remove durably deletes a point.
+func (db *DB) Remove(id uint32) error {
+	return db.logged(wal.Record{Op: wal.OpRemove, ID: id}, func() error {
+		return db.multi.Remove(id)
+	})
+}
+
+// Checkpoint writes a fresh snapshot atomically (write-temp, sync,
+// rename) and truncates the log.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if err := db.log.Sync(); err != nil {
+		return err
+	}
+	tmp := filepath.Join(db.dir, snapshotTmp)
+	if err := codec.Capture(db.multi).Save(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return err
+	}
+	// The snapshot covers everything: start a fresh log.
+	if err := db.log.Close(); err != nil {
+		return err
+	}
+	log, err := wal.Create(filepath.Join(db.dir, walFile), db.Dim())
+	if err != nil {
+		return err
+	}
+	db.log = log
+	db.pending = 0
+	return nil
+}
+
+// Close flushes the log and releases the DB. It does not checkpoint;
+// the log is replayed on the next Open.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return nil
+	}
+	err := db.log.Sync()
+	if cerr := db.log.Close(); err == nil {
+		err = cerr
+	}
+	db.log = nil
+	return err
+}

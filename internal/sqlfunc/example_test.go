@@ -1,0 +1,47 @@
+package sqlfunc_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planar/internal/core"
+	"planar/internal/sqlfunc"
+)
+
+// ExampleCriticalConsume shows Example 1 of the paper end to end: a
+// CREATE FUNCTION-style predicate whose threshold arrives at query
+// time, answered through a function-based planar index.
+func ExampleCriticalConsume() {
+	table, _ := sqlfunc.NewTable("consumption",
+		[]string{"active_power", "reactive_power", "voltage", "current"})
+	// (active kW, reactive kW, voltage V, current A); power factor is
+	// active·1000/(V·I).
+	rows := [][]float64{
+		{2.0, 0.2, 230, 10}, // pf ≈ 0.87
+		{0.5, 0.3, 240, 10}, // pf ≈ 0.21
+		{1.0, 0.1, 230, 5},  // pf ≈ 0.87
+		{0.2, 0.4, 250, 4},  // pf ≈ 0.20
+	}
+	for _, r := range rows {
+		table.Insert(r)
+	}
+	cc, _ := sqlfunc.NewCriticalConsume(table, "active_power", "voltage", "current",
+		core.Domain{Lo: 0.1, Hi: 1.0}, 10, rand.New(rand.NewSource(1)))
+
+	ids, _, _ := cc.Query(0.5) // households with power factor below 0.5
+	fmt.Println("critical households:", ids)
+	// Output:
+	// critical households: [1 3]
+}
+
+// ExampleParse demonstrates the arithmetic expression language used
+// to declare indexable functions over table columns.
+func ExampleParse() {
+	table, _ := sqlfunc.NewTable("t", []string{"x", "y"})
+	table.Insert([]float64{3, 4})
+	expr, _ := sqlfunc.Parse("(x^2 + y^2) / 5")
+	v, _ := table.Eval(expr, 0)
+	fmt.Println(v, expr.Columns())
+	// Output:
+	// 5 [x y]
+}

@@ -1,0 +1,306 @@
+// Package sqlfunc implements the complex-SQL-function application of
+// the paper (Example 1): an in-memory relation, a small arithmetic
+// expression language over its columns, and a parameterised function
+// index that answers predicates of the form
+//
+//	param_1·expr_1(row) + … + param_k·expr_k(row) ≤ bound
+//
+// through the planar index. The expressions (the φ part) are fixed
+// when the index is created — like Oracle's function-based indexes —
+// while the parameters arrive with each query, which is precisely
+// what plain function-based indexes cannot support and the planar
+// index can.
+package sqlfunc
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Expr is a compiled arithmetic expression over table columns.
+type Expr struct {
+	src  string
+	root exprNode
+	cols []string // referenced column names, in first-use order
+}
+
+// String returns the source text.
+func (e *Expr) String() string { return e.src }
+
+// Columns returns the column names the expression references.
+func (e *Expr) Columns() []string { return append([]string(nil), e.cols...) }
+
+type exprNode interface {
+	eval(row []float64, colIdx map[string]int) float64
+}
+
+type numNode float64
+
+func (n numNode) eval([]float64, map[string]int) float64 { return float64(n) }
+
+type colNode string
+
+func (c colNode) eval(row []float64, colIdx map[string]int) float64 {
+	return row[colIdx[string(c)]]
+}
+
+type binNode struct {
+	op   byte
+	l, r exprNode
+}
+
+func (b binNode) eval(row []float64, colIdx map[string]int) float64 {
+	l := b.l.eval(row, colIdx)
+	r := b.r.eval(row, colIdx)
+	switch b.op {
+	case '+':
+		return l + r
+	case '-':
+		return l - r
+	case '*':
+		return l * r
+	case '/':
+		return l / r
+	case '^':
+		return math.Pow(l, r)
+	default:
+		panic("sqlfunc: unknown operator " + string(b.op))
+	}
+}
+
+type negNode struct{ x exprNode }
+
+func (n negNode) eval(row []float64, colIdx map[string]int) float64 {
+	return -n.x.eval(row, colIdx)
+}
+
+// Parse compiles an expression. Supported syntax: float literals,
+// column identifiers ([A-Za-z_][A-Za-z0-9_]*), binary + - * / ^
+// (power binds tightest, then * /, then + -), unary minus, and
+// parentheses. Column names are matched case-insensitively against
+// the table at evaluation time.
+func Parse(src string) (*Expr, error) {
+	p := &parser{src: src}
+	p.next()
+	root, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("sqlfunc: unexpected %q at offset %d in %q", p.text, p.pos, src)
+	}
+	e := &Expr{src: src, root: root}
+	seen := map[string]bool{}
+	var walk func(n exprNode)
+	walk = func(n exprNode) {
+		switch v := n.(type) {
+		case colNode:
+			if !seen[string(v)] {
+				seen[string(v)] = true
+				e.cols = append(e.cols, string(v))
+			}
+		case binNode:
+			walk(v.l)
+			walk(v.r)
+		case negNode:
+			walk(v.x)
+		}
+	}
+	walk(root)
+	return e, nil
+}
+
+// MustParse is Parse for static expressions; it panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type token int
+
+const (
+	tokEOF token = iota
+	tokNum
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+)
+
+type parser struct {
+	src  string
+	pos  int // offset of current token
+	off  int // scan offset
+	tok  token
+	text string
+	num  float64
+}
+
+func (p *parser) next() {
+	for p.off < len(p.src) && (p.src[p.off] == ' ' || p.src[p.off] == '\t' || p.src[p.off] == '\n') {
+		p.off++
+	}
+	p.pos = p.off
+	if p.off >= len(p.src) {
+		p.tok = tokEOF
+		p.text = ""
+		return
+	}
+	c := p.src[p.off]
+	switch {
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.off
+		for p.off < len(p.src) {
+			ch := p.src[p.off]
+			if ch >= '0' && ch <= '9' || ch == '.' || ch == 'e' || ch == 'E' {
+				p.off++
+				continue
+			}
+			// Exponent sign.
+			if (ch == '+' || ch == '-') && p.off > start &&
+				(p.src[p.off-1] == 'e' || p.src[p.off-1] == 'E') {
+				p.off++
+				continue
+			}
+			break
+		}
+		p.text = p.src[start:p.off]
+		p.tok = tokNum
+		v, err := strconv.ParseFloat(p.text, 64)
+		if err != nil {
+			p.num = math.NaN() // reported by parsePrimary
+		} else {
+			p.num = v
+		}
+	case isIdentStart(c):
+		start := p.off
+		for p.off < len(p.src) && isIdentPart(p.src[p.off]) {
+			p.off++
+		}
+		p.text = p.src[start:p.off]
+		p.tok = tokIdent
+	case c == '(':
+		p.off++
+		p.tok = tokLParen
+		p.text = "("
+	case c == ')':
+		p.off++
+		p.tok = tokRParen
+		p.text = ")"
+	case strings.IndexByte("+-*/^", c) >= 0:
+		p.off++
+		p.tok = tokOp
+		p.text = string(c)
+	default:
+		p.tok = tokOp
+		p.text = string(c)
+		p.off++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (p *parser) parseSum() (exprNode, error) {
+	l, err := p.parseProduct()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOp && (p.text == "+" || p.text == "-") {
+		op := p.text[0]
+		p.next()
+		r, err := p.parseProduct()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseProduct() (exprNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOp && (p.text == "*" || p.text == "/") {
+		op := p.text[0]
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (exprNode, error) {
+	if p.tok == tokOp && p.text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{x: x}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (exprNode, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok == tokOp && p.text == "^" {
+		p.next()
+		// Right-associative.
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return binNode{op: '^', l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (exprNode, error) {
+	switch p.tok {
+	case tokNum:
+		if math.IsNaN(p.num) {
+			return nil, fmt.Errorf("sqlfunc: bad number %q at offset %d", p.text, p.pos)
+		}
+		n := numNode(p.num)
+		p.next()
+		return n, nil
+	case tokIdent:
+		c := colNode(strings.ToLower(p.text))
+		p.next()
+		return c, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("sqlfunc: missing ')' at offset %d in %q", p.pos, p.src)
+		}
+		p.next()
+		return inner, nil
+	case tokEOF:
+		return nil, fmt.Errorf("sqlfunc: unexpected end of expression in %q", p.src)
+	default:
+		return nil, fmt.Errorf("sqlfunc: unexpected %q at offset %d in %q", p.text, p.pos, p.src)
+	}
+}

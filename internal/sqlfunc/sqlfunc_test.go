@@ -1,0 +1,272 @@
+package sqlfunc
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"planar/internal/core"
+	"planar/internal/dataset"
+)
+
+func TestParseAndEval(t *testing.T) {
+	tbl, err := NewTable("t", []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]float64{2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"a", 2},
+		{"A", 2}, // case-insensitive
+		{"a+b", 5},
+		{"a*b+c", 10},
+		{"a*(b+c)", 14},
+		{"a-b-c", -5}, // left-assoc
+		{"12/a/b", 2}, // left-assoc
+		{"-a", -2},
+		{"--a", 2},
+		{"a^b", 8},
+		{"2^b^a", 512}, // right-assoc: 2^(3^2)
+		{"-a^2", -4},   // power binds tighter than unary minus
+		{"1.5e1 + a", 17},
+		{"a * b - c / 2", 4},
+		{" a\t+\nb ", 5},
+		{"3", 3},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		got, err := tbl.Eval(e, 0)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", c.src, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%q)=%v want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "a+", "(a", "a)", "a b", "*a", "1..2", "a+()", "a @ b"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("a+")
+}
+
+func TestExprColumns(t *testing.T) {
+	e := MustParse("Voltage * Current + voltage - 3")
+	cols := e.Columns()
+	if len(cols) != 2 || cols[0] != "voltage" || cols[1] != "current" {
+		t.Fatalf("Columns=%v", cols)
+	}
+	if e.String() != "Voltage * Current + voltage - 3" {
+		t.Fatalf("String=%q", e.String())
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable("t", nil); err == nil {
+		t.Error("no columns accepted")
+	}
+	if _, err := NewTable("t", []string{"a", "A"}); err == nil {
+		t.Error("duplicate columns accepted")
+	}
+	if _, err := NewTable("t", []string{"a", " "}); err == nil {
+		t.Error("blank column accepted")
+	}
+	tbl, _ := NewTable("t", []string{"x", "y"})
+	if err := tbl.Insert([]float64{1}); err == nil {
+		t.Error("short row accepted")
+	}
+	tbl.Insert([]float64{1, 2})
+	if v, err := tbl.Value(0, "Y"); err != nil || v != 2 {
+		t.Errorf("Value=%v err=%v", v, err)
+	}
+	if _, err := tbl.Value(0, "zzz"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if tbl.Name() != "t" || len(tbl.Columns()) != 2 || tbl.Len() != 1 {
+		t.Error("table accessors wrong")
+	}
+	e := MustParse("x + zzz")
+	if _, err := tbl.Eval(e, 0); err == nil {
+		t.Error("expression over unknown column accepted")
+	}
+}
+
+func TestFromData(t *testing.T) {
+	d := dataset.Consumption(100, 1)
+	tbl, err := FromData(d, dataset.ConsumptionColumns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len=%d", tbl.Len())
+	}
+	if _, err := FromData(d, []string{"only_one"}); err == nil {
+		t.Error("wrong column count accepted")
+	}
+}
+
+func TestFunctionIndexValidation(t *testing.T) {
+	tbl, _ := NewTable("t", []string{"a", "b"})
+	if _, err := NewFunctionIndex(nil, []string{"a"}); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := NewFunctionIndex(tbl, nil); err == nil {
+		t.Error("no expressions accepted")
+	}
+	if _, err := NewFunctionIndex(tbl, []string{"a"}); err == nil {
+		t.Error("empty table accepted")
+	}
+	tbl.Insert([]float64{1, 2})
+	if _, err := NewFunctionIndex(tbl, []string{"a+"}); err == nil {
+		t.Error("bad expression accepted")
+	}
+	if _, err := NewFunctionIndex(tbl, []string{"zzz"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	fi, err := NewFunctionIndex(tbl, []string{"a", "a*b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Exprs(); len(got) != 2 || got[1] != "a*b" {
+		t.Fatalf("Exprs=%v", got)
+	}
+	if fi.Store().Len() != 1 || fi.Multi() == nil {
+		t.Error("store/multi wiring broken")
+	}
+	if _, _, err := fi.Select([]float64{1}, 0, core.LE); err == nil {
+		t.Error("wrong parameter count accepted")
+	}
+}
+
+func sortIDs(ids []uint32) []uint32 {
+	out := append([]uint32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCriticalConsumeMatchesScanAndTruth(t *testing.T) {
+	d := dataset.Consumption(5000, 11)
+	tbl, err := FromData(d, dataset.ConsumptionColumns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cc, err := NewCriticalConsume(tbl, "active_power", "voltage", "current",
+		core.Domain{Lo: 0.1, Hi: 1.0}, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threshold := range []float64{0.15, 0.3, 0.5, 0.75, 0.99} {
+		ids, st, err := cc.Query(threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := cc.QueryScan(threshold)
+		if !equal(sortIDs(ids), sortIDs(base)) {
+			t.Fatalf("threshold %v: index %d rows vs scan %d rows", threshold, len(ids), len(base))
+		}
+		if st.FellBack {
+			t.Fatalf("threshold %v: fell back to scan, no compatible index", threshold)
+		}
+		// Ground truth: every returned row has power factor ≤ threshold.
+		for _, id := range ids {
+			active, _ := tbl.Value(int(id), "active_power")
+			voltage, _ := tbl.Value(int(id), "voltage")
+			current, _ := tbl.Value(int(id), "current")
+			if active-threshold*voltage*current/1000 > 1e-9 {
+				t.Fatalf("row %d does not satisfy the SQL predicate", id)
+			}
+		}
+		// The sweep must have non-trivial, varying selectivity —
+		// otherwise the units are off and the workload degenerates.
+		if threshold == 0.3 && (len(ids) == 0 || len(ids) == tbl.Len()) {
+			t.Fatalf("threshold 0.3 selected %d of %d rows", len(ids), tbl.Len())
+		}
+	}
+	if _, _, err := cc.Query(0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, _, err := cc.Query(-1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestCriticalConsumeValidation(t *testing.T) {
+	d := dataset.Consumption(100, 12)
+	tbl, _ := FromData(d, dataset.ConsumptionColumns)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewCriticalConsume(tbl, "active_power", "voltage", "current",
+		core.Domain{Lo: -1, Hi: 1}, 10, rng); err == nil {
+		t.Error("zero-straddling threshold domain accepted")
+	}
+	if _, err := NewCriticalConsume(tbl, "active_power", "voltage", "current",
+		core.Domain{Lo: 0, Hi: 1}, 10, rng); err == nil {
+		t.Error("threshold domain touching 0 accepted")
+	}
+	if _, err := NewCriticalConsume(tbl, "nope", "voltage", "current",
+		core.Domain{Lo: 0.1, Hi: 1}, 10, rng); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestGenericSelectGE(t *testing.T) {
+	tbl, _ := NewTable("t", []string{"x", "y"})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		tbl.Insert([]float64{rng.Float64() * 10, rng.Float64() * 10})
+	}
+	fi, err := NewFunctionIndex(tbl, []string{"x*x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GE query with positive params normalises to the all-negative
+	// octant.
+	doms := []core.Domain{{Lo: -3, Hi: -1}, {Lo: -3, Hi: -1}}
+	if _, err := fi.AddIndexes(20, doms, rng); err != nil {
+		t.Fatal(err)
+	}
+	params := []float64{2, 1.5}
+	ids, st, err := fi.Select(params, 60, core.GE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FellBack {
+		t.Fatal("GE query fell back despite negative-octant indexes")
+	}
+	if !equal(sortIDs(ids), sortIDs(fi.SelectScan(params, 60, core.GE))) {
+		t.Fatal("GE select mismatched scan")
+	}
+}

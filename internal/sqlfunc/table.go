@@ -1,0 +1,102 @@
+package sqlfunc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"planar/internal/dataset"
+)
+
+// Table is a minimal in-memory relation: named numeric columns and
+// row-major float64 rows. Row numbers serve as the tuple identifiers
+// returned by queries.
+type Table struct {
+	name   string
+	cols   []string
+	colIdx map[string]int
+	rows   [][]float64
+}
+
+// NewTable creates an empty relation. Column names are
+// case-insensitive and must be unique.
+func NewTable(name string, columns []string) (*Table, error) {
+	if len(columns) == 0 {
+		return nil, errors.New("sqlfunc: table needs at least one column")
+	}
+	t := &Table{name: name, cols: make([]string, len(columns)), colIdx: map[string]int{}}
+	for i, c := range columns {
+		lc := strings.ToLower(strings.TrimSpace(c))
+		if lc == "" {
+			return nil, fmt.Errorf("sqlfunc: column %d has an empty name", i)
+		}
+		if _, dup := t.colIdx[lc]; dup {
+			return nil, fmt.Errorf("sqlfunc: duplicate column %q", lc)
+		}
+		t.cols[i] = lc
+		t.colIdx[lc] = i
+	}
+	return t, nil
+}
+
+// FromData wraps a dataset.Data as a relation.
+func FromData(d *dataset.Data, columns []string) (*Table, error) {
+	t, err := NewTable(d.Name, columns)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range d.Rows {
+		if err := t.Insert(r); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// Name returns the relation name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string { return append([]string(nil), t.cols...) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert appends a row.
+func (t *Table) Insert(row []float64) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("sqlfunc: row has %d values, table %q has %d columns", len(row), t.name, len(t.cols))
+	}
+	t.rows = append(t.rows, append([]float64(nil), row...))
+	return nil
+}
+
+// Row returns a read-only view of row i.
+func (t *Table) Row(i int) []float64 { return t.rows[i] }
+
+// Value returns the named column of row i.
+func (t *Table) Value(i int, column string) (float64, error) {
+	ci, ok := t.colIdx[strings.ToLower(column)]
+	if !ok {
+		return 0, fmt.Errorf("sqlfunc: table %q has no column %q", t.name, column)
+	}
+	return t.rows[i][ci], nil
+}
+
+// checkExpr verifies every column an expression references exists.
+func (t *Table) checkExpr(e *Expr) error {
+	for _, c := range e.cols {
+		if _, ok := t.colIdx[c]; !ok {
+			return fmt.Errorf("sqlfunc: expression %q references unknown column %q of table %q", e.src, c, t.name)
+		}
+	}
+	return nil
+}
+
+// Eval evaluates a compiled expression on row i.
+func (t *Table) Eval(e *Expr, i int) (float64, error) {
+	if err := t.checkExpr(e); err != nil {
+		return 0, err
+	}
+	return e.root.eval(t.rows[i], t.colIdx), nil
+}

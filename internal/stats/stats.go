@@ -1,0 +1,166 @@
+// Package stats provides the timing helpers and plain-text table
+// rendering the experiment harness uses to reproduce the paper's
+// figures as terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timer measures wall-clock durations of repeated runs.
+type Timer struct {
+	samples []time.Duration
+}
+
+// Measure runs fn once and records its duration, which is also
+// returned.
+func (t *Timer) Measure(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	t.samples = append(t.samples, d)
+	return d
+}
+
+// Add records an externally measured duration.
+func (t *Timer) Add(d time.Duration) { t.samples = append(t.samples, d) }
+
+// N returns the number of recorded samples.
+func (t *Timer) N() int { return len(t.samples) }
+
+// Mean returns the average duration (0 with no samples).
+func (t *Timer) Mean() time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range t.samples {
+		total += d
+	}
+	return total / time.Duration(len(t.samples))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) duration.
+func (t *Timer) Percentile(p float64) time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), t.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Reset clears all samples.
+func (t *Timer) Reset() { t.samples = t.samples[:0] }
+
+// Ms renders a duration as fractional milliseconds, the unit the
+// paper's figures use.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6)
+}
+
+// Mean returns the mean of a float slice (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		case time.Duration:
+			row[i] = Ms(x) + "ms"
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%.3f", x)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

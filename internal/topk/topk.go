@@ -1,0 +1,114 @@
+// Package topk implements the bounded top-k buffer used by the
+// nearest-neighbour query of the planar index (Algorithm 2 in the
+// paper): it retains the k items with the smallest scores seen so
+// far, exposing the current maximum retained score as the pruning
+// bound.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Item is one candidate in the buffer.
+type Item struct {
+	ID    uint32  // data point identifier
+	Score float64 // distance to the query hyperplane (smaller is better)
+}
+
+// Buffer keeps the k items with the smallest scores. The zero value
+// is not usable; construct with New.
+type Buffer struct {
+	k     int
+	items maxHeap
+}
+
+// New returns a buffer retaining the k smallest-score items.
+// It panics if k <= 0, since a zero-capacity top-k buffer is always a
+// caller bug.
+func New(k int) *Buffer {
+	if k <= 0 {
+		panic("topk: New requires k > 0")
+	}
+	return &Buffer{k: k, items: make(maxHeap, 0, min(k, 1024))}
+}
+
+// K returns the buffer's capacity.
+func (b *Buffer) K() int { return b.k }
+
+// Len returns the number of items currently held.
+func (b *Buffer) Len() int { return len(b.items) }
+
+// Full reports whether the buffer holds k items.
+func (b *Buffer) Full() bool { return len(b.items) == b.k }
+
+// Max returns the largest retained score. It is only meaningful when
+// Len() > 0; on an empty buffer it returns +Inf semantics via ok=false.
+func (b *Buffer) Max() (score float64, ok bool) {
+	if len(b.items) == 0 {
+		return 0, false
+	}
+	return b.items[0].Score, true
+}
+
+// Bound returns the score a new item must beat to be retained once
+// the buffer is full. While the buffer is not yet full it reports
+// ok=false, meaning everything is accepted.
+func (b *Buffer) Bound() (score float64, ok bool) {
+	if !b.Full() {
+		return 0, false
+	}
+	return b.items[0].Score, true
+}
+
+// Push offers an item. It returns true if the item was retained.
+func (b *Buffer) Push(it Item) bool {
+	if len(b.items) < b.k {
+		heap.Push(&b.items, it)
+		return true
+	}
+	if it.Score >= b.items[0].Score {
+		return false
+	}
+	b.items[0] = it
+	heap.Fix(&b.items, 0)
+	return true
+}
+
+// Items returns the retained items sorted by ascending score (ties
+// broken by ascending ID for determinism). The buffer is unchanged.
+func (b *Buffer) Items() []Item {
+	out := make([]Item, len(b.items))
+	copy(out, b.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Reset empties the buffer, retaining capacity.
+func (b *Buffer) Reset() { b.items = b.items[:0] }
+
+type maxHeap []Item
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Score > h[j].Score }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnNonPositiveK(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestBasicRetention(t *testing.T) {
+	b := New(3)
+	if b.K() != 3 {
+		t.Fatalf("K=%d", b.K())
+	}
+	if _, ok := b.Max(); ok {
+		t.Fatal("Max on empty buffer reported ok")
+	}
+	if _, ok := b.Bound(); ok {
+		t.Fatal("Bound on non-full buffer reported ok")
+	}
+	for i, s := range []float64{5, 1, 3} {
+		if !b.Push(Item{ID: uint32(i), Score: s}) {
+			t.Fatalf("push %d rejected while not full", i)
+		}
+	}
+	if !b.Full() {
+		t.Fatal("buffer should be full")
+	}
+	if m, _ := b.Max(); m != 5 {
+		t.Fatalf("Max=%v want 5", m)
+	}
+	// Worse item rejected.
+	if b.Push(Item{ID: 9, Score: 7}) {
+		t.Fatal("worse item retained")
+	}
+	// Equal item rejected (strict improvement required).
+	if b.Push(Item{ID: 10, Score: 5}) {
+		t.Fatal("equal-score item retained")
+	}
+	// Better item displaces the max.
+	if !b.Push(Item{ID: 11, Score: 2}) {
+		t.Fatal("better item rejected")
+	}
+	items := b.Items()
+	if len(items) != 3 {
+		t.Fatalf("len=%d", len(items))
+	}
+	wantScores := []float64{1, 2, 3}
+	for i, it := range items {
+		if it.Score != wantScores[i] {
+			t.Fatalf("Items()=%v", items)
+		}
+	}
+	if bound, ok := b.Bound(); !ok || bound != 3 {
+		t.Fatalf("Bound=%v ok=%v", bound, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(2)
+	b.Push(Item{ID: 1, Score: 1})
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset=%d", b.Len())
+	}
+	if b.Full() {
+		t.Fatal("Full after Reset")
+	}
+}
+
+func TestItemsSortedAndStable(t *testing.T) {
+	b := New(4)
+	b.Push(Item{ID: 7, Score: 2})
+	b.Push(Item{ID: 3, Score: 2})
+	b.Push(Item{ID: 1, Score: 1})
+	b.Push(Item{ID: 9, Score: 0})
+	items := b.Items()
+	if items[0].ID != 9 || items[1].ID != 1 {
+		t.Fatalf("order wrong: %v", items)
+	}
+	// Tie on score 2 broken by ID.
+	if items[2].ID != 3 || items[3].ID != 7 {
+		t.Fatalf("tie-break wrong: %v", items)
+	}
+	// Items must not mutate the buffer.
+	if b.Len() != 4 {
+		t.Fatal("Items mutated buffer")
+	}
+}
+
+// Property: for any stream, the buffer holds exactly the k smallest
+// scores (as a multiset).
+func TestMatchesSortProperty(t *testing.T) {
+	f := func(scores []float64, kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		b := New(k)
+		for i, s := range scores {
+			if s != s { // NaN would poison ordering; skip
+				return true
+			}
+			b.Push(Item{ID: uint32(i), Score: s})
+		}
+		want := append([]float64(nil), scores...)
+		sort.Float64s(want)
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := b.Items()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Score != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeRandomStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, k = 20000, 100
+	b := New(k)
+	all := make([]float64, n)
+	for i := range all {
+		all[i] = rng.NormFloat64()
+		b.Push(Item{ID: uint32(i), Score: all[i]})
+	}
+	sort.Float64s(all)
+	items := b.Items()
+	for i := 0; i < k; i++ {
+		if items[i].Score != all[i] {
+			t.Fatalf("rank %d: got %v want %v", i, items[i].Score, all[i])
+		}
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, b.N)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	buf := New(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Push(Item{ID: uint32(i), Score: scores[i]})
+	}
+}

@@ -1,0 +1,269 @@
+// Package vecmath provides the small dense linear-algebra helpers the
+// planar index is built on: dot products, norms, hyperplanes and sign
+// patterns (hyper-octants).
+//
+// All functions operate on []float64 treated as fixed-dimension
+// vectors. Dimension mismatches are programming errors and panic, as
+// with out-of-range slice indexing; query-level validation is done at
+// the API boundary in package core.
+package vecmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned by validating helpers when two vectors (or
+// a vector and an expected dimensionality) disagree.
+var ErrDimension = errors.New("vecmath: dimension mismatch")
+
+// Dot returns the scalar product ⟨a, b⟩. It panics if the lengths
+// differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm |a|.
+func Norm(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm Σ|a_i|.
+func Norm1(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Scale returns a new vector k·a.
+func Scale(a []float64, k float64) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = k * v
+	}
+	return out
+}
+
+// Add returns a new vector a+b. It panics on length mismatch.
+func Add(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Add length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = v + b[i]
+	}
+	return out
+}
+
+// Sub returns a new vector a−b. It panics on length mismatch.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Sub length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = v - b[i]
+	}
+	return out
+}
+
+// Clone returns a copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Abs returns a new vector of |a_i|.
+func Abs(a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = math.Abs(v)
+	}
+	return out
+}
+
+// CosAngle returns cos of the angle between a and b, clamped to
+// [−1, 1]. If either vector is zero it returns 0.
+func CosAngle(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Angle returns the angle in radians between a and b, in [0, π].
+func Angle(a, b []float64) float64 {
+	return math.Acos(CosAngle(a, b))
+}
+
+// AllFinite reports whether every component of a is finite (not NaN
+// and not ±Inf).
+func AllFinite(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckDim returns ErrDimension (wrapped with context) unless
+// len(a) == d.
+func CheckDim(name string, a []float64, d int) error {
+	if len(a) != d {
+		return fmt.Errorf("%s has dimension %d, want %d: %w", name, len(a), d, ErrDimension)
+	}
+	return nil
+}
+
+// Hyperplane represents ⟨Normal, y⟩ = Offset in R^d.
+type Hyperplane struct {
+	Normal []float64
+	Offset float64
+}
+
+// NewHyperplane validates and constructs a hyperplane. The normal
+// must be non-empty, finite and non-zero.
+func NewHyperplane(normal []float64, offset float64) (Hyperplane, error) {
+	if len(normal) == 0 {
+		return Hyperplane{}, errors.New("vecmath: hyperplane needs a non-empty normal")
+	}
+	if !AllFinite(normal) || math.IsNaN(offset) || math.IsInf(offset, 0) {
+		return Hyperplane{}, errors.New("vecmath: hyperplane coefficients must be finite")
+	}
+	if Norm(normal) == 0 {
+		return Hyperplane{}, errors.New("vecmath: hyperplane normal must be non-zero")
+	}
+	return Hyperplane{Normal: Clone(normal), Offset: offset}, nil
+}
+
+// Eval returns ⟨Normal, y⟩ − Offset: negative on the "less-than" side.
+func (h Hyperplane) Eval(y []float64) float64 {
+	return Dot(h.Normal, y) - h.Offset
+}
+
+// Distance returns the Euclidean distance from y to the hyperplane,
+// |⟨Normal, y⟩ − Offset| / |Normal|.
+func (h Hyperplane) Distance(y []float64) float64 {
+	return math.Abs(h.Eval(y)) / Norm(h.Normal)
+}
+
+// Dim returns the dimensionality of the hyperplane's ambient space.
+func (h Hyperplane) Dim() int { return len(h.Normal) }
+
+// Intercept returns the i-th axis intercept Offset / Normal[i]. It
+// returns +Inf when Normal[i] == 0 and Offset > 0, −Inf for negative
+// offsets, and NaN when both are zero.
+func (h Hyperplane) Intercept(i int) float64 {
+	return h.Offset / h.Normal[i]
+}
+
+// SignPattern identifies a hyper-octant of R^d: entry i is +1 or −1.
+type SignPattern []int8
+
+// FirstOctant returns the all-positive sign pattern of dimension d.
+func FirstOctant(d int) SignPattern {
+	s := make(SignPattern, d)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// SignsOf returns the sign pattern of vector a, mapping zero
+// components to +1 (a zero coefficient means the axis is ignored, so
+// either octant choice is compatible).
+func SignsOf(a []float64) SignPattern {
+	s := make(SignPattern, len(a))
+	for i, v := range a {
+		if v < 0 {
+			s[i] = -1
+		} else {
+			s[i] = 1
+		}
+	}
+	return s
+}
+
+// Negate returns the opposite octant.
+func (s SignPattern) Negate() SignPattern {
+	out := make(SignPattern, len(s))
+	for i, v := range s {
+		out[i] = -v
+	}
+	return out
+}
+
+// Matches reports whether a query coefficient vector a is compatible
+// with the octant: for every non-zero a_i, sign(a_i) must equal s[i].
+// Zero coefficients are compatible with anything.
+func (s SignPattern) Matches(a []float64) bool {
+	if len(s) != len(a) {
+		return false
+	}
+	for i, v := range a {
+		if v > 0 && s[i] != 1 {
+			return false
+		}
+		if v < 0 && s[i] != -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two sign patterns are identical.
+func (s SignPattern) Equal(t SignPattern) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the pattern as e.g. "+-+".
+func (s SignPattern) String() string {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		if v >= 0 {
+			b[i] = '+'
+		} else {
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}
+
+// Parallel reports whether vectors a and b are parallel (same or
+// opposite direction) within relative tolerance tol on the cosine.
+func Parallel(a, b []float64, tol float64) bool {
+	c := CosAngle(a, b)
+	return math.Abs(math.Abs(c)-1) <= tol
+}

@@ -1,0 +1,257 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{0, 0}, []float64{1, 1}, 0},
+		{[]float64{-1, 2}, []float64{3, 4}, 5},
+		{nil, nil, 0},
+		{[]float64{2.5}, []float64{4}, 10},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); got != c.want {
+			t.Errorf("Dot(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorms(t *testing.T) {
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm(3,4)=%v want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Errorf("Norm(nil)=%v want 0", got)
+	}
+	if got := Norm1([]float64{-3, 4, -5}); got != 12 {
+		t.Errorf("Norm1=%v want 12", got)
+	}
+}
+
+func TestScaleAddSubCloneAbs(t *testing.T) {
+	a := []float64{1, -2, 3}
+	b := []float64{4, 5, -6}
+	if got := Scale(a, 2); got[0] != 2 || got[1] != -4 || got[2] != 6 {
+		t.Errorf("Scale=%v", got)
+	}
+	if got := Add(a, b); got[0] != 5 || got[1] != 3 || got[2] != -3 {
+		t.Errorf("Add=%v", got)
+	}
+	if got := Sub(a, b); got[0] != -3 || got[1] != -7 || got[2] != 9 {
+		t.Errorf("Sub=%v", got)
+	}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases input")
+	}
+	if got := Abs(a); got[1] != 2 {
+		t.Errorf("Abs=%v", got)
+	}
+}
+
+func TestCosAngle(t *testing.T) {
+	if got := CosAngle([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Errorf("perpendicular cos=%v want 0", got)
+	}
+	if got := CosAngle([]float64{2, 0}, []float64{5, 0}); got != 1 {
+		t.Errorf("parallel cos=%v want 1", got)
+	}
+	if got := CosAngle([]float64{1, 0}, []float64{-3, 0}); got != -1 {
+		t.Errorf("antiparallel cos=%v want -1", got)
+	}
+	if got := CosAngle([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero-vector cos=%v want 0", got)
+	}
+	if got := Angle([]float64{1, 0}, []float64{1, 1}); !almostEqual(got, math.Pi/4, 1e-12) {
+		t.Errorf("Angle=%v want π/4", got)
+	}
+}
+
+func TestCosAngleClamped(t *testing.T) {
+	// Nearly-parallel vectors can produce cos slightly above 1 in
+	// floating point; the clamp must hold.
+	a := []float64{1e9, 1e-9, 3}
+	c := CosAngle(a, a)
+	if c > 1 || c < -1 {
+		t.Errorf("CosAngle not clamped: %v", c)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Error("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("+Inf not detected")
+	}
+	if AllFinite([]float64{math.Inf(-1)}) {
+		t.Error("-Inf not detected")
+	}
+}
+
+func TestCheckDim(t *testing.T) {
+	if err := CheckDim("v", []float64{1, 2}, 2); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+	err := CheckDim("v", []float64{1, 2}, 3)
+	if err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestHyperplane(t *testing.T) {
+	h, err := NewHyperplane([]float64{3, 4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Eval([]float64{2, 1}); got != 0 {
+		t.Errorf("Eval on plane=%v want 0", got)
+	}
+	if got := h.Distance([]float64{2, 1}); got != 0 {
+		t.Errorf("Distance on plane=%v want 0", got)
+	}
+	// (0,0): |0-10|/5 = 2
+	if got := h.Distance([]float64{0, 0}); got != 2 {
+		t.Errorf("Distance origin=%v want 2", got)
+	}
+	if h.Dim() != 2 {
+		t.Errorf("Dim=%d", h.Dim())
+	}
+	if got := h.Intercept(0); !almostEqual(got, 10.0/3, 1e-12) {
+		t.Errorf("Intercept=%v", got)
+	}
+}
+
+func TestNewHyperplaneErrors(t *testing.T) {
+	if _, err := NewHyperplane(nil, 0); err == nil {
+		t.Error("empty normal accepted")
+	}
+	if _, err := NewHyperplane([]float64{0, 0}, 1); err == nil {
+		t.Error("zero normal accepted")
+	}
+	if _, err := NewHyperplane([]float64{1, math.NaN()}, 1); err == nil {
+		t.Error("NaN normal accepted")
+	}
+	if _, err := NewHyperplane([]float64{1}, math.Inf(1)); err == nil {
+		t.Error("infinite offset accepted")
+	}
+}
+
+func TestSignPattern(t *testing.T) {
+	s := FirstOctant(3)
+	if s.String() != "+++" {
+		t.Errorf("FirstOctant=%s", s)
+	}
+	q := SignsOf([]float64{-1, 0, 2})
+	if q.String() != "-++" {
+		t.Errorf("SignsOf=%s", q)
+	}
+	if !q.Matches([]float64{-5, 0, 1}) {
+		t.Error("compatible vector rejected")
+	}
+	if !q.Matches([]float64{-5, 0, 0}) {
+		t.Error("zero coefficients should match any octant")
+	}
+	if q.Matches([]float64{5, 0, 1}) {
+		t.Error("incompatible vector accepted")
+	}
+	if q.Matches([]float64{-5, 0}) {
+		t.Error("wrong dimension accepted")
+	}
+	n := q.Negate()
+	if n.String() != "+--" {
+		t.Errorf("Negate=%s", n)
+	}
+	if !q.Equal(SignsOf([]float64{-1, 1, 1})) {
+		t.Error("Equal failed on identical patterns")
+	}
+	if q.Equal(n) {
+		t.Error("Equal true for different patterns")
+	}
+	if q.Equal(SignPattern{1}) {
+		t.Error("Equal true across dimensions")
+	}
+}
+
+func TestParallel(t *testing.T) {
+	if !Parallel([]float64{1, 2}, []float64{2, 4}, 1e-12) {
+		t.Error("parallel vectors not detected")
+	}
+	if !Parallel([]float64{1, 2}, []float64{-3, -6}, 1e-12) {
+		t.Error("antiparallel vectors not detected")
+	}
+	if Parallel([]float64{1, 0}, []float64{1, 1}, 1e-6) {
+		t.Error("non-parallel vectors reported parallel")
+	}
+}
+
+// Property: Cauchy–Schwarz, |⟨a,b⟩| ≤ |a||b| (within float tolerance).
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		av, bv := a[:], b[:]
+		if !AllFinite(av) || !AllFinite(bv) {
+			return true
+		}
+		lhs := math.Abs(Dot(av, bv))
+		rhs := Norm(av) * Norm(bv)
+		return lhs <= rhs*(1+1e-9) || math.IsInf(rhs, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distance to a hyperplane is translation-consistent —
+// moving a point along the unit normal by δ changes distance by at
+// most |δ|.
+func TestHyperplaneDistanceLipschitz(t *testing.T) {
+	f := func(n [3]float64, off float64, p [3]float64, delta float64) bool {
+		nv := n[:]
+		if !AllFinite(nv) || Norm(nv) == 0 || math.IsNaN(off) || math.IsInf(off, 0) {
+			return true
+		}
+		if !AllFinite(p[:]) || math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return true
+		}
+		if math.Abs(delta) > 1e6 || Norm(p[:]) > 1e6 || Norm(nv) > 1e6 || math.Abs(off) > 1e6 {
+			return true // keep float error bounded
+		}
+		h, err := NewHyperplane(nv, off)
+		if err != nil {
+			return true
+		}
+		unit := Scale(nv, 1/Norm(nv))
+		q := Add(p[:], Scale(unit, delta))
+		d0 := h.Distance(p[:])
+		d1 := h.Distance(q)
+		return math.Abs(d1-d0) <= math.Abs(delta)+1e-6*(1+d0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func logPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(logPath(t), 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := Open(logPath(t), -1); err == nil {
+		t.Error("negative dim accepted")
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := logPath(t)
+	w, err := Create(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []Record{
+		{Op: OpAppend, ID: 0, Vec: []float64{1, 2}},
+		{Op: OpAppend, ID: 1, Vec: []float64{3, 4}},
+		{Op: OpUpdate, ID: 0, Vec: []float64{5, 6}},
+		{Op: OpRemove, ID: 1},
+		{Op: OpAppend, ID: 1, Vec: []float64{7, 8}},
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	n, err := Replay(path, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(records) || len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", n, len(records))
+	}
+	for i, r := range records {
+		g := got[i]
+		if g.Op != r.Op || g.ID != r.ID || len(g.Vec) != len(r.Vec) {
+			t.Fatalf("record %d: got %+v want %+v", i, g, r)
+		}
+		for j := range r.Vec {
+			if g.Vec[j] != r.Vec[j] {
+				t.Fatalf("record %d vec mismatch", i)
+			}
+		}
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	w, err := Create(logPath(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(Record{Op: Op(9), ID: 0, Vec: []float64{1, 2}}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := w.Append(Record{Op: OpAppend, ID: 0, Vec: []float64{1}}); err == nil {
+		t.Error("wrong-dim vector accepted")
+	}
+	if err := w.Append(Record{Op: OpRemove, ID: 0, Vec: []float64{1, 2}}); err == nil {
+		t.Error("remove with vector accepted")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, err := Replay(filepath.Join(t.TempDir(), "nothing.log"), func(Record) error {
+		t.Fatal("callback invoked")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestTornTailStopsReplay(t *testing.T) {
+	path := logPath(t)
+	w, _ := Create(path, 2)
+	w.Append(Record{Op: OpAppend, ID: 0, Vec: []float64{1, 2}})
+	w.Append(Record{Op: OpAppend, ID: 1, Vec: []float64{3, 4}})
+	w.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record: only the first record should replay.
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 1 {
+		t.Fatalf("torn tail: n=%d err=%v", n, err)
+	}
+
+	// Corrupt the second record's payload: same outcome.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-6] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err = Replay(path, func(Record) error { return nil })
+	if err != nil || n != 1 {
+		t.Fatalf("corrupt record: n=%d err=%v", n, err)
+	}
+}
+
+func TestOpenAppendsToExisting(t *testing.T) {
+	path := logPath(t)
+	w, _ := Create(path, 1)
+	w.Append(Record{Op: OpAppend, ID: 0, Vec: []float64{1}})
+	w.Close()
+	w2, err := Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(Record{Op: OpAppend, ID: 1, Vec: []float64{2}})
+	w2.Close()
+	n, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
