@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# A fast benchmark smoke: a handful of iterations of the pipeline and
+# plan-cache benchmarks, just to prove they still compile and run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkPlanCache$$|BenchmarkPipelineOverhead' -benchtime 10x .
+
+ci: vet build race bench-smoke
+
+clean:
+	$(GO) clean ./...

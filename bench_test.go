@@ -17,12 +17,14 @@ import (
 	"planar/internal/constraint"
 	"planar/internal/core"
 	"planar/internal/dataset"
+	"planar/internal/exec"
 	"planar/internal/mbrtree"
 	"planar/internal/moving"
 	"planar/internal/queries"
 	"planar/internal/reduce"
 	"planar/internal/scan"
 	"planar/internal/sqlfunc"
+	"planar/internal/vecmath"
 )
 
 const (
@@ -727,4 +729,240 @@ func BenchmarkBtreeBulkLoad(b *testing.B) {
 		cp := append([]btree.Entry(nil), ents...)
 		btree.BulkLoad(cp)
 	}
+}
+
+// ---------------------------------------------------------------
+// Execution-pipeline benchmarks: plan-cache hit vs miss, and the
+// abstraction overhead of internal/exec against an inline port of the
+// pre-refactor three-interval loop.
+
+// planCacheFixture builds two Multis over the same store and index
+// set, one with the default plan cache and one with caching disabled,
+// so hit and miss planning costs are compared on identical data.
+func planCacheFixture(b *testing.B) (cached, uncached *core.Multi, q core.Query) {
+	b.Helper()
+	d := dataset.Synthetic(dataset.KindIndependent, benchPoints, 6, 1)
+	store, err := d.Store()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := queries.NewEq18(d.AxisMaxes(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(opts ...core.MultiOption) *core.Multi {
+		m, err := core.NewMulti(store, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.BuildIndexes(m, 100, rand.New(rand.NewSource(7))); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	q = queryList(g, 1, 33)[0]
+	return build(), build(core.WithPlanCache(0)), q
+}
+
+// planOnlyFixture builds an exec.Source with many candidate indexes
+// directly, so BenchmarkPlanCache can time the planner alone — no
+// per-index read locks, no interval-size estimation, no execution.
+func planOnlyFixture(b *testing.B, numIndexes int) (*exec.Source, exec.Query) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(53))
+	dim := 6
+	n := 5000
+	points := make([][]float64, n)
+	for i := range points {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		points[i] = v
+	}
+	infos := make([]exec.IndexInfo, numIndexes)
+	for x := range infos {
+		normal := make([]float64, dim)
+		for j := range normal {
+			normal[j] = 1 + rng.Float64()*9
+		}
+		ents := make([]btree.Entry, n)
+		for id, v := range points {
+			k := 0.0
+			for j := range v {
+				k += normal[j] * v[j]
+			}
+			ents[id] = btree.Entry{Key: k, ID: uint32(id)}
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i].Key < ents[j].Key })
+		infos[x] = exec.IndexInfo{
+			Tree:  btree.BulkLoad(ents),
+			C:     normal,
+			Delta: make([]float64, dim),
+			CS:    normal,
+			Signs: vecmath.FirstOctant(dim),
+			Guard: core.DefaultGuard,
+		}
+	}
+	src := &exec.Source{
+		N:       n,
+		Indexes: infos,
+		Vector:  func(id uint32) []float64 { return points[id] },
+		Each: func(fn func(id uint32, v []float64) bool) {
+			for id, v := range points {
+				if !fn(uint32(id), v) {
+					return
+				}
+			}
+		},
+	}
+	q := exec.Query{A: []float64{2, 5, 1, 3, 4, 2}, B: 9000}
+	return src, q
+}
+
+// BenchmarkPlanCache isolates the planning stage: "hit" serves the
+// index selection from the direction-keyed cache, "miss" re-scores
+// every candidate index's interval thresholds each time.
+func BenchmarkPlanCache(b *testing.B) {
+	src, q := planOnlyFixture(b, 100)
+	b.Run("hit", func(b *testing.B) {
+		src.Cache = exec.NewPlanCache(core.DefaultPlanCacheSize)
+		if _, err := exec.PlanQuery(src, q); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.B = float64(i % 1000) // vary threshold, keep direction
+			if _, err := exec.PlanQuery(src, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		hits, misses := src.Cache.Counters()
+		b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+	})
+	b.Run("miss", func(b *testing.B) {
+		src.Cache = nil
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.B = float64(i % 1000)
+			if _, err := exec.PlanQuery(src, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanCacheQueries measures the cache's effect on whole
+// queries (plan + execute) with a repeated-direction workload.
+func BenchmarkPlanCacheQueries(b *testing.B) {
+	cached, uncached, q := planCacheFixture(b)
+	run := func(m *core.Multi) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q.B = float64(i % 1000)
+				if _, _, err := m.Count(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("cache", run(cached))
+	b.Run("nocache", run(uncached))
+}
+
+// pipelineOverheadFixture assembles an exec.Source over one index the
+// way internal/core does, so the pipeline and an inline loop can be
+// timed on identical trees.
+func pipelineOverheadFixture(b *testing.B) (*exec.Source, []exec.Query, [][]float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(41))
+	dim := 4
+	points := make([][]float64, benchPoints)
+	for i := range points {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		points[i] = v
+	}
+	normal := []float64{1, 2, 1, 3}
+	cs := append([]float64(nil), normal...)
+	ents := make([]btree.Entry, len(points))
+	for id, v := range points {
+		k := 0.0
+		for j := range v {
+			k += cs[j] * v[j]
+		}
+		ents[id] = btree.Entry{Key: k, ID: uint32(id)}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Key < ents[j].Key })
+	info := exec.IndexInfo{
+		Tree:  btree.BulkLoad(ents),
+		C:     normal,
+		Delta: make([]float64, dim),
+		CS:    cs,
+		Signs: vecmath.FirstOctant(dim),
+		Guard: core.DefaultGuard,
+	}
+	src := &exec.Source{
+		N:       len(points),
+		Indexes: []exec.IndexInfo{info},
+		Single:  true,
+		Vector:  func(id uint32) []float64 { return points[id] },
+		Each: func(fn func(id uint32, v []float64) bool) {
+			for id, v := range points {
+				if !fn(uint32(id), v) {
+					return
+				}
+			}
+		},
+	}
+	qs := make([]exec.Query, 32)
+	for i := range qs {
+		qs[i] = exec.Query{
+			A: []float64{1 + rng.Float64()*4, 1 + rng.Float64()*4, 1 + rng.Float64()*4, 1 + rng.Float64()*4},
+			B: rng.Float64() * 12000,
+		}
+	}
+	return src, qs, points
+}
+
+// BenchmarkPipelineOverhead compares exec.Run against an inline port
+// of the pre-refactor Algorithm-1 loop (plan once, then walk the
+// smaller and intermediate intervals directly). The delta is the cost
+// of the sink/dispatch abstraction.
+func BenchmarkPipelineOverhead(b *testing.B) {
+	src, qs, points := pipelineOverheadFixture(b)
+	b.Run("inline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			plan, err := exec.PlanQuery(src, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			matched := 0
+			tree := src.Indexes[0].Tree
+			tree.AscendLE(plan.Tmin, func(e btree.Entry) bool { matched++; return true })
+			tree.AscendRange(plan.Tmin, plan.Tmax, func(e btree.Entry) bool {
+				if q.Satisfies(points[e.ID]) {
+					matched++
+				}
+				return true
+			})
+			_ = matched
+		}
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matched := 0
+			_, err := exec.Run(src, qs[i%len(qs)], exec.FuncSink(func(uint32) bool {
+				matched++
+				return true
+			}), exec.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -118,9 +118,15 @@ func run() error {
 		}
 		elapsed := time.Since(start)
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		fmt.Printf("%d rows in %s (pruned %.1f%%, index %d, fellback=%v)\n",
+		cache := "miss"
+		if st.CacheHit {
+			cache = "hit"
+		}
+		fmt.Printf("%d rows in %s (pruned %.1f%%, index %d, fellback=%v, plan %s, exec %s, cache %s)\n",
 			len(ids), elapsed.Round(time.Microsecond), 100*st.PruningFraction(),
-			st.IndexUsed, st.FellBack)
+			st.IndexUsed, st.FellBack,
+			time.Duration(st.PlanNanos).Round(time.Microsecond),
+			time.Duration(st.ExecNanos).Round(time.Microsecond), cache)
 		preview := ids
 		if len(preview) > 20 {
 			preview = preview[:20]

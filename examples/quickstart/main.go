@@ -67,6 +67,25 @@ func main() {
 	}
 	fmt.Println("sequential scan agrees exactly")
 
+	// Every query runs through the plan/execute/sink pipeline; the
+	// stats expose the stages. Repeating a coefficient direction hits
+	// the plan cache, skipping index selection.
+	_, st2, err := m.InequalityIDs(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline: plan %dns (cache hit=%v), exec %dns\n",
+		st2.PlanNanos, st2.CacheHit, st2.ExecNanos)
+
+	// A parameter sweep over thresholds b shares one plan.
+	perB, _, err := m.InequalityBatch([]float64{2, 3.5, 1}, core.LE,
+		[]float64{100, 250, 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch sweep b=100/250/500: %d / %d / %d points\n",
+		len(perB[0]), len(perB[1]), len(perB[2]))
+
 	// 4. Top-k: the 5 satisfying points closest to the query
 	//    hyperplane (the active-learning primitive).
 	top, _, err := m.TopK(q, 5)

@@ -1,45 +1,27 @@
 package core
 
 import (
-	"planar/internal/btree"
+	"planar/internal/exec"
 )
 
-// Count returns the exact number of points satisfying q. The smaller
-// and larger intervals are counted in O(log n) through the key
-// tree's order statistics; only the intermediate interval is
-// verified point by point, so a well-aligned index answers COUNT(*)
-// queries in logarithmic time.
+// Count returns the exact number of points satisfying q. The counting
+// sink's AcceptCount capability lets the pipeline resolve the smaller
+// and larger intervals in O(log n) through the key tree's order
+// statistics; only the intermediate interval is verified point by
+// point, so a well-aligned index answers COUNT(*) queries in
+// logarithmic time.
 func (ix *Index) Count(q Query) (int, Stats, error) {
 	if err := q.Validate(ix.store.Dim()); err != nil {
 		return 0, Stats{}, err
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-
-	st := Stats{N: ix.tree.Len(), IndexUsed: -1}
-	nq := q.normalized()
-	tmin, tmax, _, all, none, err := ix.thresholds(nq)
+	var sink exec.CountSink
+	st, err := exec.Run(ix.source(), q.LE(), &sink, exec.Options{})
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	if none {
-		st.Rejected = st.N
-		return 0, st, nil
-	}
-	if all {
-		st.Accepted = st.N
-		return st.N, st, nil
-	}
-	st.Accepted = ix.tree.RankLE(tmin)
-	ix.tree.AscendRange(tmin, tmax, func(e btree.Entry) bool {
-		st.Verified++
-		if nq.Satisfies(ix.store.Vector(e.ID)) {
-			st.Matched++
-		}
-		return true
-	})
-	st.Rejected = st.N - st.Accepted - st.Verified
-	return st.Accepted + st.Matched, st, nil
+	return sink.N, st, nil
 }
 
 // SelectivityBounds returns guaranteed bounds lo <= |answer| <= hi
@@ -54,52 +36,29 @@ func (ix *Index) SelectivityBounds(q Query) (lo, hi int, err error) {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-
-	nq := q.normalized()
-	tmin, tmax, _, all, none, err := ix.thresholds(nq)
-	if err != nil {
-		return 0, 0, err
-	}
-	n := ix.tree.Len()
-	if none {
-		return 0, 0, nil
-	}
-	if all {
-		return n, n, nil
-	}
-	lo = ix.tree.RankLE(tmin)
-	hi = lo + ix.tree.CountRange(tmin, tmax)
-	return lo, hi, nil
+	info := ix.info()
+	return exec.Bounds(&info, q.LE())
 }
 
 // Count answers an exact COUNT(*) through the best compatible index,
 // falling back to a scan when none exists (if fallback is enabled).
+// The cost model is not consulted: the counting plan touches the
+// smaller interval in O(log n), so the indexed plan's cost estimate
+// would be wrong for it.
 func (m *Multi) Count(q Query) (int, Stats, error) {
 	if err := q.Validate(m.store.Dim()); err != nil {
 		return 0, Stats{}, err
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	ix, pos, err := m.bestLocked(q)
+	src, release := m.sourceLocked(false)
+	defer release()
+	var sink exec.CountSink
+	st, err := exec.Run(src, q.LE(), &sink, exec.Options{})
 	if err != nil {
-		if !m.fallback {
-			return 0, Stats{}, err
-		}
-		st := Stats{N: m.store.Len(), FellBack: true, IndexUsed: -1}
-		st.Verified = st.N
-		count := 0
-		m.store.Each(func(_ uint32, v []float64) bool {
-			if q.Satisfies(v) {
-				count++
-			}
-			return true
-		})
-		st.Matched = count
-		return count, st, nil
+		return 0, Stats{}, err
 	}
-	count, st, err := ix.Count(q)
-	st.IndexUsed = pos
-	return count, st, err
+	return sink.N, st, nil
 }
 
 // SelectivityBounds intersects the per-index bounds of every
@@ -112,13 +71,16 @@ func (m *Multi) SelectivityBounds(q Query) (lo, hi int, err error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	nq := q.normalized()
+	src, release := m.sourceLocked(false)
+	defer release()
+	nq := q.LE()
 	lo, hi = 0, m.store.Len()
-	for _, ix := range m.indexes {
-		if !ix.signs.Matches(nq.A) {
+	for i := range src.Indexes {
+		info := &src.Indexes[i]
+		if !info.Signs.Matches(nq.A) {
 			continue
 		}
-		ilo, ihi, err := ix.SelectivityBounds(q)
+		ilo, ihi, err := exec.Bounds(info, nq)
 		if err != nil {
 			return 0, 0, err
 		}

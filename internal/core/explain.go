@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"planar/internal/exec"
 )
 
 // Plan describes how a Multi would answer a query, without running
@@ -53,80 +55,31 @@ func (p Plan) String() string {
 
 // Explain returns the execution plan for q under the Multi's current
 // configuration (selection heuristic, cost model, fallback policy)
-// without visiting any data point.
+// without visiting any data point. It runs the pipeline's Plan stage
+// only.
 func (m *Multi) Explain(q Query) (Plan, error) {
 	if err := q.Validate(m.store.Dim()); err != nil {
 		return Plan{}, err
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-
-	nq := q.normalized()
-	plan := Plan{IndexUsed: -1, N: m.store.Len(), BoundsLo: 0, BoundsHi: m.store.Len()}
-	for _, ix := range m.indexes {
-		if ix.signs.Matches(nq.A) {
-			plan.Compatible++
-		}
-	}
-	ix, pos, err := m.bestLocked(q)
+	src, release := m.sourceLocked(true)
+	defer release()
+	pi, err := exec.Explain(src, q.LE())
 	if err != nil {
-		plan.Reason = "no index serves the query's hyper-octant"
-		plan.Verified = plan.N
-		return plan, nil
+		return Plan{}, err
 	}
-
-	// Interval sizes for the chosen index.
-	ix.mu.RLock()
-	tmin, tmax, _, all, none, terr := ix.thresholds(nq)
-	n := ix.tree.Len()
-	var si, ii int
-	switch {
-	case terr != nil:
-		// bestLocked only returns compatible indexes, so this cannot
-		// happen; fall through with zero intervals.
-	case none:
-		// everything rejected
-	case all:
-		si = n
-	default:
-		si = ix.tree.RankLE(tmin)
-		if math.IsInf(tmax, 1) {
-			ii = n - si
-		} else {
-			ii = ix.tree.CountRange(tmin, tmax)
-		}
-	}
-	ix.mu.RUnlock()
-
-	if m.costPenalty > 0 && m.scanCheaper(ix, nq) {
-		plan.Reason = fmt.Sprintf("cost model prefers scan (accept %d + %.1f×verify %d ≥ n %d)",
-			si, m.costPenalty, ii, n)
-		plan.Verified = plan.N
-	} else {
-		plan.IndexUsed = pos
-		plan.Reason = fmt.Sprintf("best of %d compatible indexes by %s minimisation", plan.Compatible, m.sel)
-		plan.Stretch = ix.Stretch(nq)
-		plan.Cos = ix.CosToQuery(nq)
-		plan.Accepted = si
-		plan.Verified = ii
-		plan.Rejected = n - si - ii
-	}
-
-	// Tightest guaranteed bounds across every compatible index.
-	for _, cand := range m.indexes {
-		if !cand.signs.Matches(nq.A) {
-			continue
-		}
-		lo, hi, err := cand.SelectivityBounds(q)
-		if err != nil {
-			continue
-		}
-		if lo > plan.BoundsLo {
-			plan.BoundsLo = lo
-		}
-		if hi < plan.BoundsHi {
-			plan.BoundsHi = hi
-		}
-	}
-	return plan, nil
+	return Plan{
+		IndexUsed:  pi.Plan.IndexPos,
+		Reason:     pi.Plan.Reason,
+		Compatible: pi.Plan.Compatible,
+		Stretch:    pi.Stretch,
+		Cos:        pi.Cos,
+		Accepted:   pi.Accepted,
+		Verified:   pi.Verified,
+		Rejected:   pi.Rejected,
+		N:          pi.N,
+		BoundsLo:   pi.BoundsLo,
+		BoundsHi:   pi.BoundsHi,
+	}, nil
 }

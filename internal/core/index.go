@@ -3,10 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 
 	"planar/internal/btree"
+	"planar/internal/exec"
 	"planar/internal/vecmath"
 )
 
@@ -18,8 +18,10 @@ const DefaultGuard = 1e-9
 
 // ErrIncompatibleOctant is returned when a query's coefficient signs
 // do not match the octant an index was built for (paper Section 4.5:
-// each index serves one hyper-octant of query normals).
-var ErrIncompatibleOctant = errors.New("core: query signs incompatible with index octant")
+// each index serves one hyper-octant of query normals). It is the
+// pipeline's error value, re-exported so existing == comparisons keep
+// working.
+var ErrIncompatibleOctant = exec.ErrIncompatibleOctant
 
 // Index is a single Planar index: a family of parallel hyperplanes
 // with normal c, one through each point's φ vector, realised as a B+
@@ -201,126 +203,61 @@ func (ix *Index) Add(id uint32) error {
 	return nil
 }
 
-// thresholds computes the interval boundaries for a normalized (LE)
-// query. Callers hold ix.mu (read).
-//
-// Returned cases:
-//   - all:   every point matches (all coefficients zero, B >= 0)
-//   - none:  no point can match (all zero with B < 0, or b' < 0)
-//   - else tmin/tmax delimit SI/II/LI in key space; tmax may be +Inf
-//     when some coefficient is zero (rejection impossible, paper
-//     Section 4.1).
-func (ix *Index) thresholds(q Query) (tmin, tmax, bPrime float64, all, none bool, err error) {
-	if !ix.signs.Matches(q.A) {
-		return 0, 0, 0, false, false, ErrIncompatibleOctant
+// info returns the planner's view of this index. The slices are
+// shared, not copied; callers hold ix.mu for the lifetime of the
+// returned value.
+func (ix *Index) info() exec.IndexInfo {
+	return exec.IndexInfo{
+		Tree:  ix.tree,
+		C:     ix.c,
+		Delta: ix.delta,
+		CS:    ix.cs,
+		Signs: ix.signs,
+		Guard: ix.guard,
 	}
-	bPrime = q.B
-	nonZero := 0
-	for i, a := range q.A {
-		bPrime += math.Abs(a) * ix.delta[i]
-		if a != 0 {
-			nonZero++
-		}
-	}
-	if nonZero == 0 {
-		if q.B >= 0 {
-			return 0, 0, bPrime, true, false, nil
-		}
-		return 0, 0, bPrime, false, true, nil
-	}
-	if bPrime < 0 {
-		return 0, 0, bPrime, false, true, nil
-	}
-	tmin = math.Inf(1)
-	tmax = math.Inf(-1)
-	for i, a := range q.A {
-		if a == 0 {
-			tmax = math.Inf(1) // rejection impossible on ignored axes
-			continue
-		}
-		t := ix.c[i] * bPrime / math.Abs(a)
-		if t < tmin {
-			tmin = t
-		}
-		if t > tmax {
-			tmax = t
-		}
-	}
-	// Conservative band: only ever widens the verified range.
-	if ix.guard > 0 {
-		g := ix.guard * (1 + math.Abs(tmin))
-		tmin -= g
-		if !math.IsInf(tmax, 1) {
-			tmax += ix.guard * (1 + math.Abs(tmax))
-		}
-	}
-	return tmin, tmax, bPrime, false, false, nil
 }
 
-// Inequality answers Problem 1 with Algorithm 1: points in the
-// smaller interval are reported without verification, points in the
-// intermediate interval are verified by computing the true scalar
-// product, and the larger interval is rejected wholesale. visit is
-// called once per matching point id, in no particular order; a false
-// return stops early (Stats are then partial).
+// source wraps the standalone index as a single-candidate pipeline
+// source. Callers hold ix.mu for the lifetime of the returned value.
+func (ix *Index) source() *exec.Source {
+	return &exec.Source{
+		N:       ix.tree.Len(),
+		Indexes: []exec.IndexInfo{ix.info()},
+		Single:  true,
+		Vector:  ix.store.Vector,
+		Each:    ix.store.Each,
+	}
+}
+
+// Inequality answers Problem 1 with Algorithm 1 through the execution
+// pipeline: points in the smaller interval are reported without
+// verification, points in the intermediate interval are verified by
+// computing the true scalar product, and the larger interval is
+// rejected wholesale. visit is called once per matching point id, in
+// no particular order; a false return stops early (Stats are then
+// partial).
 func (ix *Index) Inequality(q Query, visit func(id uint32) bool) (Stats, error) {
 	if err := q.Validate(ix.store.Dim()); err != nil {
 		return Stats{}, err
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-
-	st := Stats{N: ix.tree.Len(), IndexUsed: -1}
-	nq := q.normalized()
-	tmin, tmax, _, all, none, err := ix.thresholds(nq)
-	if err != nil {
-		return Stats{}, err
-	}
-	if none {
-		st.Rejected = st.N
-		return st, nil
-	}
-	if all {
-		st.Accepted = st.N
-		ix.tree.Ascend(func(e btree.Entry) bool { return visit(e.ID) })
-		return st, nil
-	}
-
-	stopped := false
-	ix.tree.AscendLE(tmin, func(e btree.Entry) bool {
-		st.Accepted++
-		if !visit(e.ID) {
-			stopped = true
-			return false
-		}
-		return true
-	})
-	if stopped {
-		return st, nil
-	}
-	ix.tree.AscendRange(tmin, tmax, func(e btree.Entry) bool {
-		st.Verified++
-		if nq.Satisfies(ix.store.Vector(e.ID)) {
-			st.Matched++
-			if !visit(e.ID) {
-				stopped = true
-				return false
-			}
-		}
-		return true
-	})
-	st.Rejected = st.N - st.Accepted - st.Verified
-	return st, nil
+	return exec.Run(ix.source(), q.LE(), exec.FuncSink(visit), exec.Options{})
 }
 
 // InequalityIDs is a convenience wrapper collecting all matching ids.
 func (ix *Index) InequalityIDs(q Query) ([]uint32, Stats, error) {
-	var ids []uint32
-	st, err := ix.Inequality(q, func(id uint32) bool {
-		ids = append(ids, id)
-		return true
-	})
-	return ids, st, err
+	if err := q.Validate(ix.store.Dim()); err != nil {
+		return nil, Stats{}, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var sink exec.IDSink
+	st, err := exec.Run(ix.source(), q.LE(), &sink, exec.Options{})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sink.IDs, st, nil
 }
 
 // Stretch evaluates the paper's Problem 3 objective for this index
@@ -332,24 +269,8 @@ func (ix *Index) InequalityIDs(q Query) ([]uint32, Stats, error) {
 func (ix *Index) Stretch(q Query) float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	nq := q.normalized()
-	tmin, tmax, _, all, none, err := ix.thresholds(nq)
-	if err != nil {
-		return math.Inf(1)
-	}
-	if all || none {
-		return 0 // trivially answered without any verification
-	}
-	if math.IsInf(tmax, 1) {
-		return math.Inf(1)
-	}
-	cmin := ix.c[0]
-	for _, v := range ix.c[1:] {
-		if v < cmin {
-			cmin = v
-		}
-	}
-	return (tmax - tmin) / cmin
+	info := ix.info()
+	return exec.Stretch(&info, q.LE())
 }
 
 // CosToQuery returns |cos| of the angle between the query hyperplane
@@ -358,5 +279,6 @@ func (ix *Index) Stretch(q Query) float64 {
 func (ix *Index) CosToQuery(q Query) float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return math.Abs(vecmath.CosAngle(q.A, ix.cs))
+	info := ix.info()
+	return exec.CosToQuery(&info, q.A)
 }

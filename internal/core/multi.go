@@ -5,40 +5,35 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
 
+	"planar/internal/exec"
 	"planar/internal/vecmath"
 )
 
-// Selection names a best-index selection heuristic (Section 5.1).
-type Selection int
+// Selection names a best-index selection heuristic (Section 5.1). It
+// is an alias of the pipeline's selection type.
+type Selection = exec.Selection
 
 const (
 	// SelectVolume picks the index minimising the maximum stretch of
 	// the intermediate interval (Problem 3). The paper finds this
 	// usually superior; it is the default.
-	SelectVolume Selection = iota
+	SelectVolume = exec.SelectVolume
 	// SelectAngle picks the index whose hyperplane family makes the
 	// smallest angle with the query hyperplane.
-	SelectAngle
+	SelectAngle = exec.SelectAngle
 )
 
-// String implements fmt.Stringer.
-func (s Selection) String() string {
-	switch s {
-	case SelectVolume:
-		return "volume"
-	case SelectAngle:
-		return "angle"
-	default:
-		return fmt.Sprintf("Selection(%d)", int(s))
-	}
-}
-
 // ErrNoCompatibleIndex is returned (or causes a scan fallback) when
-// no index in a Multi serves the query's hyper-octant.
-var ErrNoCompatibleIndex = errors.New("core: no index compatible with query octant")
+// no index in a Multi serves the query's hyper-octant. It is the
+// pipeline's error value, re-exported so errors.Is and == comparisons
+// keep working.
+var ErrNoCompatibleIndex = exec.ErrNoCompatibleIndex
+
+// DefaultPlanCacheSize is the number of distinct query coefficient
+// directions whose index selection a Multi memoises by default.
+const DefaultPlanCacheSize = 128
 
 // Domain is the a-priori range of one query coefficient (paper
 // Section 4.1). Lo and Hi must not straddle zero: the octant of each
@@ -89,7 +84,9 @@ func (d Domain) sample(rng *rand.Rand) float64 {
 // Multi is a budgeted collection of planar indexes over one shared
 // point store, with best-index selection at query time (Section 5)
 // and coordinated dynamic updates (Section 4.4). All methods are
-// safe for concurrent use; mutations are serialised.
+// safe for concurrent use; mutations are serialised. Queries run on
+// the internal/exec pipeline; repeated coefficient directions hit the
+// plan cache.
 type Multi struct {
 	mu          sync.RWMutex
 	store       *PointStore
@@ -98,6 +95,8 @@ type Multi struct {
 	fallback    bool
 	guard       float64
 	costPenalty float64 // >0 enables cost-based index-vs-scan choice
+	epoch       uint64  // bumped on every mutation; invalidates cached plans
+	cache       *exec.PlanCache
 }
 
 // MultiOption customises a Multi.
@@ -121,6 +120,13 @@ func WithIndexGuard(g float64) MultiOption {
 	return func(m *Multi) { m.guard = g }
 }
 
+// WithPlanCache overrides the plan cache's capacity (number of
+// distinct coefficient directions memoised). capacity <= 0 disables
+// plan caching entirely.
+func WithPlanCache(capacity int) MultiOption {
+	return func(m *Multi) { m.cache = exec.NewPlanCache(capacity) }
+}
+
 // WithCostBased enables cost-based execution for inequality queries
 // (top-k always prefers an index: its SI walk is pruned early, so
 // the scan rarely wins there). Before answering through an index,
@@ -138,36 +144,18 @@ func WithCostBased(penalty float64) MultiOption {
 	return func(m *Multi) { m.costPenalty = penalty }
 }
 
-// scanCheaper estimates whether a sequential scan would beat the
-// indexed plan for this (already normalized) query. Callers hold
-// m.mu (read).
-func (m *Multi) scanCheaper(ix *Index, nq Query) bool {
-	if m.costPenalty <= 0 {
-		return false
-	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	tmin, tmax, _, all, none, err := ix.thresholds(nq)
-	if err != nil || all || none {
-		return false
-	}
-	n := ix.tree.Len()
-	si := ix.tree.RankLE(tmin)
-	var ii int
-	if math.IsInf(tmax, 1) {
-		ii = n - si
-	} else {
-		ii = ix.tree.CountRange(tmin, tmax)
-	}
-	return float64(si)+m.costPenalty*float64(ii) >= float64(n)
-}
-
 // NewMulti creates an empty index collection over store.
 func NewMulti(store *PointStore, opts ...MultiOption) (*Multi, error) {
 	if store == nil {
 		return nil, errors.New("core: nil point store")
 	}
-	m := &Multi{store: store, sel: SelectVolume, fallback: true, guard: DefaultGuard}
+	m := &Multi{
+		store:    store,
+		sel:      SelectVolume,
+		fallback: true,
+		guard:    DefaultGuard,
+		cache:    exec.NewPlanCache(DefaultPlanCacheSize),
+	}
 	for _, o := range opts {
 		o(m)
 	}
@@ -191,6 +179,46 @@ func (m *Multi) Index(i int) *Index {
 	return m.indexes[i]
 }
 
+// PlanCacheCounters returns the plan cache's cumulative hit and miss
+// counts (both zero when caching is disabled).
+func (m *Multi) PlanCacheCounters() (hits, misses uint64) {
+	return m.cache.Counters()
+}
+
+// sourceLocked snapshots the pipeline's view of the Multi: every
+// index's geometry plus the point access paths. It read-locks each
+// index so concurrent standalone mutations (Index.Add) cannot race
+// with the run; the returned release must be called once the pipeline
+// finishes. Callers hold m.mu (read). costBased controls whether the
+// cost-based index-vs-scan choice applies — it is sound only for
+// plans that walk the smaller interval sequentially.
+func (m *Multi) sourceLocked(costBased bool) (*exec.Source, func()) {
+	infos := make([]exec.IndexInfo, len(m.indexes))
+	for i, ix := range m.indexes {
+		ix.mu.RLock()
+		infos[i] = ix.info()
+	}
+	src := &exec.Source{
+		N:        m.store.Len(),
+		Indexes:  infos,
+		Sel:      m.sel,
+		Fallback: m.fallback,
+		Vector:   m.store.Vector,
+		Each:     m.store.Each,
+		Epoch:    m.epoch,
+		Cache:    m.cache,
+	}
+	if costBased {
+		src.CostPenalty = m.costPenalty
+	}
+	indexes := m.indexes
+	return src, func() {
+		for _, ix := range indexes {
+			ix.mu.RUnlock()
+		}
+	}
+}
+
 // AddNormal builds and adds an index with the given normal and
 // octant, unless a redundant index (parallel normal, same octant) is
 // already present (Section 5.2). It reports whether an index was
@@ -208,6 +236,7 @@ func (m *Multi) AddNormal(normal []float64, signs vecmath.SignPattern) (bool, er
 		return false, err
 	}
 	m.indexes = append(m.indexes, ix)
+	m.epoch++
 	return true, nil
 }
 
@@ -255,6 +284,7 @@ func (m *Multi) RemoveAllIndexes() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.indexes = nil
+	m.epoch++
 }
 
 // Best returns the index the selection heuristic prefers for q,
@@ -263,10 +293,6 @@ func (m *Multi) RemoveAllIndexes() {
 func (m *Multi) Best(q Query) (*Index, int, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.bestLocked(q)
-}
-
-func (m *Multi) bestLocked(q Query) (*Index, int, error) {
 	nq := q.normalized()
 	bestIdx := -1
 	bestScore := math.Inf(1)
@@ -303,29 +329,73 @@ func (m *Multi) Inequality(q Query, visit func(id uint32) bool) (Stats, error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	ix, pos, err := m.bestLocked(q)
-	if err != nil {
-		if !m.fallback {
-			return Stats{}, err
-		}
-		return m.scanInequality(q, visit), nil
-	}
-	if m.scanCheaper(ix, q.normalized()) {
-		return m.scanInequality(q, visit), nil
-	}
-	st, err := ix.Inequality(q, visit)
-	st.IndexUsed = pos
-	return st, err
+	src, release := m.sourceLocked(true)
+	defer release()
+	return exec.Run(src, q.LE(), exec.FuncSink(visit), exec.Options{})
 }
 
 // InequalityIDs collects all matching point ids.
 func (m *Multi) InequalityIDs(q Query) ([]uint32, Stats, error) {
-	var ids []uint32
-	st, err := m.Inequality(q, func(id uint32) bool {
-		ids = append(ids, id)
-		return true
-	})
-	return ids, st, err
+	if err := q.Validate(m.store.Dim()); err != nil {
+		return nil, Stats{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	src, release := m.sourceLocked(true)
+	defer release()
+	var sink exec.IDSink
+	st, err := exec.Run(src, q.LE(), &sink, exec.Options{})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sink.IDs, st, nil
+}
+
+// InequalityBatch answers one inequality query per threshold in bs,
+// all sharing the coefficient vector a: octant checks and best-index
+// selection run once and the interval thresholds are recomputed per
+// threshold — the natural shape for moving-object ticks and
+// threshold sweeps where a is fixed and b varies. ids[i] and
+// stats[i] answer ⟨a, φ(x)⟩ op bs[i].
+func (m *Multi) InequalityBatch(a []float64, op Op, bs []float64) (ids [][]uint32, stats []Stats, err error) {
+	if err := (Query{A: a, B: 0, Op: op}).Validate(m.store.Dim()); err != nil {
+		return nil, nil, err
+	}
+	for i, b := range bs {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, nil, fmt.Errorf("core: batch threshold %d is %v, must be finite", i, b)
+		}
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	src, release := m.sourceLocked(true)
+	defer release()
+
+	// Normalize once: a GE batch is a LE batch on (−a, −b).
+	na, nbs := a, bs
+	if op == GE {
+		na = make([]float64, len(a))
+		for i, v := range a {
+			na[i] = -v
+		}
+		nbs = make([]float64, len(bs))
+		for i, b := range bs {
+			nbs[i] = -b
+		}
+	}
+	sinks := make([]*exec.IDSink, len(bs))
+	stats, err = exec.RunBatch(src, na, nbs, func(i int, _ float64) exec.Sink {
+		sinks[i] = &exec.IDSink{}
+		return sinks[i]
+	}, exec.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	ids = make([][]uint32, len(bs))
+	for i, s := range sinks {
+		ids[i] = s.IDs
+	}
+	return ids, stats, nil
 }
 
 // TopK answers Problem 2 using the best compatible index, or a
@@ -340,62 +410,22 @@ func (m *Multi) TopK(q Query, k int) ([]Result, Stats, error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	ix, pos, err := m.bestLocked(q)
+	// A zero coefficient vector is octant-compatible with every
+	// index, so whenever one exists the indexed top-k path would be
+	// selected and its distance measure is undefined; only the
+	// index-free scan fallback can serve it.
+	if vecmath.Norm(q.A) == 0 && len(m.indexes) > 0 {
+		return nil, Stats{}, errors.New("core: TopK requires a non-zero coefficient vector")
+	}
+	src, release := m.sourceLocked(false)
+	defer release()
+	nq := q.LE()
+	sink := topKSink(m.store, nq, k)
+	st, err := exec.Run(src, nq, sink, exec.Options{})
 	if err != nil {
-		if !m.fallback {
-			return nil, Stats{}, err
-		}
-		res, st := m.scanTopK(q, k)
-		return res, st, nil
+		return nil, Stats{}, err
 	}
-	res, st, err := ix.TopK(q, k)
-	st.IndexUsed = pos
-	return res, st, err
-}
-
-// scanInequality is the naive baseline path for incompatible queries.
-func (m *Multi) scanInequality(q Query, visit func(id uint32) bool) Stats {
-	st := Stats{N: m.store.Len(), FellBack: true, IndexUsed: -1}
-	st.Verified = st.N
-	m.store.Each(func(id uint32, v []float64) bool {
-		if q.Satisfies(v) {
-			st.Matched++
-			return visit(id)
-		}
-		return true
-	})
-	return st
-}
-
-func (m *Multi) scanTopK(q Query, k int) ([]Result, Stats) {
-	st := Stats{N: m.store.Len(), FellBack: true, IndexUsed: -1}
-	st.Verified = st.N
-	type cand struct {
-		id uint32
-		d  float64
-	}
-	var cands []cand
-	m.store.Each(func(id uint32, v []float64) bool {
-		if q.Satisfies(v) {
-			st.Matched++
-			cands = append(cands, cand{id, q.Distance(v)})
-		}
-		return true
-	})
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d != cands[j].d {
-			return cands[i].d < cands[j].d
-		}
-		return cands[i].id < cands[j].id
-	})
-	if len(cands) > k {
-		cands = cands[:k]
-	}
-	out := make([]Result, len(cands))
-	for i, c := range cands {
-		out[i] = Result{ID: c.id, Distance: c.d}
-	}
-	return out, st
+	return sink.Results(), st, nil
 }
 
 // Append adds a point to the store and to every index. It returns
@@ -412,6 +442,7 @@ func (m *Multi) Append(v []float64) (uint32, error) {
 		ix.add(id, m.store.Vector(id))
 		ix.mu.Unlock()
 	}
+	m.epoch++
 	return id, nil
 }
 
@@ -433,6 +464,7 @@ func (m *Multi) Update(id uint32, v []float64) error {
 		ix.update(id, old, cur)
 		ix.mu.Unlock()
 	}
+	m.epoch++
 	return nil
 }
 
@@ -449,6 +481,7 @@ func (m *Multi) Remove(id uint32) error {
 		ix.remove(id, old)
 		ix.mu.Unlock()
 	}
+	m.epoch++
 	return m.store.Remove(id)
 }
 

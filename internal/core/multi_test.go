@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -359,9 +360,15 @@ func TestSelectionString(t *testing.T) {
 	if SelectVolume.String() != "volume" || SelectAngle.String() != "angle" {
 		t.Error("Selection.String wrong")
 	}
-	if Selection(9).String() == "" {
-		t.Error("unknown selection should still render")
+	// Unknown values render Go-style with the numeric value preserved,
+	// so a log reader can round-trip them back to the constant.
+	if got := Selection(9).String(); got != "Selection(9)" {
+		t.Errorf("unknown selection rendered %q, want Selection(9)", got)
 	}
+	if got := Selection(-3).String(); got != "Selection(-3)" {
+		t.Errorf("negative selection rendered %q, want Selection(-3)", got)
+	}
+	var _ fmt.Stringer = SelectVolume
 }
 
 func TestParallelVerificationMatchesSerial(t *testing.T) {

@@ -2,9 +2,8 @@ package core
 
 import (
 	"runtime"
-	"sync"
 
-	"planar/internal/btree"
+	"planar/internal/exec"
 )
 
 // InequalityParallelIDs answers an inequality query like
@@ -12,89 +11,31 @@ import (
 // goroutines. This is an extension beyond the paper (whose
 // experiments are single-core); it pays off when the intermediate
 // interval is large relative to per-point verification cost. With
-// workers <= 1 it behaves exactly like InequalityIDs.
+// workers <= 1 (after clamping to GOMAXPROCS) it behaves exactly like
+// InequalityIDs.
 //
 // The returned ids are in no particular order.
 func (ix *Index) InequalityParallelIDs(q Query, workers int) ([]uint32, Stats, error) {
+	// Clamp before the serial-path check: a request for more workers
+	// than the scheduler will run must degrade to however many it
+	// will, including all the way down to the serial path on a
+	// single-CPU host.
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers <= 1 {
 		return ix.InequalityIDs(q)
 	}
 	if err := q.Validate(ix.store.Dim()); err != nil {
 		return nil, Stats{}, err
 	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
 
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-
-	st := Stats{N: ix.tree.Len(), IndexUsed: -1}
-	nq := q.normalized()
-	tmin, tmax, _, all, none, err := ix.thresholds(nq)
+	var sink exec.IDSink
+	st, err := exec.Run(ix.source(), q.LE(), &sink, exec.Options{Workers: workers})
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if none {
-		st.Rejected = st.N
-		return nil, st, nil
-	}
-
-	var ids []uint32
-	if all {
-		st.Accepted = st.N
-		ix.tree.Ascend(func(e btree.Entry) bool {
-			ids = append(ids, e.ID)
-			return true
-		})
-		return ids, st, nil
-	}
-
-	ix.tree.AscendLE(tmin, func(e btree.Entry) bool {
-		ids = append(ids, e.ID)
-		return true
-	})
-	st.Accepted = len(ids)
-
-	var middle []uint32
-	ix.tree.AscendRange(tmin, tmax, func(e btree.Entry) bool {
-		middle = append(middle, e.ID)
-		return true
-	})
-	st.Verified = len(middle)
-	st.Rejected = st.N - st.Accepted - st.Verified
-
-	if len(middle) == 0 {
-		return ids, st, nil
-	}
-	if workers > len(middle) {
-		workers = len(middle)
-	}
-	matched := make([][]uint32, workers)
-	var wg sync.WaitGroup
-	chunk := (len(middle) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(middle) {
-			hi = len(middle)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var local []uint32
-			for _, id := range middle[lo:hi] {
-				if nq.Satisfies(ix.store.Vector(id)) {
-					local = append(local, id)
-				}
-			}
-			matched[w] = local
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, local := range matched {
-		st.Matched += len(local)
-		ids = append(ids, local...)
-	}
-	return ids, st, nil
+	return sink.IDs, st, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"planar/internal/exec"
 	"planar/internal/vecmath"
 )
 
@@ -81,6 +82,14 @@ func (q Query) NormalizedCoefficients() []float64 {
 	return vecmath.Clone(q.normalized().A)
 }
 
+// LE returns the query in the execution pipeline's normalized ≤ form
+// (GE queries are negated on both sides). The coefficient slice may
+// be shared with the receiver; the pipeline only reads it.
+func (q Query) LE() exec.Query {
+	nq := q.normalized()
+	return exec.Query{A: nq.A, B: nq.B}
+}
+
 // Satisfies evaluates the predicate directly on a φ vector.
 func (q Query) Satisfies(phi []float64) bool {
 	p := vecmath.Dot(q.A, phi)
@@ -101,38 +110,10 @@ func (q Query) Hyperplane() (vecmath.Hyperplane, error) {
 	return vecmath.NewHyperplane(q.A, q.B)
 }
 
-// Stats reports how a single inequality query was answered. It is
-// the source of the paper's "pruning percentage" figures (Figures 9
-// and 10): Accepted + Rejected points never had their scalar product
-// computed.
-type Stats struct {
-	// N is the number of live points considered.
-	N int
-	// Accepted is the size of the smaller interval (accepted without
-	// verification).
-	Accepted int
-	// Verified is the size of the intermediate interval.
-	Verified int
-	// Matched is how many verified points satisfied the query.
-	Matched int
-	// Rejected is the size of the larger interval.
-	Rejected int
-	// FellBack reports that no compatible index existed and the
-	// answer came from a sequential scan.
-	FellBack bool
-	// IndexUsed is the position of the selected index inside a Multi
-	// (-1 for a direct Index query or a fallback scan).
-	IndexUsed int
-}
-
-// Results returns the total number of points reported.
-func (s Stats) Results() int { return s.Accepted + s.Matched }
-
-// PruningFraction is the fraction of points whose scalar product was
-// never computed (the paper's pruning percentage, divided by 100).
-func (s Stats) PruningFraction() float64 {
-	if s.N == 0 {
-		return 0
-	}
-	return float64(s.N-s.Verified) / float64(s.N)
-}
+// Stats reports how a single query travelled through the execution
+// pipeline. It is an alias of the pipeline's stats type, so every
+// layer (core, service, HTTP API, CLI) shares one vocabulary: the
+// interval counters behind the paper's "pruning percentage" figures
+// plus per-stage observability (planning and execution time, plan
+// cache hits, verification workers).
+type Stats = exec.Stats

@@ -3,27 +3,31 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 
-	"planar/internal/btree"
-	"planar/internal/topk"
+	"planar/internal/exec"
 	"planar/internal/vecmath"
 )
 
 // Result is one answer of a top-k nearest-neighbour query: a point
 // satisfying the inequality together with its Euclidean distance to
-// the query hyperplane.
-type Result struct {
-	ID       uint32
-	Distance float64
+// the query hyperplane. It is an alias of the pipeline's result type.
+type Result = exec.Result
+
+// topKSink builds the pipeline sink for a top-k query: distances are
+// measured from the store's φ vectors to the normalized query
+// hyperplane.
+func topKSink(store *PointStore, nq exec.Query, k int) *exec.TopKSink {
+	return exec.NewTopKSink(k, func(id uint32) float64 {
+		return nq.Distance(store.Vector(id))
+	})
 }
 
-// TopK answers Problem 2 with Algorithm 2: among points satisfying
-// the inequality, return the k with the smallest distance
-// |⟨A,φ(x)⟩ − B| / |A| to the query hyperplane. The intermediate
-// interval is verified exhaustively; the smaller interval is walked
-// in descending key order and cut off by the lower-bound-distance
-// pruning rule of Claim 3.
+// TopK answers Problem 2 with Algorithm 2 through the execution
+// pipeline: among points satisfying the inequality, return the k with
+// the smallest distance |⟨A,φ(x)⟩ − B| / |A| to the query hyperplane.
+// The intermediate interval is verified exhaustively; the smaller
+// interval is walked in descending key order and cut off by the
+// lower-bound-distance pruning rule of Claim 3.
 //
 // Stats.Verified counts intermediate-interval points examined and
 // Stats.Accepted counts smaller-interval points examined before the
@@ -35,74 +39,17 @@ func (ix *Index) TopK(q Query, k int) ([]Result, Stats, error) {
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: TopK requires k > 0, got %d", k)
 	}
-	normA := vecmath.Norm(q.A)
-	if normA == 0 {
+	if vecmath.Norm(q.A) == 0 {
 		return nil, Stats{}, errors.New("core: TopK requires a non-zero coefficient vector")
 	}
 
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-
-	st := Stats{N: ix.tree.Len(), IndexUsed: -1}
-	nq := q.normalized()
-	tmin, tmax, bPrime, all, none, err := ix.thresholds(nq)
+	nq := q.LE()
+	sink := topKSink(ix.store, nq, k)
+	st, err := exec.Run(ix.source(), nq, sink, exec.Options{})
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if none {
-		st.Rejected = st.N
-		return nil, st, nil
-	}
-	if all {
-		// Cannot happen: all-zero coefficient vectors were rejected
-		// above, so at least one threshold axis exists.
-		return nil, Stats{}, errors.New("core: internal: degenerate thresholds")
-	}
-
-	buf := topk.New(k)
-
-	// Intermediate interval: verify, then buffer the satisfiers.
-	ix.tree.AscendRange(tmin, tmax, func(e btree.Entry) bool {
-		st.Verified++
-		v := ix.store.Vector(e.ID)
-		if nq.Satisfies(v) {
-			st.Matched++
-			buf.Push(topk.Item{ID: e.ID, Score: nq.Distance(v)})
-		}
-		return true
-	})
-
-	// Smaller interval in descending key order, pruned via the
-	// lower-bound distance (Definition 5).
-	invCoef := make([]float64, 0, len(nq.A))
-	for i, a := range nq.A {
-		if a != 0 {
-			invCoef = append(invCoef, math.Abs(a)/ix.c[i])
-		}
-	}
-	ix.tree.DescendLE(tmin, func(e btree.Entry) bool {
-		if bound, full := buf.Bound(); full {
-			lbs := math.Inf(1)
-			for _, r := range invCoef {
-				if d := math.Abs(r*e.Key - bPrime); d < lbs {
-					lbs = d
-				}
-			}
-			lbs /= normA
-			if lbs > bound {
-				return false // Claim 3: no remaining point can improve
-			}
-		}
-		st.Accepted++
-		buf.Push(topk.Item{ID: e.ID, Score: nq.Distance(ix.store.Vector(e.ID))})
-		return true
-	})
-	st.Rejected = st.N - st.Accepted - st.Verified
-
-	items := buf.Items()
-	out := make([]Result, len(items))
-	for i, it := range items {
-		out[i] = Result{ID: it.ID, Distance: it.Score}
-	}
-	return out, st, nil
+	return sink.Results(), st, nil
 }

@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"planar/internal/vecmath"
+)
+
+// The hot production pattern (moving-object ticks, active-learning
+// rounds, SQL-function thresholds) re-issues queries with the same
+// coefficient vector a and a varying bound b. Index selection only
+// depends on a through its direction, so the cache key is the unit
+// vector a/‖a‖ and the entry stores, per compatible index, the few
+// direction constants that turn selection into O(compatible)
+// arithmetic — no octant checks, no O(d) scoring per index.
+//
+// Correctness note: cached entries only influence *which* index is
+// chosen (a heuristic); the chosen index's thresholds are always
+// recomputed with the exact per-query arithmetic, so a stale or
+// rounded cache entry can degrade plan quality but never answers.
+
+// cachedIndex holds one compatible index's direction constants.
+type cachedIndex struct {
+	pos         int
+	sumAbsDelta float64 // Σ |u_i|·δ_i for the unit direction u
+	minRatio    float64 // min over nonzero u_i of c_i/|u_i|
+	maxRatio    float64 // max over nonzero u_i of c_i/|u_i|
+	cmin        float64 // min_i c_i
+	zeroAxis    bool    // some u_i == 0 → rejection impossible → stretch +Inf
+	cos         float64 // |cos(u, cs)|
+}
+
+// stretchAt evaluates the volume-selection score for bound β = b/‖a‖.
+// It equals Stretch (up to rounding and the tiny guard-band term) but
+// costs a multiply-add instead of an O(d) pass.
+func (ci *cachedIndex) stretchAt(beta float64) float64 {
+	bPrime := beta + ci.sumAbsDelta
+	if bPrime < 0 {
+		return 0 // "none" plans are trivially answered
+	}
+	if ci.zeroAxis {
+		return math.Inf(1)
+	}
+	return bPrime * (ci.maxRatio - ci.minRatio) / ci.cmin
+}
+
+func makeCachedIndex(info *IndexInfo, q Query, pos int) cachedIndex {
+	s := vecmath.Norm(q.A)
+	ci := cachedIndex{
+		pos:      pos,
+		minRatio: math.Inf(1),
+		maxRatio: math.Inf(-1),
+		cos:      CosToQuery(info, q.A),
+	}
+	if s == 0 {
+		// Degenerate all-zero direction: never consulted (dirKey
+		// rejects it), but keep the entry well-formed.
+		ci.zeroAxis = true
+		return ci
+	}
+	cmin := info.C[0]
+	for i, a := range q.A {
+		u := math.Abs(a) / s
+		ci.sumAbsDelta += u * info.Delta[i]
+		if u == 0 {
+			ci.zeroAxis = true
+		} else {
+			r := info.C[i] / u
+			if r < ci.minRatio {
+				ci.minRatio = r
+			}
+			if r > ci.maxRatio {
+				ci.maxRatio = r
+			}
+		}
+		if info.C[i] < cmin {
+			cmin = info.C[i]
+		}
+	}
+	ci.cmin = cmin
+	return ci
+}
+
+// planEntry is one cached direction: the compatible index set with
+// direction constants, valid for a single source epoch.
+type planEntry struct {
+	epoch      uint64
+	compatible int
+	idx        []cachedIndex
+}
+
+// dirKey returns the cache key for coefficient vector a: the raw
+// bytes of its unit direction. All-zero or non-finite vectors are not
+// cacheable.
+func dirKey(a []float64) (string, bool) {
+	s := vecmath.Norm(a)
+	if s == 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		return "", false
+	}
+	buf := make([]byte, 8*len(a))
+	for i, v := range a {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v/s))
+	}
+	return string(buf), true
+}
+
+// PlanCache is a thread-safe LRU cache of plan entries keyed by
+// normalized query coefficient direction.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheSlot struct {
+	key   string
+	entry *planEntry
+}
+
+// NewPlanCache returns a cache retaining up to capacity directions.
+// A capacity ≤ 0 returns nil (caching disabled).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &PlanCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// lookup returns the entry for key if present and current, updating
+// recency and hit/miss counters. Stale entries are evicted.
+func (c *PlanCache) lookup(key string, epoch uint64) *planEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if ok {
+		slot := el.Value.(*cacheSlot)
+		if slot.entry.epoch == epoch {
+			c.order.MoveToFront(el)
+			c.hits++
+			return slot.entry
+		}
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+	c.misses++
+	return nil
+}
+
+// insert stores an entry, evicting the least recently used direction
+// when full.
+func (c *PlanCache) insert(key string, e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheSlot).entry = e
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheSlot).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheSlot{key: key, entry: e})
+}
+
+// Len returns the number of cached directions.
+func (c *PlanCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns cumulative hit and miss counts.
+func (c *PlanCache) Counters() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache, retaining counters.
+func (c *PlanCache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[string]*list.Element, c.cap)
+}

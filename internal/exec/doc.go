@@ -1,0 +1,28 @@
+// Package exec is the unified query planner/executor pipeline every
+// planar query variant runs on. It factors the paper's three-interval
+// scheme (smaller interval accept / larger interval reject /
+// intermediate interval verify, Section 4.3) into three explicit
+// stages so batching, parallelism, caching and observability are
+// implemented once instead of per query type:
+//
+//	Plan    octant compatibility, best-index selection (volume or
+//	        angle minimisation, Section 5.1), interval thresholds
+//	        tmin/tmax with the conservative guard band, and the
+//	        cost-based index-vs-scan choice. Plans for repeated
+//	        coefficient directions come from an LRU plan cache.
+//	Execute key-range iteration over the smaller and intermediate
+//	        intervals of the chosen index — or a sequential scan —
+//	        with optional worker-pool verification of the
+//	        intermediate interval.
+//	Sink    pluggable result collectors: raw ids (IDSink), exact
+//	        counts in O(log n) (CountSink), top-k nearest to the
+//	        query hyperplane with lower-bound pruning (TopKSink),
+//	        callback streaming (FuncSink), and a stage-event
+//	        recorder (TraceSink).
+//
+// The package deliberately depends only on the btree, topk and
+// vecmath primitives; internal/core builds its public query API on
+// top of this pipeline, and internal/service, internal/httpapi and
+// the CLIs inherit the per-stage Stats (planning time, interval
+// sizes, cache hits) uniformly.
+package exec

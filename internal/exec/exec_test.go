@@ -1,0 +1,455 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"planar/internal/btree"
+	"planar/internal/vecmath"
+)
+
+// buildInfo assembles an IndexInfo the way internal/core does: octant
+// translation offsets from the data, keys ⟨c, z(x)⟩ over the
+// translated frame.
+func buildInfo(points [][]float64, normal []float64, signs vecmath.SignPattern, guard float64) IndexInfo {
+	d := len(normal)
+	delta := make([]float64, d)
+	for _, v := range points {
+		for i := 0; i < d; i++ {
+			if z := float64(signs[i]) * v[i]; -z > delta[i] {
+				delta[i] = -z
+			}
+		}
+	}
+	cs := make([]float64, d)
+	for i := 0; i < d; i++ {
+		cs[i] = normal[i] * float64(signs[i])
+	}
+	base := vecmath.Dot(normal, delta)
+	entries := make([]btree.Entry, len(points))
+	for id, v := range points {
+		entries[id] = btree.Entry{Key: vecmath.Dot(cs, v) + base, ID: uint32(id)}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return IndexInfo{
+		Tree:  btree.BulkLoad(entries),
+		C:     append([]float64(nil), normal...),
+		Delta: delta,
+		CS:    cs,
+		Signs: append(vecmath.SignPattern(nil), signs...),
+		Guard: guard,
+	}
+}
+
+func randPoints(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = (rng.Float64() - 0.5) * 100
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func makeSource(points [][]float64, infos []IndexInfo) *Source {
+	return &Source{
+		N:       len(points),
+		Indexes: infos,
+		Vector:  func(id uint32) []float64 { return points[id] },
+		Each: func(fn func(id uint32, v []float64) bool) {
+			for id, v := range points {
+				if !fn(uint32(id), v) {
+					return
+				}
+			}
+		},
+	}
+}
+
+func sortedCopy(ids []uint32) []uint32 {
+	out := append([]uint32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bruteIDs(points [][]float64, q Query) []uint32 {
+	var out []uint32
+	for id, v := range points {
+		if q.Satisfies(v) {
+			out = append(out, uint32(id))
+		}
+	}
+	return out
+}
+
+// TestPartitionProperty checks the paper's core invariant for random
+// indexes and queries: the smaller, intermediate and larger intervals
+// form an exhaustive, disjoint partition of the indexed points, every
+// smaller-interval point satisfies the query, and no larger-interval
+// point does.
+func TestPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(120)
+		points := randPoints(rng, n, d)
+
+		signs := make(vecmath.SignPattern, d)
+		a := make([]float64, d)
+		normal := make([]float64, d)
+		for i := 0; i < d; i++ {
+			if rng.Intn(2) == 0 {
+				signs[i] = 1
+			} else {
+				signs[i] = -1
+			}
+			a[i] = float64(signs[i]) * rng.Float64() * 5
+			normal[i] = 0.5 + rng.Float64()*3
+		}
+		if trial%4 == 0 {
+			a[rng.Intn(d)] = 0 // exercise ignored axes
+		}
+		b := (rng.Float64() - 0.4) * 400
+		q := Query{A: a, B: b}
+
+		info := buildInfo(points, normal, signs, 1e-9)
+		src := makeSource(points, []IndexInfo{info})
+		src.Single = true // standalone index: no competitive scoring
+		plan, err := PlanQuery(src, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		var si, ii, li []uint32
+		switch plan.Kind {
+		case KindNone:
+			info.Tree.Ascend(func(e btree.Entry) bool { li = append(li, e.ID); return true })
+		case KindAll:
+			info.Tree.Ascend(func(e btree.Entry) bool { si = append(si, e.ID); return true })
+		case KindRange:
+			info.Tree.AscendLE(plan.Tmin, func(e btree.Entry) bool { si = append(si, e.ID); return true })
+			info.Tree.AscendRange(plan.Tmin, plan.Tmax, func(e btree.Entry) bool { ii = append(ii, e.ID); return true })
+			if !math.IsInf(plan.Tmax, 1) {
+				info.Tree.Ascend(func(e btree.Entry) bool {
+					if e.Key > plan.Tmax {
+						li = append(li, e.ID)
+					}
+					return true
+				})
+			}
+		default:
+			t.Fatalf("trial %d: unexpected plan kind %v", trial, plan.Kind)
+		}
+
+		if got := len(si) + len(ii) + len(li); got != n {
+			t.Fatalf("trial %d: partition covers %d of %d points (plan %+v)", trial, got, n, plan)
+		}
+		seen := make(map[uint32]bool, n)
+		for _, part := range [][]uint32{si, ii, li} {
+			for _, id := range part {
+				if seen[id] {
+					t.Fatalf("trial %d: id %d in two intervals", trial, id)
+				}
+				seen[id] = true
+			}
+		}
+		for _, id := range si {
+			if !q.Satisfies(points[id]) {
+				t.Fatalf("trial %d: smaller-interval id %d does not satisfy", trial, id)
+			}
+		}
+		for _, id := range li {
+			if q.Satisfies(points[id]) {
+				t.Fatalf("trial %d: larger-interval id %d satisfies", trial, id)
+			}
+		}
+
+		// Interval accounting must agree with the order statistics the
+		// counting plans use.
+		lo, hi, err := Bounds(&info, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if lo != len(si) || hi != len(si)+len(ii) {
+			t.Fatalf("trial %d: Bounds (%d,%d), walked (%d,%d)", trial, lo, hi, len(si), len(si)+len(ii))
+		}
+	}
+}
+
+// TestRunMatchesBruteForce drives the full pipeline across every sink
+// against a brute-force oracle.
+func TestRunMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		d := 1 + rng.Intn(3)
+		points := randPoints(rng, 1+rng.Intn(200), d)
+		signs := vecmath.FirstOctant(d)
+		a := make([]float64, d)
+		normal := make([]float64, d)
+		for i := range a {
+			a[i] = rng.Float64() * 4
+			normal[i] = 0.5 + rng.Float64()*2
+		}
+		q := Query{A: a, B: (rng.Float64() - 0.3) * 300}
+		infos := []IndexInfo{buildInfo(points, normal, signs, 1e-9)}
+		src := makeSource(points, infos)
+		want := sortedCopy(bruteIDs(points, q))
+
+		var ids IDSink
+		if _, err := Run(src, q, &ids, Options{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(sortedCopy(ids.IDs), want) {
+			t.Fatalf("trial %d: IDSink mismatch: got %d want %d", trial, len(ids.IDs), len(want))
+		}
+
+		var cnt CountSink
+		if _, err := Run(src, q, &cnt, Options{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if cnt.N != len(want) {
+			t.Fatalf("trial %d: CountSink %d want %d", trial, cnt.N, len(want))
+		}
+
+		var parallel IDSink
+		if _, err := Run(src, q, &parallel, Options{Workers: 4}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(sortedCopy(parallel.IDs), want) {
+			t.Fatalf("trial %d: parallel mismatch", trial)
+		}
+
+		var got []uint32
+		_, err := Run(src, q, FuncSink(func(id uint32) bool { got = append(got, id); return true }), Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(sortedCopy(got), want) {
+			t.Fatalf("trial %d: FuncSink mismatch", trial)
+		}
+
+		trace := &TraceSink{Inner: &IDSink{}}
+		st, err := Run(src, q, trace, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if trace.Accepts != st.Accepted || trace.Matches != st.Matched {
+			t.Fatalf("trial %d: trace (%d,%d) disagrees with stats (%d,%d)",
+				trial, trace.Accepts, trace.Matches, st.Accepted, st.Matched)
+		}
+	}
+}
+
+func TestFuncSinkEarlyStop(t *testing.T) {
+	points := [][]float64{{1}, {2}, {3}, {4}}
+	info := buildInfo(points, []float64{1}, vecmath.FirstOctant(1), 0)
+	src := makeSource(points, []IndexInfo{info})
+	calls := 0
+	st, err := Run(src, Query{A: []float64{1}, B: 100}, FuncSink(func(uint32) bool {
+		calls++
+		return calls < 2
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("visited %d points, want 2", calls)
+	}
+	// The legacy early-stop contract: stats are partial, the larger
+	// interval is left unclassified.
+	if st.Rejected != 0 {
+		t.Fatalf("early stop classified %d rejected points", st.Rejected)
+	}
+}
+
+func TestPlanCacheHitAndInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	points := randPoints(rng, 300, 3)
+	signs := vecmath.FirstOctant(3)
+	infos := []IndexInfo{
+		buildInfo(points, []float64{1, 2, 3}, signs, 1e-9),
+		buildInfo(points, []float64{3, 1, 1}, signs, 1e-9),
+	}
+	src := makeSource(points, infos)
+	src.Cache = NewPlanCache(8)
+
+	a := []float64{1, 1, 2}
+	p1, err := PlanQuery(src, Query{A: a, B: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CacheHit {
+		t.Fatal("first plan reported a cache hit")
+	}
+	p2, err := PlanQuery(src, Query{A: a, B: -20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CacheHit {
+		t.Fatal("second plan with the same direction missed the cache")
+	}
+	// Scaling the coefficients by a power of two is exact in floating
+	// point, so the normalized direction key is identical.
+	p3, err := PlanQuery(src, Query{A: []float64{4, 4, 8}, B: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p3.CacheHit {
+		t.Fatal("scaled coefficients missed the cache")
+	}
+	hits, misses := src.Cache.Counters()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	// A mutation epoch bump invalidates the entry.
+	src.Epoch++
+	p4, err := PlanQuery(src, Query{A: a, B: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.CacheHit {
+		t.Fatal("stale-epoch entry served a cache hit")
+	}
+
+	// Cached and uncached plans must deliver identical answers.
+	for _, b := range []float64{-50, 0, 35, 90, 400} {
+		q := Query{A: a, B: b}
+		var cold, warm IDSink
+		uncached := *src
+		uncached.Cache = nil
+		if _, err := Run(&uncached, q, &cold, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(src, q, &warm, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortedCopy(cold.IDs), sortedCopy(warm.IDs)) {
+			t.Fatalf("b=%v: cached answer differs from uncached", b)
+		}
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	e := func() *planEntry { return &planEntry{} }
+	c.insert("a", e())
+	c.insert("b", e())
+	if c.lookup("a", 0) == nil { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.insert("c", e())
+	if c.lookup("b", 0) != nil {
+		t.Fatal("b should have been evicted")
+	}
+	if c.lookup("a", 0) == nil || c.lookup("c", 0) == nil {
+		t.Fatal("a and c should survive")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+}
+
+func TestDirKey(t *testing.T) {
+	k1, ok := dirKey([]float64{1, 2, 2})
+	if !ok {
+		t.Fatal("finite vector not cacheable")
+	}
+	k2, _ := dirKey([]float64{0.5, 1, 1})
+	if k1 != k2 {
+		t.Fatal("scaled vectors should share a key")
+	}
+	k3, _ := dirKey([]float64{1, 2, 2.0001})
+	if k1 == k3 {
+		t.Fatal("different directions share a key")
+	}
+	if _, ok := dirKey([]float64{0, 0}); ok {
+		t.Fatal("zero vector should not be cacheable")
+	}
+	if _, ok := dirKey([]float64{math.Inf(1), 1}); ok {
+		t.Fatal("non-finite vector should not be cacheable")
+	}
+}
+
+func TestRunBatchMatchesSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	points := randPoints(rng, 250, 2)
+	signs := vecmath.FirstOctant(2)
+	infos := []IndexInfo{
+		buildInfo(points, []float64{1, 1}, signs, 1e-9),
+		buildInfo(points, []float64{1, 4}, signs, 1e-9),
+	}
+	src := makeSource(points, infos)
+	a := []float64{2, 3}
+	bs := []float64{-100, -5, 0, 25, 80, 150, 1000}
+
+	sinks := make([]*IDSink, len(bs))
+	sts, err := RunBatch(src, a, bs, func(i int, _ float64) Sink {
+		sinks[i] = &IDSink{}
+		return sinks[i]
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bs {
+		q := Query{A: a, B: b}
+		var single IDSink
+		st, err := Run(src, q, &single, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortedCopy(sinks[i].IDs), sortedCopy(single.IDs)) {
+			t.Fatalf("b=%v: batch answer differs from single query", b)
+		}
+		if sts[i].Accepted != st.Accepted || sts[i].Verified != st.Verified ||
+			sts[i].Matched != st.Matched || sts[i].Rejected != st.Rejected {
+			t.Fatalf("b=%v: batch stats %+v differ from single %+v", b, sts[i], st)
+		}
+		if !reflect.DeepEqual(sortedCopy(sinks[i].IDs), sortedCopy(bruteIDs(points, q))) {
+			t.Fatalf("b=%v: batch answer differs from brute force", b)
+		}
+	}
+}
+
+func TestSelectionString(t *testing.T) {
+	cases := []struct {
+		sel  Selection
+		want string
+	}{
+		{SelectVolume, "volume"},
+		{SelectAngle, "angle"},
+		{Selection(7), "Selection(7)"},
+		{Selection(-1), "Selection(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.sel.String(); got != c.want {
+			t.Errorf("Selection(%d).String() = %q, want %q", int(c.sel), got, c.want)
+		}
+	}
+	// Unknown-value round-trip: the numeric value survives formatting.
+	if got := Selection(7).String(); got != "Selection(7)" {
+		t.Fatalf("round-trip failed: %q", got)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	st := Stats{N: 100, Accepted: 30, Verified: 20, Matched: 5, Rejected: 50}
+	if st.Results() != 35 {
+		t.Fatalf("Results = %d", st.Results())
+	}
+	if got := st.PruningFraction(); got != 0.8 {
+		t.Fatalf("PruningFraction = %v", got)
+	}
+	if (Stats{}).PruningFraction() != 0 {
+		t.Fatal("empty stats should report zero pruning")
+	}
+}

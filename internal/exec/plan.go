@@ -1,0 +1,405 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"planar/internal/vecmath"
+)
+
+// Kind classifies how a plan answers its query.
+type Kind int
+
+const (
+	// KindNone: no point can match; reject everything.
+	KindNone Kind = iota
+	// KindAll: every point matches; accept everything.
+	KindAll
+	// KindRange: three-interval execution on the chosen index.
+	KindRange
+	// KindScan: sequential scan (no compatible index, or the cost
+	// model preferred it).
+	KindScan
+)
+
+// Plan is the Plan stage's output: which index (if any) answers the
+// query and where its interval thresholds lie. All estimates needed
+// later by the Execute stage are already computed; Explain adds the
+// exact interval cardinalities on top.
+type Plan struct {
+	// Kind selects the execution strategy.
+	Kind Kind
+	// IndexPos is the chosen index's position in Source.Indexes, or
+	// −1 for scan plans.
+	IndexPos int
+	// Compatible counts octant-compatible candidate indexes.
+	Compatible int
+	// Tmin and Tmax delimit SI/II/LI in key space (KindRange only);
+	// Tmax may be +Inf when some coefficient is zero.
+	Tmin, Tmax float64
+	// BPrime is the translated query bound b′ (KindRange only), used
+	// by the top-k lower-bound pruning rule.
+	BPrime float64
+	// Reason explains the choice in one sentence.
+	Reason string
+	// PlanNanos is the time the Plan stage took.
+	PlanNanos int64
+	// CacheHit reports that selection came from the plan cache.
+	CacheHit bool
+}
+
+// intervals is the raw threshold computation for one index (the
+// paper's Section 4.1 arithmetic, moved here verbatim from the old
+// per-variant copies in internal/core).
+type intervals struct {
+	tmin, tmax, bPrime float64
+	all, none          bool
+}
+
+// thresholds computes the interval boundaries for a normalized (≤)
+// query against one index.
+//
+// Returned cases:
+//   - all:   every point matches (all coefficients zero, B ≥ 0)
+//   - none:  no point can match (all zero with B < 0, or b′ < 0)
+//   - else tmin/tmax delimit SI/II/LI in key space; tmax may be +Inf
+//     when some coefficient is zero (rejection impossible).
+func thresholds(info *IndexInfo, q Query) (intervals, error) {
+	if !info.Signs.Matches(q.A) {
+		return intervals{}, ErrIncompatibleOctant
+	}
+	iv := intervals{bPrime: q.B}
+	nonZero := 0
+	for i, a := range q.A {
+		iv.bPrime += math.Abs(a) * info.Delta[i]
+		if a != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		if q.B >= 0 {
+			iv.all = true
+		} else {
+			iv.none = true
+		}
+		return iv, nil
+	}
+	if iv.bPrime < 0 {
+		iv.none = true
+		return iv, nil
+	}
+	iv.tmin = math.Inf(1)
+	iv.tmax = math.Inf(-1)
+	for i, a := range q.A {
+		if a == 0 {
+			iv.tmax = math.Inf(1) // rejection impossible on ignored axes
+			continue
+		}
+		t := info.C[i] * iv.bPrime / math.Abs(a)
+		if t < iv.tmin {
+			iv.tmin = t
+		}
+		if t > iv.tmax {
+			iv.tmax = t
+		}
+	}
+	// Conservative band: only ever widens the verified range.
+	if info.Guard > 0 {
+		g := info.Guard * (1 + math.Abs(iv.tmin))
+		iv.tmin -= g
+		if !math.IsInf(iv.tmax, 1) {
+			iv.tmax += info.Guard * (1 + math.Abs(iv.tmax))
+		}
+	}
+	return iv, nil
+}
+
+// Stretch evaluates the paper's Problem 3 objective for one index
+// against a normalized query: the maximum stretch of the intermediate
+// interval along any axis, (tmax − tmin) / min_i c_i. Smaller is
+// better; 0 means the index normal is parallel to the query
+// hyperplane (Corollary 1). It returns +Inf for incompatible octants
+// or degenerate queries.
+func Stretch(info *IndexInfo, q Query) float64 {
+	iv, err := thresholds(info, q)
+	if err != nil {
+		return math.Inf(1)
+	}
+	if iv.all || iv.none {
+		return 0 // trivially answered without any verification
+	}
+	if math.IsInf(iv.tmax, 1) {
+		return math.Inf(1)
+	}
+	cmin := info.C[0]
+	for _, v := range info.C[1:] {
+		if v < cmin {
+			cmin = v
+		}
+	}
+	return (iv.tmax - iv.tmin) / cmin
+}
+
+// CosToQuery returns |cos| of the angle between the query hyperplane
+// normal a and the index's effective normal — the angle-minimisation
+// selection criterion of Section 5.1.2 (larger is better).
+func CosToQuery(info *IndexInfo, a []float64) float64 {
+	return math.Abs(vecmath.CosAngle(a, info.CS))
+}
+
+// Bounds returns guaranteed cardinality bounds lo ≤ |answer| ≤ hi for
+// q on one index in O(d·log n): lo is the smaller interval's size, hi
+// adds the intermediate interval.
+func Bounds(info *IndexInfo, q Query) (lo, hi int, err error) {
+	iv, err := thresholds(info, q)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := info.Tree.Len()
+	if iv.none {
+		return 0, 0, nil
+	}
+	if iv.all {
+		return n, n, nil
+	}
+	lo = info.Tree.RankLE(iv.tmin)
+	hi = lo + info.Tree.CountRange(iv.tmin, iv.tmax)
+	return lo, hi, nil
+}
+
+// intervalSizes returns the exact SI and II cardinalities implied by
+// iv on info's key tree.
+func intervalSizes(info *IndexInfo, iv intervals) (si, ii int) {
+	n := info.Tree.Len()
+	switch {
+	case iv.none:
+		return 0, 0
+	case iv.all:
+		return n, 0
+	}
+	si = info.Tree.RankLE(iv.tmin)
+	if math.IsInf(iv.tmax, 1) {
+		ii = n - si
+	} else {
+		ii = info.Tree.CountRange(iv.tmin, iv.tmax)
+	}
+	return si, ii
+}
+
+// PlanQuery runs the Plan stage: octant compatibility, best-index
+// selection (through the plan cache when available), interval
+// thresholds and the cost-based scan choice.
+func PlanQuery(src *Source, q Query) (Plan, error) {
+	start := time.Now()
+	p, err := planQuery(src, q)
+	p.PlanNanos = time.Since(start).Nanoseconds()
+	return p, err
+}
+
+func planQuery(src *Source, q Query) (Plan, error) {
+	if src.Cache != nil && !src.Single {
+		if key, ok := dirKey(q.A); ok {
+			if e := src.Cache.lookup(key, src.Epoch); e != nil {
+				return planFromEntry(src, q, e)
+			}
+			p, e, err := planScored(src, q, true)
+			if err == nil && e != nil {
+				src.Cache.insert(key, e)
+			}
+			return p, err
+		}
+	}
+	p, _, err := planScored(src, q, false)
+	return p, err
+}
+
+// planScored is the uncached Plan stage: every candidate index is
+// octant-checked and scored. When memo is set it also builds the
+// plan-cache entry for the query's coefficient direction.
+func planScored(src *Source, q Query, memo bool) (Plan, *planEntry, error) {
+	best, bestScore := -1, math.Inf(1)
+	compatible := 0
+	var entry *planEntry
+	if memo {
+		entry = &planEntry{epoch: src.Epoch}
+	}
+	for i := range src.Indexes {
+		info := &src.Indexes[i]
+		if !info.Signs.Matches(q.A) {
+			continue
+		}
+		compatible++
+		if src.Single {
+			// A standalone index is not competing with anything; its
+			// score is irrelevant (and may legitimately be +Inf, e.g.
+			// a zero coefficient axis making rejection impossible).
+			best = i
+			continue
+		}
+		var score float64
+		switch src.Sel {
+		case SelectAngle:
+			score = -CosToQuery(info, q.A) // maximise |cos|
+		default:
+			score = Stretch(info, q)
+		}
+		if score < bestScore {
+			bestScore, best = score, i
+		}
+		if memo {
+			entry.idx = append(entry.idx, makeCachedIndex(info, q, i))
+		}
+	}
+	if memo {
+		entry.compatible = compatible
+	}
+	p, err := finishPlan(src, q, best, compatible)
+	return p, entry, err
+}
+
+// planFromEntry is the cached Plan stage: the octant checks and
+// per-index scoring collapse to O(compatible) arithmetic on the
+// cached direction constants. Thresholds for the chosen index are
+// still computed with the exact per-query arithmetic, so cached and
+// uncached plans execute identically.
+func planFromEntry(src *Source, q Query, e *planEntry) (Plan, error) {
+	s := vecmath.Norm(q.A)
+	beta := q.B / s
+	best, bestScore := -1, math.Inf(1)
+	for i := range e.idx {
+		ci := &e.idx[i]
+		var score float64
+		if src.Sel == SelectAngle {
+			score = -ci.cos
+		} else {
+			score = ci.stretchAt(beta)
+		}
+		if score < bestScore {
+			bestScore, best = score, ci.pos
+		}
+	}
+	p, err := finishPlan(src, q, best, e.compatible)
+	p.CacheHit = true
+	return p, err
+}
+
+// finishPlan turns a selection outcome into an executable plan:
+// no-compatible-index handling, exact thresholds for the chosen
+// index, and the cost-based scan decision.
+func finishPlan(src *Source, q Query, best, compatible int) (Plan, error) {
+	if best < 0 {
+		if !src.Fallback {
+			if src.Single {
+				return Plan{}, ErrIncompatibleOctant
+			}
+			return Plan{}, ErrNoCompatibleIndex
+		}
+		return Plan{
+			Kind:       KindScan,
+			IndexPos:   -1,
+			Compatible: compatible,
+			Reason:     "no index serves the query's hyper-octant",
+		}, nil
+	}
+	info := &src.Indexes[best]
+	iv, err := thresholds(info, q)
+	if err != nil {
+		// Selection only returns compatible indexes, so this cannot
+		// happen; surface it rather than mask a bug.
+		return Plan{}, err
+	}
+	p := Plan{
+		IndexPos:   best,
+		Compatible: compatible,
+		Tmin:       iv.tmin,
+		Tmax:       iv.tmax,
+		BPrime:     iv.bPrime,
+	}
+	switch {
+	case iv.none:
+		p.Kind = KindNone
+	case iv.all:
+		p.Kind = KindAll
+	default:
+		p.Kind = KindRange
+		if src.CostPenalty > 0 {
+			n := info.Tree.Len()
+			si, ii := intervalSizes(info, iv)
+			if float64(si)+src.CostPenalty*float64(ii) >= float64(n) {
+				return Plan{
+					Kind:       KindScan,
+					IndexPos:   -1,
+					Compatible: compatible,
+					Reason: fmt.Sprintf("cost model prefers scan (accept %d + %.1f×verify %d ≥ n %d)",
+						si, src.CostPenalty, ii, n),
+				}, nil
+			}
+		}
+	}
+	p.Reason = fmt.Sprintf("best of %d compatible indexes by %s minimisation", compatible, src.Sel)
+	return p, nil
+}
+
+// PlanInfo is the EXPLAIN view of a plan: the plan itself plus the
+// exact interval cardinalities and guaranteed answer bounds, all
+// computed in O(log n) per compatible index without visiting a single
+// data point.
+type PlanInfo struct {
+	Plan Plan
+	// Stretch and Cos are the chosen index's selection diagnostics.
+	Stretch, Cos float64
+	// Accepted, Verified and Rejected are the exact interval sizes
+	// the plan would see. For a scan plan, Verified = N.
+	Accepted, Verified, Rejected int
+	// N is the number of live points.
+	N int
+	// BoundsLo and BoundsHi bracket the answer cardinality
+	// (intersected across all compatible indexes).
+	BoundsLo, BoundsHi int
+}
+
+// Explain runs the Plan stage and describes the outcome without
+// executing anything. Unlike PlanQuery it never fails on a missing
+// index — it reports the scan plan that would be used instead.
+func Explain(src *Source, q Query) (PlanInfo, error) {
+	forced := *src
+	forced.Fallback = true
+	plan, err := PlanQuery(&forced, q)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	pi := PlanInfo{Plan: plan, N: src.N, BoundsLo: 0, BoundsHi: src.N}
+	if plan.Kind == KindScan {
+		pi.Verified = pi.N
+	} else {
+		info := &src.Indexes[plan.IndexPos]
+		iv, terr := thresholds(info, q)
+		if terr == nil {
+			si, ii := intervalSizes(info, iv)
+			pi.Accepted = si
+			pi.Verified = ii
+			pi.Rejected = info.Tree.Len() - si - ii
+		}
+		pi.Stretch = Stretch(info, q)
+		pi.Cos = CosToQuery(info, q.A)
+	}
+	// Tightest guaranteed bounds across every compatible index.
+	for i := range src.Indexes {
+		info := &src.Indexes[i]
+		if !info.Signs.Matches(q.A) {
+			continue
+		}
+		lo, hi, err := Bounds(info, q)
+		if err != nil {
+			continue
+		}
+		if lo > pi.BoundsLo {
+			pi.BoundsLo = lo
+		}
+		if hi < pi.BoundsHi {
+			pi.BoundsHi = hi
+		}
+	}
+	return pi, nil
+}

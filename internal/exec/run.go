@@ -1,0 +1,283 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"planar/internal/btree"
+	"planar/internal/vecmath"
+)
+
+// Options tunes the Execute stage.
+type Options struct {
+	// Workers > 1 verifies the intermediate interval on a goroutine
+	// pool (clamped to GOMAXPROCS). 0 or 1 verifies serially.
+	Workers int
+}
+
+// Run is the whole pipeline for one query: Plan, then Execute into
+// sink. It is the single entry point behind every query variant in
+// internal/core.
+func Run(src *Source, q Query, sink Sink, opts Options) (Stats, error) {
+	plan, err := PlanQuery(src, q)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Execute(src, q, plan, sink, opts)
+}
+
+// Execute runs a previously planned query into sink, timing the stage
+// and merging the plan's timing and cache fields into the Stats.
+func Execute(src *Source, q Query, plan Plan, sink Sink, opts Options) (Stats, error) {
+	start := time.Now()
+	st, err := execute(src, q, plan, sink, opts)
+	st.ExecNanos = time.Since(start).Nanoseconds()
+	st.PlanNanos = plan.PlanNanos
+	st.CacheHit = plan.CacheHit
+	return st, err
+}
+
+func execute(src *Source, q Query, plan Plan, sink Sink, opts Options) (Stats, error) {
+	if plan.Kind == KindScan {
+		return executeScan(src, q, sink), nil
+	}
+
+	info := &src.Indexes[plan.IndexPos]
+	st := Stats{N: info.Tree.Len(), IndexUsed: plan.IndexPos}
+	if src.Single {
+		st.IndexUsed = -1
+	}
+
+	switch plan.Kind {
+	case KindNone:
+		st.Rejected = st.N
+		return st, nil
+
+	case KindAll:
+		if _, ok := sink.(Bounded); ok {
+			// Cannot happen through the public API: all-zero
+			// coefficient vectors are rejected before top-k planning.
+			return Stats{}, errors.New("core: internal: degenerate thresholds")
+		}
+		st.Accepted = st.N
+		if ac, ok := sink.(AcceptCounter); ok {
+			ac.AcceptCount(st.N)
+			return st, nil
+		}
+		info.Tree.Ascend(func(e btree.Entry) bool { return sink.Accept(e.ID) })
+		return st, nil
+	}
+
+	// KindRange: the three-interval walk.
+	if b, ok := sink.(Bounded); ok {
+		return executeTopK(src, q, plan, info, sink, b, st)
+	}
+
+	// Smaller interval: accepted without verification. An early stop
+	// here leaves Rejected at 0 (the larger interval was never
+	// classified) — the legacy contract of Index.Inequality.
+	if ac, ok := sink.(AcceptCounter); ok {
+		st.Accepted = info.Tree.RankLE(plan.Tmin)
+		ac.AcceptCount(st.Accepted)
+	} else {
+		stopped := false
+		info.Tree.AscendLE(plan.Tmin, func(e btree.Entry) bool {
+			st.Accepted++
+			if !sink.Accept(e.ID) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return st, nil
+		}
+	}
+
+	// Intermediate interval: verify, serially or on a worker pool.
+	workers := opts.Workers
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		executeParallelII(src, q, plan, info, sink, workers, &st)
+	} else {
+		info.Tree.AscendRange(plan.Tmin, plan.Tmax, func(e btree.Entry) bool {
+			st.Verified++
+			if q.Satisfies(src.Vector(e.ID)) {
+				st.Matched++
+				if !sink.Match(e.ID) {
+					return false
+				}
+			}
+			return true
+		})
+		st.Rejected = st.N - st.Accepted - st.Verified
+	}
+	return st, nil
+}
+
+// executeScan answers the query with a sequential pass over the
+// store: every point is verified.
+func executeScan(src *Source, q Query, sink Sink) Stats {
+	st := Stats{N: src.N, FellBack: true, IndexUsed: -1}
+	st.Verified = st.N
+	src.Each(func(id uint32, v []float64) bool {
+		if q.Satisfies(v) {
+			st.Matched++
+			return sink.Match(id)
+		}
+		return true
+	})
+	return st
+}
+
+// executeParallelII verifies the intermediate interval on a worker
+// pool. The interval's ids are collected first (so Verified and
+// Rejected are final before verification starts), split into
+// contiguous chunks, and each worker's matches are handed back to the
+// calling goroutine in worker order — sinks never see concurrent
+// calls.
+func executeParallelII(src *Source, q Query, plan Plan, info *IndexInfo, sink Sink, workers int, st *Stats) {
+	var middle []uint32
+	info.Tree.AscendRange(plan.Tmin, plan.Tmax, func(e btree.Entry) bool {
+		middle = append(middle, e.ID)
+		return true
+	})
+	st.Verified = len(middle)
+	st.Rejected = st.N - st.Accepted - st.Verified
+	if len(middle) == 0 {
+		return
+	}
+	if workers > len(middle) {
+		workers = len(middle)
+	}
+	st.Workers = workers
+
+	matched := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	chunk := (len(middle) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(middle) {
+			hi = len(middle)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []uint32
+			for _, id := range middle[lo:hi] {
+				if q.Satisfies(src.Vector(id)) {
+					local = append(local, id)
+				}
+			}
+			matched[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, local := range matched {
+		st.Matched += len(local)
+		for _, id := range local {
+			if !sink.Match(id) {
+				return
+			}
+		}
+	}
+}
+
+// executeTopK is the range walk for Bounded (top-k) sinks: the
+// intermediate interval is verified exhaustively, then the smaller
+// interval is walked in descending key order and cut off by the
+// lower-bound-distance pruning rule of Claim 3. Stats.Verified counts
+// intermediate-interval points examined and Stats.Accepted counts
+// smaller-interval points examined before the rule fired (the paper's
+// k1).
+func executeTopK(src *Source, q Query, plan Plan, info *IndexInfo, sink Sink, bounded Bounded, st Stats) (Stats, error) {
+	info.Tree.AscendRange(plan.Tmin, plan.Tmax, func(e btree.Entry) bool {
+		st.Verified++
+		if q.Satisfies(src.Vector(e.ID)) {
+			st.Matched++
+			return sink.Match(e.ID)
+		}
+		return true
+	})
+
+	// Lower-bound distance from a key to the query hyperplane
+	// (Definition 5): min over nonzero axes of ||a_i|/c_i·key − b′|,
+	// scaled by 1/|a|.
+	normA := vecmath.Norm(q.A)
+	invCoef := make([]float64, 0, len(q.A))
+	for i, a := range q.A {
+		if a != 0 {
+			invCoef = append(invCoef, math.Abs(a)/info.C[i])
+		}
+	}
+	info.Tree.DescendLE(plan.Tmin, func(e btree.Entry) bool {
+		if bound, full := bounded.Bound(); full {
+			lbs := math.Inf(1)
+			for _, r := range invCoef {
+				if d := math.Abs(r*e.Key - plan.BPrime); d < lbs {
+					lbs = d
+				}
+			}
+			lbs /= normA
+			if lbs > bound {
+				return false // Claim 3: no remaining point can improve
+			}
+		}
+		st.Accepted++
+		return sink.Accept(e.ID)
+	})
+	st.Rejected = st.N - st.Accepted - st.Verified
+	return st, nil
+}
+
+// RunBatch answers one query per entry of bs, all sharing the
+// coefficient vector a: the Plan stage's octant checks and index
+// selection run once, and only the interval thresholds are recomputed
+// per threshold — the hot pattern of repeated queries that differ
+// only in their bound. sinkFor supplies a fresh sink for each
+// threshold; out[i] is the Stats for bs[i].
+func RunBatch(src *Source, a []float64, bs []float64, sinkFor func(i int, b float64) Sink, opts Options) ([]Stats, error) {
+	out := make([]Stats, len(bs))
+	if len(bs) == 0 {
+		return out, nil
+	}
+	selStart := time.Now()
+	base, err := planQuery(src, Query{A: a, B: bs[0]})
+	selNanos := time.Since(selStart).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range bs {
+		q := Query{A: a, B: b}
+		var p Plan
+		switch {
+		case i == 0:
+			p = base
+			p.PlanNanos = selNanos
+		case base.IndexPos >= 0:
+			t0 := time.Now()
+			p, err = finishPlan(src, q, base.IndexPos, base.Compatible)
+			if err != nil {
+				return nil, err
+			}
+			p.CacheHit = base.CacheHit
+			p.PlanNanos = time.Since(t0).Nanoseconds()
+		default:
+			// The shared plan is a scan; every threshold scans.
+			p = Plan{Kind: KindScan, IndexPos: -1, Compatible: base.Compatible,
+				Reason: base.Reason, CacheHit: base.CacheHit}
+		}
+		st, err := Execute(src, q, p, sinkFor(i, b), opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"planar/internal/topk"
+)
+
+// Sink consumes the points a query reports. The Execute stage calls
+// Accept for points proven to match without verification (the smaller
+// interval, or an all-match plan) and Match for points that passed
+// scalar-product verification (the intermediate interval, or a
+// sequential scan). Either call may return false to stop execution
+// early; Stats then reflect the work done so far.
+//
+// Sinks are used from a single goroutine even when verification runs
+// on a worker pool — workers hand matches back to the calling
+// goroutine for delivery.
+type Sink interface {
+	Accept(id uint32) bool
+	Match(id uint32) bool
+}
+
+// AcceptCounter is an optional Sink capability: a sink that only
+// needs the *number* of unverified accepts, not their ids. The
+// Execute stage then counts the smaller interval in O(log n) through
+// the key tree's order statistics instead of walking it.
+type AcceptCounter interface {
+	AcceptCount(n int)
+}
+
+// Bounded is an optional Sink capability marking a top-k style
+// consumer: Bound reports the score a candidate must beat once the
+// sink is saturated (ok=false while unsaturated). The Execute stage
+// then walks the smaller interval in descending key order and cuts it
+// off with the paper's lower-bound-distance pruning rule (Claim 3).
+type Bounded interface {
+	Bound() (score float64, ok bool)
+}
+
+// IDSink collects matching point ids in delivery order.
+type IDSink struct {
+	IDs []uint32
+}
+
+func (s *IDSink) Accept(id uint32) bool { s.IDs = append(s.IDs, id); return true }
+func (s *IDSink) Match(id uint32) bool  { s.IDs = append(s.IDs, id); return true }
+
+// FuncSink streams every reported id to a callback; a false return
+// stops execution early.
+type FuncSink func(id uint32) bool
+
+func (f FuncSink) Accept(id uint32) bool { return f(id) }
+func (f FuncSink) Match(id uint32) bool  { return f(id) }
+
+// CountSink counts matches without materialising ids. Its
+// AcceptCounter capability lets range plans resolve the smaller
+// interval in O(log n), so a well-aligned index answers COUNT(*)
+// queries in logarithmic time.
+type CountSink struct {
+	N int
+}
+
+func (s *CountSink) Accept(id uint32) bool { s.N++; return true }
+func (s *CountSink) Match(id uint32) bool  { s.N++; return true }
+func (s *CountSink) AcceptCount(n int)     { s.N += n }
+
+// TopKSink retains the k reported points closest to the query
+// hyperplane. Its Bounded capability drives the descending
+// smaller-interval walk with lower-bound pruning (Algorithm 2).
+type TopKSink struct {
+	buf  *topk.Buffer
+	dist func(id uint32) float64
+}
+
+// NewTopKSink returns a sink retaining the k smallest-distance
+// points; dist resolves a point id to its distance from the query
+// hyperplane. It panics if k <= 0 (callers validate first).
+func NewTopKSink(k int, dist func(id uint32) float64) *TopKSink {
+	return &TopKSink{buf: topk.New(k), dist: dist}
+}
+
+func (s *TopKSink) Accept(id uint32) bool {
+	s.buf.Push(topk.Item{ID: id, Score: s.dist(id)})
+	return true
+}
+
+func (s *TopKSink) Match(id uint32) bool {
+	s.buf.Push(topk.Item{ID: id, Score: s.dist(id)})
+	return true
+}
+
+// Bound implements Bounded, exposing the buffer's pruning bound.
+func (s *TopKSink) Bound() (float64, bool) { return s.buf.Bound() }
+
+// Results returns the retained points sorted by ascending distance
+// (ties broken by id), or nil when nothing was retained.
+func (s *TopKSink) Results() []Result {
+	items := s.buf.Items()
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{ID: it.ID, Distance: it.Score}
+	}
+	return out
+}
+
+// TraceSink records how many points flowed through each delivery path
+// and optionally forwards them to an inner sink. It deliberately
+// exposes none of the optional capabilities, so the Execute stage
+// takes the generic walks and the trace observes every delivery — the
+// EXPLAIN ANALYZE of the pipeline.
+type TraceSink struct {
+	Inner    Sink // may be nil
+	Accepts  int  // ids delivered without verification
+	Matches  int  // ids delivered after verification
+	Stopped  bool // the inner sink stopped execution early
+}
+
+func (s *TraceSink) Accept(id uint32) bool {
+	s.Accepts++
+	if s.Inner != nil && !s.Inner.Accept(id) {
+		s.Stopped = true
+		return false
+	}
+	return true
+}
+
+func (s *TraceSink) Match(id uint32) bool {
+	s.Matches++
+	if s.Inner != nil && !s.Inner.Match(id) {
+		s.Stopped = true
+		return false
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"errors"
+	"math"
+
+	"planar/internal/btree"
+	"planar/internal/vecmath"
+)
+
+// ErrIncompatibleOctant is returned when a query's coefficient signs
+// do not match the octant an index was built for (paper Section 4.5:
+// each index serves one hyper-octant of query normals).
+var ErrIncompatibleOctant = errors.New("core: query signs incompatible with index octant")
+
+// ErrNoCompatibleIndex is returned (or causes a scan fallback) when
+// no candidate index serves the query's hyper-octant.
+var ErrNoCompatibleIndex = errors.New("core: no index compatible with query octant")
+
+// Query is a scalar product query already normalized to ≤ form:
+// report every point x with ⟨A, φ(x)⟩ ≤ B. Callers with ≥ queries
+// negate both sides before entering the pipeline.
+type Query struct {
+	A []float64
+	B float64
+}
+
+// Satisfies evaluates the predicate directly on a φ vector.
+func (q Query) Satisfies(phi []float64) bool {
+	return vecmath.Dot(q.A, phi) <= q.B
+}
+
+// Distance returns the Euclidean distance from φ to the query
+// hyperplane ⟨A, y⟩ = B: |⟨A,φ⟩ − B| / |A|.
+func (q Query) Distance(phi []float64) float64 {
+	return math.Abs(vecmath.Dot(q.A, phi)-q.B) / vecmath.Norm(q.A)
+}
+
+// IndexInfo is the planner's view of one planar index: the sorted
+// key tree plus the geometry needed to compute interval thresholds
+// and selection scores. The slices are referenced, not copied —
+// callers must guarantee they stay unmodified for the duration of a
+// Run (internal/core holds the owning locks).
+type IndexInfo struct {
+	// Tree holds the keys ⟨c, z(x)⟩ in sorted order.
+	Tree *btree.Tree
+	// C is the index normal in the translated frame; all entries > 0.
+	C []float64
+	// Delta holds the octant translation offsets; all entries ≥ 0.
+	Delta []float64
+	// CS is the effective normal in φ space (c_i·s_i), used for angle
+	// comparisons with query hyperplanes.
+	CS []float64
+	// Signs is the hyper-octant of query coefficient vectors served.
+	Signs vecmath.SignPattern
+	// Guard is the relative width of the conservative band added
+	// around the thresholds (0 disables it).
+	Guard float64
+}
+
+// Source is everything the pipeline may touch to answer a query: the
+// candidate indexes for the Plan stage and the point access paths for
+// the Execute stage.
+type Source struct {
+	// N is the number of live points.
+	N int
+	// Indexes are the candidate planar indexes (may be empty for a
+	// pure sequential-scan source).
+	Indexes []IndexInfo
+	// Single marks a source wrapping exactly one standalone index: no
+	// selection is performed and an octant mismatch surfaces as
+	// ErrIncompatibleOctant instead of ErrNoCompatibleIndex.
+	Single bool
+	// Sel is the best-index selection heuristic.
+	Sel Selection
+	// Fallback controls whether queries with no compatible index are
+	// answered by a sequential scan instead of failing.
+	Fallback bool
+	// CostPenalty > 0 enables the cost-based index-vs-scan choice:
+	// the indexed plan is abandoned for a scan when
+	// |SI| + CostPenalty·|II| ≥ n (paper Section 7.2.2).
+	CostPenalty float64
+	// Vector resolves a point id to its φ vector (verification).
+	Vector func(id uint32) []float64
+	// Each iterates every live point (sequential-scan execution).
+	Each func(fn func(id uint32, v []float64) bool)
+	// Epoch is the owner's mutation counter; plan-cache entries from
+	// an older epoch are discarded.
+	Epoch uint64
+	// Cache, when non-nil, memoises octant compatibility and index
+	// selection per normalized coefficient direction.
+	Cache *PlanCache
+}

@@ -3,6 +3,7 @@
 // cmd/planarserve. All endpoints are rooted at /v1:
 //
 //	POST   /v1/query       {"a":[..],"b":n,"op":"<="}            → ids + stats
+//	POST   /v1/query/batch {"a":[..],"bs":[..],"op":"<="}        → per-threshold ids + stats, one shared plan
 //	POST   /v1/topk        {"a":[..],"b":n,"op":"<=","k":n}      → nearest points
 //	POST   /v1/count       {"a":[..],"b":n,"op":"<="}            → exact count + bounds
 //	POST   /v1/explain     {"a":[..],"b":n,"op":"<="}            → execution plan (no data touched)
@@ -11,7 +12,11 @@
 //	DELETE /v1/points/{id}                                       → remove a point
 //	POST   /v1/indexes     {"normal":[..],"signs":[1,-1,..]}     → add an index
 //	POST   /v1/checkpoint                                        → snapshot + truncate log
-//	GET    /v1/stats                                             → store/index statistics
+//	GET    /v1/stats                                             → store/index statistics + pipeline metrics
+//
+// Per-query stats come straight from the execution pipeline
+// (internal/exec): interval sizes, plan/execute stage times in
+// nanoseconds, and whether index selection hit the plan cache.
 package httpapi
 
 import (
@@ -43,6 +48,7 @@ func New(db *service.DB) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/query/batch", s.handleQueryBatch)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/count", s.handleCount)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
@@ -84,6 +90,10 @@ type statsJSON struct {
 	Pruned    float64 `json:"prunedFraction"`
 	FellBack  bool    `json:"fellBack"`
 	IndexUsed int     `json:"indexUsed"`
+	PlanNanos int64   `json:"planNanos"`
+	ExecNanos int64   `json:"execNanos"`
+	CacheHit  bool    `json:"cacheHit"`
+	Workers   int     `json:"workers,omitempty"`
 }
 
 func toStatsJSON(st core.Stats) statsJSON {
@@ -91,6 +101,8 @@ func toStatsJSON(st core.Stats) statsJSON {
 		N: st.N, Accepted: st.Accepted, Verified: st.Verified,
 		Matched: st.Matched, Rejected: st.Rejected,
 		Pruned: st.PruningFraction(), FellBack: st.FellBack, IndexUsed: st.IndexUsed,
+		PlanNanos: st.PlanNanos, ExecNanos: st.ExecNanos,
+		CacheHit: st.CacheHit, Workers: st.Workers,
 	}
 }
 
@@ -104,7 +116,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	ids, st, err := s.db.Multi().InequalityIDs(q)
+	ids, st, err := s.db.Query(q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -113,6 +125,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ids = []uint32{}
 	}
 	reply(w, map[string]interface{}{"ids": ids, "stats": toStatsJSON(st)})
+}
+
+type batchRequest struct {
+	A  []float64 `json:"a"`
+	Bs []float64 `json:"bs"`
+	Op string    `json:"op"`
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := queryRequest{A: req.A, Op: req.Op}.query()
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Bs) == 0 {
+		fail(w, http.StatusBadRequest, errors.New("batch requires at least one threshold in \"bs\""))
+		return
+	}
+	ids, sts, err := s.db.QueryBatch(q.A, q.Op, req.Bs)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	type entry struct {
+		B     float64   `json:"b"`
+		IDs   []uint32  `json:"ids"`
+		Stats statsJSON `json:"stats"`
+	}
+	entries := make([]entry, len(req.Bs))
+	for i, b := range req.Bs {
+		e := entry{B: b, IDs: ids[i], Stats: toStatsJSON(sts[i])}
+		if e.IDs == nil {
+			e.IDs = []uint32{}
+		}
+		entries[i] = e
+	}
+	reply(w, map[string]interface{}{"queries": entries})
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -125,7 +178,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, st, err := s.db.Multi().TopK(q, req.K)
+	res, st, err := s.db.TopK(q, req.K)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -151,7 +204,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	count, st, err := s.db.Multi().Count(q)
+	count, st, err := s.db.Count(q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -178,7 +231,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	plan, err := s.db.Multi().Explain(q)
+	plan, err := s.db.Explain(q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -286,11 +339,23 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.db.Multi()
+	met := s.db.Metrics()
+	hits, misses := m.PlanCacheCounters()
 	reply(w, map[string]interface{}{
 		"points":      m.Store().Len(),
 		"dim":         m.Store().Dim(),
 		"indexes":     m.NumIndexes(),
 		"memoryBytes": m.MemoryBytes(),
+		"metrics": map[string]interface{}{
+			"queries":        met.Queries,
+			"planNanos":      met.PlanNanos,
+			"execNanos":      met.ExecNanos,
+			"cacheHits":      met.CacheHits,
+			"fellBack":       met.FellBack,
+			"pointsPruned":   met.PointsPruned,
+			"pointsVerified": met.PointsVerified,
+		},
+		"planCache": map[string]uint64{"hits": hits, "misses": misses},
 	})
 }
 

@@ -2,50 +2,47 @@
 // paper compares against (Section 7.1, "Competing Method"): every
 // query computes the scalar product for every live point. It costs
 // O(n·d') per inequality query and O(n·d' + k log k) per top-k query.
+// Execution runs on the internal/exec pipeline as a pure scan source
+// (no candidate indexes), so the baseline and the indexed paths share
+// one delivery and stats implementation.
 package scan
 
 import (
-	"sort"
-
 	"planar/internal/core"
-	"planar/internal/topk"
+	"planar/internal/exec"
 )
+
+// source wraps the bare point store as an index-free pipeline source;
+// every query planned against it becomes a sequential scan.
+func source(s *core.PointStore) *exec.Source {
+	return &exec.Source{
+		N:        s.Len(),
+		Fallback: true,
+		Vector:   s.Vector,
+		Each:     s.Each,
+	}
+}
 
 // Inequality scans the store and calls visit for every point
 // satisfying q. It returns the number of matches (even if visit
 // stopped the scan early, the count reflects points visited so far).
 func Inequality(s *core.PointStore, q core.Query, visit func(id uint32) bool) int {
-	matched := 0
-	s.Each(func(id uint32, v []float64) bool {
-		if q.Satisfies(v) {
-			matched++
-			return visit(id)
-		}
-		return true
-	})
-	return matched
+	st, _ := exec.Run(source(s), q.LE(), exec.FuncSink(visit), exec.Options{})
+	return st.Matched
 }
 
 // IDs collects all point ids satisfying q.
 func IDs(s *core.PointStore, q core.Query) []uint32 {
-	var ids []uint32
-	Inequality(s, q, func(id uint32) bool {
-		ids = append(ids, id)
-		return true
-	})
-	return ids
+	var sink exec.IDSink
+	_, _ = exec.Run(source(s), q.LE(), &sink, exec.Options{})
+	return sink.IDs
 }
 
 // Count returns how many points satisfy q without materialising ids.
 func Count(s *core.PointStore, q core.Query) int {
-	n := 0
-	s.Each(func(_ uint32, v []float64) bool {
-		if q.Satisfies(v) {
-			n++
-		}
-		return true
-	})
-	return n
+	var sink exec.CountSink
+	_, _ = exec.Run(source(s), q.LE(), &sink, exec.Options{})
+	return sink.N
 }
 
 // TopK returns the k points satisfying q that lie closest to the
@@ -54,23 +51,10 @@ func TopK(s *core.PointStore, q core.Query, k int) []core.Result {
 	if k <= 0 {
 		return nil
 	}
-	buf := topk.New(k)
-	s.Each(func(id uint32, v []float64) bool {
-		if q.Satisfies(v) {
-			buf.Push(topk.Item{ID: id, Score: q.Distance(v)})
-		}
-		return true
+	nq := q.LE()
+	sink := exec.NewTopKSink(k, func(id uint32) float64 {
+		return nq.Distance(s.Vector(id))
 	})
-	items := buf.Items()
-	out := make([]core.Result, len(items))
-	for i, it := range items {
-		out[i] = core.Result{ID: it.ID, Distance: it.Score}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+	_, _ = exec.Run(source(s), nq, sink, exec.Options{})
+	return sink.Results()
 }

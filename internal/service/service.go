@@ -50,6 +50,98 @@ type DB struct {
 	multi   *core.Multi
 	log     *wal.Writer
 	pending int // mutations since the last checkpoint
+
+	metMu sync.Mutex
+	met   Metrics
+}
+
+// Metrics aggregates execution-pipeline stats across every query
+// answered through the DB's query methods — the per-process rollup of
+// the per-query core.Stats.
+type Metrics struct {
+	// Queries is the number of pipeline runs recorded.
+	Queries uint64
+	// PlanNanos and ExecNanos are cumulative stage times.
+	PlanNanos int64
+	ExecNanos int64
+	// CacheHits counts queries whose index selection came from the
+	// plan cache.
+	CacheHits uint64
+	// FellBack counts queries answered by a sequential scan.
+	FellBack uint64
+	// PointsPruned and PointsVerified are cumulative interval sizes:
+	// pruned points never had their scalar product computed.
+	PointsPruned   uint64
+	PointsVerified uint64
+}
+
+// record folds one query's stats into the rollup.
+func (db *DB) record(st core.Stats) {
+	db.metMu.Lock()
+	defer db.metMu.Unlock()
+	db.met.Queries++
+	db.met.PlanNanos += st.PlanNanos
+	db.met.ExecNanos += st.ExecNanos
+	if st.CacheHit {
+		db.met.CacheHits++
+	}
+	if st.FellBack {
+		db.met.FellBack++
+	}
+	db.met.PointsPruned += uint64(st.Accepted + st.Rejected)
+	db.met.PointsVerified += uint64(st.Verified)
+}
+
+// Metrics returns a snapshot of the cumulative query metrics.
+func (db *DB) Metrics() Metrics {
+	db.metMu.Lock()
+	defer db.metMu.Unlock()
+	return db.met
+}
+
+// Query answers an inequality query, recording pipeline metrics.
+func (db *DB) Query(q core.Query) ([]uint32, core.Stats, error) {
+	ids, st, err := db.multi.InequalityIDs(q)
+	if err == nil {
+		db.record(st)
+	}
+	return ids, st, err
+}
+
+// QueryBatch answers one inequality query per threshold, sharing a
+// single plan across the batch (see core.Multi.InequalityBatch).
+func (db *DB) QueryBatch(a []float64, op core.Op, bs []float64) ([][]uint32, []core.Stats, error) {
+	ids, sts, err := db.multi.InequalityBatch(a, op, bs)
+	if err == nil {
+		for _, st := range sts {
+			db.record(st)
+		}
+	}
+	return ids, sts, err
+}
+
+// TopK answers a top-k nearest-to-hyperplane query, recording
+// pipeline metrics.
+func (db *DB) TopK(q core.Query, k int) ([]core.Result, core.Stats, error) {
+	res, st, err := db.multi.TopK(q, k)
+	if err == nil {
+		db.record(st)
+	}
+	return res, st, err
+}
+
+// Count answers an exact COUNT(*), recording pipeline metrics.
+func (db *DB) Count(q core.Query) (int, core.Stats, error) {
+	n, st, err := db.multi.Count(q)
+	if err == nil {
+		db.record(st)
+	}
+	return n, st, err
+}
+
+// Explain returns the execution plan for q without touching data.
+func (db *DB) Explain(q core.Query) (core.Plan, error) {
+	return db.multi.Explain(q)
 }
 
 // Open restores (or initialises) a DB in dir.
