@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke ci clean
+.PHONY: all build test vet race race-shard bench-smoke bench-shard-smoke ci clean
 
 all: build
 
@@ -16,12 +16,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The sharded-store stress suite under the race detector: concurrent
+# Append/Update/Remove/query mixes against scatter-gather execution.
+race-shard:
+	$(GO) test -race -run 'TestStress|TestSharded' ./internal/shard ./internal/service
+
 # A fast benchmark smoke: a handful of iterations of the pipeline and
 # plan-cache benchmarks, just to prove they still compile and run.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkPlanCache$$|BenchmarkPipelineOverhead' -benchtime 10x .
 
-ci: vet build race bench-smoke
+# A tiny run of the concurrent-client shard benchmark (no JSON
+# report) to prove the -clients path still works.
+bench-shard-smoke:
+	$(GO) run ./cmd/planarbench -clients 2 -shards 2 -points 2000 -benchdur 200ms -benchout ""
+
+ci: vet build race race-shard bench-smoke bench-shard-smoke
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,14 @@
 //	planarbench -exp fig7                 # one experiment, laptop scale
 //	planarbench -exp all -paper           # everything at paper scale
 //	planarbench -exp fig14a -moving 2000  # override workload sizes
+//
+// A second mode benchmarks the sharded store's scatter-gather path:
+//
+//	planarbench -clients 8 -shards 8      # aggregate QPS vs shard count
+//
+// which sweeps shard counts up to -shards, drives a mixed read/write
+// workload from -clients concurrent goroutines, and writes the
+// throughput table to -benchout (BENCH_shard.json).
 package main
 
 import (
@@ -30,8 +38,39 @@ func main() {
 		queries = flag.Int("queries", 0, "override queries averaged per measurement")
 		movingN = flag.Int("moving", 0, "override moving objects per set")
 		seed    = flag.Int64("seed", 0, "override random seed")
+
+		clients   = flag.Int("clients", 0, "run the concurrent-client shard benchmark with this many clients")
+		shardsMax = flag.Int("shards", 8, "largest shard count in the -clients sweep")
+		dim       = flag.Int("dim", 4, "point dimensionality for the -clients sweep")
+		writeFrac = flag.Float64("writefrac", 0.5, "fraction of mutations in the -clients workload")
+		benchDur  = flag.Duration("benchdur", 2*time.Second, "measurement window per shard count in the -clients sweep")
+		benchOut  = flag.String("benchout", "BENCH_shard.json", "JSON report path for the -clients sweep (empty = stdout only)")
 	)
 	flag.Parse()
+
+	if *clients > 0 {
+		cfg := shardBenchConfig{
+			Clients:   *clients,
+			MaxShards: *shardsMax,
+			Points:    100000,
+			Dim:       *dim,
+			WriteFrac: *writeFrac,
+			Duration:  *benchDur,
+			Seed:      2014,
+			OutPath:   *benchOut,
+		}
+		if *points > 0 {
+			cfg.Points = *points
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if err := runShardBench(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

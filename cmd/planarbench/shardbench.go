@@ -1,0 +1,202 @@
+package main
+
+// The -clients mode measures scatter-gather throughput instead of
+// replaying a paper experiment: N client goroutines issue a mixed
+// read/write workload against an in-memory sharded store, once per
+// shard count, and the aggregate QPS table lands in a JSON report
+// (BENCH_shard.json by default). Writes are the interesting part —
+// readers already run concurrently inside one store, but a write
+// locks the whole unsharded store versus a single partition of the
+// sharded one, and per-shard b-trees are shallower and
+// cache-friendlier than one store-wide tree. The defaults (100k
+// points, half mutations) model the large mutation-heavy store
+// sharding is for; small read-mostly stores are better served by a
+// single partition.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"planar/internal/core"
+	"planar/internal/shard"
+	"planar/internal/vecmath"
+)
+
+type shardBenchRun struct {
+	Shards  int     `json:"shards"`
+	Clients int     `json:"clients"`
+	Ops     int     `json:"ops"`
+	Reads   int     `json:"reads"`
+	Writes  int     `json:"writes"`
+	Seconds float64 `json:"seconds"`
+	QPS     float64 `json:"qps"`
+}
+
+type shardBenchReport struct {
+	Points    int             `json:"points"`
+	Dim       int             `json:"dim"`
+	Clients   int             `json:"clients"`
+	WriteFrac float64         `json:"writeFrac"`
+	Duration  string          `json:"duration"`
+	GoMaxProc int             `json:"gomaxprocs"`
+	Runs      []shardBenchRun `json:"runs"`
+}
+
+type shardBenchConfig struct {
+	Clients   int
+	MaxShards int
+	Points    int
+	Dim       int
+	WriteFrac float64
+	Duration  time.Duration
+	Seed      int64
+	OutPath   string
+}
+
+// benchShardCounts is the sweep: always 1 (the unsharded baseline)
+// and the requested maximum, with a midpoint when the range is wide
+// enough to show the trend.
+func benchShardCounts(max int) []int {
+	set := map[int]bool{1: true, max: true}
+	if max >= 4 {
+		set[max/2] = true
+	}
+	counts := make([]int, 0, len(set))
+	for n := range set {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+func newBenchStore(shards int, cfg shardBenchConfig) (*shard.Store, error) {
+	st, err := shard.Open("", shard.Options{Shards: shards, Dim: cfg.Dim})
+	if err != nil {
+		return nil, err
+	}
+	normal := make([]float64, cfg.Dim)
+	for j := range normal {
+		normal[j] = 1 + float64(j)
+	}
+	if _, err := st.AddNormal(normal, vecmath.FirstOctant(cfg.Dim)); err != nil {
+		st.Close()
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Points; i++ {
+		if _, err := st.Append(benchVec(rng, cfg.Dim)); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func benchVec(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for j := range v {
+		v[j] = rng.Float64() * 100
+	}
+	return v
+}
+
+func benchOneRun(shards int, cfg shardBenchConfig) (shardBenchRun, error) {
+	st, err := newBenchStore(shards, cfg)
+	if err != nil {
+		return shardBenchRun{}, err
+	}
+	defer st.Close()
+
+	type tally struct{ reads, writes int }
+	tallies := make([]tally, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c) + 1))
+			for time.Now().Before(deadline) {
+				if rng.Float64() < cfg.WriteFrac {
+					id := uint32(rng.Intn(cfg.Points))
+					if rng.Intn(2) == 0 {
+						st.Update(id, benchVec(rng, cfg.Dim))
+					} else {
+						// Remove + re-append keeps cardinality steady.
+						if st.Remove(id) == nil {
+							st.Append(benchVec(rng, cfg.Dim))
+						}
+					}
+					tallies[c].writes++
+					continue
+				}
+				a := make([]float64, cfg.Dim)
+				for j := range a {
+					a[j] = rng.Float64() * 4
+				}
+				// Selective thresholds (~1% of the mean scalar product):
+				// serving-style point lookups, not analytics sweeps.
+				q := core.Query{A: a, B: rng.Float64() * 100, Op: core.LE}
+				if _, _, err := st.Query(q); err != nil {
+					return
+				}
+				tallies[c].reads++
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	run := shardBenchRun{Shards: shards, Clients: cfg.Clients, Seconds: elapsed.Seconds()}
+	for _, tl := range tallies {
+		run.Reads += tl.reads
+		run.Writes += tl.writes
+	}
+	run.Ops = run.Reads + run.Writes
+	run.QPS = float64(run.Ops) / elapsed.Seconds()
+	return run, nil
+}
+
+func runShardBench(cfg shardBenchConfig, w io.Writer) error {
+	if cfg.MaxShards < 1 {
+		return fmt.Errorf("shard bench: -shards must be >= 1 (got %d)", cfg.MaxShards)
+	}
+	report := shardBenchReport{
+		Points:    cfg.Points,
+		Dim:       cfg.Dim,
+		Clients:   cfg.Clients,
+		WriteFrac: cfg.WriteFrac,
+		Duration:  cfg.Duration.String(),
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(w, "shard scatter-gather bench: %d clients, %d points (dim %d), %.0f%% writes, %s per run\n",
+		cfg.Clients, cfg.Points, cfg.Dim, cfg.WriteFrac*100, cfg.Duration)
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s\n", "shards", "ops", "reads", "writes", "qps")
+	for _, n := range benchShardCounts(cfg.MaxShards) {
+		run, err := benchOneRun(n, cfg)
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Fprintf(w, "%8d %12d %12d %12d %12.0f\n", run.Shards, run.Ops, run.Reads, run.Writes, run.QPS)
+	}
+	if cfg.OutPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.OutPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", cfg.OutPath)
+	}
+	return nil
+}

@@ -26,6 +26,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		syncWrites = flag.Bool("sync", false, "fsync the log after every mutation")
 		checkpoint = flag.Int("checkpoint", 10000, "auto-checkpoint after this many mutations (0 = manual only)")
+		shards     = flag.Int("shards", 0, "partition the store across N shards (0 = unsharded; existing directories keep their layout)")
 	)
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 		Dim:             *dim,
 		SyncEveryWrite:  *syncWrites,
 		CheckpointEvery: *checkpoint,
+		Shards:          *shards,
 	})
 	if err != nil {
 		log.Fatalf("planarserve: %v", err)
@@ -59,8 +61,12 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("planarserve: %d points (dim %d), %d indexes, listening on %s\n",
-		db.Len(), db.Dim(), db.Multi().NumIndexes(), *addr)
+	layout := "unsharded"
+	if db.Sharded() {
+		layout = fmt.Sprintf("%d shards", db.Shards())
+	}
+	fmt.Printf("planarserve: %d points (dim %d), %d indexes, %s, listening on %s\n",
+		db.Len(), db.Dim(), db.NumIndexes(), layout, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("planarserve: %v", err)
 	}

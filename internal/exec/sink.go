@@ -111,10 +111,10 @@ func (s *TopKSink) Results() []Result {
 // takes the generic walks and the trace observes every delivery — the
 // EXPLAIN ANALYZE of the pipeline.
 type TraceSink struct {
-	Inner    Sink // may be nil
-	Accepts  int  // ids delivered without verification
-	Matches  int  // ids delivered after verification
-	Stopped  bool // the inner sink stopped execution early
+	Inner   Sink // may be nil
+	Accepts int  // ids delivered without verification
+	Matches int  // ids delivered after verification
+	Stopped bool // the inner sink stopped execution early
 }
 
 func (s *TraceSink) Accept(id uint32) bool {

@@ -209,7 +209,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	lo, hi, err := s.db.Multi().SelectivityBounds(q)
+	lo, hi, err := s.db.SelectivityBounds(q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -338,14 +338,14 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	m := s.db.Multi()
 	met := s.db.Metrics()
-	hits, misses := m.PlanCacheCounters()
+	hits, misses := s.db.PlanCacheCounters()
 	reply(w, map[string]interface{}{
-		"points":      m.Store().Len(),
-		"dim":         m.Store().Dim(),
-		"indexes":     m.NumIndexes(),
-		"memoryBytes": m.MemoryBytes(),
+		"points":      s.db.Len(),
+		"dim":         s.db.Dim(),
+		"indexes":     s.db.NumIndexes(),
+		"shards":      s.db.Shards(),
+		"memoryBytes": s.db.MemoryBytes(),
 		"metrics": map[string]interface{}{
 			"queries":        met.Queries,
 			"planNanos":      met.PlanNanos,

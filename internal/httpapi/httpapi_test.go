@@ -195,3 +195,42 @@ func TestNewValidation(t *testing.T) {
 		t.Error("nil db accepted")
 	}
 }
+
+// TestShardedServer runs the same HTTP surface against a sharded DB:
+// every endpoint must work unchanged, and /v1/stats reports the shard
+// count.
+func TestShardedServer(t *testing.T) {
+	db, err := service.Open(t.TempDir(), service.Options{Dim: 2, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	api, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+
+	call(t, ts, "POST", "/v1/indexes",
+		map[string]interface{}{"normal": []float64{1, 2}}, http.StatusOK)
+	for _, v := range [][]float64{{1, 1}, {5, 5}, {9, 1}, {2, 8}} {
+		call(t, ts, "POST", "/v1/points", map[string]interface{}{"vec": v}, http.StatusOK)
+	}
+
+	out := call(t, ts, "POST", "/v1/query",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 7}, http.StatusOK)
+	if ids := out["ids"].([]interface{}); len(ids) != 1 || ids[0].(float64) != 0 {
+		t.Fatalf("sharded query ids=%v", out["ids"])
+	}
+	out = call(t, ts, "POST", "/v1/count",
+		map[string]interface{}{"a": []float64{1, 1}, "b": 11}, http.StatusOK)
+	if out["count"].(float64) != 4 {
+		t.Fatalf("sharded count=%v", out)
+	}
+	out = call(t, ts, "GET", "/v1/stats", nil, http.StatusOK)
+	if out["points"].(float64) != 4 || out["shards"].(float64) != 4 {
+		t.Fatalf("sharded stats=%v", out)
+	}
+	call(t, ts, "POST", "/v1/checkpoint", nil, http.StatusOK)
+}

@@ -5,6 +5,15 @@
 // rebuilds the indexes, giving a crash-safe dynamic scalar-product
 // store a downstream application can embed or expose over HTTP
 // (cmd/planarserve).
+//
+// A DB runs in one of two modes. Single mode (the default) keeps one
+// Multi, one snapshot and one log in the directory root. Sharded mode
+// (Options.Shards > 1, or a directory that was created sharded)
+// delegates to internal/shard: points are hash-partitioned across N
+// shards, each with its own Multi, snapshot and WAL segment, queries
+// run scatter-gather, and mutations lock only the owning shard. A
+// sharded directory reopens sharded automatically; the two layouts
+// are not convertible in place.
 package service
 
 import (
@@ -16,6 +25,7 @@ import (
 
 	"planar/internal/codec"
 	"planar/internal/core"
+	"planar/internal/shard"
 	"planar/internal/vecmath"
 	"planar/internal/wal"
 )
@@ -31,25 +41,42 @@ type Options struct {
 	// Dim is the φ dimensionality; required when creating a fresh
 	// directory, validated against the snapshot otherwise.
 	Dim int
+	// Shards enables sharded mode: points are hash-partitioned across
+	// this many shards, each with its own indexes, snapshot and WAL
+	// segment (see internal/shard). 0 or 1 keeps the single-store
+	// layout. A directory created sharded reopens sharded regardless;
+	// the stored count is validated against a non-zero Shards.
+	Shards int
 	// SyncEveryWrite fsyncs the log after each mutation (durable but
 	// slower). Off by default: the log is synced on Checkpoint and
 	// Close.
 	SyncEveryWrite bool
 	// CheckpointEvery triggers an automatic checkpoint after this
-	// many logged mutations (0 disables automatic checkpoints).
+	// many logged mutations (0 disables automatic checkpoints). In
+	// sharded mode the counter is per shard.
 	CheckpointEvery int
 	// Multi options (selection heuristic, fallback, guard band).
 	MultiOptions []core.MultiOption
 }
 
 // DB is a durable planar index store.
+//
+// The mode determines which fields are set: single mode uses multi
+// and log; sharded mode uses shards. mu is the single-mode lock:
+// query paths hold it for reading, so concurrent readers proceed in
+// parallel, while mutations, checkpoints and Close hold it
+// exclusively (the WAL append and the in-memory apply must be atomic
+// with respect to each other). Sharded mode has a finer-grained lock
+// per shard inside the shard.Store and does not take mu at all.
 type DB struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	dir     string
 	opts    Options
 	multi   *core.Multi
 	log     *wal.Writer
 	pending int // mutations since the last checkpoint
+
+	shards *shard.Store // non-nil in sharded mode
 
 	metMu sync.Mutex
 	met   Metrics
@@ -57,7 +84,8 @@ type DB struct {
 
 // Metrics aggregates execution-pipeline stats across every query
 // answered through the DB's query methods — the per-process rollup of
-// the per-query core.Stats.
+// the per-query core.Stats. In sharded mode each scatter-gather query
+// counts once, with its per-shard stats already merged.
 type Metrics struct {
 	// Queries is the number of pipeline runs recorded.
 	Queries uint64
@@ -99,9 +127,21 @@ func (db *DB) Metrics() Metrics {
 	return db.met
 }
 
-// Query answers an inequality query, recording pipeline metrics.
+// Query answers an inequality query, recording pipeline metrics. In
+// sharded mode the ids come back in ascending global id order.
 func (db *DB) Query(q core.Query) ([]uint32, core.Stats, error) {
-	ids, st, err := db.multi.InequalityIDs(q)
+	var (
+		ids []uint32
+		st  core.Stats
+		err error
+	)
+	if db.shards != nil {
+		ids, st, err = db.shards.Query(q)
+	} else {
+		db.mu.RLock()
+		ids, st, err = db.multi.InequalityIDs(q)
+		db.mu.RUnlock()
+	}
 	if err == nil {
 		db.record(st)
 	}
@@ -111,7 +151,18 @@ func (db *DB) Query(q core.Query) ([]uint32, core.Stats, error) {
 // QueryBatch answers one inequality query per threshold, sharing a
 // single plan across the batch (see core.Multi.InequalityBatch).
 func (db *DB) QueryBatch(a []float64, op core.Op, bs []float64) ([][]uint32, []core.Stats, error) {
-	ids, sts, err := db.multi.InequalityBatch(a, op, bs)
+	var (
+		ids [][]uint32
+		sts []core.Stats
+		err error
+	)
+	if db.shards != nil {
+		ids, sts, err = db.shards.QueryBatch(a, op, bs)
+	} else {
+		db.mu.RLock()
+		ids, sts, err = db.multi.InequalityBatch(a, op, bs)
+		db.mu.RUnlock()
+	}
 	if err == nil {
 		for _, st := range sts {
 			db.record(st)
@@ -123,7 +174,18 @@ func (db *DB) QueryBatch(a []float64, op core.Op, bs []float64) ([][]uint32, []c
 // TopK answers a top-k nearest-to-hyperplane query, recording
 // pipeline metrics.
 func (db *DB) TopK(q core.Query, k int) ([]core.Result, core.Stats, error) {
-	res, st, err := db.multi.TopK(q, k)
+	var (
+		res []core.Result
+		st  core.Stats
+		err error
+	)
+	if db.shards != nil {
+		res, st, err = db.shards.TopK(q, k)
+	} else {
+		db.mu.RLock()
+		res, st, err = db.multi.TopK(q, k)
+		db.mu.RUnlock()
+	}
 	if err == nil {
 		db.record(st)
 	}
@@ -132,15 +194,45 @@ func (db *DB) TopK(q core.Query, k int) ([]core.Result, core.Stats, error) {
 
 // Count answers an exact COUNT(*), recording pipeline metrics.
 func (db *DB) Count(q core.Query) (int, core.Stats, error) {
-	n, st, err := db.multi.Count(q)
+	var (
+		n   int
+		st  core.Stats
+		err error
+	)
+	if db.shards != nil {
+		n, st, err = db.shards.Count(q)
+	} else {
+		db.mu.RLock()
+		n, st, err = db.multi.Count(q)
+		db.mu.RUnlock()
+	}
 	if err == nil {
 		db.record(st)
 	}
 	return n, st, err
 }
 
-// Explain returns the execution plan for q without touching data.
+// SelectivityBounds returns guaranteed cardinality bounds
+// lo ≤ |answer| ≤ hi without computing a scalar product. In sharded
+// mode the per-shard bounds are summed (each shard's answer is
+// individually bracketed).
+func (db *DB) SelectivityBounds(q core.Query) (lo, hi int, err error) {
+	if db.shards != nil {
+		return db.shards.SelectivityBounds(q)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.multi.SelectivityBounds(q)
+}
+
+// Explain returns the execution plan for q without touching data. In
+// sharded mode interval sizes and bounds aggregate across shards.
 func (db *DB) Explain(q core.Query) (core.Plan, error) {
+	if db.shards != nil {
+		return db.shards.Explain(q)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.multi.Explain(q)
 }
 
@@ -148,6 +240,9 @@ func (db *DB) Explain(q core.Query) (core.Plan, error) {
 func Open(dir string, opts Options) (*DB, error) {
 	if dir == "" {
 		return nil, errors.New("service: empty directory")
+	}
+	if opts.Shards > 1 || shard.IsSharded(dir) {
+		return openSharded(dir, opts)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -212,26 +307,111 @@ func Open(dir string, opts Options) (*DB, error) {
 	return &DB{dir: dir, opts: opts, multi: m, log: log, pending: replayed}, nil
 }
 
-// Multi exposes the underlying index collection; queries go straight
-// through it (they need no durability hooks).
+// openSharded opens (or creates) the sharded layout. A directory
+// holding a single-store snapshot cannot be resharded in place — the
+// shard layout would silently shadow the existing data.
+func openSharded(dir string, opts Options) (*DB, error) {
+	if !shard.IsSharded(dir) {
+		if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err == nil {
+			return nil, errors.New("service: directory holds a single-store snapshot; resharding in place is not supported")
+		}
+		if _, err := os.Stat(filepath.Join(dir, walFile)); err == nil {
+			return nil, errors.New("service: directory holds a single-store log; resharding in place is not supported")
+		}
+	}
+	st, err := shard.Open(dir, shard.Options{
+		Shards:          opts.Shards,
+		Dim:             opts.Dim,
+		SyncEveryWrite:  opts.SyncEveryWrite,
+		CheckpointEvery: opts.CheckpointEvery,
+		MultiOptions:    opts.MultiOptions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{dir: dir, opts: opts, shards: st}, nil
+}
+
+// Multi exposes the underlying index collection in single mode. It
+// returns nil in sharded mode — use the DB-level accessors (Len, Dim,
+// NumIndexes, MemoryBytes, SelectivityBounds, …), which work in both
+// modes.
 func (db *DB) Multi() *core.Multi { return db.multi }
 
+// Sharded reports whether the DB runs in sharded mode.
+func (db *DB) Sharded() bool { return db.shards != nil }
+
+// Shards returns the number of hash partitions (1 in single mode).
+func (db *DB) Shards() int {
+	if db.shards != nil {
+		return db.shards.NumShards()
+	}
+	return 1
+}
+
 // Dim returns the φ dimensionality.
-func (db *DB) Dim() int { return db.multi.Store().Dim() }
+func (db *DB) Dim() int {
+	if db.shards != nil {
+		return db.shards.Dim()
+	}
+	return db.multi.Store().Dim()
+}
 
 // Len returns the number of live points.
-func (db *DB) Len() int { return db.multi.Store().Len() }
+func (db *DB) Len() int {
+	if db.shards != nil {
+		return db.shards.Len()
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.multi.Store().Len()
+}
 
-// AddNormal installs a planar index; the configuration is persisted
-// at the next checkpoint.
+// NumIndexes returns the number of planar indexes (per shard in
+// sharded mode — every shard holds the same configuration).
+func (db *DB) NumIndexes() int {
+	if db.shards != nil {
+		return db.shards.NumIndexes()
+	}
+	return db.multi.NumIndexes()
+}
+
+// MemoryBytes returns the approximate footprint of the store and
+// indexes, summed across shards in sharded mode.
+func (db *DB) MemoryBytes() int {
+	if db.shards != nil {
+		return db.shards.MemoryBytes()
+	}
+	return db.multi.MemoryBytes()
+}
+
+// PlanCacheCounters returns cumulative plan-cache hits and misses,
+// summed across shards in sharded mode.
+func (db *DB) PlanCacheCounters() (hits, misses uint64) {
+	if db.shards != nil {
+		return db.shards.PlanCacheCounters()
+	}
+	return db.multi.PlanCacheCounters()
+}
+
+// AddNormal installs a planar index (on every shard in sharded mode);
+// the configuration is persisted at the next checkpoint.
 func (db *DB) AddNormal(normal []float64, signs vecmath.SignPattern) (bool, error) {
+	if db.shards != nil {
+		return db.shards.AddNormal(normal, signs)
+	}
 	return db.multi.AddNormal(normal, signs)
 }
 
-// logged applies a mutation after journaling it.
+// logged applies a mutation, then journals it. Applying first means a
+// rejected mutation (dead id, bad vector) never reaches the log, so
+// replay only ever sees operations that succeeded.
 func (db *DB) logged(rec wal.Record, apply func() error) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := apply(); err != nil {
+		return err
+	}
 	if err := db.log.Append(rec); err != nil {
 		return err
 	}
@@ -239,9 +419,6 @@ func (db *DB) logged(rec wal.Record, apply func() error) error {
 		if err := db.log.Sync(); err != nil {
 			return err
 		}
-	}
-	if err := apply(); err != nil {
-		return err
 	}
 	db.pending++
 	if db.opts.CheckpointEvery > 0 && db.pending >= db.opts.CheckpointEvery {
@@ -252,10 +429,13 @@ func (db *DB) logged(rec wal.Record, apply func() error) error {
 
 // Append durably adds a point and returns its id.
 func (db *DB) Append(v []float64) (uint32, error) {
+	if db.shards != nil {
+		return db.shards.Append(v)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	// The id the store will assign is deterministic; journal it
-	// first so replay can verify.
+	// Apply first: the record carries the id the store assigned, and a
+	// rejected vector never reaches the log.
 	id, err := db.multi.Append(v)
 	if err != nil {
 		return 0, err
@@ -277,6 +457,9 @@ func (db *DB) Append(v []float64) (uint32, error) {
 
 // Update durably replaces a point's φ vector.
 func (db *DB) Update(id uint32, v []float64) error {
+	if db.shards != nil {
+		return db.shards.Update(id, v)
+	}
 	return db.logged(wal.Record{Op: wal.OpUpdate, ID: id, Vec: v}, func() error {
 		return db.multi.Update(id, v)
 	})
@@ -284,14 +467,21 @@ func (db *DB) Update(id uint32, v []float64) error {
 
 // Remove durably deletes a point.
 func (db *DB) Remove(id uint32) error {
+	if db.shards != nil {
+		return db.shards.Remove(id)
+	}
 	return db.logged(wal.Record{Op: wal.OpRemove, ID: id}, func() error {
 		return db.multi.Remove(id)
 	})
 }
 
 // Checkpoint writes a fresh snapshot atomically (write-temp, sync,
-// rename) and truncates the log.
+// rename) and truncates the log. In sharded mode every shard
+// checkpoints in parallel.
 func (db *DB) Checkpoint() error {
+	if db.shards != nil {
+		return db.shards.Checkpoint()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.checkpointLocked()
@@ -312,7 +502,7 @@ func (db *DB) checkpointLocked() error {
 	if err := db.log.Close(); err != nil {
 		return err
 	}
-	log, err := wal.Create(filepath.Join(db.dir, walFile), db.Dim())
+	log, err := wal.Create(filepath.Join(db.dir, walFile), db.multi.Store().Dim())
 	if err != nil {
 		return err
 	}
@@ -324,6 +514,9 @@ func (db *DB) checkpointLocked() error {
 // Close flushes the log and releases the DB. It does not checkpoint;
 // the log is replayed on the next Open.
 func (db *DB) Close() error {
+	if db.shards != nil {
+		return db.shards.Close()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.log == nil {

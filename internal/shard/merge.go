@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"sort"
+
+	"planar/internal/core"
+)
+
+// MergeStats rolls one query's per-shard pipeline stats up into a
+// single Stats: interval counters and stage times sum (the totals are
+// cumulative work across shards, not wall clock), FellBack reports
+// any shard scanning, CacheHit reports every shard's plan coming from
+// its cache, and IndexUsed survives only when all shards selected the
+// same index position (the usual case — shards share one index
+// configuration — but interval sizes are data-dependent, so they may
+// legitimately disagree).
+func MergeStats(sts []core.Stats) core.Stats {
+	if len(sts) == 0 {
+		return core.Stats{}
+	}
+	out := core.Stats{IndexUsed: sts[0].IndexUsed, CacheHit: true}
+	for _, st := range sts {
+		out.N += st.N
+		out.Accepted += st.Accepted
+		out.Verified += st.Verified
+		out.Matched += st.Matched
+		out.Rejected += st.Rejected
+		out.PlanNanos += st.PlanNanos
+		out.ExecNanos += st.ExecNanos
+		if st.FellBack {
+			out.FellBack = true
+		}
+		if !st.CacheHit {
+			out.CacheHit = false
+		}
+		if st.IndexUsed != out.IndexUsed {
+			out.IndexUsed = -1
+		}
+		if st.Workers > out.Workers {
+			out.Workers = st.Workers
+		}
+	}
+	return out
+}
+
+// mergeIDs flattens per-shard global id sets into one ascending-id
+// answer. Sorting makes the scatter-gather result deterministic
+// regardless of shard count and gather order.
+func mergeIDs(parts [][]uint32) []uint32 {
+	total := 0
+	for _, ids := range parts {
+		total += len(ids)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, total)
+	for _, ids := range parts {
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeTopK k-way merges per-shard top-k answers. Each shard already
+// applied the Claim-3 cut-off to its own smaller interval, so each
+// part is a correct local top-k; the global top-k is the k best of
+// their union, ordered by (distance, id) — the same tie-break the
+// single-store pipeline uses.
+func mergeTopK(parts [][]core.Result, k int) []core.Result {
+	total := 0
+	for _, rs := range parts {
+		total += len(rs)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make([]core.Result, 0, total)
+	for _, rs := range parts {
+		all = append(all, rs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Distance != all[j].Distance {
+			return all[i].Distance < all[j].Distance
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

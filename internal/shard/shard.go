@@ -1,0 +1,252 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"planar/internal/codec"
+	"planar/internal/core"
+	"planar/internal/vecmath"
+	"planar/internal/wal"
+)
+
+const (
+	snapshotFile = "snapshot.plnr"
+	walFile      = "wal.log"
+	snapshotTmp  = "snapshot.plnr.tmp"
+)
+
+// partition is one shard: a full vertical slice of the engine
+// (point store, indexes, plan cache, WAL segment) behind its own
+// RWMutex. All point ids at this level are shard-local; the Store
+// translates global ids at the boundary.
+//
+// The lock discipline mirrors service.DB: mutations and checkpoints
+// hold the write lock so the WAL append and the in-memory apply are
+// atomic with respect to each other; queries hold the read lock, so
+// readers of the same shard proceed concurrently and writers on
+// *other* shards are never even consulted.
+type partition struct {
+	mu      sync.RWMutex
+	dir     string // "" for an ephemeral partition
+	multi   *core.Multi
+	log     *wal.Writer // nil when ephemeral
+	pending int         // mutations since the last checkpoint
+
+	syncEveryWrite  bool
+	checkpointEvery int
+}
+
+// openPartition restores (or initialises) one shard in dir. An empty
+// dir creates an ephemeral in-memory partition. The returned dim is
+// the partition's φ dimensionality (from its snapshot when dim was
+// passed as 0).
+func openPartition(dir string, dim int, opts Options) (*partition, error) {
+	p := &partition{
+		dir:             dir,
+		syncEveryWrite:  opts.SyncEveryWrite,
+		checkpointEvery: opts.CheckpointEvery,
+	}
+	if dir == "" {
+		if dim <= 0 {
+			return nil, errors.New("shard: Dim required for an ephemeral store")
+		}
+		store, err := core.NewPointStore(dim)
+		if err != nil {
+			return nil, err
+		}
+		p.multi, err = core.NewMulti(store, opts.MultiOptions...)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snapPath := filepath.Join(dir, snapshotFile)
+	walPath := filepath.Join(dir, walFile)
+
+	var m *core.Multi
+	if snap, err := codec.Load(snapPath); err == nil {
+		if dim != 0 && dim != snap.Dim {
+			return nil, fmt.Errorf("shard: snapshot dimension %d, store says %d", snap.Dim, dim)
+		}
+		dim = snap.Dim
+		m, err = snap.Restore(opts.MultiOptions...)
+		if err != nil {
+			return nil, err
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		if dim <= 0 {
+			return nil, errors.New("shard: Dim required to create a fresh shard")
+		}
+		store, err := core.NewPointStore(dim)
+		if err != nil {
+			return nil, err
+		}
+		m, err = core.NewMulti(store, opts.MultiOptions...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	// Replay mutations logged after the snapshot. Records carry
+	// shard-local ids, so each shard's log is self-contained.
+	replayed, err := wal.Replay(walPath, func(r wal.Record) error {
+		switch r.Op {
+		case wal.OpAppend:
+			id, err := m.Append(r.Vec)
+			if err != nil {
+				return err
+			}
+			if id != r.ID {
+				return fmt.Errorf("shard: replay assigned local id %d, log says %d", id, r.ID)
+			}
+			return nil
+		case wal.OpUpdate:
+			return m.Update(r.ID, r.Vec)
+		case wal.OpRemove:
+			return m.Remove(r.ID)
+		default:
+			return fmt.Errorf("shard: unknown op %d in log", r.Op)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: replaying %s: %w", walPath, err)
+	}
+
+	log, err := wal.Open(walPath, dim)
+	if err != nil {
+		return nil, err
+	}
+	p.multi = m
+	p.log = log
+	p.pending = replayed
+	return p, nil
+}
+
+// append durably adds a point and returns its shard-local id.
+func (p *partition) append(v []float64) (uint32, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id, err := p.multi.Append(v)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.journal(wal.Record{Op: wal.OpAppend, ID: id, Vec: v}); err != nil {
+		return 0, err
+	}
+	return id, p.bumpLocked()
+}
+
+// update durably replaces a local point's φ vector.
+func (p *partition) update(id uint32, v []float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.multi.Update(id, v); err != nil {
+		return err
+	}
+	if err := p.journal(wal.Record{Op: wal.OpUpdate, ID: id, Vec: v}); err != nil {
+		return err
+	}
+	return p.bumpLocked()
+}
+
+// remove durably deletes a local point.
+func (p *partition) remove(id uint32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.multi.Remove(id); err != nil {
+		return err
+	}
+	if err := p.journal(wal.Record{Op: wal.OpRemove, ID: id}); err != nil {
+		return err
+	}
+	return p.bumpLocked()
+}
+
+// journal logs one record (a no-op for ephemeral partitions).
+func (p *partition) journal(rec wal.Record) error {
+	if p.log == nil {
+		return nil
+	}
+	if err := p.log.Append(rec); err != nil {
+		return err
+	}
+	if p.syncEveryWrite {
+		return p.log.Sync()
+	}
+	return nil
+}
+
+// bumpLocked advances the pending-mutation counter and triggers the
+// automatic per-shard checkpoint. Callers hold the write lock.
+func (p *partition) bumpLocked() error {
+	p.pending++
+	if p.log != nil && p.checkpointEvery > 0 && p.pending >= p.checkpointEvery {
+		return p.checkpointLocked()
+	}
+	return nil
+}
+
+// addNormal installs an index on this shard's Multi.
+func (p *partition) addNormal(normal []float64, signs vecmath.SignPattern) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.multi.AddNormal(normal, signs)
+}
+
+// checkpoint snapshots the shard and truncates its log.
+func (p *partition) checkpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.checkpointLocked()
+}
+
+func (p *partition) checkpointLocked() error {
+	if p.log == nil {
+		return nil // ephemeral: nothing to persist
+	}
+	if err := p.log.Sync(); err != nil {
+		return err
+	}
+	tmp := filepath.Join(p.dir, snapshotTmp)
+	if err := codec.Capture(p.multi).Save(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(p.dir, snapshotFile)); err != nil {
+		return err
+	}
+	if err := p.log.Close(); err != nil {
+		return err
+	}
+	log, err := wal.Create(filepath.Join(p.dir, walFile), p.multi.Store().Dim())
+	if err != nil {
+		return err
+	}
+	p.log = log
+	p.pending = 0
+	return nil
+}
+
+// close flushes and releases the shard's log.
+func (p *partition) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log == nil {
+		return nil
+	}
+	err := p.log.Sync()
+	if cerr := p.log.Close(); err == nil {
+		err = cerr
+	}
+	p.log = nil
+	return err
+}

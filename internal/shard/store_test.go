@@ -1,0 +1,258 @@
+package shard
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"planar/internal/core"
+	"planar/internal/vecmath"
+)
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", Options{Shards: 4}); err == nil {
+		t.Error("ephemeral store without Dim accepted")
+	}
+	if _, err := Open(t.TempDir(), Options{Dim: 2}); err == nil {
+		t.Error("fresh sharded dir without Shards accepted")
+	}
+	if _, err := Open(t.TempDir(), Options{Shards: 3}); err == nil {
+		t.Error("fresh sharded dir without Dim accepted")
+	}
+}
+
+func TestMetaMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 4, Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := Open(dir, Options{Shards: 2}); err == nil {
+		t.Error("shard-count mismatch accepted")
+	}
+	if _, err := Open(dir, Options{Dim: 5}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// 0 adopts the stored configuration.
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.NumShards() != 4 || st2.Dim() != 2 {
+		t.Fatalf("adopted shards=%d dim=%d want 4/2", st2.NumShards(), st2.Dim())
+	}
+}
+
+func TestIDMappingRoundTrip(t *testing.T) {
+	st, err := Open("", Options{Shards: 8, Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, gid := range []uint32{0, 1, 7, 8, 9, 1023, 1 << 20} {
+		si, local := st.shardOf(gid)
+		if back := st.globalID(si, local); back != gid {
+			t.Fatalf("gid %d → (%d, %d) → %d", gid, si, local, back)
+		}
+	}
+}
+
+// TestDurabilityAcrossReopen checkpoints some shards, leaves others
+// with un-checkpointed WAL tails, and verifies the reopened store —
+// recovered shard-by-shard in parallel — answers identically.
+func TestDurabilityAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	st, err := Open(dir, Options{Shards: 4, Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddNormal([]float64{1, 1}, vecmath.FirstOctant(2)); err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint32
+	for i := 0; i < 300; i++ {
+		id, err := st.Append([]float64{rng.Float64() * 10, rng.Float64() * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < 60; i++ {
+		if err := st.Update(ids[i], []float64{rng.Float64() * 10, rng.Float64() * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 60; i < 90; i++ {
+		if err := st.Remove(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot everything, then keep mutating so every shard has a
+	// WAL tail to replay on top of its snapshot.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 90; i < 130; i++ {
+		if err := st.Update(ids[i], []float64{rng.Float64() * 10, rng.Float64() * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra, err := st.Append([]float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{A: []float64{1, 2}, B: 18, Op: core.LE}
+	want, _, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every shard directory holds its own snapshot and WAL segment.
+	for i := 0; i < 4; i++ {
+		if _, err := os.Stat(filepath.Join(shardDir(dir, i), snapshotFile)); err != nil {
+			t.Fatalf("shard %d snapshot missing: %v", i, err)
+		}
+		if _, err := os.Stat(filepath.Join(shardDir(dir, i), walFile)); err != nil {
+			t.Fatalf("shard %d wal missing: %v", i, err)
+		}
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != wantLen || st2.NumShards() != 4 || st2.NumIndexes() != 1 {
+		t.Fatalf("reopened Len=%d shards=%d indexes=%d", st2.Len(), st2.NumShards(), st2.NumIndexes())
+	}
+	if !st2.Live(extra) {
+		t.Fatal("post-checkpoint append lost")
+	}
+	got, _, err := st2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, want) {
+		t.Fatalf("reopened answer %d ids, want %d", len(got), len(want))
+	}
+}
+
+func TestAutomaticPerShardCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 2, Dim: 1, CheckpointEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		if _, err := st.Append([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	for i := 0; i < 2; i++ {
+		snap, err := os.Stat(filepath.Join(shardDir(dir, i), snapshotFile))
+		if err != nil {
+			t.Fatalf("shard %d: no snapshot after auto-checkpoint: %v", i, err)
+		}
+		if snap.Size() == 0 {
+			t.Fatalf("shard %d: empty snapshot", i)
+		}
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 24 {
+		t.Fatalf("Len=%d want 24", st2.Len())
+	}
+}
+
+func TestMutationsRouteToOwningShard(t *testing.T) {
+	st, err := Open("", Options{Shards: 4, Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 16; i++ {
+		id, err := st.Append([]float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, local := st.shardOf(id)
+		if si != i%4 || local != uint32(i/4) {
+			t.Fatalf("append %d landed on shard %d local %d", i, si, local)
+		}
+	}
+	// Removing and re-appending recycles the shard-local id, so the
+	// same global id comes back.
+	if err := st.Remove(6); err != nil {
+		t.Fatal(err)
+	}
+	if st.Live(6) {
+		t.Fatal("removed id still live")
+	}
+	v, err := st.Vector(7)
+	if err != nil || v[0] != 7 {
+		t.Fatalf("Vector(7) = %v, %v", v, err)
+	}
+	if _, err := st.Vector(6); err == nil {
+		t.Fatal("Vector on a dead id succeeded")
+	}
+	if err := st.Update(6, []float64{1}); err == nil {
+		t.Fatal("Update on a dead id succeeded")
+	}
+}
+
+func TestExplainAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := goldenDataset(rng, 600, 3)
+	st := goldenShardStore(t, "", 4, vecs)
+	defer st.Close()
+	q := core.Query{A: []float64{1, 2, 1}, B: 180, Op: core.LE}
+	plan, err := st.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.N != 600 {
+		t.Fatalf("plan.N=%d want 600", plan.N)
+	}
+	if plan.Accepted+plan.Verified+plan.Rejected != 600 {
+		t.Fatalf("intervals %d+%d+%d != 600", plan.Accepted, plan.Verified, plan.Rejected)
+	}
+	n, _, err := st.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BoundsLo > n || plan.BoundsHi < n {
+		t.Fatalf("bounds [%d,%d] exclude count %d", plan.BoundsLo, plan.BoundsHi, n)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	merged := MergeStats([]core.Stats{
+		{N: 10, Accepted: 2, Verified: 3, Matched: 1, Rejected: 5, PlanNanos: 7, ExecNanos: 11, CacheHit: true, IndexUsed: 1, Workers: 1},
+		{N: 20, Accepted: 4, Verified: 6, Matched: 2, Rejected: 10, PlanNanos: 13, ExecNanos: 17, CacheHit: true, IndexUsed: 1, Workers: 3},
+	})
+	if merged.N != 30 || merged.Accepted != 6 || merged.Verified != 9 || merged.Matched != 3 || merged.Rejected != 15 {
+		t.Fatalf("counter merge wrong: %+v", merged)
+	}
+	if merged.PlanNanos != 20 || merged.ExecNanos != 28 {
+		t.Fatalf("stage-time merge wrong: %+v", merged)
+	}
+	if !merged.CacheHit || merged.IndexUsed != 1 || merged.Workers != 3 {
+		t.Fatalf("flag merge wrong: %+v", merged)
+	}
+	diverged := MergeStats([]core.Stats{{IndexUsed: 0, CacheHit: true}, {IndexUsed: 2, FellBack: true}})
+	if diverged.IndexUsed != -1 || !diverged.FellBack || diverged.CacheHit {
+		t.Fatalf("divergence merge wrong: %+v", diverged)
+	}
+}

@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"planar/internal/core"
+	"planar/internal/vecmath"
+)
+
+// TestStressConcurrentMixedOps hammers one sharded store with
+// concurrent appends, updates, removes and every query variant. Run
+// under -race (make race-shard) it proves the per-shard lock
+// discipline: writers contend only within a shard, readers only take
+// read locks, and the scatter-gather merge never observes a torn
+// store.
+func TestStressConcurrentMixedOps(t *testing.T) {
+	st, err := Open("", Options{Shards: 4, Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	oct := vecmath.FirstOctant(3)
+	for _, normal := range [][]float64{{1, 1, 1}, {2, 1, 3}} {
+		if _, err := st.AddNormal(normal, oct); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		if _, err := st.Append([]float64{seed.Float64() * 60, seed.Float64() * 60, seed.Float64() * 60}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Liveness errors are expected — two writers may race to remove
+	// the same id — but nothing else is.
+	acceptable := func(err error) bool {
+		return err == nil || strings.Contains(err.Error(), "not live")
+	}
+
+	const (
+		writers   = 4
+		readers   = 4
+		opsEach   = 400
+		idHorizon = 2600 // appends push live ids a bit past the preload
+	)
+	var wg sync.WaitGroup
+	fail := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < opsEach; i++ {
+				v := []float64{rng.Float64() * 60, rng.Float64() * 60, rng.Float64() * 60}
+				switch rng.Intn(4) {
+				case 0:
+					if _, err := st.Append(v); err != nil {
+						fail <- err
+						return
+					}
+				case 1:
+					if err := st.Update(uint32(rng.Intn(idHorizon)), v); !acceptable(err) {
+						fail <- err
+						return
+					}
+				default:
+					if err := st.Remove(uint32(rng.Intn(idHorizon))); !acceptable(err) {
+						fail <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for i := 0; i < opsEach; i++ {
+				q := core.Query{
+					A:  []float64{rng.Float64() * 5, rng.Float64() * 5, rng.Float64() * 5},
+					B:  rng.Float64() * 400,
+					Op: core.LE,
+				}
+				switch rng.Intn(4) {
+				case 0:
+					ids, stq, err := st.Query(q)
+					if err != nil {
+						fail <- err
+						return
+					}
+					if stq.Accepted+stq.Matched != len(ids) {
+						t.Errorf("stats report %d results, got %d ids", stq.Accepted+stq.Matched, len(ids))
+						return
+					}
+				case 1:
+					if _, _, err := st.Count(q); err != nil {
+						fail <- err
+						return
+					}
+				case 2:
+					q.A = []float64{1 + rng.Float64(), 1 + rng.Float64(), 1 + rng.Float64()}
+					if _, _, err := st.TopK(q, 1+rng.Intn(8)); err != nil {
+						fail <- err
+						return
+					}
+				default:
+					if _, _, err := st.QueryBatch(q.A, q.Op, []float64{q.B, q.B * 0.5}); err != nil {
+						fail <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+
+	// The store is still coherent: a fresh query agrees with a
+	// per-shard brute-force pass.
+	q := core.Query{A: []float64{1, 1, 1}, B: 90, Op: core.LE}
+	ids, _, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := 0
+	for _, p := range st.parts {
+		p.multi.Store().Each(func(_ uint32, v []float64) bool {
+			if q.Satisfies(v) {
+				brute++
+			}
+			return true
+		})
+	}
+	if len(ids) != brute {
+		t.Fatalf("post-stress query returned %d ids, brute force says %d", len(ids), brute)
+	}
+}
+
+// TestStressDurableConcurrent runs a shorter mixed workload against a
+// durable store (per-shard WALs, auto-checkpoints) and verifies the
+// reopened store matches what was in memory at close.
+func TestStressDurableConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 3, Dim: 2, CheckpointEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddNormal([]float64{1, 1}, vecmath.FirstOctant(2)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					st.Append([]float64{rng.Float64() * 10, rng.Float64() * 10})
+				case 1:
+					st.Update(uint32(rng.Intn(600)), []float64{rng.Float64() * 10, rng.Float64() * 10})
+				default:
+					st.Query(core.Query{A: []float64{1, 2}, B: rng.Float64() * 30, Op: core.LE})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	q := core.Query{A: []float64{1, 2}, B: 18, Op: core.LE}
+	want, _, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != wantLen {
+		t.Fatalf("reopened Len=%d want %d", st2.Len(), wantLen)
+	}
+	got, _, err := st2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, want) {
+		t.Fatal("reopened store answers differently")
+	}
+}
