@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-shard bench-smoke bench-shard-smoke ci clean
+.PHONY: all build test vet race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke ci clean
 
 all: build
 
@@ -31,7 +31,18 @@ bench-smoke:
 bench-shard-smoke:
 	$(GO) run ./cmd/planarbench -clients 2 -shards 2 -points 2000 -benchdur 200ms -benchout ""
 
-ci: vet build race race-shard bench-smoke bench-shard-smoke
+# End-to-end replication under the race detector: in-process
+# primary+replica over real HTTP — bootstrap, catch-up identity,
+# mid-stream disconnect/resume, too-old re-bootstrap, promote, proxy.
+replica-integration:
+	$(GO) test -race ./internal/replica ./internal/replog
+
+# A tiny run of the replica read scale-out benchmark (no JSON report)
+# to prove the -replicas path still works.
+bench-replica-smoke:
+	$(GO) run ./cmd/planarbench -replicas 1 -points 2000 -benchdur 200ms -repout ""
+
+ci: vet build race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,15 @@
 // which sweeps shard counts up to -shards, drives a mixed read/write
 // workload from -clients concurrent goroutines, and writes the
 // throughput table to -benchout (BENCH_shard.json).
+//
+// A third mode benchmarks replication read scale-out:
+//
+//	planarbench -replicas 2
+//
+// which serves a primary plus N streaming replicas over in-process
+// HTTP, measures read QPS against the primary alone versus the full
+// fleet (with a background writer so lag is measured under load), and
+// writes the report to -repout (BENCH_replica.json).
 package main
 
 import (
@@ -45,8 +54,35 @@ func main() {
 		writeFrac = flag.Float64("writefrac", 0.5, "fraction of mutations in the -clients workload")
 		benchDur  = flag.Duration("benchdur", 2*time.Second, "measurement window per shard count in the -clients sweep")
 		benchOut  = flag.String("benchout", "BENCH_shard.json", "JSON report path for the -clients sweep (empty = stdout only)")
+
+		replicas   = flag.Int("replicas", 0, "run the replication read scale-out benchmark with this many replicas")
+		repClients = flag.Int("repclients", 8, "client goroutines in the -replicas benchmark")
+		repOut     = flag.String("repout", "BENCH_replica.json", "JSON report path for the -replicas benchmark (empty = stdout only)")
 	)
 	flag.Parse()
+
+	if *replicas > 0 {
+		cfg := replicaBenchConfig{
+			Replicas: *replicas,
+			Clients:  *repClients,
+			Points:   20000,
+			Dim:      *dim,
+			Duration: *benchDur,
+			Seed:     2014,
+			OutPath:  *repOut,
+		}
+		if *points > 0 {
+			cfg.Points = *points
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if err := runReplicaBench(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *clients > 0 {
 		cfg := shardBenchConfig{

@@ -1,0 +1,283 @@
+package main
+
+// The -replicas mode measures what WAL-shipping replication buys:
+// read QPS against the primary alone versus the same client pool
+// round-robined across the primary plus N replicas, with a background
+// writer running so the steady-state replication lag is measured
+// under load rather than at rest. Everything runs in-process over
+// real HTTP (httptest servers), so the numbers include the JSON and
+// transport cost a deployment would pay. The report lands in
+// BENCH_replica.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planar/internal/httpapi"
+	"planar/internal/replica"
+	"planar/internal/service"
+	"planar/internal/vecmath"
+)
+
+type replicaBenchConfig struct {
+	Replicas int
+	Clients  int
+	Points   int
+	Dim      int
+	Duration time.Duration
+	Seed     int64
+	OutPath  string
+}
+
+type replicaBenchPhase struct {
+	Targets int     `json:"targets"`
+	Ops     int     `json:"ops"`
+	Errors  int     `json:"errors"`
+	Seconds float64 `json:"seconds"`
+	QPS     float64 `json:"qps"`
+}
+
+type replicaBenchReport struct {
+	Replicas   int               `json:"replicas"`
+	Clients    int               `json:"clients"`
+	Points     int               `json:"points"`
+	Dim        int               `json:"dim"`
+	Duration   string            `json:"duration"`
+	GoMaxProc  int               `json:"gomaxprocs"`
+	Primary    replicaBenchPhase `json:"primaryOnly"`
+	ScaleOut   replicaBenchPhase `json:"scaleOut"`
+	Speedup    float64           `json:"speedup"`
+	Writes     int               `json:"backgroundWrites"`
+	LagSamples int               `json:"lagSamples"`
+	MeanLag    float64           `json:"meanLagLSNs"`
+	MaxLag     uint64            `json:"maxLagLSNs"`
+}
+
+// benchQueryPhase drives cfg.Clients goroutines issuing /v1/query
+// round-robin across endpoints for cfg.Duration.
+func benchQueryPhase(cfg replicaBenchConfig, client *http.Client, endpoints []string) replicaBenchPhase {
+	var ops, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			for i := 0; time.Now().Before(deadline); i++ {
+				a := make([]float64, cfg.Dim)
+				for j := range a {
+					a[j] = rng.Float64() * 4
+				}
+				body, _ := json.Marshal(map[string]interface{}{"a": a, "b": rng.Float64() * 100, "op": "<="})
+				url := endpoints[(c+i)%len(endpoints)] + "/v1/query"
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				ops.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return replicaBenchPhase{
+		Targets: len(endpoints),
+		Ops:     int(ops.Load()),
+		Errors:  int(errs.Load()),
+		Seconds: elapsed.Seconds(),
+		QPS:     float64(ops.Load()) / elapsed.Seconds(),
+	}
+}
+
+func runReplicaBench(cfg replicaBenchConfig, w io.Writer) error {
+	if cfg.Replicas < 1 {
+		return fmt.Errorf("replica bench: -replicas must be >= 1 (got %d)", cfg.Replicas)
+	}
+	root, err := os.MkdirTemp("", "planar-repbench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	db, err := service.Open(filepath.Join(root, "primary"), service.Options{Dim: cfg.Dim, Shards: 2})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	normal := make([]float64, cfg.Dim)
+	for j := range normal {
+		normal[j] = 1 + float64(j)
+	}
+	if _, err := db.AddNormal(normal, vecmath.FirstOctant(cfg.Dim)); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Points; i++ {
+		if _, err := db.Append(benchVec(rng, cfg.Dim)); err != nil {
+			return err
+		}
+	}
+	api, err := httpapi.New(db)
+	if err != nil {
+		return err
+	}
+	primarySrv := httptest.NewServer(api.Handler())
+	defer primarySrv.Close()
+
+	endpoints := []string{primarySrv.URL}
+	reps := make([]*replica.Replica, 0, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		rep, err := replica.Start(replica.Options{
+			Primary:  primarySrv.URL,
+			Dir:      filepath.Join(root, fmt.Sprintf("replica%d", i)),
+			PollWait: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer rep.Close()
+		rapi, err := httpapi.New(nil, httpapi.WithReplica(rep, primarySrv.URL, false))
+		if err != nil {
+			return err
+		}
+		rsrv := httptest.NewServer(rapi.Handler())
+		defer rsrv.Close()
+		reps = append(reps, rep)
+		endpoints = append(endpoints, rsrv.URL)
+	}
+	for _, rep := range reps {
+		deadline := time.Now().Add(60 * time.Second)
+		for rep.Status().LastApplied < db.LastLSN() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica bench: catch-up stuck at %+v", rep.Status())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// One pooled client shared by both phases so transport reuse is
+	// identical; the per-host idle pool must cover every client conn.
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Clients * 2}}
+
+	fmt.Fprintf(w, "replica read scale-out bench: %d clients, %d points (dim %d), %s per phase, %d replicas\n",
+		cfg.Clients, cfg.Points, cfg.Dim, cfg.Duration, cfg.Replicas)
+
+	// The background writer and the lag sampler span both phases so
+	// the two read-QPS numbers face the same write load. Note the
+	// whole fleet shares this process's CPU pool: on a small
+	// GOMAXPROCS the scale-out phase measures correctness under load
+	// and lag, while the QPS gain only materialises with spare cores.
+	stop := make(chan struct{})
+	var writes int
+	var lagSamples int
+	var lagSum, lagMax uint64
+	var bg sync.WaitGroup
+	bg.Add(2)
+	go func() {
+		defer bg.Done()
+		wrng := rand.New(rand.NewSource(cfg.Seed + 1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Append(benchVec(wrng, cfg.Dim)); err != nil {
+				return
+			}
+			writes++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	go func() {
+		defer bg.Done()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				// True instantaneous lag: the primary's committed LSN
+				// minus what each replica has applied right now (the
+				// Status view only compares points within one batch).
+				last := db.LastLSN()
+				for _, rep := range reps {
+					rdb := rep.DB()
+					if rdb == nil {
+						continue
+					}
+					var lag uint64
+					if applied := rdb.LastLSN(); last > applied {
+						lag = last - applied
+					}
+					lagSum += lag
+					lagSamples++
+					if lag > lagMax {
+						lagMax = lag
+					}
+				}
+			}
+		}
+	}()
+	primaryPhase := benchQueryPhase(cfg, client, endpoints[:1])
+	fmt.Fprintf(w, "%-14s %12d ops %10.0f qps (%d errors)\n", "primary-only", primaryPhase.Ops, primaryPhase.QPS, primaryPhase.Errors)
+	scalePhase := benchQueryPhase(cfg, client, endpoints)
+	close(stop)
+	bg.Wait()
+	fmt.Fprintf(w, "%-14s %12d ops %10.0f qps (%d errors)\n", fmt.Sprintf("primary+%drep", cfg.Replicas), scalePhase.Ops, scalePhase.QPS, scalePhase.Errors)
+
+	report := replicaBenchReport{
+		Replicas:   cfg.Replicas,
+		Clients:    cfg.Clients,
+		Points:     cfg.Points,
+		Dim:        cfg.Dim,
+		Duration:   cfg.Duration.String(),
+		GoMaxProc:  runtime.GOMAXPROCS(0),
+		Primary:    primaryPhase,
+		ScaleOut:   scalePhase,
+		Writes:     writes,
+		LagSamples: lagSamples,
+		MaxLag:     lagMax,
+	}
+	if primaryPhase.QPS > 0 {
+		report.Speedup = scalePhase.QPS / primaryPhase.QPS
+	}
+	if lagSamples > 0 {
+		report.MeanLag = float64(lagSum) / float64(lagSamples)
+	}
+	fmt.Fprintf(w, "speedup %.2fx, steady-state lag mean %.1f LSNs, max %d (over %d samples, %d background writes)\n",
+		report.Speedup, report.MeanLag, report.MaxLag, report.LagSamples, report.Writes)
+
+	if cfg.OutPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.OutPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", cfg.OutPath)
+	}
+	return nil
+}

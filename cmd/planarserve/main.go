@@ -5,17 +5,30 @@
 //
 // The data directory holds a CRC-checked snapshot plus a write-ahead
 // log; kill the process at any point and reopen to recover.
+//
+// With -replicate-from the process runs as a read replica instead: it
+// bootstraps from the primary's snapshot, tails its commit stream,
+// and serves the full read API while writes answer 403 (or proxy
+// upstream with -proxy-writes). POST /v1/replication/promote fails it
+// over into a writable primary. See DESIGN.md §8.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener drains in-flight
+// requests up to -shutdown-timeout, then the WAL is synced and the
+// store closed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"planar/internal/httpapi"
+	"planar/internal/replica"
 	"planar/internal/service"
 )
 
@@ -27,48 +40,104 @@ func main() {
 		syncWrites = flag.Bool("sync", false, "fsync the log after every mutation")
 		checkpoint = flag.Int("checkpoint", 10000, "auto-checkpoint after this many mutations (0 = manual only)")
 		shards     = flag.Int("shards", 0, "partition the store across N shards (0 = unsharded; existing directories keep their layout)")
+
+		role          = flag.String("role", "", "primary or replica (default: replica iff -replicate-from is set)")
+		replicateFrom = flag.String("replicate-from", "", "primary base URL to replicate from (enables replica role)")
+		proxyWrites   = flag.Bool("proxy-writes", false, "replica: proxy mutations to the primary instead of rejecting them")
+		readyMaxLag   = flag.Uint64("ready-max-lag", 4096, "replica: /readyz fails above this many unapplied LSNs (0 = any lag is ready)")
+		shutdownWait  = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	db, err := service.Open(*dataDir, service.Options{
-		Dim:             *dim,
-		SyncEveryWrite:  *syncWrites,
-		CheckpointEvery: *checkpoint,
-		Shards:          *shards,
-	})
-	if err != nil {
-		log.Fatalf("planarserve: %v", err)
+	isReplica := *replicateFrom != ""
+	switch *role {
+	case "", "primary", "replica":
+		if *role == "replica" && !isReplica {
+			log.Fatal("planarserve: -role replica requires -replicate-from")
+		}
+		if *role == "primary" && isReplica {
+			log.Fatal("planarserve: -role primary conflicts with -replicate-from")
+		}
+	default:
+		log.Fatalf("planarserve: unknown role %q (primary or replica)", *role)
 	}
-	api, err := httpapi.New(db)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		api *httpapi.Server
+		rep *replica.Replica
+		db  *service.DB
+		err error
+	)
+	if isReplica {
+		rep, err = replica.Start(replica.Options{
+			Primary:         *replicateFrom,
+			Dir:             *dataDir,
+			ReadyMaxLag:     *readyMaxLag,
+			SyncEveryWrite:  *syncWrites,
+			CheckpointEvery: *checkpoint,
+		})
+		if err == nil {
+			api, err = httpapi.New(nil, httpapi.WithReplica(rep, *replicateFrom, *proxyWrites))
+		}
+	} else {
+		db, err = service.Open(*dataDir, service.Options{
+			Dim:             *dim,
+			SyncEveryWrite:  *syncWrites,
+			CheckpointEvery: *checkpoint,
+			Shards:          *shards,
+		})
+		if err == nil {
+			api, err = httpapi.New(db)
+		}
+	}
 	if err != nil {
 		log.Fatalf("planarserve: %v", err)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
-		log.Println("planarserve: shutting down")
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	if isReplica {
+		fmt.Printf("planarserve: replica of %s, data %s, listening on %s\n", *replicateFrom, *dataDir, *addr)
+	} else {
+		layout := "unsharded"
+		if db.Sharded() {
+			layout = fmt.Sprintf("%d shards", db.Shards())
+		}
+		fmt.Printf("planarserve: %d points (dim %d), %d indexes, %s, listening on %s\n",
+			db.Len(), db.Dim(), db.NumIndexes(), layout, *addr)
+	}
+
+	select {
+	case err := <-errc:
+		log.Fatalf("planarserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests with
+	// a deadline, then make the store durable and release it.
+	log.Printf("planarserve: signal received, draining for up to %s", *shutdownWait)
+	drain, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+	defer cancel()
+	if err := srv.Shutdown(drain); err != nil {
+		log.Printf("planarserve: drain: %v (closing anyway)", err)
 		srv.Close()
+	}
+	if rep != nil {
+		if err := rep.Close(); err != nil {
+			log.Printf("planarserve: replica close: %v", err)
+		}
+	} else {
 		if err := db.Checkpoint(); err != nil {
 			log.Printf("planarserve: final checkpoint: %v", err)
 		}
 		if err := db.Close(); err != nil {
 			log.Printf("planarserve: close: %v", err)
 		}
-	}()
-
-	layout := "unsharded"
-	if db.Sharded() {
-		layout = fmt.Sprintf("%d shards", db.Shards())
 	}
-	fmt.Printf("planarserve: %d points (dim %d), %d indexes, %s, listening on %s\n",
-		db.Len(), db.Dim(), db.NumIndexes(), layout, *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("planarserve: %v", err)
-	}
-	<-done
+	log.Println("planarserve: shut down cleanly")
 }

@@ -14,51 +14,210 @@
 //	POST   /v1/checkpoint                                        → snapshot + truncate log
 //	GET    /v1/stats                                             → store/index statistics + pipeline metrics
 //
+// Replication and operations endpoints (see internal/replica and
+// DESIGN.md §8):
+//
+//	GET  /v1/replication/snapshot                → consistent snapshot (binary) for replica bootstrap
+//	GET  /v1/replication/stream?from=&max=&waitms= → committed records from LSN (long-poll)
+//	GET  /v1/replication/status                  → role, LSN, replica lag
+//	POST /v1/replication/promote                 → failover: stop applying, accept writes
+//	GET  /healthz                                → process liveness
+//	GET  /readyz                                 → store open; replicas: streaming with bounded lag
+//
+// Reads honor a monotonic read barrier: a request carrying
+// X-Planar-Min-LSN waits (up to X-Planar-Wait-Ms, default 2000) until
+// the store has committed/applied at least that LSN, answering 504 if
+// it does not get there in time. Every read answers with X-Planar-LSN,
+// a lower bound on the LSN the response reflects — clients chain it
+// into the next request's barrier for read-your-writes across
+// replicas. On a replica, mutation endpoints answer 403 with the
+// primary's URL (or transparently proxy when enabled).
+//
 // Per-query stats come straight from the execution pipeline
 // (internal/exec): interval sizes, plan/execute stage times in
 // nanoseconds, and whether index selection hit the plan cache.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"planar/internal/core"
+	"planar/internal/replica"
 	"planar/internal/service"
 	"planar/internal/vecmath"
 )
 
 // Server wraps a service.DB with HTTP handlers.
 type Server struct {
-	db *service.DB
+	db      func() *service.DB
+	rep     *replica.Replica
+	primary string
+	proxy   bool
+	client  *http.Client
 }
 
-// New creates a Server over an open DB.
-func New(db *service.DB) (*Server, error) {
-	if db == nil {
+// Option customises a Server.
+type Option func(*Server)
+
+// WithReplica serves the store behind a replication loop: the handler
+// follows the replica's current DB (the pointer changes across a
+// re-bootstrap), /readyz gates on streaming with bounded lag, and
+// mutations are rejected with the primary's URL — or proxied there
+// when proxyWrites is set.
+func WithReplica(rep *replica.Replica, primaryURL string, proxyWrites bool) Option {
+	return func(s *Server) {
+		s.rep = rep
+		s.primary = primaryURL
+		s.proxy = proxyWrites
+		s.db = rep.DB
+	}
+}
+
+// New creates a Server over an open DB. With WithReplica, db may be
+// nil — the server follows the replica's store instead.
+func New(db *service.DB, opts ...Option) (*Server, error) {
+	s := &Server{client: &http.Client{Timeout: 30 * time.Second}}
+	if db != nil {
+		s.db = func() *service.DB { return db }
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.db == nil {
 		return nil, errors.New("httpapi: nil db")
 	}
-	return &Server{db: db}, nil
+	return s, nil
 }
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/query/batch", s.handleQueryBatch)
-	mux.HandleFunc("POST /v1/topk", s.handleTopK)
-	mux.HandleFunc("POST /v1/count", s.handleCount)
-	mux.HandleFunc("POST /v1/explain", s.handleExplain)
-	mux.HandleFunc("POST /v1/points", s.handleAppend)
-	mux.HandleFunc("PUT /v1/points/{id}", s.handleUpdate)
-	mux.HandleFunc("DELETE /v1/points/{id}", s.handleRemove)
-	mux.HandleFunc("POST /v1/indexes", s.handleAddIndex)
-	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	read, write := s.readEndpoint, s.writeEndpoint
+	mux.HandleFunc("POST /v1/query", read(s.handleQuery))
+	mux.HandleFunc("POST /v1/query/batch", read(s.handleQueryBatch))
+	mux.HandleFunc("POST /v1/topk", read(s.handleTopK))
+	mux.HandleFunc("POST /v1/count", read(s.handleCount))
+	mux.HandleFunc("POST /v1/explain", read(s.handleExplain))
+	mux.HandleFunc("POST /v1/points", write(s.handleAppend))
+	mux.HandleFunc("PUT /v1/points/{id}", write(s.handleUpdate))
+	mux.HandleFunc("DELETE /v1/points/{id}", write(s.handleRemove))
+	mux.HandleFunc("POST /v1/indexes", write(s.handleAddIndex))
+	mux.HandleFunc("POST /v1/checkpoint", write(s.handleCheckpoint))
+	mux.HandleFunc("GET /v1/stats", read(s.handleStats))
+	mux.HandleFunc("GET /v1/replication/snapshot", s.withDB(s.handleReplSnapshot))
+	mux.HandleFunc("GET /v1/replication/stream", s.withDB(s.handleReplStream))
+	mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
+	mux.HandleFunc("POST /v1/replication/promote", s.handleReplPromote)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// dbKey carries the request's resolved store through the context so a
+// re-bootstrap swapping the replica's DB mid-request cannot split one
+// handler across two stores.
+type dbKey struct{}
+
+// store returns the DB resolved for this request by withDB.
+func (s *Server) store(r *http.Request) *service.DB {
+	return r.Context().Value(dbKey{}).(*service.DB)
+}
+
+// withDB resolves the current store once per request, answering 503
+// while a replica is still bootstrapping its first snapshot.
+func (s *Server) withDB(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		db := s.db()
+		if db == nil {
+			fail(w, http.StatusServiceUnavailable, errors.New("store not ready (bootstrapping)"))
+			return
+		}
+		next(w, r.WithContext(context.WithValue(r.Context(), dbKey{}, db)))
+	}
+}
+
+// readEndpoint wraps a read handler with the store resolution and the
+// monotonic read barrier.
+func (s *Server) readEndpoint(next http.HandlerFunc) http.HandlerFunc {
+	return s.withDB(func(w http.ResponseWriter, r *http.Request) {
+		db := s.store(r)
+		if raw := r.Header.Get("X-Planar-Min-LSN"); raw != "" {
+			min, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				fail(w, http.StatusBadRequest, fmt.Errorf("bad X-Planar-Min-LSN %q", raw))
+				return
+			}
+			waitMs := int64(2000)
+			if v := r.Header.Get("X-Planar-Wait-Ms"); v != "" {
+				if waitMs, err = strconv.ParseInt(v, 10, 64); err != nil || waitMs < 0 {
+					fail(w, http.StatusBadRequest, fmt.Errorf("bad X-Planar-Wait-Ms %q", v))
+					return
+				}
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), time.Duration(waitMs)*time.Millisecond)
+			err = db.WaitLSN(ctx, min)
+			cancel()
+			if err != nil {
+				fail(w, http.StatusGatewayTimeout,
+					fmt.Errorf("read barrier: store at LSN %d, %d not reached: %v", db.LastLSN(), min, err))
+				return
+			}
+		}
+		w.Header().Set("X-Planar-LSN", strconv.FormatUint(db.LastLSN(), 10))
+		next(w, r)
+	})
+}
+
+// writeEndpoint wraps a mutation handler with the replica write
+// guard: replicas reject (403 + primary URL) or proxy upstream until
+// promoted.
+func (s *Server) writeEndpoint(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.rep != nil {
+			db := s.db()
+			if db == nil || db.ReadOnly() {
+				if s.proxy && s.primary != "" {
+					s.proxyToPrimary(w, r)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusForbidden)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error":   "read-only replica; write to the primary",
+					"primary": s.primary,
+				})
+				return
+			}
+		}
+		s.withDB(next)(w, r)
+	}
+}
+
+// proxyToPrimary forwards a mutation verbatim and relays the answer.
+func (s *Server) proxyToPrimary(w http.ResponseWriter, r *http.Request) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, s.primary+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		fail(w, http.StatusBadGateway, err)
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	resp, err := s.client.Do(req)
+	if err != nil {
+		fail(w, http.StatusBadGateway, fmt.Errorf("proxying to primary: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.Header().Set("X-Planar-Proxied", "primary")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
 }
 
 type queryRequest struct {
@@ -116,7 +275,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	ids, st, err := s.db.Query(q)
+	ids, st, err := s.store(r).Query(q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -147,7 +306,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, errors.New("batch requires at least one threshold in \"bs\""))
 		return
 	}
-	ids, sts, err := s.db.QueryBatch(q.A, q.Op, req.Bs)
+	ids, sts, err := s.store(r).QueryBatch(q.A, q.Op, req.Bs)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -178,7 +337,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, st, err := s.db.TopK(q, req.K)
+	res, st, err := s.store(r).TopK(q, req.K)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -204,12 +363,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	count, st, err := s.db.Count(q)
+	count, st, err := s.store(r).Count(q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	lo, hi, err := s.db.SelectivityBounds(q)
+	lo, hi, err := s.store(r).SelectivityBounds(q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -231,7 +390,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	plan, err := s.db.Explain(q)
+	plan, err := s.store(r).Explain(q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -260,7 +419,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	id, err := s.db.Append(req.Vec)
+	id, err := s.store(r).Append(req.Vec)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -287,7 +446,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.db.Update(id, req.Vec); err != nil {
+	if err := s.store(r).Update(id, req.Vec); err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -300,7 +459,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.db.Remove(id); err != nil {
+	if err := s.store(r).Remove(id); err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -321,7 +480,7 @@ func (s *Server) handleAddIndex(w http.ResponseWriter, r *http.Request) {
 	if len(signs) == 0 {
 		signs = vecmath.FirstOctant(len(req.Normal))
 	}
-	added, err := s.db.AddNormal(req.Normal, signs)
+	added, err := s.store(r).AddNormal(req.Normal, signs)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -330,7 +489,7 @@ func (s *Server) handleAddIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if err := s.db.Checkpoint(); err != nil {
+	if err := s.store(r).Checkpoint(); err != nil {
 		fail(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -338,14 +497,18 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	met := s.db.Metrics()
-	hits, misses := s.db.PlanCacheCounters()
-	reply(w, map[string]interface{}{
-		"points":      s.db.Len(),
-		"dim":         s.db.Dim(),
-		"indexes":     s.db.NumIndexes(),
-		"shards":      s.db.Shards(),
-		"memoryBytes": s.db.MemoryBytes(),
+	db := s.store(r)
+	met := db.Metrics()
+	hits, misses := db.PlanCacheCounters()
+	body := map[string]interface{}{
+		"points":      db.Len(),
+		"dim":         db.Dim(),
+		"indexes":     db.NumIndexes(),
+		"shards":      db.Shards(),
+		"memoryBytes": db.MemoryBytes(),
+		"role":        s.role(),
+		"lsn":         db.LastLSN(),
+		"readOnly":    db.ReadOnly(),
 		"metrics": map[string]interface{}{
 			"queries":        met.Queries,
 			"planNanos":      met.PlanNanos,
@@ -356,7 +519,135 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"pointsVerified": met.PointsVerified,
 		},
 		"planCache": map[string]uint64{"hits": hits, "misses": misses},
-	})
+	}
+	if s.rep != nil {
+		body["replication"] = s.rep.Status()
+	}
+	reply(w, body)
+}
+
+// role names what this server is right now: primary, replica, or a
+// replica that has been promoted.
+func (s *Server) role() string {
+	if s.rep == nil {
+		return "primary"
+	}
+	if db := s.db(); db != nil && !db.ReadOnly() {
+		return "promoted"
+	}
+	return "replica"
+}
+
+// handleReplSnapshot streams a consistent snapshot of the whole store
+// for replica bootstrap: a JSON header line (shard topology + the LSN
+// the cut is valid at) followed by one binary snapshot per shard.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	st := s.store(r).CaptureState()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Planar-LSN", strconv.FormatUint(st.LSN, 10))
+	if err := replica.WriteSnapshot(w, st); err != nil {
+		// Headers are gone; the torn body fails the client's CRC check.
+		return
+	}
+}
+
+// handleReplStream answers a long-poll for committed records from
+// LSN ?from, holding an empty poll up to ?waitms for new commits.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	db := s.store(r)
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		fail(w, http.StatusBadRequest, fmt.Errorf("bad from %q (first valid LSN is 1)", q.Get("from")))
+		return
+	}
+	max := replica.MaxBatch
+	if v := q.Get("max"); v != "" {
+		if max, err = strconv.Atoi(v); err != nil || max <= 0 || max > replica.MaxBatch {
+			fail(w, http.StatusBadRequest, fmt.Errorf("bad max %q (1..%d)", v, replica.MaxBatch))
+			return
+		}
+	}
+	if v := q.Get("waitms"); v != "" && from > db.LastLSN() {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 || ms > 60_000 {
+			fail(w, http.StatusBadRequest, fmt.Errorf("bad waitms %q (0..60000)", v))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		_ = db.WaitLSN(ctx, from) // a timeout just answers an empty batch
+		cancel()
+	}
+	recs, tooOld, err := db.FeedRead(from, max)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	last := db.LastLSN()
+	h := replica.StreamHeader{From: from, Last: last}
+	if from > last+1 {
+		// The follower claims records this store never committed.
+		h.Future, recs = true, nil
+	} else {
+		h.TooOld = tooOld
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Planar-LSN", strconv.FormatUint(last, 10))
+	_ = replica.WriteStream(w, h, recs)
+}
+
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	body := map[string]interface{}{"role": s.role()}
+	if db := s.db(); db != nil {
+		body["lsn"] = db.LastLSN()
+		body["readOnly"] = db.ReadOnly()
+		body["points"] = db.Len()
+	}
+	if s.rep != nil {
+		body["primary"] = s.primary
+		body["replica"] = s.rep.Status()
+	}
+	reply(w, body)
+}
+
+// handleReplPromote is failover: the replica stops applying, lifts
+// its read-only guard, and starts accepting writes.
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	if s.rep == nil {
+		fail(w, http.StatusBadRequest, errors.New("not a replica"))
+		return
+	}
+	db := s.rep.Promote()
+	if db == nil {
+		fail(w, http.StatusConflict, errors.New("no local store to promote (never bootstrapped)"))
+		return
+	}
+	reply(w, map[string]interface{}{"ok": true, "role": "promoted", "lsn": db.LastLSN()})
+}
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reply(w, map[string]interface{}{"ok": true})
+}
+
+// handleReadyz gates load-balancer traffic: the store must be open,
+// and a replica must be streaming (or promoted) with lag within its
+// configured bound.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.rep != nil {
+		if ok, reason := s.rep.Ready(); !ok {
+			fail(w, http.StatusServiceUnavailable, errors.New(reason))
+			return
+		}
+		reply(w, map[string]interface{}{"ready": true, "role": s.role(), "replica": s.rep.Status()})
+		return
+	}
+	db := s.db()
+	if db == nil {
+		fail(w, http.StatusServiceUnavailable, errors.New("store not open"))
+		return
+	}
+	reply(w, map[string]interface{}{"ready": true, "role": s.role(), "lsn": db.LastLSN()})
 }
 
 func decode(w http.ResponseWriter, r *http.Request, into interface{}) bool {

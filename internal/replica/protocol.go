@@ -1,0 +1,145 @@
+package replica
+
+// Wire protocol for WAL-shipping replication. Both replication
+// responses are a single JSON header line followed by a binary body:
+//
+//	/v1/replication/snapshot → SnapshotHeader '\n' then Shards
+//	    consecutive codec snapshot streams (each self-delimiting and
+//	    CRC-checked);
+//	/v1/replication/stream   → StreamHeader '\n' then Count records in
+//	    the WAL on-disk encoding.
+//
+// Reusing the WAL record encoding on the wire means DecodeRecord
+// re-verifies each record's CRC on receive: a bit flipped in transit
+// is indistinguishable from a torn segment tail and rejects the batch
+// before anything is applied.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"planar/internal/codec"
+	"planar/internal/service"
+	"planar/internal/wal"
+)
+
+// SnapshotHeader is the first line of a snapshot response: the shard
+// topology the replica must mirror and the LSN the cut is valid at.
+type SnapshotHeader struct {
+	Shards int    `json:"shards"`
+	Dim    int    `json:"dim"`
+	LSN    uint64 `json:"lsn"`
+}
+
+// StreamHeader is the first line of a stream response. From echoes the
+// request cursor; Last is the primary's latest committed LSN (the
+// replica's lag is Last minus its own applied position). TooOld means
+// the cursor predates everything the primary retains — re-bootstrap.
+// Future means the cursor is ahead of the primary — the replica has
+// records the primary never wrote, i.e. divergence.
+type StreamHeader struct {
+	From   uint64 `json:"from"`
+	Count  int    `json:"count"`
+	Last   uint64 `json:"last"`
+	TooOld bool   `json:"tooOld,omitempty"`
+	Future bool   `json:"future,omitempty"`
+}
+
+// MaxBatch caps how many records one stream response may carry — the
+// bound on the replica's apply queue.
+const MaxBatch = 1 << 16
+
+// WriteSnapshot serialises a captured state (header + every shard
+// snapshot) onto w.
+func WriteSnapshot(w io.Writer, st *service.ReplState) error {
+	h := SnapshotHeader{Shards: st.Shards, Dim: st.Dim, LSN: st.LSN}
+	if err := writeHeader(w, h); err != nil {
+		return err
+	}
+	for _, snap := range st.Snaps {
+		if err := snap.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot response into a state ready for
+// service.MaterializeReplState.
+func ReadSnapshot(r io.Reader) (*service.ReplState, error) {
+	br := bufio.NewReader(r)
+	var h SnapshotHeader
+	if err := readHeader(br, &h); err != nil {
+		return nil, fmt.Errorf("replica: snapshot header: %w", err)
+	}
+	if h.Shards < 1 || h.Shards > 1<<10 || h.Dim < 1 {
+		return nil, fmt.Errorf("replica: implausible snapshot header %+v", h)
+	}
+	st := &service.ReplState{Shards: h.Shards, Dim: h.Dim, LSN: h.LSN}
+	for i := 0; i < h.Shards; i++ {
+		snap, err := codec.Read(br)
+		if err != nil {
+			return nil, fmt.Errorf("replica: snapshot shard %d: %w", i, err)
+		}
+		if snap.Dim != h.Dim {
+			return nil, fmt.Errorf("replica: shard %d has dimension %d, header says %d", i, snap.Dim, h.Dim)
+		}
+		st.Snaps = append(st.Snaps, snap)
+	}
+	return st, nil
+}
+
+// WriteStream serialises a batch of committed records onto w. The
+// header's Count is forced to len(recs).
+func WriteStream(w io.Writer, h StreamHeader, recs []wal.Record) error {
+	h.Count = len(recs)
+	if err := writeHeader(w, h); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := wal.EncodeRecord(w, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadStream parses a stream response, re-verifying each record's CRC.
+func ReadStream(r io.Reader) (StreamHeader, []wal.Record, error) {
+	br := bufio.NewReader(r)
+	var h StreamHeader
+	if err := readHeader(br, &h); err != nil {
+		return h, nil, fmt.Errorf("replica: stream header: %w", err)
+	}
+	if h.Count < 0 || h.Count > MaxBatch {
+		return h, nil, fmt.Errorf("replica: implausible stream count %d", h.Count)
+	}
+	recs := make([]wal.Record, 0, h.Count)
+	for i := 0; i < h.Count; i++ {
+		rec, err := wal.DecodeRecord(br)
+		if err != nil {
+			return h, nil, fmt.Errorf("replica: stream record %d/%d: %w", i, h.Count, err)
+		}
+		recs = append(recs, rec)
+	}
+	return h, recs, nil
+}
+
+func writeHeader(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+func readHeader(br *bufio.Reader, into any) error {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(line, into)
+}

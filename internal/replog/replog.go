@@ -1,0 +1,232 @@
+// Package replog owns the commit sequence of a planar store: a
+// Sequencer assigns log sequence numbers (LSNs) to mutations at
+// commit time, keeps a bounded in-memory ring of recently committed
+// records in the global id space, and lets readers wait for an LSN to
+// commit. It is the meeting point of the durability layer (per-shard
+// WAL segments journal records under the sequencer's lock, so segment
+// order always matches LSN order) and the replication subsystem
+// (package replica), which streams the ring to read replicas and uses
+// LSN waits to honor monotonic read barriers.
+//
+// The ring is deliberately lossy: when a replica falls further behind
+// than the ring capacity, the primary serves the gap from its on-disk
+// WAL segments if they still cover it, and otherwise tells the
+// replica to re-bootstrap from a snapshot. A slow replica therefore
+// never applies backpressure to the primary's write path.
+package replog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"planar/internal/wal"
+)
+
+// ErrDiverged reports that an applied replication record contradicts
+// local state — an id the primary assigned is not the id replay
+// produced, an LSN arrived out of order, or an op targeted a dead
+// point. The only safe recovery is a fresh snapshot bootstrap.
+var ErrDiverged = errors.New("replog: replica diverged from primary")
+
+// DefaultRingSize is the number of recently committed records kept in
+// memory for tail-following replicas.
+const DefaultRingSize = 1 << 14
+
+// Sequencer assigns LSNs at commit and retains the recent commit
+// tail. All methods are safe for concurrent use.
+type Sequencer struct {
+	mu       sync.Mutex
+	next     uint64 // next LSN to assign (≥ 1)
+	ring     []wal.Record
+	ringCap  int
+	ringBase uint64 // LSN of ring[0]; ring holds [ringBase, next)
+	notify   chan struct{}
+}
+
+// NewSequencer starts the sequence at next (the first LSN it will
+// assign; 0 is treated as 1 — LSN 0 means "nothing"). ringSize ≤ 0
+// selects DefaultRingSize.
+func NewSequencer(next uint64, ringSize int) *Sequencer {
+	if next == 0 {
+		next = 1
+	}
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Sequencer{
+		next:     next,
+		ringCap:  ringSize,
+		ringBase: next,
+		notify:   make(chan struct{}),
+	}
+}
+
+// Next returns the LSN the next commit will receive.
+func (s *Sequencer) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Last returns the most recently committed LSN (0 if none).
+func (s *Sequencer) Last() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next - 1
+}
+
+// Commit assigns the next LSN to a mutation in the global id space,
+// runs the journal callback (the per-shard WAL append) under the
+// sequence lock so on-disk order matches LSN order, and publishes the
+// record to the ring. The caller must already have applied the
+// mutation to the in-memory store, holding its shard lock across this
+// call so same-key operations sequence correctly.
+func (s *Sequencer) Commit(op wal.Op, gid uint32, vec []float64, journal func(lsn uint64) error) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lsn := s.next
+	if journal != nil {
+		if err := journal(lsn); err != nil {
+			return 0, err
+		}
+	}
+	s.publishLocked(wal.Record{Op: op, LSN: lsn, ID: gid, Vec: cloneVec(vec)})
+	return lsn, nil
+}
+
+// CommitAt is the replica-side commit: the LSN comes from the primary
+// and must be exactly the next in sequence, keeping the replica's own
+// WAL segments aligned with the primary's LSN space. Out-of-order
+// LSNs report ErrDiverged.
+func (s *Sequencer) CommitAt(lsn uint64, op wal.Op, gid uint32, vec []float64, journal func(lsn uint64) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lsn != s.next {
+		return fmt.Errorf("commit at LSN %d, sequence expects %d: %w", lsn, s.next, ErrDiverged)
+	}
+	if journal != nil {
+		if err := journal(lsn); err != nil {
+			return err
+		}
+	}
+	s.publishLocked(wal.Record{Op: op, LSN: lsn, ID: gid, Vec: cloneVec(vec)})
+	return nil
+}
+
+// publishLocked appends one record to the ring and wakes waiters.
+func (s *Sequencer) publishLocked(rec wal.Record) {
+	s.ring = append(s.ring, rec)
+	if over := len(s.ring) - s.ringCap; over > 0 {
+		s.ring = append(s.ring[:0], s.ring[over:]...)
+		s.ringBase += uint64(over)
+	}
+	s.next = rec.LSN + 1
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// ReadFrom returns up to max committed records starting at LSN from,
+// in LSN order. tooOld reports that the ring no longer covers from —
+// the caller must fall back to on-disk segments or a snapshot. An
+// empty, non-tooOld result means from has not been committed yet.
+// The returned records share vector storage with the ring and must
+// not be mutated.
+func (s *Sequencer) ReadFrom(from uint64, max int) (recs []wal.Record, tooOld bool) {
+	if from == 0 {
+		from = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from >= s.next {
+		return nil, false
+	}
+	if from < s.ringBase {
+		return nil, true
+	}
+	lo := int(from - s.ringBase)
+	hi := len(s.ring)
+	if max > 0 && hi-lo > max {
+		hi = lo + max
+	}
+	out := make([]wal.Record, hi-lo)
+	copy(out, s.ring[lo:hi])
+	return out, false
+}
+
+// RingBase returns the oldest LSN the ring still covers (== Next when
+// the ring is empty).
+func (s *Sequencer) RingBase() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ringBase
+}
+
+// Wait blocks until LSN lsn has committed (Last() ≥ lsn) or the
+// context is done. It is the primitive behind monotonic read
+// barriers: on a primary it waits for a commit, on a replica —
+// whose sequencer advances in CommitAt as records apply — it waits
+// for the apply to catch up.
+func (s *Sequencer) Wait(ctx context.Context, lsn uint64) error {
+	for {
+		s.mu.Lock()
+		if s.next > lsn {
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.notify
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func cloneVec(v []float64) []float64 {
+	if len(v) == 0 {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// ReadSegmentFrom scans one on-disk WAL segment and returns up to max
+// records with LSN ≥ from, translating shard-local ids to global ids
+// through globalize (pass nil for an unsharded store). A torn tail
+// ends the scan cleanly. It underpins catch-up streaming when a
+// replica's cursor has fallen off the in-memory ring but the segment
+// files still cover it.
+func ReadSegmentFrom(path string, from uint64, max int, globalize func(uint32) uint32) ([]wal.Record, error) {
+	seg, err := wal.OpenSegment(path)
+	if err != nil {
+		// A missing or headerless file holds no committed records.
+		if errors.Is(err, os.ErrNotExist) || wal.IsTail(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer seg.Close()
+	var out []wal.Record
+	for max <= 0 || len(out) < max {
+		rec, err := seg.Next()
+		if err != nil {
+			if wal.IsTail(err) {
+				break
+			}
+			return out, err
+		}
+		if rec.LSN < from {
+			continue
+		}
+		if globalize != nil {
+			rec.ID = globalize(rec.ID)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package replog
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"planar/internal/wal"
+)
+
+func TestCommitAssignsDenseLSNs(t *testing.T) {
+	s := NewSequencer(1, 8)
+	for i := 0; i < 5; i++ {
+		lsn, err := s.Commit(wal.OpAppend, uint32(i), []float64{1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("commit %d got LSN %d", i, lsn)
+		}
+	}
+	if s.Last() != 5 || s.Next() != 6 {
+		t.Fatalf("last=%d next=%d", s.Last(), s.Next())
+	}
+}
+
+func TestReadFromRingAndTooOld(t *testing.T) {
+	s := NewSequencer(1, 4)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Commit(wal.OpAppend, uint32(i), []float64{float64(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ring holds LSNs 7..10.
+	if base := s.RingBase(); base != 7 {
+		t.Fatalf("ring base %d, want 7", base)
+	}
+	recs, tooOld := s.ReadFrom(8, 0)
+	if tooOld || len(recs) != 3 || recs[0].LSN != 8 || recs[2].LSN != 10 {
+		t.Fatalf("ReadFrom(8): tooOld=%v recs=%v", tooOld, recs)
+	}
+	if _, tooOld = s.ReadFrom(3, 0); !tooOld {
+		t.Fatal("evicted LSN not reported tooOld")
+	}
+	recs, tooOld = s.ReadFrom(11, 0)
+	if tooOld || recs != nil {
+		t.Fatalf("future LSN: tooOld=%v recs=%v", tooOld, recs)
+	}
+	recs, _ = s.ReadFrom(7, 2)
+	if len(recs) != 2 || recs[0].LSN != 7 {
+		t.Fatalf("max clamp: %v", recs)
+	}
+}
+
+func TestCommitAtEnforcesSequence(t *testing.T) {
+	s := NewSequencer(5, 8)
+	if err := s.CommitAt(5, wal.OpAppend, 0, []float64{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := s.CommitAt(7, wal.OpAppend, 1, []float64{1}, nil)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("gap accepted: %v", err)
+	}
+	err = s.CommitAt(5, wal.OpAppend, 1, []float64{1}, nil)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("replayed LSN accepted: %v", err)
+	}
+}
+
+func TestJournalRunsUnderSequenceLock(t *testing.T) {
+	s := NewSequencer(1, 8)
+	var order []uint64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Commit(wal.OpRemove, 0, nil, func(lsn uint64) error {
+				order = append(order, lsn) // safe: called under s.mu
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if len(order) != 32 {
+		t.Fatalf("journaled %d records", len(order))
+	}
+	for i, lsn := range order {
+		if lsn != uint64(i+1) {
+			t.Fatalf("journal order %v", order)
+		}
+	}
+}
+
+func TestWaitBlocksUntilCommit(t *testing.T) {
+	s := NewSequencer(1, 8)
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Wait(ctx, 3)
+	}()
+	for i := 0; i < 3; i++ {
+		time.Sleep(5 * time.Millisecond)
+		s.Commit(wal.OpRemove, 0, nil, nil)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Wait(ctx, 99); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait on future LSN: %v", err)
+	}
+}
+
+func TestReadSegmentFrom(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.log")
+	w, err := wal.Create(path, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if err := w.Append(wal.Record{Op: wal.OpAppend, LSN: uint64(i), ID: uint32(i), Vec: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	recs, err := ReadSegmentFrom(path, 4, 0, func(id uint32) uint32 { return id * 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].LSN != 4 || recs[0].ID != 40 {
+		t.Fatalf("recs=%v", recs)
+	}
+	recs, err = ReadSegmentFrom(path, 1, 2, nil)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("max: recs=%v err=%v", recs, err)
+	}
+	recs, err = ReadSegmentFrom(filepath.Join(t.TempDir(), "missing.log"), 1, 0, nil)
+	if err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v", recs, err)
+	}
+}

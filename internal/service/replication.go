@@ -1,0 +1,183 @@
+package service
+
+// Replication surface of a DB: a primary captures consistent
+// snapshots and serves committed records by LSN; a replica applies
+// the streamed records through the same shard-routing and journaling
+// machinery its own durability uses, so a replica restart recovers
+// its replication cursor from its ordinary snapshot + WAL state. The
+// wire protocol and the applier loop live in package replica; the
+// HTTP endpoints in package httpapi.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"planar/internal/codec"
+	"planar/internal/replog"
+	"planar/internal/shard"
+	"planar/internal/wal"
+)
+
+// ErrDiverged re-exports replog.ErrDiverged: a replicated record
+// contradicts local state and the replica must re-bootstrap.
+var ErrDiverged = replog.ErrDiverged
+
+// ReplState is a consistent cut of a store for replica bootstrap:
+// every shard's snapshot plus the LSN the cut is valid at. Shards is
+// 1 for a single-mode store.
+type ReplState struct {
+	Shards int
+	Dim    int
+	LSN    uint64
+	Snaps  []*codec.Snapshot
+}
+
+// CaptureState snapshots the whole store in memory at one LSN. It
+// briefly drains in-flight commits (queries keep running) — the
+// price of a consistent cut without touching disk. Replication
+// bootstrap is the intended caller; it does not checkpoint, so
+// tailing replicas' cursors stay valid.
+func (db *DB) CaptureState() *ReplState {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	st := &ReplState{Dim: db.Dim(), LSN: db.seq.Last()}
+	if db.shards != nil {
+		st.Shards = db.shards.NumShards()
+		st.Snaps = db.shards.CaptureAll()
+		return st
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st.Shards = 1
+	st.Snaps = []*codec.Snapshot{codec.Capture(db.multi)}
+	return st
+}
+
+// MaterializeReplState writes a captured state into dir as a fresh
+// data directory: single-store layout when Shards == 1, the sharded
+// layout otherwise. Each WAL segment is created empty with its base
+// pinned at LSN+1, so opening the directory resumes the replication
+// cursor exactly where the snapshot left off.
+func MaterializeReplState(dir string, st *ReplState) error {
+	if len(st.Snaps) != st.Shards || st.Shards < 1 {
+		return fmt.Errorf("service: state has %d snapshots for %d shards", len(st.Snaps), st.Shards)
+	}
+	write := func(snapPath, walPath string, snap *codec.Snapshot) error {
+		if err := snap.Save(snapPath); err != nil {
+			return err
+		}
+		w, err := wal.Create(walPath, st.Dim, st.LSN+1)
+		if err != nil {
+			return err
+		}
+		return w.Close()
+	}
+	if st.Shards == 1 {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		return write(filepath.Join(dir, snapshotFile), filepath.Join(dir, walFile), st.Snaps[0])
+	}
+	if err := shard.WriteLayout(dir, st.Shards, st.Dim); err != nil {
+		return err
+	}
+	for i, snap := range st.Snaps {
+		sd := shard.Dir(dir, i)
+		if err := write(filepath.Join(sd, shard.SnapshotFileName), filepath.Join(sd, shard.WALFileName), snap); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ApplyReplicated applies one record streamed from a primary,
+// journaling it locally under the primary's LSN so the replica's own
+// crash recovery restores both the data and the replication cursor.
+// Records must arrive in exact LSN order; any disagreement with local
+// state (an id replay would not have assigned, an op on a dead point,
+// an LSN gap) reports ErrDiverged. The read-only guard does not
+// apply: this is the one write path a replica keeps open.
+func (db *DB) ApplyReplicated(rec wal.Record) error {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	if db.shards != nil {
+		return db.shards.Apply(rec)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch rec.Op {
+	case wal.OpAppend:
+		id, err := db.multi.Append(rec.Vec)
+		if err != nil {
+			return fmt.Errorf("service: apply append: %v: %w", err, ErrDiverged)
+		}
+		if id != rec.ID {
+			return fmt.Errorf("service: apply assigned id %d, stream says %d: %w", id, rec.ID, ErrDiverged)
+		}
+	case wal.OpUpdate:
+		if err := db.multi.Update(rec.ID, rec.Vec); err != nil {
+			return fmt.Errorf("service: apply update: %v: %w", err, ErrDiverged)
+		}
+	case wal.OpRemove:
+		if err := db.multi.Remove(rec.ID); err != nil {
+			return fmt.Errorf("service: apply remove: %v: %w", err, ErrDiverged)
+		}
+	default:
+		return fmt.Errorf("service: apply op %d: %w", rec.Op, ErrDiverged)
+	}
+	if err := db.seq.CommitAt(rec.LSN, rec.Op, rec.ID, rec.Vec, db.journal(rec.Op, rec.ID, rec.Vec)); err != nil {
+		return err
+	}
+	return db.bumpLocked()
+}
+
+// FeedRead returns up to max committed records starting at LSN from,
+// serving from the in-memory ring when it still covers the cursor and
+// falling back to the on-disk WAL segments for older positions.
+// tooOld reports that neither does — a checkpoint has truncated past
+// the cursor and the replica must re-bootstrap from a snapshot.
+func (db *DB) FeedRead(from uint64, max int) (recs []wal.Record, tooOld bool, err error) {
+	recs, tooOld = db.seq.ReadFrom(from, max)
+	if !tooOld {
+		return recs, false, nil
+	}
+	if db.shards != nil {
+		return db.shards.FeedFromDisk(from, max)
+	}
+	if db.dir == "" {
+		return nil, true, nil
+	}
+	db.mu.Lock()
+	err = db.log.Flush()
+	db.mu.Unlock()
+	if err != nil {
+		return nil, false, err
+	}
+	recs, err = replog.ReadSegmentFrom(filepath.Join(db.dir, walFile), from, max, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(recs) == 0 || recs[0].LSN > from {
+		return nil, true, nil
+	}
+	return recs, false, nil
+}
+
+// LastLSN returns the most recently committed (primary) or applied
+// (replica) LSN — the value served in X-Planar-LSN response headers.
+func (db *DB) LastLSN() uint64 { return db.seq.Last() }
+
+// WaitLSN blocks until LastLSN() ≥ lsn or the context is done: the
+// monotonic read barrier behind the X-Planar-Min-LSN request header.
+func (db *DB) WaitLSN(ctx context.Context, lsn uint64) error {
+	return db.seq.Wait(ctx, lsn)
+}
+
+// SetReadOnly toggles the public mutation surface. Replicas run
+// read-only until promoted; the replication apply path is unaffected.
+func (db *DB) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
+
+// ReadOnly reports whether public mutations are rejected.
+func (db *DB) ReadOnly() bool { return db.readOnly.Load() }

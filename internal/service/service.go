@@ -19,16 +19,24 @@ package service
 import (
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"planar/internal/codec"
 	"planar/internal/core"
+	"planar/internal/replog"
 	"planar/internal/shard"
 	"planar/internal/vecmath"
 	"planar/internal/wal"
 )
+
+// ErrReadOnly reports a mutation attempted on a read-only store — a
+// replica applying a primary's log accepts writes only through the
+// replication stream (httpapi rejects or proxies them upstream).
+var ErrReadOnly = errors.New("service: store is read-only (replica)")
 
 const (
 	snapshotFile = "snapshot.plnr"
@@ -55,6 +63,9 @@ type Options struct {
 	// many logged mutations (0 disables automatic checkpoints). In
 	// sharded mode the counter is per shard.
 	CheckpointEvery int
+	// RingSize bounds the in-memory tail of committed records kept
+	// for replication streaming (0 = replog.DefaultRingSize).
+	RingSize int
 	// Multi options (selection heuristic, fallback, guard band).
 	MultiOptions []core.MultiOption
 }
@@ -77,6 +88,18 @@ type DB struct {
 	pending int // mutations since the last checkpoint
 
 	shards *shard.Store // non-nil in sharded mode
+
+	// seq is the commit sequencer: it assigns LSNs, orders journal
+	// appends, and retains the in-memory replication tail. In sharded
+	// mode it is the shard.Store's sequencer; commitMu lets
+	// CaptureState drain every in-flight commit (writers hold the
+	// read side for the whole apply+journal) so a replication
+	// snapshot is consistent at one LSN. readOnly guards the public
+	// mutation surface on replicas; the replication apply path
+	// bypasses it.
+	seq      *replog.Sequencer
+	commitMu sync.RWMutex
+	readOnly atomic.Bool
 
 	metMu sync.Mutex
 	met   Metrics
@@ -300,11 +323,17 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("service: replaying log: %w", err)
 	}
 
-	log, err := wal.Open(walPath, opts.Dim)
+	w, err := wal.Open(walPath, opts.Dim)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{dir: dir, opts: opts, multi: m, log: log, pending: replayed}, nil
+	if n := w.Recovered(); n > 0 {
+		log.Printf("service: %s: recovered torn tail, truncated %d bytes", walPath, n)
+	}
+	return &DB{
+		dir: dir, opts: opts, multi: m, log: w, pending: replayed,
+		seq: replog.NewSequencer(w.NextLSN(), opts.RingSize),
+	}, nil
 }
 
 // openSharded opens (or creates) the sharded layout. A directory
@@ -324,12 +353,13 @@ func openSharded(dir string, opts Options) (*DB, error) {
 		Dim:             opts.Dim,
 		SyncEveryWrite:  opts.SyncEveryWrite,
 		CheckpointEvery: opts.CheckpointEvery,
+		RingSize:        opts.RingSize,
 		MultiOptions:    opts.MultiOptions,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DB{dir: dir, opts: opts, shards: st}, nil
+	return &DB{dir: dir, opts: opts, shards: st, seq: st.Seq()}, nil
 }
 
 // Multi exposes the underlying index collection in single mode. It
@@ -395,31 +425,42 @@ func (db *DB) PlanCacheCounters() (hits, misses uint64) {
 }
 
 // AddNormal installs a planar index (on every shard in sharded mode);
-// the configuration is persisted at the next checkpoint.
+// the configuration is persisted at the next checkpoint. Index
+// changes are not journaled, so they reach replicas only through a
+// snapshot bootstrap — query answers do not depend on indexes, only
+// query speed, so replicated results stay identical either way.
 func (db *DB) AddNormal(normal []float64, signs vecmath.SignPattern) (bool, error) {
+	if db.readOnly.Load() {
+		return false, ErrReadOnly
+	}
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	if db.shards != nil {
 		return db.shards.AddNormal(normal, signs)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.multi.AddNormal(normal, signs)
 }
 
-// logged applies a mutation, then journals it. Applying first means a
-// rejected mutation (dead id, bad vector) never reaches the log, so
-// replay only ever sees operations that succeeded.
-func (db *DB) logged(rec wal.Record, apply func() error) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := apply(); err != nil {
-		return err
-	}
-	if err := db.log.Append(rec); err != nil {
-		return err
-	}
-	if db.opts.SyncEveryWrite {
-		if err := db.log.Sync(); err != nil {
+// journal returns the commit callback appending the record to the
+// single-mode log; it runs under the sequencer lock so log order
+// matches LSN order.
+func (db *DB) journal(op wal.Op, id uint32, vec []float64) func(uint64) error {
+	return func(lsn uint64) error {
+		if err := db.log.Append(wal.Record{Op: op, LSN: lsn, ID: id, Vec: vec}); err != nil {
 			return err
 		}
+		if db.opts.SyncEveryWrite {
+			return db.log.Sync()
+		}
+		return nil
 	}
+}
+
+// bumpLocked advances the pending-mutation counter and triggers the
+// automatic checkpoint. Callers hold db.mu exclusively.
+func (db *DB) bumpLocked() error {
 	db.pending++
 	if db.opts.CheckpointEvery > 0 && db.pending >= db.opts.CheckpointEvery {
 		return db.checkpointLocked()
@@ -429,6 +470,11 @@ func (db *DB) logged(rec wal.Record, apply func() error) error {
 
 // Append durably adds a point and returns its id.
 func (db *DB) Append(v []float64) (uint32, error) {
+	if db.readOnly.Load() {
+		return 0, ErrReadOnly
+	}
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	if db.shards != nil {
 		return db.shards.Append(v)
 	}
@@ -440,39 +486,52 @@ func (db *DB) Append(v []float64) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := db.log.Append(wal.Record{Op: wal.OpAppend, ID: id, Vec: v}); err != nil {
+	if _, err := db.seq.Commit(wal.OpAppend, id, v, db.journal(wal.OpAppend, id, v)); err != nil {
 		return 0, err
 	}
-	if db.opts.SyncEveryWrite {
-		if err := db.log.Sync(); err != nil {
-			return 0, err
-		}
-	}
-	db.pending++
-	if db.opts.CheckpointEvery > 0 && db.pending >= db.opts.CheckpointEvery {
-		return id, db.checkpointLocked()
-	}
-	return id, nil
+	return id, db.bumpLocked()
 }
 
 // Update durably replaces a point's φ vector.
 func (db *DB) Update(id uint32, v []float64) error {
+	if db.readOnly.Load() {
+		return ErrReadOnly
+	}
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	if db.shards != nil {
 		return db.shards.Update(id, v)
 	}
-	return db.logged(wal.Record{Op: wal.OpUpdate, ID: id, Vec: v}, func() error {
-		return db.multi.Update(id, v)
-	})
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.multi.Update(id, v); err != nil {
+		return err
+	}
+	if _, err := db.seq.Commit(wal.OpUpdate, id, v, db.journal(wal.OpUpdate, id, v)); err != nil {
+		return err
+	}
+	return db.bumpLocked()
 }
 
 // Remove durably deletes a point.
 func (db *DB) Remove(id uint32) error {
+	if db.readOnly.Load() {
+		return ErrReadOnly
+	}
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	if db.shards != nil {
 		return db.shards.Remove(id)
 	}
-	return db.logged(wal.Record{Op: wal.OpRemove, ID: id}, func() error {
-		return db.multi.Remove(id)
-	})
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.multi.Remove(id); err != nil {
+		return err
+	}
+	if _, err := db.seq.Commit(wal.OpRemove, id, nil, db.journal(wal.OpRemove, id, nil)); err != nil {
+		return err
+	}
+	return db.bumpLocked()
 }
 
 // Checkpoint writes a fresh snapshot atomically (write-temp, sync,
@@ -498,15 +557,16 @@ func (db *DB) checkpointLocked() error {
 	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
 		return err
 	}
-	// The snapshot covers everything: start a fresh log.
+	// The snapshot covers everything: start a fresh log whose header
+	// pins the LSN position across restarts.
 	if err := db.log.Close(); err != nil {
 		return err
 	}
-	log, err := wal.Create(filepath.Join(db.dir, walFile), db.multi.Store().Dim())
+	w, err := wal.Create(filepath.Join(db.dir, walFile), db.multi.Store().Dim(), db.seq.Next())
 	if err != nil {
 		return err
 	}
-	db.log = log
+	db.log = w
 	db.pending = 0
 	return nil
 }

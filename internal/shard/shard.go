@@ -3,19 +3,27 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"planar/internal/codec"
 	"planar/internal/core"
+	"planar/internal/replog"
 	"planar/internal/vecmath"
 	"planar/internal/wal"
 )
 
 const (
-	snapshotFile = "snapshot.plnr"
-	walFile      = "wal.log"
+	// SnapshotFileName and WALFileName are the per-shard durability
+	// files inside a shard directory; exported so replica bootstrap
+	// (package replica via service) can materialise a layout.
+	SnapshotFileName = "snapshot.plnr"
+	WALFileName      = "wal.log"
+
+	snapshotFile = SnapshotFileName
+	walFile      = WALFileName
 	snapshotTmp  = "snapshot.plnr.tmp"
 )
 
@@ -28,7 +36,10 @@ const (
 // hold the write lock so the WAL append and the in-memory apply are
 // atomic with respect to each other; queries hold the read lock, so
 // readers of the same shard proceed concurrently and writers on
-// *other* shards are never even consulted.
+// *other* shards are never even consulted. Commits additionally pass
+// through the store-wide sequencer (under p.mu, so the lock order is
+// always p.mu → seq.mu), which assigns the LSN, journals the record
+// and publishes it to the replication ring in one critical section.
 type partition struct {
 	mu      sync.RWMutex
 	dir     string // "" for an ephemeral partition
@@ -36,14 +47,15 @@ type partition struct {
 	log     *wal.Writer // nil when ephemeral
 	pending int         // mutations since the last checkpoint
 
+	seq *replog.Sequencer
+	gid func(uint32) uint32 // shard-local id → global id
+
 	syncEveryWrite  bool
 	checkpointEvery int
 }
 
 // openPartition restores (or initialises) one shard in dir. An empty
-// dir creates an ephemeral in-memory partition. The returned dim is
-// the partition's φ dimensionality (from its snapshot when dim was
-// passed as 0).
+// dir creates an ephemeral in-memory partition.
 func openPartition(dir string, dim int, opts Options) (*partition, error) {
 	p := &partition{
 		dir:             dir,
@@ -122,14 +134,44 @@ func openPartition(dir string, dim int, opts Options) (*partition, error) {
 		return nil, fmt.Errorf("shard: replaying %s: %w", walPath, err)
 	}
 
-	log, err := wal.Open(walPath, dim)
+	w, err := wal.Open(walPath, dim)
 	if err != nil {
 		return nil, err
 	}
+	if n := w.Recovered(); n > 0 {
+		log.Printf("shard: %s: recovered torn tail, truncated %d bytes", walPath, n)
+	}
 	p.multi = m
-	p.log = log
+	p.log = w
 	p.pending = replayed
 	return p, nil
+}
+
+// nextLSN reports the LSN position this partition's durable state
+// implies: one past the last journaled record, or the segment base.
+func (p *partition) nextLSN() uint64 {
+	if p.log == nil {
+		return 1
+	}
+	return p.log.NextLSN()
+}
+
+// journal returns the commit callback that appends the shard-local
+// record to this partition's WAL segment, or nil when ephemeral. It
+// runs under the sequencer lock, so segment order matches LSN order.
+func (p *partition) journal(op wal.Op, local uint32, vec []float64) func(uint64) error {
+	if p.log == nil {
+		return nil
+	}
+	return func(lsn uint64) error {
+		if err := p.log.Append(wal.Record{Op: op, LSN: lsn, ID: local, Vec: vec}); err != nil {
+			return err
+		}
+		if p.syncEveryWrite {
+			return p.log.Sync()
+		}
+		return nil
+	}
 }
 
 // append durably adds a point and returns its shard-local id.
@@ -140,7 +182,7 @@ func (p *partition) append(v []float64) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := p.journal(wal.Record{Op: wal.OpAppend, ID: id, Vec: v}); err != nil {
+	if _, err := p.seq.Commit(wal.OpAppend, p.gid(id), v, p.journal(wal.OpAppend, id, v)); err != nil {
 		return 0, err
 	}
 	return id, p.bumpLocked()
@@ -153,7 +195,7 @@ func (p *partition) update(id uint32, v []float64) error {
 	if err := p.multi.Update(id, v); err != nil {
 		return err
 	}
-	if err := p.journal(wal.Record{Op: wal.OpUpdate, ID: id, Vec: v}); err != nil {
+	if _, err := p.seq.Commit(wal.OpUpdate, p.gid(id), v, p.journal(wal.OpUpdate, id, v)); err != nil {
 		return err
 	}
 	return p.bumpLocked()
@@ -166,24 +208,45 @@ func (p *partition) remove(id uint32) error {
 	if err := p.multi.Remove(id); err != nil {
 		return err
 	}
-	if err := p.journal(wal.Record{Op: wal.OpRemove, ID: id}); err != nil {
+	if _, err := p.seq.Commit(wal.OpRemove, p.gid(id), nil, p.journal(wal.OpRemove, id, nil)); err != nil {
 		return err
 	}
 	return p.bumpLocked()
 }
 
-// journal logs one record (a no-op for ephemeral partitions).
-func (p *partition) journal(rec wal.Record) error {
-	if p.log == nil {
-		return nil
+// applyReplicated applies one record streamed from a primary. The
+// record carries a global id (already routed to this partition) and
+// the primary's LSN; replay must reproduce the primary's id
+// assignment exactly, and any disagreement is divergence — the
+// replica's state no longer matches the stream and must be rebuilt
+// from a snapshot.
+func (p *partition) applyReplicated(rec wal.Record, local uint32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch rec.Op {
+	case wal.OpAppend:
+		id, err := p.multi.Append(rec.Vec)
+		if err != nil {
+			return fmt.Errorf("apply append: %v: %w", err, replog.ErrDiverged)
+		}
+		if id != local {
+			return fmt.Errorf("apply assigned local id %d, stream says %d: %w", id, local, replog.ErrDiverged)
+		}
+	case wal.OpUpdate:
+		if err := p.multi.Update(local, rec.Vec); err != nil {
+			return fmt.Errorf("apply update: %v: %w", err, replog.ErrDiverged)
+		}
+	case wal.OpRemove:
+		if err := p.multi.Remove(local); err != nil {
+			return fmt.Errorf("apply remove: %v: %w", err, replog.ErrDiverged)
+		}
+	default:
+		return fmt.Errorf("apply op %d: %w", rec.Op, replog.ErrDiverged)
 	}
-	if err := p.log.Append(rec); err != nil {
+	if err := p.seq.CommitAt(rec.LSN, rec.Op, rec.ID, rec.Vec, p.journal(rec.Op, local, rec.Vec)); err != nil {
 		return err
 	}
-	if p.syncEveryWrite {
-		return p.log.Sync()
-	}
-	return nil
+	return p.bumpLocked()
 }
 
 // bumpLocked advances the pending-mutation counter and triggers the
@@ -201,6 +264,25 @@ func (p *partition) addNormal(normal []float64, signs vecmath.SignPattern) (bool
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.multi.AddNormal(normal, signs)
+}
+
+// capture snapshots the partition's in-memory state (store layout +
+// index configuration) without touching disk.
+func (p *partition) capture() *codec.Snapshot {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return codec.Capture(p.multi)
+}
+
+// flushLog pushes buffered WAL records to the OS so a concurrent
+// segment reader (catch-up feed) sees everything journaled so far.
+func (p *partition) flushLog() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log == nil {
+		return nil
+	}
+	return p.log.Flush()
 }
 
 // checkpoint snapshots the shard and truncates its log.
@@ -227,11 +309,13 @@ func (p *partition) checkpointLocked() error {
 	if err := p.log.Close(); err != nil {
 		return err
 	}
-	log, err := wal.Create(filepath.Join(p.dir, walFile), p.multi.Store().Dim())
+	// The fresh segment starts at the store-wide sequence position so
+	// an empty log still pins the LSN cursor across restarts.
+	w, err := wal.Create(filepath.Join(p.dir, walFile), p.multi.Store().Dim(), p.seq.Next())
 	if err != nil {
 		return err
 	}
-	p.log = log
+	p.log = w
 	p.pending = 0
 	return nil
 }

@@ -6,11 +6,15 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"planar/internal/codec"
 	"planar/internal/core"
+	"planar/internal/replog"
 	"planar/internal/vecmath"
+	"planar/internal/wal"
 )
 
 // metaFile records the shard count and dimensionality at the root of
@@ -39,6 +43,9 @@ type Options struct {
 	// Fanout bounds how many shards one query executes on
 	// concurrently. 0 means min(Shards, GOMAXPROCS).
 	Fanout int
+	// RingSize bounds the in-memory tail of committed records kept
+	// for replication streaming (0 = replog.DefaultRingSize).
+	RingSize int
 }
 
 // Store is a hash-partitioned collection of planar index shards with
@@ -51,6 +58,7 @@ type Store struct {
 	fanout int
 	dir    string // "" for an ephemeral store
 	rr     atomic.Uint64
+	seq    *replog.Sequencer
 }
 
 // IsSharded reports whether dir holds a sharded store (its meta file
@@ -65,6 +73,29 @@ func IsSharded(dir string) bool {
 
 func shardDir(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// Dir returns the directory of shard i under a sharded store root —
+// the layout contract replica bootstrap materialises into.
+func Dir(root string, i int) string { return shardDir(root, i) }
+
+// WriteLayout initialises an empty sharded directory (root dir,
+// per-shard dirs, meta file) without opening a store. Replica
+// bootstrap uses it to lay down a primary's topology before filling
+// in the streamed snapshots.
+func WriteLayout(dir string, shards, dim int) error {
+	if shards <= 0 || dim <= 0 {
+		return fmt.Errorf("shard: layout needs shards=%d dim=%d positive", shards, dim)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < shards; i++ {
+		if err := os.MkdirAll(shardDir(dir, i), 0o755); err != nil {
+			return err
+		}
+	}
+	return writeMeta(filepath.Join(dir, metaFile), shards, dim)
 }
 
 // readMeta parses the meta file's "shards=N dim=D" line.
@@ -178,8 +209,28 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+
+	// The commit sequence resumes one past the highest LSN any shard
+	// has journaled (each segment's header pins the position even
+	// when the segment is empty).
+	next := uint64(1)
+	for _, p := range s.parts {
+		if n := p.nextLSN(); n > next {
+			next = n
+		}
+	}
+	s.seq = replog.NewSequencer(next, opts.RingSize)
+	for i, p := range s.parts {
+		p.seq = s.seq
+		idx := uint32(i)
+		p.gid = func(local uint32) uint32 { return local*uint32(n) + idx }
+	}
 	return s, nil
 }
+
+// Seq exposes the store-wide commit sequencer — the LSN authority and
+// in-memory replication tail shared by every partition.
+func (s *Store) Seq() *replog.Sequencer { return s.seq }
 
 // NumShards returns the number of partitions.
 func (s *Store) NumShards() int { return len(s.parts) }
@@ -526,6 +577,76 @@ func (s *Store) Explain(q core.Query) (core.Plan, error) {
 		out.BoundsHi += pl.BoundsHi
 	}
 	return out, nil
+}
+
+// Apply replays one replication record streamed from a primary: the
+// global id routes to the owning shard, and replay must reproduce the
+// primary's id assignment exactly (any disagreement reports
+// replog.ErrDiverged). Records must arrive in LSN order.
+func (s *Store) Apply(rec wal.Record) error {
+	si, local := s.shardOf(rec.ID)
+	if err := s.parts[si].applyReplicated(rec, local); err != nil {
+		return fmt.Errorf("shard %d: %w", si, err)
+	}
+	return nil
+}
+
+// CaptureAll snapshots every shard's in-memory state. The caller must
+// have drained writers (service holds its commit barrier), so the
+// per-shard snapshots are mutually consistent at the current LSN.
+func (s *Store) CaptureAll() []*codec.Snapshot {
+	snaps := make([]*codec.Snapshot, len(s.parts))
+	for i, p := range s.parts {
+		snaps[i] = p.capture()
+	}
+	return snaps
+}
+
+// FeedFromDisk serves catch-up replication reads that have fallen off
+// the in-memory ring: it flushes every shard's WAL buffer, scans the
+// segments for records at or past from, rewrites local ids to global
+// ids, and k-way merges by LSN. tooOld reports that the segments no
+// longer cover from (a checkpoint truncated them) — the replica must
+// re-bootstrap from a snapshot.
+func (s *Store) FeedFromDisk(from uint64, max int) (recs []wal.Record, tooOld bool, err error) {
+	if s.dir == "" {
+		return nil, true, nil // ephemeral: ring is the only history
+	}
+	for _, p := range s.parts {
+		if err := p.flushLog(); err != nil {
+			return nil, false, err
+		}
+	}
+	var merged []wal.Record
+	for i := range s.parts {
+		n, idx := uint32(len(s.parts)), uint32(i)
+		part, err := replog.ReadSegmentFrom(
+			filepath.Join(shardDir(s.dir, i), walFile), from, max,
+			func(local uint32) uint32 { return local*n + idx },
+		)
+		if err != nil {
+			return nil, false, fmt.Errorf("shard %d: %w", i, err)
+		}
+		merged = append(merged, part...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].LSN < merged[b].LSN })
+	if len(merged) == 0 || merged[0].LSN > from {
+		// The requested position predates what the segments retain.
+		return nil, true, nil
+	}
+	// Keep only the dense prefix: a gap means an interleaved
+	// checkpoint truncated part of the range mid-scan.
+	out := merged[:0]
+	for i, rec := range merged {
+		if rec.LSN != from+uint64(i) {
+			break
+		}
+		out = append(out, rec)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out, false, nil
 }
 
 // Checkpoint snapshots every shard in parallel.

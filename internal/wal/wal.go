@@ -5,6 +5,24 @@
 // the log on top of the last snapshot (package codec). Indexes are
 // rebuilt from their recorded normals — bulk loading is loglinear,
 // which the paper measures as cheap (Figure 13(a)).
+//
+// Every record carries a log sequence number (LSN) assigned at commit
+// time by the owner of the log (package replog). LSNs are global to a
+// store, strictly increasing within one segment file, and are the
+// cursor currency of the replication subsystem (package replica): a
+// replica resumes streaming from its last applied LSN, and a segment
+// file's header records the base LSN the segment starts at so an
+// empty post-checkpoint segment still pins the sequence.
+//
+// Segment files are self-describing: a 16-byte header (magic + base
+// LSN) followed by records laid out as
+//
+//	op(1) lsn(8) id(4) n(2) vec(8n) crc(4)
+//
+// with the CRC-32 covering all preceding bytes of the record. A
+// truncated or CRC-broken final record is a torn tail: Open recovers
+// by truncating the file back to the last good record, and iteration
+// treats it as a clean end of log.
 package wal
 
 import (
@@ -30,9 +48,12 @@ const (
 	OpRemove Op = 3
 )
 
-// Record is one logged mutation.
+// Record is one logged mutation. LSN is the commit sequence number;
+// ID is shard-local in on-disk segments and global in replication
+// streams (the translation happens at the shard boundary).
 type Record struct {
 	Op  Op
+	LSN uint64
 	ID  uint32
 	Vec []float64 // empty for OpRemove
 }
@@ -41,56 +62,30 @@ type Record struct {
 // at the last good record (standard torn-write handling).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Writer appends records to a log file.
-type Writer struct {
-	f   *os.File
-	bw  *bufio.Writer
-	dim int
+// segment header: 8-byte magic, 8-byte little-endian base LSN.
+var segmentMagic = [8]byte{'P', 'W', 'A', 'L', '0', '0', '0', '1'}
+
+// HeaderSize is the byte length of a segment file's header; the first
+// record starts at this offset.
+const HeaderSize = 16
+
+// IsTail reports whether an iteration error marks the (possibly torn)
+// end of a segment rather than an I/O failure: clean EOF, a record
+// cut short mid-write, or a record that fails its checksum.
+func IsTail(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorrupt)
 }
 
-// Create opens a fresh log (truncating any existing file) for
-// dim-dimensional vectors.
-func Create(path string, dim int) (*Writer, error) {
-	if dim <= 0 {
-		return nil, fmt.Errorf("wal: dimension must be positive, got %d", dim)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, err
-	}
-	return &Writer{f: f, bw: bufio.NewWriter(f), dim: dim}, nil
-}
-
-// Open opens an existing log for appending.
-func Open(path string, dim int) (*Writer, error) {
-	if dim <= 0 {
-		return nil, fmt.Errorf("wal: dimension must be positive, got %d", dim)
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	return &Writer{f: f, bw: bufio.NewWriter(f), dim: dim}, nil
-}
-
-// Append logs one record. The record is buffered; call Sync to force
-// it to stable storage.
-func (w *Writer) Append(r Record) error {
-	if r.Op != OpAppend && r.Op != OpUpdate && r.Op != OpRemove {
-		return fmt.Errorf("wal: unknown op %d", r.Op)
-	}
-	if r.Op == OpRemove {
-		if len(r.Vec) != 0 {
-			return errors.New("wal: remove record must not carry a vector")
-		}
-	} else if len(r.Vec) != w.dim {
-		return fmt.Errorf("wal: vector has dimension %d, want %d", len(r.Vec), w.dim)
-	}
-	// Record layout: op(1) id(4) n(2) vec(8n) crc(4), crc over all
-	// preceding bytes.
+// EncodeRecord writes one record in the segment wire format. The same
+// encoding is used on disk and on the replication stream, so the
+// receiver re-verifies the CRC the committer computed.
+func EncodeRecord(w io.Writer, r Record) error {
 	h := crc32.NewIEEE()
-	out := io.MultiWriter(w.bw, h)
+	out := io.MultiWriter(w, h)
 	if err := binary.Write(out, binary.LittleEndian, uint8(r.Op)); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, r.LSN); err != nil {
 		return err
 	}
 	if err := binary.Write(out, binary.LittleEndian, r.ID); err != nil {
@@ -104,65 +99,23 @@ func (w *Writer) Append(r Record) error {
 			return err
 		}
 	}
-	return binary.Write(w.bw, binary.LittleEndian, h.Sum32())
+	return binary.Write(w, binary.LittleEndian, h.Sum32())
 }
 
-// Sync flushes buffered records and fsyncs the file.
-func (w *Writer) Sync() error {
-	if err := w.bw.Flush(); err != nil {
-		return err
-	}
-	return w.f.Sync()
-}
-
-// Close flushes and closes the log.
-func (w *Writer) Close() error {
-	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return err
-	}
-	return w.f.Close()
-}
-
-// Replay reads records from path and calls fn for each valid record
-// in order. A record that fails its checksum or is truncated ends
-// the replay silently (torn tail); any earlier corruption is
-// indistinguishable from a torn tail and also ends the replay. The
-// number of applied records is returned. A missing file replays
-// zero records.
-func Replay(path string, fn func(Record) error) (int, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	applied := 0
-	for {
-		r, err := readRecord(br)
-		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorrupt) {
-				return applied, nil
-			}
-			return applied, err
-		}
-		if err := fn(r); err != nil {
-			return applied, err
-		}
-		applied++
-	}
-}
-
-func readRecord(br *bufio.Reader) (Record, error) {
+// DecodeRecord reads one record, re-verifying its CRC. It returns
+// io.EOF at a clean boundary, io.ErrUnexpectedEOF for a record cut
+// short, and ErrCorrupt for a checksum failure.
+func DecodeRecord(br io.Reader) (Record, error) {
 	h := crc32.NewIEEE()
 	hr := io.TeeReader(br, h)
 
 	var op uint8
 	if err := binary.Read(hr, binary.LittleEndian, &op); err != nil {
 		return Record{}, err
+	}
+	var lsn uint64
+	if err := binary.Read(hr, binary.LittleEndian, &lsn); err != nil {
+		return Record{}, io.ErrUnexpectedEOF
 	}
 	var id uint32
 	if err := binary.Read(hr, binary.LittleEndian, &id); err != nil {
@@ -194,5 +147,261 @@ func readRecord(br *bufio.Reader) (Record, error) {
 	if n == 0 {
 		vec = nil
 	}
-	return Record{Op: Op(op), ID: id, Vec: vec}, nil
+	return Record{Op: Op(op), LSN: lsn, ID: id, Vec: vec}, nil
+}
+
+// recordSize is the on-disk byte length of a record with n vector
+// components: op(1) lsn(8) id(4) n(2) vec(8n) crc(4).
+func recordSize(n int) int64 { return 19 + 8*int64(n) }
+
+// Writer appends records to a segment file.
+type Writer struct {
+	f         *os.File
+	bw        *bufio.Writer
+	dim       int
+	base      uint64 // header base LSN
+	next      uint64 // lowest LSN the next Append may carry
+	recovered int64  // torn-tail bytes truncated by Open (0 if clean)
+}
+
+// Create opens a fresh segment (truncating any existing file) for
+// dim-dimensional vectors, starting at base (the first LSN the
+// segment may hold; 0 is treated as 1). The header is synced to disk
+// immediately so a crash right after a checkpoint cannot lose the
+// sequence position.
+func Create(path string, dim int, base uint64) (*Writer, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("wal: dimension must be positive, got %d", dim)
+	}
+	if base == 0 {
+		base = 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [HeaderSize]byte
+	copy(hdr[:8], segmentMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f), dim: dim, base: base, next: base}, nil
+}
+
+// Open opens an existing segment for appending, recovering a torn
+// tail by truncating the file back to the last good record (the
+// truncated byte count is reported by Recovered). A missing file — or
+// one so short it cannot even hold a header, which means no record
+// was ever committed — is (re)created with base LSN 1.
+func Open(path string, dim int) (*Writer, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("wal: dimension must be positive, got %d", dim)
+	}
+	st, err := os.Stat(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Create(path, dim, 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < HeaderSize {
+		return Create(path, dim, 1)
+	}
+
+	seg, err := OpenSegment(path)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := seg.Next(); err != nil {
+			if IsTail(err) {
+				break
+			}
+			seg.Close()
+			return nil, err
+		}
+	}
+	base, last, end := seg.Base(), seg.LastLSN(), seg.Pos()
+	if err := seg.Close(); err != nil {
+		return nil, err
+	}
+
+	var recovered int64
+	if end < st.Size() {
+		recovered = st.Size() - end
+		if err := os.Truncate(path, end); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	next := base
+	if last >= base {
+		next = last + 1
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f), dim: dim, base: base, next: next, recovered: recovered}, nil
+}
+
+// BaseLSN returns the segment's first admissible LSN.
+func (w *Writer) BaseLSN() uint64 { return w.base }
+
+// NextLSN returns the lowest LSN the next appended record may carry —
+// one past the last record, or the base for an empty segment.
+func (w *Writer) NextLSN() uint64 { return w.next }
+
+// Recovered returns how many torn-tail bytes Open truncated, so the
+// caller can log the repair; 0 means the segment was clean.
+func (w *Writer) Recovered() int64 { return w.recovered }
+
+// Append logs one record. The record must carry an LSN at or above
+// NextLSN — per-shard segments hold an increasing subsequence of the
+// store-wide LSN space, not necessarily a dense one. The record is
+// buffered; call Sync to force it to stable storage.
+func (w *Writer) Append(r Record) error {
+	if r.Op != OpAppend && r.Op != OpUpdate && r.Op != OpRemove {
+		return fmt.Errorf("wal: unknown op %d", r.Op)
+	}
+	if r.Op == OpRemove {
+		if len(r.Vec) != 0 {
+			return errors.New("wal: remove record must not carry a vector")
+		}
+	} else if len(r.Vec) != w.dim {
+		return fmt.Errorf("wal: vector has dimension %d, want %d", len(r.Vec), w.dim)
+	}
+	if r.LSN < w.next {
+		return fmt.Errorf("wal: record LSN %d below segment position %d", r.LSN, w.next)
+	}
+	if err := EncodeRecord(w.bw, r); err != nil {
+		return err
+	}
+	w.next = r.LSN + 1
+	return nil
+}
+
+// Flush pushes buffered records to the OS without fsyncing — enough
+// for a concurrent segment reader (the catch-up feed) to see them.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Sync flushes buffered records and fsyncs the file.
+func (w *Writer) Sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Segment iterates a segment file's records with byte positions — the
+// cursor primitive for recovery (where to truncate a torn tail) and
+// for the replication catch-up feed (stream from an offset without
+// re-reading the whole file).
+type Segment struct {
+	f    *os.File
+	br   *bufio.Reader
+	base uint64
+	pos  int64  // end offset of the last good record
+	last uint64 // LSN of the last good record (0 before any)
+}
+
+// OpenSegment opens a segment file for iteration, validating its
+// header.
+func OpenSegment(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: segment %s: short header: %w", path, ErrCorrupt)
+	}
+	if [8]byte(hdr[:8]) != segmentMagic {
+		f.Close()
+		return nil, fmt.Errorf("wal: segment %s: bad magic: %w", path, ErrCorrupt)
+	}
+	return &Segment{
+		f:    f,
+		br:   bufio.NewReader(f),
+		base: binary.LittleEndian.Uint64(hdr[8:]),
+		pos:  HeaderSize,
+	}, nil
+}
+
+// Base returns the segment's base LSN from its header.
+func (s *Segment) Base() uint64 { return s.base }
+
+// Pos returns the byte offset just past the last successfully decoded
+// record — the truncation point when the tail is torn.
+func (s *Segment) Pos() int64 { return s.pos }
+
+// LastLSN returns the LSN of the last successfully decoded record, or
+// 0 if none has been read yet.
+func (s *Segment) LastLSN() uint64 { return s.last }
+
+// Next decodes the next record. It returns io.EOF at a clean end;
+// io.ErrUnexpectedEOF or ErrCorrupt mark a torn tail (use IsTail).
+// Pos is only advanced past records that decode successfully.
+func (s *Segment) Next() (Record, error) {
+	r, err := DecodeRecord(s.br)
+	if err != nil {
+		return Record{}, err
+	}
+	s.pos += recordSize(len(r.Vec))
+	s.last = r.LSN
+	return r, nil
+}
+
+// Close releases the underlying file.
+func (s *Segment) Close() error { return s.f.Close() }
+
+// Replay reads records from path and calls fn for each valid record
+// in order. A torn tail (truncated or CRC-broken final record) ends
+// the replay as a clean EOF; any earlier corruption is
+// indistinguishable from a torn tail and also ends the replay. The
+// number of applied records is returned. A missing file — or one too
+// short to hold a header — replays zero records.
+func Replay(path string, fn func(Record) error) (int, error) {
+	seg, err := OpenSegment(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if errors.Is(err, ErrCorrupt) {
+		// No full header was ever written: the segment holds no
+		// committed records.
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer seg.Close()
+	applied := 0
+	for {
+		r, err := seg.Next()
+		if err != nil {
+			if IsTail(err) {
+				return applied, nil
+			}
+			return applied, err
+		}
+		if err := fn(r); err != nil {
+			return applied, err
+		}
+		applied++
+	}
 }
