@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke ci clean
+.PHONY: all build test vet lint race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke ci clean
 
 all: build
 
@@ -12,6 +12,22 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet: formatting, module hygiene, the
+# planarlint analyzer suite (see DESIGN.md §9), and — when the binary
+# is installed — golangci-lint with the pinned .golangci.yml. The
+# whole target must exit 0 on the tree; suppress deliberate
+# violations with //nolint:<analyzer> // reason.
+lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) mod tidy -diff
+	$(GO) run ./cmd/planarlint ./...
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; skipping (planarlint still ran)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -42,7 +58,7 @@ replica-integration:
 bench-replica-smoke:
 	$(GO) run ./cmd/planarbench -replicas 1 -points 2000 -benchdur 200ms -repout ""
 
-ci: vet build race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke
+ci: vet lint build race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -71,6 +72,10 @@ func benchQueryPhase(cfg replicaBenchConfig, client *http.Client, endpoints []st
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
+	// Bound every request by the phase deadline so a wedged endpoint
+	// cannot hang the bench past its window.
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -83,7 +88,13 @@ func benchQueryPhase(cfg replicaBenchConfig, client *http.Client, endpoints []st
 				}
 				body, _ := json.Marshal(map[string]interface{}{"a": a, "b": rng.Float64() * 100, "op": "<="})
 				url := endpoints[(c+i)%len(endpoints)] + "/v1/query"
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
 				if err != nil {
 					errs.Add(1)
 					continue

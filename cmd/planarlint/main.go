@@ -1,0 +1,111 @@
+// Command planarlint runs the repo's custom static-analysis suite
+// (internal/lint) over a set of packages. It is wired into make lint
+// and make ci; see DESIGN.md §9 for what each analyzer enforces.
+//
+// Usage:
+//
+//	go run ./cmd/planarlint [-json] [-run name,name] [packages...]
+//
+// Packages default to ./... . Exit status: 0 when the tree is clean,
+// 1 when there are findings, 2 on a load or analysis failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"planar/internal/lint"
+	"planar/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// finding is the machine-readable (-json) form of a diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("planarlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: planarlint [-json] [-run name,name] [packages...]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *runList != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "planarlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planarlint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planarlint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		out := []finding{} // encode [] rather than null when clean
+		for _, d := range diags {
+			out = append(out, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "planarlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "planarlint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

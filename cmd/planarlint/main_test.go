@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	if got := run([]string{"-run", "nope", "."}); got != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", got)
+	}
+}
+
+// TestJSONOnCleanPackage runs the real pipeline (go list -export,
+// type-check, all analyzers) over this command's own package, which
+// must be clean, and checks the -json contract: a JSON array (empty,
+// not null) on stdout and exit 0.
+func TestJSONOnCleanPackage(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run([]string{"-json", "."})
+	_ = w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("planarlint -json . on a clean package: exit %d\n%s", code, buf.String())
+	}
+	var out []finding
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(out) != 0 {
+		t.Fatalf("unexpected findings on own package: %+v", out)
+	}
+	if bytes.HasPrefix(bytes.TrimSpace(buf.Bytes()), []byte("null")) {
+		t.Fatalf("clean run must encode [], not null")
+	}
+}
+
+func TestSingleAnalyzerRun(t *testing.T) {
+	if got := run([]string{"-run", "floatkey", "."}); got != 0 {
+		t.Fatalf("floatkey over own package: exit %d, want 0", got)
+	}
+}

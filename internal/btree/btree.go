@@ -29,7 +29,7 @@ type Entry struct {
 // Less reports whether e orders strictly before f (key-major,
 // id-minor).
 func (e Entry) Less(f Entry) bool {
-	if e.Key != f.Key {
+	if e.Key != f.Key { //nolint:floatkey // total-order comparator: tolerance would break the tree's strict ordering invariant
 		return e.Key < f.Key
 	}
 	return e.ID < f.ID
@@ -530,7 +530,7 @@ func (t *Tree) AscendRange(loKeyExcl, hiKeyIncl float64, fn func(Entry) bool) {
 	if start == nil {
 		return
 	}
-	if start.ents[i].Key == loKeyExcl {
+	if start.ents[i].Key == loKeyExcl { //nolint:floatkey // boundary identity against the exact seek key, not a computed value
 		// The boundary pair (loKeyExcl, MaxUint32) itself: skip it.
 		i++
 		if i == len(start.ents) {

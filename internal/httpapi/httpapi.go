@@ -213,7 +213,7 @@ func (s *Server) proxyToPrimary(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadGateway, fmt.Errorf("proxying to primary: %v", err))
 		return
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
 	w.Header().Set("X-Planar-Proxied", "primary")
 	w.WriteHeader(resp.StatusCode)

@@ -1,0 +1,100 @@
+// Package analysis is a small, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis surface that planarlint's
+// analyzers are written against. The container this repo builds in
+// has no module proxy access, so instead of vendoring x/tools the
+// framework loads packages itself: `go list -export -deps -json`
+// enumerates the build graph, imports resolve through the compiler's
+// export data (the same mechanism gopls and vet drivers use), and
+// each target package is type-checked from source so analyzers get a
+// full *types.Info.
+//
+// The subset is deliberately minimal: an Analyzer is a named Run
+// function over a Pass; there are no Facts, no Requires graph and no
+// SSA. That is enough for the invariant checks in internal/lint,
+// and the analyzer sources stay structurally compatible with
+// go/analysis should the dependency ever become available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check: a name (used by //nolint:<name>
+// suppressions and -json output), a one-paragraph doc string, and the
+// Run function applied once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported finding, already resolved to a file
+// position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package, filters the raw
+// diagnostics through //nolint suppressions, and returns the
+// survivors sorted by file position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		out = append(out, filterSuppressed(pkg, diags)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

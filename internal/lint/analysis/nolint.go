@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// filterSuppressed drops diagnostics covered by a //nolint comment.
+// Two placements are honored, mirroring golangci-lint:
+//
+//	w.Close() //nolint:errsink // draining on the error path
+//	//nolint:locknesting // promoted store is detached from the loop
+//	mu.Lock()
+//
+// i.e. a nolint comment suppresses findings on its own line and on
+// the line directly below it. The bare form //nolint (no analyzer
+// list) suppresses every analyzer; //nolint:a,b suppresses only the
+// named ones. Everything after a second "//" is a free-form reason.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// filename -> line -> analyzer names ("*" = all).
+	supp := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseNolint(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := supp[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					supp[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if names, ok := supp[d.Pos.Filename][d.Pos.Line]; ok && matchesAnalyzer(names, d.Analyzer) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseNolint extracts the analyzer list from a //nolint comment.
+// The second return is false when the comment is not a nolint
+// directive at all.
+func parseNolint(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false // /* */ comments are not directives
+	}
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, "nolint") {
+		return nil, false
+	}
+	body = body[len("nolint"):]
+	// Strip a trailing reason ("... // because").
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = body[:i]
+	}
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return []string{"*"}, true
+	}
+	if !strings.HasPrefix(body, ":") {
+		return nil, false // e.g. "nolintlint" or prose starting with nolint
+	}
+	var names []string
+	for _, n := range strings.Split(body[1:], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		names = []string{"*"}
+	}
+	return names, true
+}
+
+func matchesAnalyzer(names []string, analyzer string) bool {
+	for _, n := range names {
+		if n == "*" || n == analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseNolint(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//nolint", []string{"*"}, true},
+		{"// nolint", []string{"*"}, true},
+		{"//nolint:errsink", []string{"errsink"}, true},
+		{"//nolint:errsink,floatkey", []string{"errsink", "floatkey"}, true},
+		{"//nolint: errsink , floatkey", []string{"errsink", "floatkey"}, true},
+		{"//nolint:errsink // close error is noise here", []string{"errsink"}, true},
+		{"//nolint // blanket, with reason", []string{"*"}, true},
+		{"// plain comment", nil, false},
+		{"//nolintlint is a different tool", nil, false},
+		{"/* nolint */", nil, false},
+		{"// the word nolint mid-sentence", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseNolint(c.text)
+		if ok != c.ok || (ok && !reflect.DeepEqual(names, c.names)) {
+			t.Errorf("parseNolint(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}
+
+func TestMatchesAnalyzer(t *testing.T) {
+	if !matchesAnalyzer([]string{"*"}, "errsink") {
+		t.Errorf("wildcard should match any analyzer")
+	}
+	if !matchesAnalyzer([]string{"floatkey", "errsink"}, "errsink") {
+		t.Errorf("listed analyzer should match")
+	}
+	if matchesAnalyzer([]string{"floatkey"}, "errsink") {
+		t.Errorf("unlisted analyzer should not match")
+	}
+}

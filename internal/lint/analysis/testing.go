@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Testing is the subset of *testing.T the harness needs; declared
+// locally so the framework package does not import "testing" into
+// production binaries.
+type Testing interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+}
+
+// exportCache memoizes go list runs across RunTestdata calls in one
+// test binary: the dependency closures of the testdata fixtures
+// overlap almost completely.
+var exportCache = struct {
+	sync.Mutex
+	m map[string]map[string]string
+}{m: map[string]map[string]string{}}
+
+func exportsFor(imports []string) (map[string]string, error) {
+	sort.Strings(imports)
+	key := strings.Join(imports, ",")
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	if e, ok := exportCache.m[key]; ok {
+		return e, nil
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		_, e, err := GoList(".", imports)
+		if err != nil {
+			return nil, err
+		}
+		exports = e
+	}
+	exportCache.m[key] = exports
+	return exports, nil
+}
+
+// RunTestdata type-checks the fixture package in dir under the import
+// path asPath, runs a single analyzer over it, applies the //nolint
+// filter, and compares the surviving diagnostics against the
+// fixture's "// want" comments — the analysistest contract:
+//
+//	seg.Close() // want `unchecked error`
+//
+// Each want comment carries one or more Go-quoted regular
+// expressions; every regexp must match a distinct diagnostic on that
+// line, and every diagnostic must be claimed by a want. asPath lets a
+// fixture masquerade as a real package (e.g. planar/internal/wal) so
+// path-scoped analyzers fire without special test hooks; fixtures may
+// import real module packages, which resolve through export data.
+func RunTestdata(t Testing, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	diags, fset, files, err := runTestdata(a, dir, asPath)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	checkWants(t, fset, files, diags)
+}
+
+func runTestdata(a *Analyzer, dir, asPath string) ([]Diagnostic, *token.FileSet, []*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	exports, err := exportsFor(imports)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: ExportImporter(fset, exports)}
+	tpkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking fixture %s: %w", dir, err)
+	}
+	pkg := &Package{ImportPath: asPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info, diags: &diags}
+	if err := a.Run(pass); err != nil {
+		return nil, nil, nil, fmt.Errorf("running %s on %s: %w", a.Name, dir, err)
+	}
+	return filterSuppressed(pkg, diags), fset, files, nil
+}
+
+// want is one expectation: a regexp that must match a diagnostic on
+// its line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+func checkWants(t Testing, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(body, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					raw, _ := strconv.Unquote(q)
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	claimed := make([]bool, len(diags))
+outer:
+	for _, w := range wants {
+		for i, d := range diags {
+			if !claimed[i] && d.Pos.Filename == w.file && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+				claimed[i] = true
+				continue outer
+			}
+		}
+		t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+}

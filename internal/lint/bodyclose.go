@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"planar/internal/lint/analysis"
+)
+
+// Bodyclose flags *http.Response values whose Body is never closed in
+// the function that obtained them. An unclosed body leaks the
+// underlying connection and, against a keep-alive server, eventually
+// starves the client's connection pool — the replica tailer holds
+// streams open for minutes, so this class of leak is fatal there.
+//
+// The check is deliberately conservative to stay zero-false-positive:
+// it only fires when the response is bound to an identifier via := or
+// = and every subsequent use of that identifier is a field/method
+// access (resp.Body, resp.StatusCode, …). If the response escapes —
+// returned, passed to another function, stored — responsibility may
+// transfer, and the analyzer stays quiet.
+var Bodyclose = &analysis.Analyzer{
+	Name: "bodyclose",
+	Doc:  "flag *http.Response values whose Body is never closed",
+	Run:  runBodyclose,
+}
+
+func runBodyclose(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBodyclose(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBodyclose(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Find `resp, err := <call>` / `resp = <call>` bindings whose call
+	// yields an *http.Response.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals get their own checkBodyclose pass
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !isCall {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || typeKey(obj.Type()) != "net/http.Response" {
+				continue
+			}
+			if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+				continue
+			}
+			closed, escapes := responseUsage(pass, body, obj)
+			if !closed && !escapes {
+				pass.Reportf(id.Pos(), "response body of %s is never closed; add defer %s.Body.Close()", id.Name, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// responseUsage scans every use of the response object within body and
+// reports whether Body.Close is called on it and whether it escapes
+// (any use that is not a plain field/method selection).
+func responseUsage(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) (closed, escapes bool) {
+	// Map each use identifier to its parent expression so we can see
+	// how the value is consumed.
+	parents := map[*ast.Ident]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && (pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj) {
+			if len(stack) > 0 {
+				parents[id] = stack[len(stack)-1]
+			} else {
+				parents[id] = nil
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	for id, parent := range parents {
+		if pass.TypesInfo.Defs[id] == obj {
+			continue // the binding itself
+		}
+		sel, ok := parent.(*ast.SelectorExpr)
+		if !ok || sel.X != id {
+			escapes = true
+			continue
+		}
+		// resp.Body.Close() shows up as Close(Sel(Sel(resp, Body), Close)).
+		if sel.Sel.Name == "Body" {
+			if isCloseCallOn(pass, sel) {
+				closed = true
+			}
+		}
+	}
+	return closed, escapes
+}
+
+// isCloseCallOn reports whether bodySel (the resp.Body selector) is
+// immediately the receiver of a .Close() call somewhere in the file.
+func isCloseCallOn(pass *analysis.Pass, bodySel *ast.SelectorExpr) bool {
+	// We cannot walk upwards from a node, so instead recognise the
+	// pattern from the type info: find the enclosing selector
+	// (resp.Body).Close by checking all Close selections that use this
+	// exact sub-expression.
+	for sel := range pass.TypesInfo.Selections {
+		if sel.Sel.Name == "Close" && ast.Unparen(sel.X) == bodySel {
+			return true
+		}
+	}
+	return false
+}

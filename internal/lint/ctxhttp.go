@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"planar/internal/lint/analysis"
+)
+
+// Ctxhttp enforces context propagation at the HTTP boundary:
+//
+//   - package-level http.Get/Post/PostForm/Head and the equivalent
+//     (*http.Client) methods carry context.Background() implicitly and
+//     can hang forever against a stalled peer — build the request with
+//     http.NewRequestWithContext and use client.Do;
+//   - http.NewRequest is the same trap one layer down, flagged with a
+//     pointer at NewRequestWithContext;
+//   - a goroutine spawned inside an HTTP handler (any function taking
+//     an *http.Request) outlives the request unless its body threads a
+//     context through — flagged when the goroutine's body never
+//     mentions a context value.
+var Ctxhttp = &analysis.Analyzer{
+	Name: "ctxhttp",
+	Doc:  "flag HTTP requests and handler goroutines that do not propagate a context",
+	Run:  runCtxhttp,
+}
+
+var ctxlessHTTPCalls = map[string]bool{
+	"Get":      true,
+	"Post":     true,
+	"PostForm": true,
+	"Head":     true,
+}
+
+func runCtxhttp(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCtxlessCall(pass, call)
+				return true
+			}
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !takesHTTPRequest(pass.TypesInfo, fd) {
+				return true
+			}
+			checkHandlerGoroutines(pass, fd)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCtxlessCall(pass *analysis.Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || funcPkgPath(f) != "net/http" {
+		return
+	}
+	if f.Name() == "NewRequest" {
+		pass.Reportf(call.Pos(), "http.NewRequest binds no context; use http.NewRequestWithContext")
+		return
+	}
+	if !ctxlessHTTPCalls[f.Name()] {
+		return
+	}
+	switch recvKey(f) {
+	case "": // package-level http.Get etc.
+		pass.Reportf(call.Pos(), "http.%s carries no context and cannot be cancelled; build the request with http.NewRequestWithContext", f.Name())
+	case "net/http.Client":
+		pass.Reportf(call.Pos(), "(*http.Client).%s carries no context and cannot be cancelled; use http.NewRequestWithContext and client.Do", f.Name())
+	}
+}
+
+// takesHTTPRequest reports whether fd has an *http.Request parameter —
+// the shape of both http.HandlerFunc and the repo's internal handler
+// helpers.
+func takesHTTPRequest(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if typeKey(tv.Type) == "net/http.Request" {
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkHandlerGoroutines flags `go` statements in a handler whose
+// function body never references a context value: the goroutine
+// outlives the request with no way to observe cancellation.
+func checkHandlerGoroutines(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			// `go h.flush(ctx)`: context must appear in the arguments.
+			for _, arg := range gs.Call.Args {
+				if mentionsContext(pass.TypesInfo, arg) {
+					return true
+				}
+			}
+			pass.Reportf(gs.Pos(), "goroutine spawned in handler %s without a context argument; it outlives the request uncancellably", fd.Name.Name)
+			return true
+		}
+		found := false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok && mentionsContext(pass.TypesInfo, e) {
+				found = true
+				return false
+			}
+			return !found
+		})
+		if !found {
+			pass.Reportf(gs.Pos(), "goroutine spawned in handler %s never references a context; it outlives the request uncancellably", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// mentionsContext reports whether e's type involves context.Context
+// (the interface itself, or a call like r.Context()).
+func mentionsContext(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return typeKey(tv.Type) == "context.Context"
+}

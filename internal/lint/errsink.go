@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"planar/internal/lint/analysis"
+)
+
+// Errsink flags calls whose error result is silently dropped — the
+// call appears as a bare statement (or defer/go statement) and its
+// type is error, or a tuple ending in error. It is scoped to the
+// packages where a dropped error loses durability or corrupts
+// replication state: the WAL, the commit sequencer's segment reader,
+// the replica tailer, and the HTTP layer.
+//
+// Assigning to the blank identifier (`_ = f.Close()`) is an explicit,
+// reviewable discard and is not flagged; use it (or //nolint:errsink
+// with a reason) where ignoring the error is genuinely correct, e.g.
+// closing a file that was only ever read.
+var Errsink = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "flag dropped error returns on durability and IO paths",
+	Run:  runErrsink,
+}
+
+var errsinkScope = []string{
+	"internal/wal",
+	"internal/replog",
+	"internal/replica",
+	"internal/httpapi",
+}
+
+func runErrsink(pass *analysis.Pass) error {
+	if !pkgMatch(pass.Pkg.Path(), errsinkScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					call, how = c, "dropped"
+				}
+			case *ast.DeferStmt:
+				call, how = s.Call, "dropped by defer"
+			case *ast.GoStmt:
+				call, how = s.Call, "dropped by go"
+			}
+			if call == nil || !returnsError(pass.TypesInfo, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s is %s; handle it or discard explicitly with _ =",
+				exprString(pass.Fset, call.Fun), how)
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether call's type is error or a tuple whose
+// last element is error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"planar/internal/lint/analysis"
+)
+
+// Floatkey flags == and != between floating-point values. Exact float
+// equality is almost always wrong against the computed keys this
+// system indexes (a·q values accumulate rounding), so comparisons
+// must go through the approved comparators in internal/vecmath
+// (EqKey and the tolerance helpers), where the epsilon is chosen
+// against the paper's error bounds.
+//
+// Exemptions: the vecmath package itself (it implements the
+// comparators), comparisons where either operand is an untyped or
+// typed constant (x == 0 sentinel checks are exact by construction),
+// and the x != x NaN idiom.
+var Floatkey = &analysis.Analyzer{
+	Name: "floatkey",
+	Doc:  "flag exact float equality outside the approved vecmath comparators",
+	Run:  runFloatkey,
+}
+
+func runFloatkey(pass *analysis.Pass) error {
+	if pkgMatch(pass.Pkg.Path(), []string{"internal/vecmath"}) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+			if !isFloatExpr(pass.TypesInfo, x) && !isFloatExpr(pass.TypesInfo, y) {
+				return true
+			}
+			if isConstExpr(pass.TypesInfo, x) || isConstExpr(pass.TypesInfo, y) {
+				return true
+			}
+			if be.Op == token.NEQ && exprString(pass.Fset, x) == exprString(pass.Fset, y) {
+				return true // x != x is the NaN test
+			}
+			pass.Reportf(be.OpPos, "exact float comparison %s %s %s; use vecmath.EqKey (or a tolerance helper) instead",
+				exprString(pass.Fset, x), be.Op, exprString(pass.Fset, y))
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,171 @@
+// Package lint holds planarlint's analyzers: machine checks for the
+// invariants this codebase otherwise carries only in comments and
+// proofs. Each analyzer encodes one contract (see DESIGN.md §9):
+//
+//	locknesting — the documented lock-acquisition order
+//	walordering — store mutations journal through the commit sequencer
+//	floatkey    — proof-bearing float comparisons go through vecmath
+//	errsink     — no dropped errors on durability/IO paths
+//	ctxhttp     — HTTP clients and handler goroutines carry contexts
+//	bodyclose   — HTTP response bodies are always closed
+//
+// Analyzers are built on the stdlib-only framework in the analysis
+// subpackage and run via `go run ./cmd/planarlint ./...` (wired into
+// make lint / make ci). Suppress a deliberate violation with
+// `//nolint:<analyzer> // reason` on or directly above the line.
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"planar/internal/lint/analysis"
+)
+
+// All returns the full analyzer suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Locknesting,
+		Walordering,
+		Floatkey,
+		Errsink,
+		Ctxhttp,
+		Bodyclose,
+	}
+}
+
+// ByName resolves one analyzer (for planarlint's -run flag).
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// pkgMatch reports whether path ends in one of the given import-path
+// suffixes on a path-segment boundary ("internal/wal" matches
+// "planar/internal/wal" but not "planar/internal/walnut"). Scoped
+// analyzers use it both for real packages and for testdata fixtures
+// type-checked under a masquerade path.
+func pkgMatch(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers and aliases down to the defined type, or
+// nil if t has none.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return nil
+		}
+	}
+}
+
+// typeKey renders a named type as "pkgpath.Name" ("" if unnamed).
+func typeKey(t types.Type) string {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	key := n.Obj().Name()
+	if p := n.Obj().Pkg(); p != nil {
+		key = p.Path() + "." + key
+	}
+	return key
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes
+// (plain function or method), or nil for builtins, conversions and
+// calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: wal.Replay(...).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvKey returns "pkgpath.Type" for a method's receiver ("" for
+// plain functions).
+func recvKey(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return typeKey(sig.Recv().Type())
+}
+
+// funcPkgPath returns the import path of the package defining f.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// exprString renders an expression compactly for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// funcComments reports whether fn (a *ast.FuncDecl or *ast.FuncLit)
+// is annotated with the given directive — in the decl's doc comment,
+// or in any comment ending on the line directly above the node.
+func hasDirective(fset *token.FileSet, files []*ast.File, fn ast.Node, directive string) bool {
+	if fd, ok := fn.(*ast.FuncDecl); ok && fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.Contains(c.Text, directive) {
+				return true
+			}
+		}
+	}
+	startLine := fset.Position(fn.Pos()).Line
+	file := fset.Position(fn.Pos()).Filename
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				p := fset.Position(c.End())
+				if p.Filename == file && (p.Line == startLine-1 || p.Line == startLine) &&
+					strings.Contains(c.Text, directive) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

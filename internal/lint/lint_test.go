@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"testing"
+
+	"planar/internal/lint"
+	"planar/internal/lint/analysis"
+)
+
+// run exercises one analyzer against a testdata fixture type-checked
+// under a masquerade import path, comparing diagnostics against the
+// fixture's "// want" comments (see analysis.RunTestdata). Fixtures
+// with no want comments assert the analyzer stays silent — that is
+// how scoping and //nolint handling are proven.
+func run(t *testing.T, name, dir, asPath string) {
+	t.Helper()
+	a := lint.ByName(name)
+	if a == nil {
+		t.Fatalf("unknown analyzer %q", name)
+	}
+	analysis.RunTestdata(t, a, "testdata/"+dir, asPath)
+}
+
+func TestErrsink(t *testing.T) {
+	run(t, "errsink", "errsink", "planar/internal/wal")
+}
+
+func TestErrsinkUnscoped(t *testing.T) {
+	run(t, "errsink", "errsink_unscoped", "planar/internal/core")
+}
+
+func TestFloatkey(t *testing.T) {
+	run(t, "floatkey", "floatkey", "planar/internal/exec")
+}
+
+func TestFloatkeyVecmathExempt(t *testing.T) {
+	run(t, "floatkey", "floatkey_vecmath", "planar/internal/vecmath")
+}
+
+func TestCtxhttp(t *testing.T) {
+	run(t, "ctxhttp", "ctxhttp", "planar/internal/replica")
+}
+
+func TestBodyclose(t *testing.T) {
+	run(t, "bodyclose", "bodyclose", "planar/internal/replica")
+}
+
+func TestWalordering(t *testing.T) {
+	run(t, "walordering", "walordering", "planar/internal/service")
+}
+
+func TestWalorderingUnscoped(t *testing.T) {
+	run(t, "walordering", "walordering_unscoped", "planar/internal/btree")
+}
+
+func TestLocknesting(t *testing.T) {
+	run(t, "locknesting", "locknesting", "planar/internal/service")
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		if got := lint.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want the registered analyzer", a.Name, got)
+		}
+	}
+	if lint.ByName("nope") != nil {
+		t.Errorf("ByName(nope) should be nil")
+	}
+}

@@ -1,0 +1,49 @@
+// Fixture for the bodyclose analyzer (unscoped: runs everywhere).
+package replica
+
+import "net/http"
+
+func consume(resp *http.Response) {}
+
+func leaked(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req) // want `response body of resp is never closed`
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	return nil
+}
+
+func closedDirectly(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func closedInDefer(c *http.Client, req *http.Request) int {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return resp.StatusCode
+}
+
+func escapesToCaller(c *http.Client, req *http.Request) (*http.Response, error) {
+	resp, err := c.Do(req) // ownership transfers with the return
+	return resp, err
+}
+
+func escapesToHelper(c *http.Client, req *http.Request) {
+	resp, _ := c.Do(req) // ownership transfers to consume
+	consume(resp)
+}
+
+func suppressed(c *http.Client, req *http.Request) {
+	resp, _ := c.Do(req) //nolint:bodyclose // fixture: process exits right after
+	_ = resp.StatusCode
+}

@@ -1,0 +1,55 @@
+// Fixture for the ctxhttp analyzer (unscoped: runs everywhere).
+package replica
+
+import (
+	"context"
+	"net/http"
+)
+
+func badPackageLevel() {
+	http.Get("http://primary/healthz") // want `http.Get carries no context`
+}
+
+func badClient(c *http.Client) {
+	c.Post("http://primary/v1/query", "application/json", nil) // want `\(\*http.Client\)\.Post carries no context`
+	c.Head("http://primary/healthz")                           // want `\(\*http.Client\)\.Head carries no context`
+}
+
+func badNewRequest() {
+	http.NewRequest("GET", "http://primary/v1/status", nil) // want `http.NewRequest binds no context`
+}
+
+func okWithContext(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://primary/v1/status", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func work()                       {}
+func workCtx(ctx context.Context) {}
+func use(ctx context.Context)     {}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	go func() { // want `never references a context`
+		work()
+	}()
+	go func() {
+		use(r.Context())
+	}()
+	go workCtx(r.Context())
+	go work() // want `without a context argument`
+}
+
+func handlerSuppressed(w http.ResponseWriter, r *http.Request) {
+	go work() //nolint:ctxhttp // fixture: metrics flush deliberately outlives the request
+}
+
+func notHandler() {
+	go work() // goroutines outside handlers are not ctxhttp's business
+}

@@ -1,0 +1,37 @@
+// Fixture for the errsink analyzer, type-checked as
+// planar/internal/wal (in scope).
+package wal
+
+import "os"
+
+func dropped(f *os.File) {
+	f.Close()       // want `error returned by f.Close is dropped`
+	defer f.Close() // want `error returned by f.Close is dropped by defer`
+	go f.Close()    // want `error returned by f.Close is dropped by go`
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	_ = f.Close()
+	return nil
+}
+
+func noError(name string) {
+	println(name) // no error result: not flagged
+}
+
+func suppressedTrailing(f *os.File) {
+	f.Close() //nolint:errsink // fixture: read-only file, close error is noise
+}
+
+func suppressedBare(f *os.File) {
+	f.Close() //nolint // fixture: blanket suppression form
+}
+
+func suppressedAbove(f *os.File) {
+	//nolint:errsink // fixture: suppression on the line above
+	f.Close()
+}

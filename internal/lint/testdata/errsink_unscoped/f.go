@@ -1,0 +1,10 @@
+// Fixture proving errsink stays quiet outside its scoped packages:
+// same dropped error as testdata/errsink, type-checked as
+// planar/internal/core, expecting zero diagnostics.
+package core
+
+import "os"
+
+func dropped(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,33 @@
+// Fixture for the floatkey analyzer, type-checked as
+// planar/internal/exec (not exempt).
+package exec
+
+const eps = 1e-9
+
+func bad(a, b float64) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+func badNeq(a, b float64) bool {
+	return a != b // want `exact float comparison a != b`
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want `exact float comparison`
+}
+
+func constOK(a float64) bool {
+	return a == 0 || a == eps || 1.5 == a
+}
+
+func nanOK(a float64) bool {
+	return a != a // the NaN test
+}
+
+func intOK(a, b int) bool {
+	return a == b
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //nolint:floatkey // fixture: bitwise identity is intended here
+}

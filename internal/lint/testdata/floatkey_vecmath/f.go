@@ -1,0 +1,8 @@
+// Fixture proving the vecmath package is exempt from floatkey: it
+// implements the approved comparators, so exact == is its business.
+// Type-checked as planar/internal/vecmath; zero diagnostics expected.
+package vecmath
+
+func eqExact(a, b float64) bool {
+	return a == b
+}

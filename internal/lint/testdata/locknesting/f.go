@@ -1,0 +1,105 @@
+// Fixture for the locknesting analyzer, type-checked as
+// planar/internal/service so the local DB type lands on the real rank
+// table entries (commitMu=10, mu=20, metMu=90). The replog import
+// exercises the cross-package acquisition table.
+package service
+
+import (
+	"sync"
+
+	"planar/internal/replog"
+)
+
+type DB struct {
+	commitMu sync.RWMutex
+	mu       sync.RWMutex
+	metMu    sync.Mutex
+}
+
+func rightOrder(db *DB) {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+}
+
+func wrongOrder(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.commitMu.RLock() // want `wrongOrder acquires planar/internal/service.DB.commitMu while holding planar/internal/service.DB.mu`
+	db.commitMu.RUnlock()
+}
+
+func doubleAcquire(db *DB) {
+	db.metMu.Lock()
+	db.metMu.Lock() // want `doubleAcquire acquires planar/internal/service.DB.metMu while already holding it`
+	db.metMu.Unlock()
+	db.metMu.Unlock()
+}
+
+func unlockThenRelock(db *DB) {
+	db.metMu.Lock()
+	db.metMu.Unlock()
+	db.metMu.Lock() // released above: not a double-acquire
+	db.metMu.Unlock()
+}
+
+func sequencerUnderLeaf(db *DB, s *replog.Sequencer) {
+	db.metMu.Lock()
+	defer db.metMu.Unlock()
+	_ = s.Last() // want `sequencerUnderLeaf calls Last which acquires planar/internal/replog.Sequencer.mu while holding planar/internal/service.DB.metMu`
+}
+
+func sequencerOK(db *DB, s *replog.Sequencer) {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	_ = s.Last() // sequencer (60) nests fine under commitMu (10)
+}
+
+func helper(db *DB) {
+	db.commitMu.Lock()
+	db.commitMu.Unlock()
+}
+
+func callsHelperUnderMu(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	helper(db) // want `callsHelperUnderMu calls helper which acquires planar/internal/service.DB.commitMu while holding planar/internal/service.DB.mu`
+}
+
+func goroutineIsolated(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	go func() {
+		db.commitMu.Lock() // fresh goroutine: the enclosing held set does not apply
+		db.commitMu.Unlock()
+	}()
+}
+
+// muA and muB are unranked, so only a consistent order is enforced.
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func lockAB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock() // want `lock order cycle`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func suppressedWrongOrder(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	//nolint:locknesting // fixture: documented startup-only exception
+	db.commitMu.RLock()
+	db.commitMu.RUnlock()
+}

@@ -1,0 +1,12 @@
+// Fixture proving walordering only fires in the serving layers:
+// lower layers mutate stores without journaling by design (replay
+// paths reconstruct state *from* the journal). Type-checked as
+// planar/internal/btree; zero diagnostics expected.
+package btree
+
+import "planar/internal/core"
+
+func mutate(m *core.Multi, v []float64) error {
+	_, err := m.Append(v)
+	return err
+}

@@ -1,0 +1,60 @@
+package replica_test
+
+// Regression test for the Close restructure planarlint's locknesting
+// sweep forced: Close used to hold the status mutex across
+// db.Close() — syncing and closing the WAL with Status() blocked for
+// the duration, and a lock-order inversion (the status mutex is a
+// leaf). Close now detaches the store under the mutex and closes it
+// after releasing.
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"planar/internal/replica"
+)
+
+func TestCloseDetachesStoreAndStaysResponsive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db, srv := newPrimary(t, 2)
+	churn(t, db, rng, 100, nil)
+
+	rep, err := replica.Start(replica.Options{Primary: srv.URL, Dir: filepath.Join(t.TempDir(), "replica"), PollWait: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, rep, db.LastLSN())
+
+	// Status must never block behind the store teardown: poll it from
+	// another goroutine for the whole duration of Close.
+	statusDone := make(chan struct{})
+	closeStarted := make(chan struct{})
+	go func() {
+		defer close(statusDone)
+		<-closeStarted
+		for i := 0; i < 100; i++ {
+			_ = rep.Status()
+		}
+	}()
+	close(closeStarted)
+	if err := rep.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-statusDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Status() blocked across Close")
+	}
+
+	if got := rep.DB(); got != nil {
+		t.Fatalf("DB() after Close returned a closed store: %v", got)
+	}
+	if st := rep.Status(); st.State != replica.StateStopped {
+		t.Fatalf("state after Close = %s, want %s", st.State, replica.StateStopped)
+	}
+	if ok, reason := rep.Ready(); ok {
+		t.Fatalf("closed replica reports ready (%s)", reason)
+	}
+}

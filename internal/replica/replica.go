@@ -181,9 +181,12 @@ func (r *Replica) ensureDB() (*service.DB, error) {
 	}
 	if db, err := service.Open(r.opts.Dir, r.dbOptions()); err == nil {
 		db.SetReadOnly(true)
+		// Read the LSN before taking r.mu: LastLSN locks the sequencer,
+		// and the status mutex is a leaf in the lock order.
+		lsn := db.LastLSN()
 		r.mu.Lock()
 		r.db = db
-		r.status.LastApplied = db.LastLSN()
+		r.status.LastApplied = lsn
 		r.mu.Unlock()
 		return db, nil
 	}
@@ -200,7 +203,7 @@ func (r *Replica) bootstrap() (*service.DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("replica: snapshot: primary answered %s", resp.Status)
 	}
@@ -226,10 +229,11 @@ func (r *Replica) bootstrap() (*service.DB, error) {
 		return nil, err
 	}
 	db.SetReadOnly(true)
+	lsn := db.LastLSN()
 	r.mu.Lock()
 	r.db = db
 	r.status.Bootstraps++
-	r.status.LastApplied = db.LastLSN()
+	r.status.LastApplied = lsn
 	r.mu.Unlock()
 	log.Printf("replica: bootstrapped %s from %s at LSN %d (%d shards)", r.opts.Dir, r.opts.Primary, st.LSN, st.Shards)
 	return db, nil
@@ -248,8 +252,10 @@ func (r *Replica) streamOnce(db *service.DB) error {
 		return err
 	}
 	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		// Drain so the keep-alive connection is reusable; both calls
+		// are best-effort on a response we are done with.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("replica: stream: primary answered %s", resp.Status)
@@ -273,10 +279,11 @@ func (r *Replica) streamOnce(db *service.DB) error {
 		}
 		from = rec.LSN + 1
 	}
+	lsn := db.LastLSN()
 	r.mu.Lock()
 	r.status.State = StateStreaming
 	r.status.PrimaryLast = h.Last
-	r.status.LastApplied = db.LastLSN()
+	r.status.LastApplied = lsn
 	r.status.LastError = ""
 	r.mu.Unlock()
 	return nil
@@ -392,16 +399,24 @@ func (r *Replica) Promote() *service.DB {
 func (r *Replica) Close() error {
 	r.cancel()
 	<-r.done
+	// Update the status and detach the store under r.mu, but close it
+	// after releasing: db.Close syncs and closes the WAL, and holding
+	// the status mutex across that disk work would block Status()
+	// calls for the duration (and inverts the lock order — r.mu is a
+	// leaf).
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.status.State == StatePromoted {
+		r.mu.Unlock()
 		return nil
 	}
 	r.status.State = StateStopped
-	if r.db == nil {
+	db := r.db
+	r.db = nil
+	r.mu.Unlock()
+	if db == nil {
 		return nil
 	}
-	return r.db.Close()
+	return db.Close()
 }
 
 // backoff is capped exponential backoff with additive jitter:

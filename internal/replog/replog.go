@@ -210,7 +210,8 @@ func ReadSegmentFrom(path string, from uint64, max int, globalize func(uint32) u
 		}
 		return nil, err
 	}
-	defer seg.Close()
+	// Read-only iteration: a close failure here cannot lose data.
+	defer func() { _ = seg.Close() }()
 	var out []wal.Record
 	for max <= 0 || len(out) < max {
 		rec, err := seg.Next()

@@ -80,7 +80,7 @@ func mergeTopK(parts [][]core.Result, k int) []core.Result {
 		all = append(all, rs...)
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].Distance != all[j].Distance {
+		if all[i].Distance != all[j].Distance { //nolint:floatkey // sort tie-break: tolerance would violate strict weak ordering
 			return all[i].Distance < all[j].Distance
 		}
 		return all[i].ID < all[j].ID

@@ -117,7 +117,7 @@ func (t *Table) AddRow(values ...interface{}) {
 }
 
 func trimFloat(x float64) string {
-	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 { //nolint:floatkey // exact integrality test for display formatting
 		return fmt.Sprintf("%.0f", x)
 	}
 	return fmt.Sprintf("%.3f", x)

@@ -81,7 +81,7 @@ func (b *Buffer) Items() []Item {
 	out := make([]Item, len(b.items))
 	copy(out, b.items)
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
+		if out[i].Score != out[j].Score { //nolint:floatkey // sort tie-break: tolerance would violate strict weak ordering
 			return out[i].Score < out[j].Score
 		}
 		return out[i].ID < out[j].ID

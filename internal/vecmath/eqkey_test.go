@@ -1,0 +1,36 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqKey(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1.5, 1.5, true},
+		{0, 1e-12, true},                 // absolute tolerance near zero
+		{0, 2e-9, false},                 // outside the absolute band
+		{1e12, 1e12 * (1 + 1e-12), true}, // relative tolerance at magnitude
+		{1e12, 1e12 * (1 + 1e-8), false}, // relative difference too large
+		{-3.25, -3.25 + 1e-13, true},     // accumulated-rounding case
+		{1, 2, false},
+		{-1, 1, false},
+		{math.Inf(1), math.Inf(1), true}, // exact fast path
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e308, false},
+		{math.NaN(), math.NaN(), false}, // NaN equals nothing, matching ==
+		{math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		if got := EqKey(c.a, c.b); got != c.want {
+			t.Errorf("EqKey(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := EqKey(c.b, c.a); got != c.want {
+			t.Errorf("EqKey(%g, %g) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}

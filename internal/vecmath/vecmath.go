@@ -267,3 +267,32 @@ func Parallel(a, b []float64, tol float64) bool {
 	c := CosAngle(a, b)
 	return math.Abs(math.Abs(c)-1) <= tol
 }
+
+// KeyEps is the tolerance EqKey allows between two computed keys. A
+// key here is an accumulated scalar product (a·q over up to a few
+// thousand terms), so the worst-case relative rounding error is on
+// the order of d·ulp ≈ 1e-13 for the dimensions this system targets;
+// 1e-9 leaves three orders of magnitude of slack while staying far
+// below any separation the index can meaningfully distinguish.
+const KeyEps = 1e-9
+
+// EqKey reports whether two computed keys (scalar products,
+// thresholds derived from them) are equal up to accumulated rounding.
+// It is the approved comparator the floatkey analyzer points at:
+// exact == between computed float64 keys is almost never what a
+// caller means. The comparison is absolute near zero and relative
+// away from it, so it behaves sensibly at every magnitude. NaN equals
+// nothing, matching ==.
+func EqKey(a, b float64) bool {
+	if a == b { // also handles equal infinities
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // an infinity equals nothing finite
+	}
+	d := math.Abs(a - b)
+	if d <= KeyEps {
+		return true
+	}
+	return d <= KeyEps*math.Max(math.Abs(a), math.Abs(b))
+}

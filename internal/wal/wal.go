@@ -184,12 +184,10 @@ func Create(path string, dim int, base uint64) (*Writer, error) {
 	copy(hdr[:8], segmentMagic[:])
 	binary.LittleEndian.PutUint64(hdr[8:], base)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return &Writer{f: f, bw: bufio.NewWriter(f), dim: dim, base: base, next: base}, nil
 }
@@ -223,8 +221,7 @@ func Open(path string, dim int) (*Writer, error) {
 			if IsTail(err) {
 				break
 			}
-			seg.Close()
-			return nil, err
+			return nil, errors.Join(err, seg.Close())
 		}
 	}
 	base, last, end := seg.Base(), seg.LastLSN(), seg.Pos()
@@ -298,13 +295,12 @@ func (w *Writer) Sync() error {
 	return w.f.Sync()
 }
 
-// Close flushes and closes the log.
+// Close flushes and closes the log. The file is closed even when the
+// flush fails, and a close failure after a clean flush is still an
+// error: on ext4-style writeback an error surfacing at close is the
+// last chance to learn an acknowledged write never hit the disk.
 func (w *Writer) Close() error {
-	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return err
-	}
-	return w.f.Close()
+	return errors.Join(w.bw.Flush(), w.f.Close())
 }
 
 // Segment iterates a segment file's records with byte positions — the
@@ -328,12 +324,10 @@ func OpenSegment(path string) (*Segment, error) {
 	}
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: segment %s: short header: %w", path, ErrCorrupt)
+		return nil, errors.Join(fmt.Errorf("wal: segment %s: short header: %w", path, ErrCorrupt), f.Close())
 	}
 	if [8]byte(hdr[:8]) != segmentMagic {
-		f.Close()
-		return nil, fmt.Errorf("wal: segment %s: bad magic: %w", path, ErrCorrupt)
+		return nil, errors.Join(fmt.Errorf("wal: segment %s: bad magic: %w", path, ErrCorrupt), f.Close())
 	}
 	return &Segment{
 		f:    f,
@@ -389,7 +383,8 @@ func Replay(path string, fn func(Record) error) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer seg.Close()
+	// Read-only iteration: a close failure here cannot lose data.
+	defer func() { _ = seg.Close() }()
 	applied := 0
 	for {
 		r, err := seg.Next()

@@ -1,0 +1,72 @@
+package wal
+
+// Regression tests for the error paths planarlint's errsink sweep
+// tightened: Writer.Close must surface close errors (they are the
+// last chance to learn a buffered write never reached disk), and the
+// segment-open error paths must keep their ErrCorrupt identity now
+// that close errors are joined in.
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestWriterCloseReportsCloseError(t *testing.T) {
+	path := logPath(t)
+	w, err := Create(path, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Op: OpAppend, LSN: 1, ID: 1, Vec: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the descriptor out from under the writer: Close must not
+	// swallow the resulting failure.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatalf("Close on a writer whose file is already closed reported success")
+	}
+}
+
+func TestWriterCloseFlushErrorStillCloses(t *testing.T) {
+	path := logPath(t)
+	w, err := Create(path, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer a record, then close the descriptor so the flush inside
+	// Close fails; both the flush and close errors must surface.
+	if err := w.Append(Record{Op: OpAppend, LSN: 1, ID: 1, Vec: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Close()
+	if err == nil {
+		t.Fatalf("Close with a failing flush reported success")
+	}
+	if errors.Is(err, os.ErrClosed) != true {
+		t.Fatalf("Close error lost the underlying cause: %v", err)
+	}
+}
+
+func TestOpenSegmentCorruptKeepsIdentity(t *testing.T) {
+	path := logPath(t)
+	if err := os.WriteFile(path, []byte("definitely-not-a-wal-segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenSegment(path)
+	if err == nil {
+		t.Fatalf("OpenSegment accepted garbage")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt segment error lost ErrCorrupt identity: %v", err)
+	}
+}
