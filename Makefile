@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke ci clean
+.PHONY: all build test vet lint race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke ci clean
 
 all: build
 
@@ -58,7 +58,13 @@ replica-integration:
 bench-replica-smoke:
 	$(GO) run ./cmd/planarbench -replicas 1 -points 2000 -benchdur 200ms -repout ""
 
-ci: vet lint build race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke
+# A tiny run of the batched-vs-treewalk verification benchmark (no
+# JSON report) to prove the -mode hotpath path still works, including
+# the II-selectivity calibration.
+bench-hotpath-smoke:
+	$(GO) run ./cmd/planarbench -mode hotpath -points 1500 -hotdur 50ms -hotout ""
+
+ci: vet lint build race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke
 
 clean:
 	$(GO) clean ./...

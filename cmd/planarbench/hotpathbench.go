@@ -1,0 +1,303 @@
+package main
+
+// The -mode hotpath benchmark compares the two verification engines
+// for the intermediate interval head to head: the classic per-entry
+// B-tree walk (one vecmath.Dot per candidate, pointer-chasing through
+// leaves) versus the batched kernel path (packed key column, two
+// binary searches, block gather + unrolled filter). For each point
+// dimensionality and a sweep of II selectivities — the fraction of
+// points that fall between T_min and T_max and must be verified — it
+// reports ns/op and allocs/op for both engines and the speedup, and
+// lands the table in BENCH_hotpath.json.
+//
+// II selectivity is dialed in, not assumed: the query direction is
+// the index normal skewed in one coordinate, a = 1 + γ·e_d, and γ is
+// bisected until Multi.Explain reports the target Verified/N. γ=0 is
+// parallel to the index family (empty II); growing γ widens the
+// interval monotonically.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"testing"
+	"time"
+
+	"planar/internal/core"
+)
+
+type hotpathRun struct {
+	Dim       int     `json:"dim"`
+	TargetSel float64 `json:"targetIISelectivity"`
+	ActualSel float64 `json:"actualIISelectivity"`
+	Gamma     float64 `json:"gamma"`
+	Threshold float64 `json:"threshold"`
+	Accepted  int     `json:"accepted"`
+	Verified  int     `json:"verified"`
+	Rejected  int     `json:"rejected"`
+
+	TreeWalkNsPerOp   float64 `json:"treewalkNsPerOp"`
+	BatchedNsPerOp    float64 `json:"batchedNsPerOp"`
+	Speedup           float64 `json:"speedup"`
+	TreeWalkAllocsOp  float64 `json:"treewalkAllocsPerOp"`
+	BatchedAllocsOp   float64 `json:"batchedAllocsPerOp"`
+	TreeWalkIters     int     `json:"treewalkIters"`
+	BatchedIters      int     `json:"batchedIters"`
+	MatchesPerQuery   int     `json:"matchesPerQuery"`
+	CalibrationProbes int     `json:"calibrationProbes"`
+}
+
+type hotpathReport struct {
+	Points     int          `json:"points"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Seed       int64        `json:"seed"`
+	Runs       []hotpathRun `json:"runs"`
+}
+
+type hotpathConfig struct {
+	Points  int
+	Seed    int64
+	Window  time.Duration // measurement window per engine per cell
+	OutPath string
+}
+
+var (
+	hotpathDims = []int{2, 3, 4, 8}
+	hotpathSels = []float64{0.05, 0.20, 0.50}
+)
+
+// newHotpathMulti builds a Multi over n uniform [0,1)^d points with a
+// single index whose normal is the all-ones vector. Both engines run
+// over identical stores built from the same seed.
+func newHotpathMulti(dim int, cfg hotpathConfig, batched bool) (*core.Multi, error) {
+	store, err := core.NewPointStore(dim)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMulti(store, core.WithBatchedVerify(batched))
+	if err != nil {
+		return nil, err
+	}
+	ones := make([]float64, dim)
+	signs := make([]int8, dim)
+	for j := range ones {
+		ones[j] = 1
+		signs[j] = 1
+	}
+	if _, err := m.AddNormal(ones, signs); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(dim)))
+	v := make([]float64, dim)
+	for i := 0; i < cfg.Points; i++ {
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		if _, err := m.Append(v); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// hotpathQuery is the skewed direction a = 1 + γ·e_d. The threshold
+// is fixed per dim (the 65th percentile of the key distribution, see
+// calibrateGamma) so the reachable II selectivities cover the sweep.
+func hotpathQuery(dim int, gamma, b float64) core.Query {
+	a := make([]float64, dim)
+	for j := range a {
+		a[j] = 1
+	}
+	a[dim-1] = 1 + gamma
+	return core.Query{A: a, B: b, Op: core.LE}
+}
+
+// calibrateGamma bisects γ until Explain reports Verified/N within
+// tol of the target. The threshold b is the 65% quantile of the
+// index keys, which caps the reachable II fraction at ~0.65 — above
+// every target in the sweep. Returns γ, the achieved selectivity,
+// the exact plan, and the number of Explain probes spent.
+func calibrateGamma(m *core.Multi, dim int, b, target float64) (float64, float64, core.Plan, int, error) {
+	probes := 0
+	sel := func(gamma float64) (float64, core.Plan, error) {
+		probes++
+		p, err := m.Explain(hotpathQuery(dim, gamma, b))
+		if err != nil {
+			return 0, core.Plan{}, err
+		}
+		return float64(p.Verified) / float64(p.N), p, nil
+	}
+	lo, hi := 0.0, 1.0
+	for {
+		s, _, err := sel(hi)
+		if err != nil {
+			return 0, 0, core.Plan{}, probes, err
+		}
+		if s >= target || hi > 1e9 {
+			break
+		}
+		lo, hi = hi, hi*2
+	}
+	var (
+		plan    core.Plan
+		current float64
+		gamma   float64
+	)
+	for i := 0; i < 60; i++ {
+		gamma = (lo + hi) / 2
+		s, p, err := sel(gamma)
+		if err != nil {
+			return 0, 0, core.Plan{}, probes, err
+		}
+		current, plan = s, p
+		if s < target {
+			lo = gamma
+		} else {
+			hi = gamma
+		}
+		if s >= target*0.98 && s <= target*1.02 {
+			break
+		}
+	}
+	return gamma, current, plan, probes, nil
+}
+
+// keyQuantile returns the q-quantile of the all-ones key c·x over the
+// store's live points (the coordinate sum for this workload).
+func keyQuantile(m *core.Multi, quant float64) float64 {
+	keys := make([]float64, 0, m.Store().Len())
+	m.Store().Each(func(_ uint32, v []float64) bool {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		keys = append(keys, s)
+		return true
+	})
+	sort.Float64s(keys)
+	i := int(quant * float64(len(keys)))
+	if i >= len(keys) {
+		i = len(keys) - 1
+	}
+	return keys[i]
+}
+
+// timeQuery measures steady-state ns/op for q through m: warm the
+// plan cache, mirror and pools, then run adaptive batches until the
+// measurement window fills. Returns ns/op, matches per query, and
+// iterations timed.
+func timeQuery(m *core.Multi, q core.Query, window time.Duration) (float64, int, int) {
+	matches := 0
+	visit := func(uint32) bool { matches++; return true }
+	run := func() {
+		matches = 0
+		if _, err := m.Inequality(q, visit); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	iters, batch := 0, 8
+	var elapsed time.Duration
+	for elapsed < window {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			run()
+		}
+		elapsed += time.Since(start)
+		iters += batch
+		if batch < 1<<16 {
+			batch *= 2
+		}
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters), matches, iters
+}
+
+// allocsPerQuery measures steady-state heap allocations per query
+// with GC paused, so a collection cannot empty the scratch pools
+// mid-measurement.
+func allocsPerQuery(m *core.Multi, q core.Query) float64 {
+	visit := func(uint32) bool { return true }
+	run := func() {
+		if _, err := m.Inequality(q, visit); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	return testing.AllocsPerRun(100, run)
+}
+
+func runHotpathBench(cfg hotpathConfig, w io.Writer) error {
+	report := hotpathReport{
+		Points:     cfg.Points,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
+	}
+	fmt.Fprintf(w, "hotpath bench: %d points per dim, dims %v, II selectivity targets %v\n",
+		cfg.Points, hotpathDims, hotpathSels)
+	fmt.Fprintf(w, "%4s %7s %7s %12s %12s %8s %10s %10s\n",
+		"dim", "target", "actual", "treewalk/op", "batched/op", "speedup", "allocsTW", "allocsB")
+	for _, dim := range hotpathDims {
+		batched, err := newHotpathMulti(dim, cfg, true)
+		if err != nil {
+			return err
+		}
+		walker, err := newHotpathMulti(dim, cfg, false)
+		if err != nil {
+			return err
+		}
+		b := keyQuantile(batched, 0.65)
+		for _, target := range hotpathSels {
+			gamma, actual, plan, probes, err := calibrateGamma(batched, dim, b, target)
+			if err != nil {
+				return err
+			}
+			q := hotpathQuery(dim, gamma, b)
+			twNs, _, twIters := timeQuery(walker, q, cfg.Window)
+			bNs, matches, bIters := timeQuery(batched, q, cfg.Window)
+			run := hotpathRun{
+				Dim:               dim,
+				TargetSel:         target,
+				ActualSel:         actual,
+				Gamma:             gamma,
+				Threshold:         b,
+				Accepted:          plan.Accepted,
+				Verified:          plan.Verified,
+				Rejected:          plan.Rejected,
+				TreeWalkNsPerOp:   twNs,
+				BatchedNsPerOp:    bNs,
+				Speedup:           twNs / bNs,
+				TreeWalkAllocsOp:  allocsPerQuery(walker, q),
+				BatchedAllocsOp:   allocsPerQuery(batched, q),
+				TreeWalkIters:     twIters,
+				BatchedIters:      bIters,
+				MatchesPerQuery:   matches,
+				CalibrationProbes: probes,
+			}
+			report.Runs = append(report.Runs, run)
+			fmt.Fprintf(w, "%4d %6.0f%% %6.1f%% %10.0fns %10.0fns %7.2fx %10.1f %10.1f\n",
+				dim, target*100, actual*100, twNs, bNs, run.Speedup,
+				run.TreeWalkAllocsOp, run.BatchedAllocsOp)
+		}
+	}
+	if cfg.OutPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.OutPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", cfg.OutPath)
+	}
+	return nil
+}

@@ -26,6 +26,15 @@
 // HTTP, measures read QPS against the primary alone versus the full
 // fleet (with a background writer so lag is measured under load), and
 // writes the report to -repout (BENCH_replica.json).
+//
+// A fourth mode benchmarks the verification hot path:
+//
+//	planarbench -mode hotpath
+//
+// which compares the batched kernel engine against the classic
+// per-entry tree walk across dimensionalities and intermediate-
+// interval selectivities, and writes the report to -hotout
+// (BENCH_hotpath.json).
 package main
 
 import (
@@ -58,8 +67,31 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "run the replication read scale-out benchmark with this many replicas")
 		repClients = flag.Int("repclients", 8, "client goroutines in the -replicas benchmark")
 		repOut     = flag.String("repout", "BENCH_replica.json", "JSON report path for the -replicas benchmark (empty = stdout only)")
+
+		mode   = flag.String("mode", "", "extra benchmark mode: \"hotpath\" compares batched vs tree-walk verification")
+		hotOut = flag.String("hotout", "BENCH_hotpath.json", "JSON report path for -mode hotpath (empty = stdout only)")
+		hotDur = flag.Duration("hotdur", 300*time.Millisecond, "measurement window per engine per cell in -mode hotpath")
 	)
 	flag.Parse()
+
+	if *mode != "" {
+		if *mode != "hotpath" {
+			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (only \"hotpath\")\n", *mode)
+			os.Exit(2)
+		}
+		cfg := hotpathConfig{Points: 20000, Seed: 2014, Window: *hotDur, OutPath: *hotOut}
+		if *points > 0 {
+			cfg.Points = *points
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if err := runHotpathBench(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *replicas > 0 {
 		cfg := replicaBenchConfig{

@@ -46,6 +46,7 @@ type shardBenchReport struct {
 	WriteFrac float64         `json:"writeFrac"`
 	Duration  string          `json:"duration"`
 	GoMaxProc int             `json:"gomaxprocs"`
+	NumCPU    int             `json:"numcpu,omitempty"`
 	Runs      []shardBenchRun `json:"runs"`
 }
 
@@ -176,6 +177,7 @@ func runShardBench(cfg shardBenchConfig, w io.Writer) error {
 		WriteFrac: cfg.WriteFrac,
 		Duration:  cfg.Duration.String(),
 		GoMaxProc: runtime.GOMAXPROCS(0),
+		NumCPU:    runtime.NumCPU(),
 	}
 	fmt.Fprintf(w, "shard scatter-gather bench: %d clients, %d points (dim %d), %.0f%% writes, %s per run\n",
 		cfg.Clients, cfg.Points, cfg.Dim, cfg.WriteFrac*100, cfg.Duration)
@@ -189,7 +191,21 @@ func runShardBench(cfg shardBenchConfig, w io.Writer) error {
 		fmt.Fprintf(w, "%8d %12d %12d %12d %12.0f\n", run.Shards, run.Ops, run.Reads, run.Writes, run.QPS)
 	}
 	if cfg.OutPath != "" {
-		blob, err := json.MarshalIndent(report, "", "  ")
+		// The report file accumulates: each invocation appends to the
+		// array so runs under different machine configurations (e.g.
+		// GOMAXPROCS settings) sit side by side. A legacy single-object
+		// file is migrated into a one-element array first.
+		var reports []shardBenchReport
+		if prev, err := os.ReadFile(cfg.OutPath); err == nil {
+			if json.Unmarshal(prev, &reports) != nil {
+				var single shardBenchReport
+				if json.Unmarshal(prev, &single) == nil {
+					reports = append(reports, single)
+				}
+			}
+		}
+		reports = append(reports, report)
+		blob, err := json.MarshalIndent(reports, "", "  ")
 		if err != nil {
 			return err
 		}

@@ -579,6 +579,31 @@ func (t *Tree) DescendLE(maxKey float64, fn func(Entry) bool) {
 	}
 }
 
+// CopyInto writes every entry, in ascending order, into the parallel
+// arrays keys and ids, returning how many were written. Both slices
+// must hold at least Len() elements. It walks the leaf chain directly
+// — no per-entry callback — and is the bulk-export hook behind the
+// packed key/id column the batched verification engine mirrors the
+// tree into.
+func (t *Tree) CopyInto(keys []float64, ids []uint32) int {
+	if t.root == nil {
+		return 0
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	w := 0
+	for ; n != nil; n = n.next {
+		for _, e := range n.ents {
+			keys[w] = e.Key
+			ids[w] = e.ID
+			w++
+		}
+	}
+	return w
+}
+
 // RankLE returns the number of entries with Key <= maxKey in
 // O(log n), using the per-node subtree counts (order statistics).
 // This powers count-only queries and selectivity bounds without

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"testing"
+
+	"planar/internal/exec"
+)
+
+// treeWalkIDs answers q through the same Multi but with the batched
+// engine disabled — the classic per-entry B-tree walk.
+func treeWalkIDs(t *testing.T, m *Multi, q Query) []uint32 {
+	t.Helper()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	lease := m.sourceLocked(true)
+	defer lease.Release()
+	var sink exec.IDSink
+	if _, err := exec.Run(&lease.src, q.LE(), &sink, exec.Options{ForceTreeWalk: true}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(sink.IDs, func(i, j int) bool { return sink.IDs[i] < sink.IDs[j] })
+	return sink.IDs
+}
+
+func idsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGoldenBatchedIdentity is the end-to-end golden test of the
+// batched verification engine: a store with deleted-row holes, a
+// Multi with several indexes, and random LE/GE queries must produce
+// identical answers through the batched path, the forced tree walk,
+// and brute force.
+func TestGoldenBatchedIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, d := range []int{2, 3, 4} {
+		store, err := NewPointStore(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMulti(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []uint32
+		for i := 0; i < 1500; i++ {
+			v := make([]float64, d)
+			for j := range v {
+				v[j] = rng.Float64() * 100
+			}
+			id, err := m.Append(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		// Punch holes so Rows contains stale dead rows, then refill a
+		// few so the free list is exercised too.
+		for i := 0; i < 300; i++ {
+			if err := m.Remove(ids[rng.Intn(len(ids))]); err == nil {
+				continue
+			}
+		}
+		for i := 0; i < 50; i++ {
+			v := make([]float64, d)
+			for j := range v {
+				v[j] = rng.Float64() * 100
+			}
+			if _, err := m.Append(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			normal := make([]float64, d)
+			for j := range normal {
+				normal[j] = 0.3 + rng.Float64()*3
+			}
+			signs := make([]int8, d)
+			for j := range signs {
+				signs[j] = 1
+			}
+			if _, err := m.AddNormal(normal, signs); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for trial := 0; trial < 60; trial++ {
+			a := make([]float64, d)
+			for j := range a {
+				a[j] = rng.Float64() * 4
+			}
+			if trial%6 == 0 {
+				a[rng.Intn(d)] = 0
+			}
+			op := LE
+			if trial%2 == 1 {
+				op = GE
+			}
+			q := Query{A: a, B: rng.Float64() * float64(d) * 250, Op: op}
+
+			got, _, err := m.InequalityIDs(q)
+			if err != nil {
+				t.Fatalf("d=%d trial=%d: %v", d, trial, err)
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			want := bruteForce(store, q)
+			if !idsEqual(got, want) {
+				t.Fatalf("d=%d trial=%d: batched answer has %d ids, brute force %d", d, trial, len(got), len(want))
+			}
+			walk := treeWalkIDs(t, m, q)
+			if !idsEqual(walk, want) {
+				t.Fatalf("d=%d trial=%d: tree walk answer has %d ids, brute force %d", d, trial, len(walk), len(want))
+			}
+		}
+	}
+}
+
+// TestPackedMirrorInvalidation checks the epoch contract: every kind
+// of mutation (append, update, remove, standalone Index.Add) must
+// invalidate the packed mirror so the next query sees current data.
+func TestPackedMirrorInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	store, _ := NewPointStore(3)
+	m, _ := NewMulti(store)
+	for i := 0; i < 400; i++ {
+		if _, err := m.Append([]float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.AddNormal([]float64{1, 1, 1}, []int8{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{A: []float64{1, 2, 3}, B: 25, Op: LE}
+
+	check := func(stage string) {
+		t.Helper()
+		got, _, err := m.InequalityIDs(q)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !idsEqual(got, bruteForce(store, q)) {
+			t.Fatalf("%s: batched answer diverged from brute force", stage)
+		}
+	}
+
+	check("initial")
+	id, err := m.Append([]float64{0.1, 0.1, 0.1}) // certain match
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("after append")
+	if err := m.Update(id, []float64{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	check("after update")
+	if err := m.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	check("after remove")
+}
+
+// TestSteadyStateQueryAllocs pins the tentpole's headline claim: a
+// warmed-up inequality query through Multi — validate, lease, plan
+// cache, batched execute, sink — allocates zero bytes. GC is paused
+// for the measurement so a collection cannot empty the pools
+// mid-run.
+func TestSteadyStateQueryAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool; allocation counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(71))
+	store, _ := NewPointStore(4)
+	m, _ := NewMulti(store)
+	for i := 0; i < 4096; i++ {
+		if _, err := m.Append([]float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.AddNormal([]float64{1, 1, 1, 1}, []int8{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{A: []float64{3, 0.2, 0.2, 0.2}, B: 1.2, Op: LE}
+	visit := func(uint32) bool { return true }
+
+	run := func() {
+		if _, err := m.Inequality(q, visit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		run() // warm the plan cache, packed mirror, and pools
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Fatalf("steady-state query allocated %v times per run, want 0", allocs)
+	}
+}

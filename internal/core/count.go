@@ -16,8 +16,10 @@ func (ix *Index) Count(q Query) (int, Stats, error) {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	src := ix.source()
+	defer putSource(src)
 	var sink exec.CountSink
-	st, err := exec.Run(ix.source(), q.LE(), &sink, exec.Options{})
+	st, err := exec.Run(src, q.LE(), &sink, exec.Options{})
 	if err != nil {
 		return 0, Stats{}, err
 	}
@@ -51,10 +53,11 @@ func (m *Multi) Count(q Query) (int, Stats, error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	src, release := m.sourceLocked(false)
-	defer release()
+	lease := m.sourceLocked(false)
+	defer lease.Release()
+	src := &lease.src
 	var sink exec.CountSink
-	st, err := exec.Run(src, q.LE(), &sink, exec.Options{})
+	st, err := exec.Run(src, q.LE(), &sink, m.execOpts)
 	if err != nil {
 		return 0, Stats{}, err
 	}
@@ -71,8 +74,9 @@ func (m *Multi) SelectivityBounds(q Query) (lo, hi int, err error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	src, release := m.sourceLocked(false)
-	defer release()
+	lease := m.sourceLocked(false)
+	defer lease.Release()
+	src := &lease.src
 	nq := q.LE()
 	lo, hi = 0, m.store.Len()
 	for i := range src.Indexes {

@@ -63,8 +63,9 @@ func (m *Multi) Explain(q Query) (Plan, error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	src, release := m.sourceLocked(true)
-	defer release()
+	lease := m.sourceLocked(true)
+	defer lease.Release()
+	src := &lease.src
 	pi, err := exec.Explain(src, q.LE())
 	if err != nil {
 		return Plan{}, err

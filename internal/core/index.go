@@ -37,6 +37,56 @@ type Index struct {
 	base  float64             // ⟨c, delta⟩, so key = ⟨cs, φ⟩ + base
 	tree  *btree.Tree
 	guard float64
+
+	// muts counts tree mutations; the packed mirror compares it to
+	// decide whether its arrays are current. Only touched under ix.mu
+	// write lock, so it is frozen while any reader holds the lock.
+	muts   uint64
+	packed packedMirror
+
+	// Bound once at construction so building an exec.Source does not
+	// allocate closures per query.
+	packedFn func() ([]float64, []uint32, bool)
+	vecFn    func(uint32) []float64
+	eachFn   func(func(uint32, []float64) bool)
+}
+
+// packedMirror is the index's packed key/id column: the B-tree's
+// entries exported to two parallel sorted arrays so the batched
+// engine can binary-search thresholds and slice the intermediate
+// interval contiguously. It is rebuilt lazily by the first query
+// after a mutation. pm.mu is only ever TryLocked from the query path:
+// a second query arriving mid-rebuild takes the tree walk instead of
+// blocking.
+type packedMirror struct {
+	mu   sync.Mutex
+	muts uint64
+	keys []float64
+	ids  []uint32
+}
+
+// packedView returns the current packed column, rebuilding it first
+// if a mutation happened since the last export. Callers hold ix.mu
+// (read); the returned slices stay valid until that lock is released
+// (a rebuild requires the write lock, which excludes every reader).
+func (ix *Index) packedView() ([]float64, []uint32, bool) {
+	pm := &ix.packed
+	if !pm.mu.TryLock() {
+		return nil, nil, false
+	}
+	defer pm.mu.Unlock()
+	if pm.muts != ix.muts {
+		n := ix.tree.Len()
+		if cap(pm.keys) < n {
+			pm.keys = make([]float64, n)
+			pm.ids = make([]uint32, n)
+		}
+		pm.keys = pm.keys[:n]
+		pm.ids = pm.ids[:n]
+		ix.tree.CopyInto(pm.keys, pm.ids)
+		pm.muts = ix.muts
+	}
+	return pm.keys, pm.ids, true
 }
 
 // IndexOption customises index construction.
@@ -87,6 +137,9 @@ func NewIndex(store *PointStore, normal []float64, signs vecmath.SignPattern, op
 	for _, o := range opts {
 		o(ix)
 	}
+	ix.packedFn = ix.packedView
+	ix.vecFn = store.Vector
+	ix.eachFn = store.Each
 	ix.rebuild()
 	return ix, nil
 }
@@ -116,6 +169,7 @@ func (ix *Index) rebuild() {
 		return true
 	})
 	ix.tree = btree.BulkLoad(entries)
+	ix.muts++
 }
 
 // key returns ⟨c, z(v)⟩ in the translated frame.
@@ -175,18 +229,21 @@ func (ix *Index) add(id uint32, v []float64) {
 		return
 	}
 	ix.tree.Insert(ix.key(v), id)
+	ix.muts++
 }
 
 // remove unindexes a point given the φ vector it was indexed under.
 // Callers hold ix.mu.
 func (ix *Index) remove(id uint32, old []float64) {
 	ix.tree.Delete(ix.key(old), id)
+	ix.muts++
 }
 
 // update re-keys a point whose φ vector changed from old to new.
 // Callers hold ix.mu. Per Section 4.4 this costs O(d' log n).
 func (ix *Index) update(id uint32, old, new []float64) {
 	ix.tree.Delete(ix.key(old), id)
+	ix.muts++
 	ix.add(id, new)
 }
 
@@ -208,26 +265,42 @@ func (ix *Index) Add(id uint32) error {
 // returned value.
 func (ix *Index) info() exec.IndexInfo {
 	return exec.IndexInfo{
-		Tree:  ix.tree,
-		C:     ix.c,
-		Delta: ix.delta,
-		CS:    ix.cs,
-		Signs: ix.signs,
-		Guard: ix.guard,
+		Tree:   ix.tree,
+		C:      ix.c,
+		Delta:  ix.delta,
+		CS:     ix.cs,
+		Signs:  ix.signs,
+		Guard:  ix.guard,
+		Packed: ix.packedFn,
 	}
 }
 
+// sourcePool recycles exec.Source values across queries (standalone
+// Index and Multi leases both draw from it) so acquiring a pipeline
+// view allocates nothing in the steady state.
+var sourcePool = sync.Pool{New: func() any { return new(exec.Source) }}
+
 // source wraps the standalone index as a single-candidate pipeline
-// source. Callers hold ix.mu for the lifetime of the returned value.
+// source, drawn from sourcePool. Callers hold ix.mu for the lifetime
+// of the returned value and must hand it back with putSource.
 func (ix *Index) source() *exec.Source {
-	return &exec.Source{
+	s := sourcePool.Get().(*exec.Source)
+	rows, live := ix.store.RawRows()
+	*s = exec.Source{
 		N:       ix.tree.Len(),
-		Indexes: []exec.IndexInfo{ix.info()},
+		Indexes: append(s.Indexes[:0], ix.info()),
 		Single:  true,
-		Vector:  ix.store.Vector,
-		Each:    ix.store.Each,
+		Vector:  ix.vecFn,
+		Each:    ix.eachFn,
+		Rows:    rows,
+		RowLive: live,
+		RowDim:  ix.store.Dim(),
 	}
+	return s
 }
+
+// putSource returns a Source acquired from sourcePool.
+func putSource(s *exec.Source) { sourcePool.Put(s) }
 
 // Inequality answers Problem 1 with Algorithm 1 through the execution
 // pipeline: points in the smaller interval are reported without
@@ -242,7 +315,9 @@ func (ix *Index) Inequality(q Query, visit func(id uint32) bool) (Stats, error) 
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return exec.Run(ix.source(), q.LE(), exec.FuncSink(visit), exec.Options{})
+	src := ix.source()
+	defer putSource(src)
+	return exec.Run(src, q.LE(), exec.FuncSink(visit), exec.Options{})
 }
 
 // InequalityIDs is a convenience wrapper collecting all matching ids.
@@ -252,8 +327,10 @@ func (ix *Index) InequalityIDs(q Query) ([]uint32, Stats, error) {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	src := ix.source()
+	defer putSource(src)
 	var sink exec.IDSink
-	st, err := exec.Run(ix.source(), q.LE(), &sink, exec.Options{})
+	st, err := exec.Run(src, q.LE(), &sink, exec.Options{})
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -97,6 +97,12 @@ type Multi struct {
 	costPenalty float64 // >0 enables cost-based index-vs-scan choice
 	epoch       uint64  // bumped on every mutation; invalidates cached plans
 	cache       *exec.PlanCache
+	execOpts    exec.Options // per-Multi execution tuning (batching, workers)
+
+	// Store accessors bound once so building a lease allocates no
+	// closures.
+	vecFn  func(uint32) []float64
+	eachFn func(func(uint32, []float64) bool)
 }
 
 // MultiOption customises a Multi.
@@ -144,6 +150,20 @@ func WithCostBased(penalty float64) MultiOption {
 	return func(m *Multi) { m.costPenalty = penalty }
 }
 
+// WithBatchedVerify toggles the batched verification engine (default
+// on). Off pins the classic per-entry B-tree walk — the escape hatch
+// benchmarks and bisections use to compare the two paths.
+func WithBatchedVerify(on bool) MultiOption {
+	return func(m *Multi) { m.execOpts.ForceTreeWalk = !on }
+}
+
+// WithVerifyWorkers sets the goroutine count used to verify the
+// intermediate interval (clamped to [1, GOMAXPROCS] at query time; 0
+// or 1 verifies serially).
+func WithVerifyWorkers(n int) MultiOption {
+	return func(m *Multi) { m.execOpts.Workers = n }
+}
+
 // NewMulti creates an empty index collection over store.
 func NewMulti(store *PointStore, opts ...MultiOption) (*Multi, error) {
 	if store == nil {
@@ -155,6 +175,8 @@ func NewMulti(store *PointStore, opts ...MultiOption) (*Multi, error) {
 		fallback: true,
 		guard:    DefaultGuard,
 		cache:    exec.NewPlanCache(DefaultPlanCacheSize),
+		vecFn:    store.Vector,
+		eachFn:   store.Each,
 	}
 	for _, o := range opts {
 		o(m)
@@ -185,38 +207,58 @@ func (m *Multi) PlanCacheCounters() (hits, misses uint64) {
 	return m.cache.Counters()
 }
 
+// sourceLease is one query's pipeline view of a Multi plus the set of
+// per-index read locks it holds. Leases are pooled: a steady-state
+// query reuses the previous query's slices and allocates nothing.
+type sourceLease struct {
+	src     exec.Source
+	indexes []*Index // read-locked until Release
+}
+
+var leasePool = sync.Pool{New: func() any { return new(sourceLease) }}
+
+// Release unlocks every index the lease pinned and recycles it. Must
+// be called exactly once, after the pipeline finishes.
+func (l *sourceLease) Release() {
+	for _, ix := range l.indexes {
+		ix.mu.RUnlock()
+	}
+	leasePool.Put(l)
+}
+
 // sourceLocked snapshots the pipeline's view of the Multi: every
 // index's geometry plus the point access paths. It read-locks each
 // index so concurrent standalone mutations (Index.Add) cannot race
-// with the run; the returned release must be called once the pipeline
+// with the run; the returned lease must be Released once the pipeline
 // finishes. Callers hold m.mu (read). costBased controls whether the
 // cost-based index-vs-scan choice applies — it is sound only for
 // plans that walk the smaller interval sequentially.
-func (m *Multi) sourceLocked(costBased bool) (*exec.Source, func()) {
-	infos := make([]exec.IndexInfo, len(m.indexes))
-	for i, ix := range m.indexes {
+func (m *Multi) sourceLocked(costBased bool) *sourceLease {
+	l := leasePool.Get().(*sourceLease)
+	l.indexes = append(l.indexes[:0], m.indexes...)
+	infos := l.src.Indexes[:0]
+	for _, ix := range l.indexes {
 		ix.mu.RLock()
-		infos[i] = ix.info()
+		infos = append(infos, ix.info())
 	}
-	src := &exec.Source{
+	rows, live := m.store.RawRows()
+	l.src = exec.Source{
 		N:        m.store.Len(),
 		Indexes:  infos,
 		Sel:      m.sel,
 		Fallback: m.fallback,
-		Vector:   m.store.Vector,
-		Each:     m.store.Each,
+		Vector:   m.vecFn,
+		Each:     m.eachFn,
+		Rows:     rows,
+		RowLive:  live,
+		RowDim:   m.store.Dim(),
 		Epoch:    m.epoch,
 		Cache:    m.cache,
 	}
 	if costBased {
-		src.CostPenalty = m.costPenalty
+		l.src.CostPenalty = m.costPenalty
 	}
-	indexes := m.indexes
-	return src, func() {
-		for _, ix := range indexes {
-			ix.mu.RUnlock()
-		}
-	}
+	return l
 }
 
 // AddNormal builds and adds an index with the given normal and
@@ -329,9 +371,10 @@ func (m *Multi) Inequality(q Query, visit func(id uint32) bool) (Stats, error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	src, release := m.sourceLocked(true)
-	defer release()
-	return exec.Run(src, q.LE(), exec.FuncSink(visit), exec.Options{})
+	lease := m.sourceLocked(true)
+	defer lease.Release()
+	src := &lease.src
+	return exec.Run(src, q.LE(), exec.FuncSink(visit), m.execOpts)
 }
 
 // InequalityIDs collects all matching point ids.
@@ -341,10 +384,11 @@ func (m *Multi) InequalityIDs(q Query) ([]uint32, Stats, error) {
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	src, release := m.sourceLocked(true)
-	defer release()
+	lease := m.sourceLocked(true)
+	defer lease.Release()
+	src := &lease.src
 	var sink exec.IDSink
-	st, err := exec.Run(src, q.LE(), &sink, exec.Options{})
+	st, err := exec.Run(src, q.LE(), &sink, m.execOpts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -368,8 +412,9 @@ func (m *Multi) InequalityBatch(a []float64, op Op, bs []float64) (ids [][]uint3
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	src, release := m.sourceLocked(true)
-	defer release()
+	lease := m.sourceLocked(true)
+	defer lease.Release()
+	src := &lease.src
 
 	// Normalize once: a GE batch is a LE batch on (−a, −b).
 	na, nbs := a, bs
@@ -387,7 +432,7 @@ func (m *Multi) InequalityBatch(a []float64, op Op, bs []float64) (ids [][]uint3
 	stats, err = exec.RunBatch(src, na, nbs, func(i int, _ float64) exec.Sink {
 		sinks[i] = &exec.IDSink{}
 		return sinks[i]
-	}, exec.Options{})
+	}, m.execOpts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -417,11 +462,12 @@ func (m *Multi) TopK(q Query, k int) ([]Result, Stats, error) {
 	if vecmath.Norm(q.A) == 0 && len(m.indexes) > 0 {
 		return nil, Stats{}, errors.New("core: TopK requires a non-zero coefficient vector")
 	}
-	src, release := m.sourceLocked(false)
-	defer release()
+	lease := m.sourceLocked(false)
+	defer lease.Release()
+	src := &lease.src
 	nq := q.LE()
 	sink := topKSink(m.store, nq, k)
-	st, err := exec.Run(src, nq, sink, exec.Options{})
+	st, err := exec.Run(src, nq, sink, m.execOpts)
 	if err != nil {
 		return nil, Stats{}, err
 	}

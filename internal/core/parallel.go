@@ -32,8 +32,10 @@ func (ix *Index) InequalityParallelIDs(q Query, workers int) ([]uint32, Stats, e
 
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	src := ix.source()
+	defer putSource(src)
 	var sink exec.IDSink
-	st, err := exec.Run(ix.source(), q.LE(), &sink, exec.Options{Workers: workers})
+	st, err := exec.Run(src, q.LE(), &sink, exec.Options{Workers: workers})
 	if err != nil {
 		return nil, Stats{}, err
 	}

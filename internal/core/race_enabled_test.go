@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Under -race, sync.Pool bypasses its per-P caches, so
+// allocation-count assertions are meaningless and are skipped.
+const raceEnabled = true

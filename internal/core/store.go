@@ -149,6 +149,16 @@ func (s *PointStore) AxisRange(i int) (lo, hi float64, ok bool) {
 	return lo, hi, !first
 }
 
+// RawRows returns the store's row-major backing array and live bitmap
+// aliased, not copied — the zero-copy feed for the batched
+// verification engine. Dead rows hold stale values; consumers filter
+// on live. The slices are invalidated by any mutation; callers must
+// hold the owning synchronisation (Multi's read lock) while using
+// them.
+func (s *PointStore) RawRows() (data []float64, live []bool) {
+	return s.data, s.live
+}
+
 // Raw exports the store's exact internal layout — row-major data
 // (including dead rows), the live bitmap, and the free list in
 // recycling order — so snapshots can preserve point identifiers

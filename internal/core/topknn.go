@@ -47,7 +47,9 @@ func (ix *Index) TopK(q Query, k int) ([]Result, Stats, error) {
 	defer ix.mu.RUnlock()
 	nq := q.LE()
 	sink := topKSink(ix.store, nq, k)
-	st, err := exec.Run(ix.source(), nq, sink, exec.Options{})
+	src := ix.source()
+	defer putSource(src)
+	st, err := exec.Run(src, nq, sink, exec.Options{})
 	if err != nil {
 		return nil, Stats{}, err
 	}

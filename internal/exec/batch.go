@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"planar/internal/kernel"
+)
+
+// This file is the batched verification engine: the KindRange and
+// KindScan execution strategies re-expressed over contiguous arrays.
+// The interval boundaries come from two binary searches on the
+// index's packed key column, the smaller interval resolves to index
+// arithmetic on the packed id column, and the intermediate interval
+// is verified block-by-block through the dimension-specialized
+// kernels in internal/kernel. All scratch memory is pooled, so a
+// steady-state query allocates nothing.
+//
+// The engine declines (and execute falls back to the B-tree walk)
+// when the source exposes no packed column or raw rows, when another
+// query holds the mirror mid-rebuild, or when the intermediate
+// interval is too small to amortise a gather (kernel.MinBatch).
+
+// scratch is the per-query working set of the batched engine: a
+// gather buffer of one block of φ rows and a match-offset buffer.
+type scratch struct {
+	gather  []float64
+	matches []uint32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(dim int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if need := kernel.BlockRows * dim; cap(sc.gather) < need {
+		sc.gather = make([]float64, need)
+	}
+	if cap(sc.matches) < kernel.BlockRows {
+		sc.matches = make([]uint32, kernel.BlockRows)
+	}
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// hitBuf is a pooled grow-able id buffer used by parallel workers to
+// collect their matches before ordered delivery.
+type hitBuf struct{ ids []uint32 }
+
+var hitPool = sync.Pool{New: func() any { return new(hitBuf) }}
+
+// upperBound returns the number of keys ≤ x — the packed-column
+// equivalent of Tree.RankLE. keys is sorted ascending.
+func upperBound(keys []float64, x float64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// packedColumn resolves the source's packed mirror for one index, or
+// ok=false when the engine must fall back to the tree walk.
+func packedColumn(src *Source, info *IndexInfo) (keys []float64, ids []uint32, ok bool) {
+	if info.Packed == nil || src.Rows == nil || src.RowDim <= 0 {
+		return nil, nil, false
+	}
+	return info.Packed()
+}
+
+// executeBatched is the three-interval walk over the packed column.
+// Contract differences from the tree walk are deliberate and
+// documented: once the intermediate phase starts, Verified and
+// Rejected are final (as in the parallel walk) even if the sink stops
+// early.
+func executeBatched(src *Source, q Query, plan Plan, sink Sink, keys []float64, ids []uint32, workers int, st Stats) (Stats, error) {
+	// Smaller interval: index arithmetic instead of a walk.
+	si := upperBound(keys, plan.Tmin)
+	if ac, ok := sink.(AcceptCounter); ok {
+		st.Accepted = si
+		ac.AcceptCount(si)
+	} else {
+		for _, id := range ids[:si] {
+			st.Accepted++
+			if !sink.Accept(id) {
+				// Legacy early-stop contract: partial stats, larger
+				// interval unclassified.
+				return st, nil
+			}
+		}
+	}
+
+	// Intermediate interval: a contiguous slice of the packed column.
+	hi := len(keys)
+	if !math.IsInf(plan.Tmax, 1) {
+		hi = upperBound(keys, plan.Tmax)
+	}
+	middle := ids[si:hi]
+	st.Verified = len(middle)
+	st.Rejected = st.N - st.Accepted - st.Verified
+	if len(middle) == 0 {
+		return st, nil
+	}
+
+	if workers > 1 && len(middle) >= 2*kernel.BlockRows {
+		executeParallelBatched(src, q, middle, sink, workers, &st)
+		return st, nil
+	}
+
+	// Tiny intervals skip the gather: a direct pass over the
+	// contiguous ids already beats the tree walk.
+	if len(middle) < kernel.MinBatch {
+		for _, id := range middle {
+			if q.Satisfies(src.Vector(id)) {
+				st.Matched++
+				if !sink.Match(id) {
+					return st, nil
+				}
+			}
+		}
+		return st, nil
+	}
+
+	sc := getScratch(src.RowDim)
+	defer putScratch(sc)
+	d := src.RowDim
+	for lo := 0; lo < len(middle); lo += kernel.BlockRows {
+		end := lo + kernel.BlockRows
+		if end > len(middle) {
+			end = len(middle)
+		}
+		blk := middle[lo:end]
+		kernel.Gather(src.Rows, d, blk, sc.gather)
+		m := kernel.FilterLE(q.A, q.B, sc.gather[:len(blk)*d], sc.matches)
+		for _, off := range sc.matches[:m] {
+			st.Matched++
+			if !sink.Match(blk[off]) {
+				return st, nil
+			}
+		}
+	}
+	return st, nil
+}
+
+// executeParallelBatched verifies the intermediate interval with
+// block-granular work stealing: workers claim BlockRows-sized blocks
+// of the packed id slice off a shared atomic cursor, so a skewed
+// match distribution cannot leave one goroutine holding the tail.
+// Matches are handed back to the calling goroutine in worker order —
+// sinks never see concurrent calls.
+func executeParallelBatched(src *Source, q Query, middle []uint32, sink Sink, workers int, st *Stats) {
+	blocks := (len(middle) + kernel.BlockRows - 1) / kernel.BlockRows
+	if workers > blocks {
+		workers = blocks
+	}
+	st.Workers = workers
+
+	hits := make([]*hitBuf, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	d := src.RowDim
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := getScratch(d)
+			defer putScratch(sc)
+			hb := hitPool.Get().(*hitBuf)
+			hb.ids = hb.ids[:0]
+			for {
+				bi := int(next.Add(1) - 1)
+				if bi >= blocks {
+					break
+				}
+				lo := bi * kernel.BlockRows
+				end := lo + kernel.BlockRows
+				if end > len(middle) {
+					end = len(middle)
+				}
+				blk := middle[lo:end]
+				kernel.Gather(src.Rows, d, blk, sc.gather)
+				m := kernel.FilterLE(q.A, q.B, sc.gather[:len(blk)*d], sc.matches)
+				for _, off := range sc.matches[:m] {
+					hb.ids = append(hb.ids, blk[off])
+				}
+			}
+			hits[w] = hb
+		}(w)
+	}
+	wg.Wait()
+	stopped := false
+	for _, hb := range hits {
+		for _, id := range hb.ids {
+			if !stopped {
+				st.Matched++
+				if !sink.Match(id) {
+					stopped = true
+				}
+			}
+		}
+		hitPool.Put(hb)
+	}
+}
+
+// executeScanBatched answers a scan plan with block kernels over the
+// raw row array: every complete block of rows (live and dead) runs
+// through FilterLE, and dead rows are dropped at delivery. Verified
+// counts live points only, matching the per-point scan.
+func executeScanBatched(src *Source, q Query, sink Sink) Stats {
+	st := Stats{N: src.N, FellBack: true, IndexUsed: -1}
+	st.Verified = st.N
+	sc := getScratch(src.RowDim)
+	defer putScratch(sc)
+	d := src.RowDim
+	rows := len(src.RowLive)
+	for lo := 0; lo < rows; lo += kernel.BlockRows {
+		end := lo + kernel.BlockRows
+		if end > rows {
+			end = rows
+		}
+		m := kernel.FilterLE(q.A, q.B, src.Rows[lo*d:end*d], sc.matches)
+		for _, off := range sc.matches[:m] {
+			id := uint32(lo) + off
+			if !src.RowLive[id] {
+				continue
+			}
+			st.Matched++
+			if !sink.Match(id) {
+				return st
+			}
+		}
+	}
+	return st
+}

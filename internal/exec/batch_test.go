@@ -1,0 +1,326 @@
+package exec
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"planar/internal/vecmath"
+)
+
+// packSource upgrades a classic test source to a batched one: the
+// points are flattened into a row-major Rows array (with optional
+// dead rows) and every index is given a Packed export of its tree.
+func packSource(points [][]float64, infos []IndexInfo, live []bool) *Source {
+	src := makeSource(points, infos)
+	d := 0
+	if len(points) > 0 {
+		d = len(points[0])
+	}
+	rows := make([]float64, 0, len(points)*d)
+	for _, v := range points {
+		rows = append(rows, v...)
+	}
+	if live == nil {
+		live = make([]bool, len(points))
+		for i := range live {
+			live[i] = true
+		}
+	}
+	src.Rows = rows
+	src.RowLive = live
+	src.RowDim = d
+	src.Fallback = true // mirror Multi's default scan fallback
+	for i := range infos {
+		tree := infos[i].Tree
+		keys := make([]float64, tree.Len())
+		ids := make([]uint32, tree.Len())
+		tree.CopyInto(keys, ids)
+		infos[i].Packed = func() ([]float64, []uint32, bool) { return keys, ids, true }
+	}
+	return src
+}
+
+func TestUpperBoundMatchesRankLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := randPoints(rng, 300, 2)
+	info := buildInfo(points, []float64{1, 2}, vecmath.SignPattern{1, 1}, 0)
+	keys := make([]float64, info.Tree.Len())
+	ids := make([]uint32, info.Tree.Len())
+	info.Tree.CopyInto(keys, ids)
+	probes := append([]float64{-1e18, 0, 1e18}, keys[:20]...)
+	for _, x := range probes {
+		if got, want := upperBound(keys, x), info.Tree.RankLE(x); got != want {
+			t.Fatalf("upperBound(%v) = %d, RankLE = %d", x, got, want)
+		}
+	}
+}
+
+// TestBatchedMatchesTreeWalk is the engine's golden identity at the
+// exec layer: for random indexes and queries the batched path, the
+// forced tree walk, and brute force must report the same id set and
+// a consistent interval partition.
+func TestBatchedMatchesTreeWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		d := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(900)
+		points := randPoints(rng, n, d)
+
+		signs := make(vecmath.SignPattern, d)
+		a := make([]float64, d)
+		normal := make([]float64, d)
+		for i := 0; i < d; i++ {
+			if rng.Intn(2) == 0 {
+				signs[i] = 1
+			} else {
+				signs[i] = -1
+			}
+			a[i] = float64(signs[i]) * rng.Float64() * 5
+			normal[i] = 0.5 + rng.Float64()*3
+		}
+		if trial%5 == 0 {
+			a[rng.Intn(d)] = 0
+		}
+		q := Query{A: a, B: (rng.Float64() - 0.4) * 400}
+
+		infos := []IndexInfo{buildInfo(points, normal, signs, 1e-9)}
+		src := packSource(points, infos, nil)
+
+		var batched, walked IDSink
+		stB, err := Run(src, q, &batched, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stW, err := Run(src, q, &walked, Options{ForceTreeWalk: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		want := sortedCopy(bruteIDs(points, q))
+		if !equalIDs(sortedCopy(batched.IDs), want) {
+			t.Fatalf("trial %d: batched ids differ from brute force", trial)
+		}
+		if !equalIDs(sortedCopy(walked.IDs), want) {
+			t.Fatalf("trial %d: tree walk ids differ from brute force", trial)
+		}
+		if stB.Accepted != stW.Accepted || stB.Verified != stW.Verified || stB.Rejected != stW.Rejected {
+			t.Fatalf("trial %d: interval stats differ: batched %+v, walk %+v", trial, stB, stW)
+		}
+		if stB.Accepted+stB.Verified+stB.Rejected != n {
+			t.Fatalf("trial %d: intervals do not partition n=%d: %+v", trial, n, stB)
+		}
+	}
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchedScanSkipsDeadRows checks the scan kernel path against a
+// Rows array containing stale dead rows: the kernel filters every row
+// but dead ones must never be delivered.
+func TestBatchedScanSkipsDeadRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	all := randPoints(rng, 700, 3)
+	live := make([]bool, len(all))
+	var alive [][]float64
+	aliveIdx := map[uint32]bool{}
+	for i := range all {
+		live[i] = rng.Intn(4) != 0
+		if live[i] {
+			alive = append(alive, all[i])
+			aliveIdx[uint32(i)] = true
+		} else {
+			// Poison dead rows with values that would match everything.
+			for j := range all[i] {
+				all[i][j] = -1e17
+			}
+		}
+	}
+	src := packSource(all, nil, live)
+	src.Fallback = true
+	// Each must only visit live rows, like PointStore.Each.
+	src.Each = func(fn func(id uint32, v []float64) bool) {
+		for id, v := range all {
+			if live[id] && !fn(uint32(id), v) {
+				return
+			}
+		}
+	}
+	src.N = len(alive)
+
+	q := Query{A: []float64{1, -2, 0.5}, B: 10}
+	var batched, classic IDSink
+	if _, err := Run(src, q, &batched, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(src, q, &classic, Options{ForceTreeWalk: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range batched.IDs {
+		if !aliveIdx[id] {
+			t.Fatalf("batched scan delivered dead row %d", id)
+		}
+	}
+	if !equalIDs(sortedCopy(batched.IDs), sortedCopy(classic.IDs)) {
+		t.Fatal("batched scan ids differ from classic scan")
+	}
+}
+
+// TestOptionsWorkerClamp pins the hardened clamp: zero, negative, and
+// oversized Workers values all normalize into [1, GOMAXPROCS] and
+// produce identical answers.
+func TestOptionsWorkerClamp(t *testing.T) {
+	if got := clampWorkers(0); got != 1 {
+		t.Fatalf("clampWorkers(0) = %d, want 1", got)
+	}
+	if got := clampWorkers(-8); got != 1 {
+		t.Fatalf("clampWorkers(-8) = %d, want 1", got)
+	}
+	if max := runtime.GOMAXPROCS(0); clampWorkers(max+100) != max {
+		t.Fatalf("clampWorkers(max+100) = %d, want %d", clampWorkers(max+100), max)
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	points := randPoints(rng, 600, 3)
+	signs := vecmath.SignPattern{1, 1, 1}
+	infos := []IndexInfo{buildInfo(points, []float64{1, 1.5, 2}, signs, 1e-9)}
+	src := packSource(points, infos, nil)
+	q := Query{A: []float64{1, 2, 0.5}, B: 20}
+
+	want := sortedCopy(bruteIDs(points, q))
+	for _, workers := range []int{-3, 0, 1, 2, 1 << 20} {
+		var sink IDSink
+		if _, err := Run(src, q, &sink, Options{Workers: workers}); err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if !equalIDs(sortedCopy(sink.IDs), want) {
+			t.Fatalf("Workers=%d: wrong answer", workers)
+		}
+	}
+}
+
+// TestBatchedParallelWorkStealing exercises the block-stealing
+// parallel verifier (GOMAXPROCS is raised so the clamp does not
+// collapse it to the serial path on single-CPU machines).
+func TestBatchedParallelWorkStealing(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(29))
+	points := randPoints(rng, 5000, 4)
+	signs := vecmath.SignPattern{1, 1, 1, 1}
+	// A deliberately misaligned normal so the intermediate interval is
+	// large enough to split into many blocks.
+	infos := []IndexInfo{buildInfo(points, []float64{1, 1, 1, 1}, signs, 1e-9)}
+	src := packSource(points, infos, nil)
+	q := Query{A: []float64{5, 0.1, 0.1, 0.1}, B: 30}
+
+	var serial, parallel IDSink
+	stS, err := Run(src, q, &serial, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stP, err := Run(src, q, &parallel, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stS.Verified < 2*512 {
+		t.Fatalf("intermediate interval too small (%d) to exercise stealing", stS.Verified)
+	}
+	if stP.Workers < 2 {
+		t.Fatalf("parallel run used %d workers", stP.Workers)
+	}
+	if !equalIDs(sortedCopy(serial.IDs), sortedCopy(parallel.IDs)) {
+		t.Fatal("parallel batched ids differ from serial")
+	}
+	if stS.Matched != stP.Matched || stS.Verified != stP.Verified {
+		t.Fatalf("stats differ: serial %+v parallel %+v", stS, stP)
+	}
+}
+
+// TestPackedUnavailableFallsBack: a Packed hook reporting ok=false
+// (mirror mid-rebuild) must route the query through the tree walk.
+func TestPackedUnavailableFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	points := randPoints(rng, 400, 2)
+	signs := vecmath.SignPattern{1, 1}
+	infos := []IndexInfo{buildInfo(points, []float64{1, 1}, signs, 1e-9)}
+	src := packSource(points, infos, nil)
+	src.Indexes[0].Packed = func() ([]float64, []uint32, bool) { return nil, nil, false }
+
+	q := Query{A: []float64{2, 1}, B: 5}
+	var sink IDSink
+	if _, err := Run(src, q, &sink, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sortedCopy(sink.IDs), sortedCopy(bruteIDs(points, q))) {
+		t.Fatal("fallback tree walk produced wrong answer")
+	}
+}
+
+// TestBatchedEarlyStop checks the sink-stop contract on the batched
+// path: stopping during the smaller interval leaves partial stats,
+// stopping during verification keeps Verified/Rejected final.
+func TestBatchedEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	points := randPoints(rng, 800, 2)
+	signs := vecmath.SignPattern{1, 1}
+	infos := []IndexInfo{buildInfo(points, []float64{1, 2}, signs, 1e-9)}
+	src := packSource(points, infos, nil)
+	q := Query{A: []float64{1, 1}, B: 60}
+
+	seen := 0
+	stop := FuncSink(func(uint32) bool {
+		seen++
+		return seen < 3
+	})
+	st, err := Run(src, q, stop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Fatalf("sink saw %d ids after asking to stop at 3", seen)
+	}
+	if st.Accepted+st.Matched < 3 {
+		t.Fatalf("stats lost deliveries: %+v", st)
+	}
+}
+
+func BenchmarkExecHotPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	points := randPoints(rng, 20000, 4)
+	signs := vecmath.SignPattern{1, 1, 1, 1}
+	infos := []IndexInfo{buildInfo(points, []float64{1, 1, 1, 1}, signs, 1e-9)}
+	src := packSource(points, infos, nil)
+	q := Query{A: []float64{5, 0.1, 0.1, 0.1}, B: 30}
+
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"batched", Options{}},
+		{"treewalk", Options{ForceTreeWalk: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			count := CountSink{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				count.N = 0
+				if _, err := Run(src, q, &count, mode.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -92,20 +92,29 @@ type planEntry struct {
 	idx        []cachedIndex
 }
 
-// dirKey returns the cache key for coefficient vector a: the raw
-// bytes of its unit direction. All-zero or non-finite vectors are not
-// cacheable.
-func dirKey(a []float64) (string, bool) {
+// dirKeyInto appends the cache key for coefficient vector a — the raw
+// bytes of its unit direction — to buf and returns the extended slice.
+// All-zero or non-finite vectors are not cacheable. Callers recycle
+// buf through keyBufPool so steady-state lookups allocate nothing.
+func dirKeyInto(a []float64, buf []byte) ([]byte, bool) {
 	s := vecmath.Norm(a)
 	if s == 0 || math.IsInf(s, 0) || math.IsNaN(s) {
-		return "", false
+		return buf, false
 	}
-	buf := make([]byte, 8*len(a))
-	for i, v := range a {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v/s))
+	for _, v := range a {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v/s))
 	}
-	return string(buf), true
+	return buf, true
 }
+
+// dirKey is the allocating convenience form of dirKeyInto.
+func dirKey(a []float64) (string, bool) {
+	buf, ok := dirKeyInto(a, nil)
+	return string(buf), ok
+}
+
+// keyBufPool recycles dirKeyInto buffers across queries.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // PlanCache is a thread-safe LRU cache of plan entries keyed by
 // normalized query coefficient direction.
@@ -137,11 +146,13 @@ func NewPlanCache(capacity int) *PlanCache {
 }
 
 // lookup returns the entry for key if present and current, updating
-// recency and hit/miss counters. Stale entries are evicted.
-func (c *PlanCache) lookup(key string, epoch uint64) *planEntry {
+// recency and hit/miss counters. Stale entries are evicted. key is
+// raw bytes; the string conversion in the map index compiles to a
+// no-alloc lookup.
+func (c *PlanCache) lookup(key []byte, epoch uint64) *planEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	el, ok := c.entries[string(key)]
 	if ok {
 		slot := el.Value.(*cacheSlot)
 		if slot.entry.epoch == epoch {
@@ -150,18 +161,19 @@ func (c *PlanCache) lookup(key string, epoch uint64) *planEntry {
 			return slot.entry
 		}
 		c.order.Remove(el)
-		delete(c.entries, key)
+		delete(c.entries, string(key))
 	}
 	c.misses++
 	return nil
 }
 
 // insert stores an entry, evicting the least recently used direction
-// when full.
-func (c *PlanCache) insert(key string, e *planEntry) {
+// when full. The key bytes are copied into an owned string here — the
+// one allocation per *new* direction, not per query.
+func (c *PlanCache) insert(key []byte, e *planEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
+	if el, ok := c.entries[string(key)]; ok {
 		el.Value.(*cacheSlot).entry = e
 		c.order.MoveToFront(el)
 		return
@@ -171,7 +183,8 @@ func (c *PlanCache) insert(key string, e *planEntry) {
 		c.order.Remove(back)
 		delete(c.entries, back.Value.(*cacheSlot).key)
 	}
-	c.entries[key] = c.order.PushFront(&cacheSlot{key: key, entry: e})
+	owned := string(key)
+	c.entries[owned] = c.order.PushFront(&cacheSlot{key: owned, entry: e})
 }
 
 // Len returns the number of cached directions.

@@ -338,16 +338,16 @@ func TestPlanCacheHitAndInvalidation(t *testing.T) {
 func TestPlanCacheLRUEviction(t *testing.T) {
 	c := NewPlanCache(2)
 	e := func() *planEntry { return &planEntry{} }
-	c.insert("a", e())
-	c.insert("b", e())
-	if c.lookup("a", 0) == nil { // refresh a; b becomes LRU
+	c.insert([]byte("a"), e())
+	c.insert([]byte("b"), e())
+	if c.lookup([]byte("a"), 0) == nil { // refresh a; b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.insert("c", e())
-	if c.lookup("b", 0) != nil {
+	c.insert([]byte("c"), e())
+	if c.lookup([]byte("b"), 0) != nil {
 		t.Fatal("b should have been evicted")
 	}
-	if c.lookup("a", 0) == nil || c.lookup("c", 0) == nil {
+	if c.lookup([]byte("a"), 0) == nil || c.lookup([]byte("c"), 0) == nil {
 		t.Fatal("a and c should survive")
 	}
 	if c.Len() != 2 {

@@ -199,16 +199,22 @@ func PlanQuery(src *Source, q Query) (Plan, error) {
 
 func planQuery(src *Source, q Query) (Plan, error) {
 	if src.Cache != nil && !src.Single {
-		if key, ok := dirKey(q.A); ok {
+		kb := keyBufPool.Get().(*[]byte)
+		key, ok := dirKeyInto(q.A, (*kb)[:0])
+		*kb = key
+		if ok {
 			if e := src.Cache.lookup(key, src.Epoch); e != nil {
+				keyBufPool.Put(kb)
 				return planFromEntry(src, q, e)
 			}
 			p, e, err := planScored(src, q, true)
 			if err == nil && e != nil {
 				src.Cache.insert(key, e)
 			}
+			keyBufPool.Put(kb)
 			return p, err
 		}
+		keyBufPool.Put(kb)
 	}
 	p, _, err := planScored(src, q, false)
 	return p, err
@@ -337,7 +343,14 @@ func finishPlan(src *Source, q Query, best, compatible int) (Plan, error) {
 			}
 		}
 	}
-	p.Reason = fmt.Sprintf("best of %d compatible indexes by %s minimisation", compatible, src.Sel)
+	// Constant strings, not fmt.Sprintf: Reason is built on every
+	// range plan and a formatted string would be the only allocation
+	// left on the steady-state query path.
+	if src.Sel == SelectAngle {
+		p.Reason = "best compatible index by angle minimisation"
+	} else {
+		p.Reason = "best compatible index by stretch minimisation"
+	}
 	return p, nil
 }
 

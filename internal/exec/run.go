@@ -14,8 +14,24 @@ import (
 // Options tunes the Execute stage.
 type Options struct {
 	// Workers > 1 verifies the intermediate interval on a goroutine
-	// pool (clamped to GOMAXPROCS). 0 or 1 verifies serially.
+	// pool (clamped to GOMAXPROCS). Values below 1 — including 0 and
+	// negatives — verify serially.
 	Workers int
+	// ForceTreeWalk disables the batched verification engine even when
+	// the source exposes packed columns, pinning the classic per-entry
+	// B-tree walk. Used by correctness tests and as an escape hatch.
+	ForceTreeWalk bool
+}
+
+// clampWorkers normalizes an Options.Workers value to [1, GOMAXPROCS].
+func clampWorkers(workers int) int {
+	if workers < 1 {
+		return 1
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		return p
+	}
+	return workers
 }
 
 // Run is the whole pipeline for one query: Plan, then Execute into
@@ -42,6 +58,9 @@ func Execute(src *Source, q Query, plan Plan, sink Sink, opts Options) (Stats, e
 
 func execute(src *Source, q Query, plan Plan, sink Sink, opts Options) (Stats, error) {
 	if plan.Kind == KindScan {
+		if !opts.ForceTreeWalk && src.Rows != nil && src.RowLive != nil && src.RowDim > 0 {
+			return executeScanBatched(src, q, sink), nil
+		}
 		return executeScan(src, q, sink), nil
 	}
 
@@ -76,6 +95,17 @@ func execute(src *Source, q Query, plan Plan, sink Sink, opts Options) (Stats, e
 		return executeTopK(src, q, plan, info, sink, b, st)
 	}
 
+	// Batched engine: when the index exposes its packed key/id column
+	// and the store its raw rows, the interval boundaries are two
+	// binary searches and the intermediate interval runs through the
+	// block kernels. Packed() reports ok=false when another query is
+	// mid-rebuild; the tree walk below is always a correct fallback.
+	if !opts.ForceTreeWalk {
+		if keys, ids, ok := packedColumn(src, info); ok {
+			return executeBatched(src, q, plan, sink, keys, ids, clampWorkers(opts.Workers), st)
+		}
+	}
+
 	// Smaller interval: accepted without verification. An early stop
 	// here leaves Rejected at 0 (the larger interval was never
 	// classified) — the legacy contract of Index.Inequality.
@@ -98,10 +128,7 @@ func execute(src *Source, q Query, plan Plan, sink Sink, opts Options) (Stats, e
 	}
 
 	// Intermediate interval: verify, serially or on a worker pool.
-	workers := opts.Workers
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := clampWorkers(opts.Workers)
 	if workers > 1 {
 		executeParallelII(src, q, plan, info, sink, workers, &st)
 	} else {

@@ -56,6 +56,14 @@ type IndexInfo struct {
 	// Guard is the relative width of the conservative band added
 	// around the thresholds (0 disables it).
 	Guard float64
+	// Packed, when non-nil, returns the index's packed key/id column:
+	// the tree's entries exported to two parallel sorted arrays, so
+	// interval boundaries become binary searches and the intermediate
+	// interval a contiguous id slice. ok=false means the mirror is
+	// unavailable right now (another query is mid-rebuild) and the
+	// engine must take the B-tree walk instead. The returned slices
+	// stay valid for as long as the caller's owning lock is held.
+	Packed func() (keys []float64, ids []uint32, ok bool)
 }
 
 // Source is everything the pipeline may touch to answer a query: the
@@ -84,6 +92,19 @@ type Source struct {
 	Vector func(id uint32) []float64
 	// Each iterates every live point (sequential-scan execution).
 	Each func(fn func(id uint32, v []float64) bool)
+	// Rows is the owner's row-major φ backing array (RowDim
+	// coordinates per row, dead rows included), aliased not copied.
+	// When set together with RowLive it enables the batched
+	// verification engine: the intermediate interval and sequential
+	// scans run as contiguous-block kernels instead of per-point
+	// callbacks. Leave nil to force the classic walks.
+	Rows []float64
+	// RowLive flags which rows of Rows hold live points. Dead rows
+	// contain stale values; batched scans filter them after the
+	// kernel pass.
+	RowLive []bool
+	// RowDim is the row stride of Rows.
+	RowDim int
 	// Epoch is the owner's mutation counter; plan-cache entries from
 	// an older epoch are discarded.
 	Epoch uint64

@@ -1,0 +1,122 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"planar/internal/vecmath"
+)
+
+// TestFilterLEAgreesWithDot is the exact-equality property test: for
+// every dimensionality (specialized and generic) the kernel's verdict
+// and the one-at-a-time vecmath.Dot verdict must agree on the same
+// inputs — not within a tolerance, exactly. The kernels keep the
+// accumulation order of vecmath.Dot, so any divergence is a bug.
+func TestFilterLEAgreesWithDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, d := range []int{1, 2, 3, 4, 5, 7, 8, 11} {
+		for trial := 0; trial < 50; trial++ {
+			n := rng.Intn(3 * BlockRows)
+			a := make([]float64, d)
+			for i := range a {
+				a[i] = (rng.Float64() - 0.5) * 8
+			}
+			rows := make([]float64, n*d)
+			for i := range rows {
+				rows[i] = (rng.Float64() - 0.5) * 100
+			}
+			b := (rng.Float64() - 0.5) * 200
+
+			out := make([]uint32, n)
+			got := FilterLE(a, b, rows, out)
+
+			var want []uint32
+			for r := 0; r < n; r++ {
+				if vecmath.Dot(a, rows[r*d:(r+1)*d]) <= b {
+					want = append(want, uint32(r))
+				}
+			}
+			if got != len(want) {
+				t.Fatalf("d=%d trial=%d: kernel matched %d rows, serial matched %d", d, trial, got, len(want))
+			}
+			for i, off := range out[:got] {
+				if off != want[i] {
+					t.Fatalf("d=%d trial=%d: match %d is row %d, serial says %d", d, trial, i, off, want[i])
+				}
+			}
+
+			// Dots must be bit-identical to the serial product, so the
+			// filter comparison can never flip relative to vecmath.Dot.
+			dots := make([]float64, n)
+			Dots(a, rows, dots)
+			for r := 0; r < n; r++ {
+				serial := vecmath.Dot(a, rows[r*d:(r+1)*d])
+				if dots[r] != serial { //nolint:floatkey // the package contract is exact agreement with vecmath.Dot
+					t.Fatalf("d=%d trial=%d row=%d: kernel dot %v, serial %v", d, trial, r, dots[r], serial)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterLEIgnoresPartialTrailingRow checks that a block whose
+// length is not a multiple of d never reads past the last complete
+// row.
+func TestFilterLEIgnoresPartialTrailingRow(t *testing.T) {
+	a := []float64{1, 1, 1}
+	rows := []float64{0, 0, 0, -1, -1, -1, 5, 5} // 2 complete rows + 2 strays
+	out := make([]uint32, 4)
+	n := FilterLE(a, 0, rows, out)
+	if n != 2 || out[0] != 0 || out[1] != 1 {
+		t.Fatalf("got %d matches %v, want rows 0 and 1", n, out[:n])
+	}
+}
+
+func TestFilterLEEmpty(t *testing.T) {
+	if n := FilterLE([]float64{1, 2}, 0, nil, nil); n != 0 {
+		t.Fatalf("empty block matched %d rows", n)
+	}
+	if n := FilterLE(nil, 0, []float64{1, 2}, nil); n != 0 {
+		t.Fatalf("zero-dimensional filter matched %d rows", n)
+	}
+	Dots(nil, []float64{1}, nil) // must not panic
+}
+
+func TestGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dim := range []int{1, 2, 3, 4, 6} {
+		const rows = 40
+		data := make([]float64, rows*dim)
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		ids := []uint32{7, 0, 39, 12, 12, 3}
+		dst := make([]float64, len(ids)*dim)
+		Gather(data, dim, ids, dst)
+		for i, id := range ids {
+			for j := 0; j < dim; j++ {
+				if dst[i*dim+j] != data[int(id)*dim+j] { //nolint:floatkey // gather is a copy; identity must be exact
+					t.Fatalf("dim=%d: gathered row %d coordinate %d differs", dim, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelAllocs pins the package contract: no kernel allocates.
+func TestKernelAllocs(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	rows := make([]float64, BlockRows*4)
+	out := make([]uint32, BlockRows)
+	ids := make([]uint32, BlockRows)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	dst := make([]float64, BlockRows*4)
+	if n := testing.AllocsPerRun(100, func() {
+		FilterLE(a, 1, rows, out)
+		Gather(rows, 4, ids, dst)
+	}); n != 0 {
+		t.Fatalf("kernels allocated %v times per run", n)
+	}
+}

@@ -26,7 +26,10 @@ var Floatkey = &analysis.Analyzer{
 }
 
 func runFloatkey(pass *analysis.Pass) error {
-	if pkgMatch(pass.Pkg.Path(), []string{"internal/vecmath"}) {
+	// internal/kernel is exempt for the same reason as vecmath: its
+	// whole contract is bit-exact agreement with vecmath.Dot, so its
+	// comparisons are deliberately exact.
+	if pkgMatch(pass.Pkg.Path(), []string{"internal/vecmath", "internal/kernel"}) {
 		return nil
 	}
 	for _, file := range pass.Files {

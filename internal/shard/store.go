@@ -409,12 +409,44 @@ func (s *Store) AddNormal(normal []float64, signs vecmath.SignPattern) (bool, er
 	return added, nil
 }
 
+// gatherBufs is the pooled per-query scratch of a scatter-gather:
+// one id slot and one stats slot per shard. Pooling it keeps the
+// scatter overhead of Query and Count off the allocator; the merged
+// result is the only allocation that escapes to the caller.
+type gatherBufs struct {
+	ids    [][]uint32
+	sts    []core.Stats
+	counts []int
+}
+
+var gatherPool = sync.Pool{New: func() any { return new(gatherBufs) }}
+
+func getGather(n int) *gatherBufs {
+	g := gatherPool.Get().(*gatherBufs)
+	if cap(g.ids) < n {
+		g.ids = make([][]uint32, n)
+		g.sts = make([]core.Stats, n)
+		g.counts = make([]int, n)
+	}
+	g.ids = g.ids[:n]
+	g.sts = g.sts[:n]
+	g.counts = g.counts[:n]
+	for i := range g.ids {
+		g.ids[i] = nil
+		g.sts[i] = core.Stats{}
+		g.counts[i] = 0
+	}
+	return g
+}
+
+func putGather(g *gatherBufs) { gatherPool.Put(g) }
+
 // Query answers an inequality query scatter-gather: planned once per
 // shard, executed concurrently, ids merged in ascending global id
 // order with the per-stage stats rolled up.
 func (s *Store) Query(q core.Query) ([]uint32, core.Stats, error) {
-	ids := make([][]uint32, len(s.parts))
-	sts := make([]core.Stats, len(s.parts))
+	g := getGather(len(s.parts))
+	defer putGather(g)
 	err := s.scatter(func(i int) error {
 		p := s.parts[i]
 		p.mu.RLock()
@@ -423,14 +455,14 @@ func (s *Store) Query(q core.Query) ([]uint32, core.Stats, error) {
 		if err != nil {
 			return err
 		}
-		ids[i] = s.globalize(lids, i)
-		sts[i] = st
+		g.ids[i] = s.globalize(lids, i)
+		g.sts[i] = st
 		return nil
 	})
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	return mergeIDs(ids), MergeStats(sts), nil
+	return mergeIDs(g.ids), MergeStats(g.sts), nil
 }
 
 // QueryBatch answers one inequality query per threshold, sharing a
@@ -499,8 +531,8 @@ func (s *Store) TopK(q core.Query, k int) ([]core.Result, core.Stats, error) {
 
 // Count answers an exact COUNT(*) as the sum of per-shard counts.
 func (s *Store) Count(q core.Query) (int, core.Stats, error) {
-	counts := make([]int, len(s.parts))
-	sts := make([]core.Stats, len(s.parts))
+	g := getGather(len(s.parts))
+	defer putGather(g)
 	err := s.scatter(func(i int) error {
 		p := s.parts[i]
 		p.mu.RLock()
@@ -509,17 +541,17 @@ func (s *Store) Count(q core.Query) (int, core.Stats, error) {
 		if err != nil {
 			return err
 		}
-		counts[i], sts[i] = n, st
+		g.counts[i], g.sts[i] = n, st
 		return nil
 	})
 	if err != nil {
 		return 0, core.Stats{}, err
 	}
 	total := 0
-	for _, n := range counts {
+	for _, n := range g.counts {
 		total += n
 	}
-	return total, MergeStats(sts), nil
+	return total, MergeStats(g.sts), nil
 }
 
 // SelectivityBounds sums per-shard guaranteed cardinality bounds —
