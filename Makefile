@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke ci clean
+.PHONY: all build test vet lint race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke ci clean
 
 all: build
 
@@ -64,7 +64,12 @@ bench-replica-smoke:
 bench-hotpath-smoke:
 	$(GO) run ./cmd/planarbench -mode hotpath -points 1500 -hotdur 50ms -hotout ""
 
-ci: vet lint build race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke
+# A tiny run of the arena-vs-pointer-tree index build benchmark (no
+# JSON report) to prove the -mode build path still works.
+bench-build-smoke:
+	$(GO) run ./cmd/planarbench -mode build -points 20000 -buildout ""
+
+ci: vet lint build race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke
 
 clean:
 	$(GO) clean ./...

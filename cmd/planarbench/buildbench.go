@@ -1,0 +1,236 @@
+package main
+
+// The -mode build benchmark pins the index-structure tentpole: the
+// arena-backed SoA B+ tree (internal/btree) measured head to head
+// against the pointer-node reference tree it replaced
+// (internal/btree/reftree). Three numbers matter — bulk-load time
+// (snapshot restore and rebuild latency), steady-state insert/delete
+// churn (the mutation path), and resident bytes per entry (arena
+// footprint from Stats plus the live-heap delta, which for the
+// pointer tree includes all the per-node allocations Stats cannot
+// see). The report lands in BENCH_build.json; like the other reports
+// it accumulates an array across invocations.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"planar/internal/btree"
+	"planar/internal/btree/reftree"
+)
+
+type buildBenchConfig struct {
+	Points  int
+	Seed    int64
+	OutPath string
+}
+
+// buildBenchEngine is one engine's column of the report.
+type buildBenchEngine struct {
+	Engine        string  `json:"engine"`
+	BuildMs       float64 `json:"buildMs"`
+	BuildNsPerKey float64 `json:"buildNsPerEntry"`
+	ChurnOps      int     `json:"churnOps"`
+	ChurnNsPerOp  float64 `json:"churnNsPerOp"`
+	StatsBytes    int     `json:"statsBytes"`
+	BytesPerEntry float64 `json:"bytesPerEntry"`
+	HeapBytes     uint64  `json:"heapBytes"`
+	HeapPerEntry  float64 `json:"heapBytesPerEntry"`
+	GCMs          float64 `json:"gcMs"`
+	Height        int     `json:"height"`
+	Leaves        int     `json:"leaves"`
+}
+
+type buildBenchReport struct {
+	Points       int              `json:"points"`
+	Seed         int64            `json:"seed"`
+	GoMaxProcs   int              `json:"gomaxprocs"`
+	NumCPU       int              `json:"numcpu,omitempty"`
+	Arena        buildBenchEngine `json:"arena"`
+	Reftree      buildBenchEngine `json:"reftree"`
+	BuildSpeedup float64          `json:"buildSpeedup"`
+	ChurnSpeedup float64          `json:"churnSpeedup"`
+	GCSpeedup    float64          `json:"gcSpeedup"`
+	BytesRatio   float64          `json:"arenaToReftreeBytes"`
+}
+
+// mutableTree is the churn surface both engines share.
+type mutableTree interface {
+	Insert(key float64, id uint32) bool
+	Delete(key float64, id uint32) bool
+	Len() int
+}
+
+// liveHeap forces a collection and returns the live heap, so the
+// difference across a tree build counts only surviving allocations.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// benchGC times a forced collection with the tree resident (best of
+// three). The arena holds no GC-traced pointers, so this is where the
+// structural difference to a node-per-allocation tree shows up: the
+// collector must trace every pointer-tree node on every cycle.
+func benchGC() float64 {
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		runtime.GC()
+		if ms := time.Since(start).Seconds() * 1e3; i == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best
+}
+
+// benchChurn runs delete+insert pairs against a warm tree: a random
+// resident entry is evicted and a fresh key takes its place, so the
+// tree stays at its steady-state size while splits, merges and
+// borrows all fire. ents is mutated to track residency.
+func benchChurn(t mutableTree, ents []btree.Entry, rng *rand.Rand, pairs int) (int, float64) {
+	nextID := uint32(len(ents))
+	start := time.Now()
+	for i := 0; i < pairs; i++ {
+		j := rng.Intn(len(ents))
+		if !t.Delete(ents[j].Key, ents[j].ID) {
+			panic("build bench: resident entry missing")
+		}
+		e := btree.Entry{Key: rng.Float64() * 1e6, ID: nextID}
+		nextID++
+		if !t.Insert(e.Key, e.ID) {
+			panic("build bench: churn insert collided")
+		}
+		ents[j] = e
+	}
+	ops := 2 * pairs
+	return ops, float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+func runBuildBench(cfg buildBenchConfig, w io.Writer) error {
+	if cfg.Points < 1 {
+		return fmt.Errorf("build bench: -points must be >= 1 (got %d)", cfg.Points)
+	}
+	n := cfg.Points
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := make([]btree.Entry, n)
+	for i := range base {
+		base[i] = btree.Entry{Key: rng.Float64() * 1e6, ID: uint32(i)}
+	}
+	// Churn pairs: enough to cycle a good fraction of the tree without
+	// making the smoke run crawl on one core.
+	pairs := n / 2
+	if pairs > 100000 {
+		pairs = 100000
+	}
+	if pairs < 1 {
+		pairs = 1
+	}
+
+	fmt.Fprintf(w, "index build bench: %d entries, %d churn pairs, seed %d\n", n, pairs, cfg.Seed)
+	fmt.Fprintf(w, "%-8s %10s %12s %12s %12s %12s %8s %7s\n",
+		"engine", "build ms", "ns/entry", "churn ns/op", "bytes/entry", "heap B/entry", "gc ms", "height")
+
+	measure := func(name string, load func([]btree.Entry) (mutableTree, int, int, int)) buildBenchEngine {
+		ents := make([]btree.Entry, len(base))
+		copy(ents, base)
+		before := liveHeap()
+		start := time.Now()
+		t, bytes, height, leaves := load(ents)
+		buildNs := time.Since(start).Nanoseconds()
+		heap := liveHeap()
+		var heapDelta uint64
+		if heap > before {
+			heapDelta = heap - before
+		}
+		eng := buildBenchEngine{
+			Engine:        name,
+			BuildMs:       float64(buildNs) / 1e6,
+			BuildNsPerKey: float64(buildNs) / float64(n),
+			StatsBytes:    bytes,
+			BytesPerEntry: float64(bytes) / float64(n),
+			HeapBytes:     heapDelta,
+			HeapPerEntry:  float64(heapDelta) / float64(n),
+			Height:        height,
+			Leaves:        leaves,
+		}
+		crng := rand.New(rand.NewSource(cfg.Seed + 1))
+		eng.ChurnOps, eng.ChurnNsPerOp = benchChurn(t, ents, crng, pairs)
+		if t.Len() != n {
+			panic("build bench: churn changed tree size")
+		}
+		eng.GCMs = benchGC()
+		runtime.KeepAlive(t)
+		fmt.Fprintf(w, "%-8s %10.1f %12.1f %12.1f %12.1f %12.1f %8.2f %7d\n",
+			name, eng.BuildMs, eng.BuildNsPerKey, eng.ChurnNsPerOp, eng.BytesPerEntry, eng.HeapPerEntry, eng.GCMs, eng.Height)
+		return eng
+	}
+
+	arena := measure("arena", func(ents []btree.Entry) (mutableTree, int, int, int) {
+		t := btree.BulkLoad(ents)
+		s := t.Stats()
+		return t, s.Bytes, s.Height, s.Leaves
+	})
+	ref := measure("reftree", func(ents []btree.Entry) (mutableTree, int, int, int) {
+		res := make([]reftree.Entry, len(ents))
+		for i, e := range ents {
+			res[i] = reftree.Entry{Key: e.Key, ID: e.ID}
+		}
+		t := reftree.BulkLoad(res)
+		s := t.Stats()
+		return t, s.Bytes, s.Height, s.Leaves
+	})
+
+	report := buildBenchReport{
+		Points:     n,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Arena:      arena,
+		Reftree:    ref,
+	}
+	if arena.BuildMs > 0 {
+		report.BuildSpeedup = ref.BuildMs / arena.BuildMs
+	}
+	if arena.ChurnNsPerOp > 0 {
+		report.ChurnSpeedup = ref.ChurnNsPerOp / arena.ChurnNsPerOp
+	}
+	if arena.GCMs > 0 {
+		report.GCSpeedup = ref.GCMs / arena.GCMs
+	}
+	if ref.StatsBytes > 0 {
+		report.BytesRatio = float64(arena.StatsBytes) / float64(ref.StatsBytes)
+	}
+	fmt.Fprintf(w, "build %.2fx, churn %.2fx, gc %.2fx, arena footprint %.2fx of pointer tree\n",
+		report.BuildSpeedup, report.ChurnSpeedup, report.GCSpeedup, report.BytesRatio)
+
+	if cfg.OutPath != "" {
+		// Accumulating array, like the shard and replica reports.
+		var reports []buildBenchReport
+		if prev, err := os.ReadFile(cfg.OutPath); err == nil {
+			if json.Unmarshal(prev, &reports) != nil {
+				var single buildBenchReport
+				if json.Unmarshal(prev, &single) == nil {
+					reports = append(reports, single)
+				}
+			}
+		}
+		reports = append(reports, report)
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.OutPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", cfg.OutPath)
+	}
+	return nil
+}

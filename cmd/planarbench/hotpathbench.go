@@ -1,10 +1,10 @@
 package main
 
 // The -mode hotpath benchmark compares the two verification engines
-// for the intermediate interval head to head: the classic per-entry
-// B-tree walk (one vecmath.Dot per candidate, pointer-chasing through
-// leaves) versus the batched kernel path (packed key column, two
-// binary searches, block gather + unrolled filter). For each point
+// for the intermediate interval head to head: the scalar per-entry
+// tree walk (one vecmath.Dot per candidate) versus the batched kernel
+// path (rank queries for the interval bounds, then block gather +
+// unrolled filter straight over the tree's leaf arena). For each point
 // dimensionality and a sweep of II selectivities — the fraction of
 // points that fall between T_min and T_max and must be verified — it
 // reports ns/op and allocs/op for both engines and the speedup, and

@@ -35,6 +35,15 @@
 // per-entry tree walk across dimensionalities and intermediate-
 // interval selectivities, and writes the report to -hotout
 // (BENCH_hotpath.json).
+//
+// A fifth mode benchmarks the index structure itself:
+//
+//	planarbench -mode build
+//
+// which measures bulk-load time, steady-state insert/delete churn,
+// and resident bytes per entry for the arena B+ tree against the
+// pointer-node reference tree, and writes the report to -buildout
+// (BENCH_build.json).
 package main
 
 import (
@@ -68,27 +77,42 @@ func main() {
 		repClients = flag.Int("repclients", 8, "client goroutines in the -replicas benchmark")
 		repOut     = flag.String("repout", "BENCH_replica.json", "JSON report path for the -replicas benchmark (empty = stdout only)")
 
-		mode   = flag.String("mode", "", "extra benchmark mode: \"hotpath\" compares batched vs tree-walk verification")
-		hotOut = flag.String("hotout", "BENCH_hotpath.json", "JSON report path for -mode hotpath (empty = stdout only)")
-		hotDur = flag.Duration("hotdur", 300*time.Millisecond, "measurement window per engine per cell in -mode hotpath")
+		mode     = flag.String("mode", "", "extra benchmark mode: \"hotpath\" compares batched vs tree-walk verification; \"build\" compares arena vs pointer-tree index builds")
+		hotOut   = flag.String("hotout", "BENCH_hotpath.json", "JSON report path for -mode hotpath (empty = stdout only)")
+		hotDur   = flag.Duration("hotdur", 300*time.Millisecond, "measurement window per engine per cell in -mode hotpath")
+		buildOut = flag.String("buildout", "BENCH_build.json", "JSON report path for -mode build (empty = stdout only)")
 	)
 	flag.Parse()
 
 	if *mode != "" {
-		if *mode != "hotpath" {
-			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (only \"hotpath\")\n", *mode)
+		switch *mode {
+		case "hotpath":
+			cfg := hotpathConfig{Points: 20000, Seed: 2014, Window: *hotDur, OutPath: *hotOut}
+			if *points > 0 {
+				cfg.Points = *points
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			if err := runHotpathBench(cfg, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
+				os.Exit(1)
+			}
+		case "build":
+			cfg := buildBenchConfig{Points: 200000, Seed: 2014, OutPath: *buildOut}
+			if *points > 0 {
+				cfg.Points = *points
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			if err := runBuildBench(cfg, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (\"hotpath\" or \"build\")\n", *mode)
 			os.Exit(2)
-		}
-		cfg := hotpathConfig{Points: 20000, Seed: 2014, Window: *hotDur, OutPath: *hotOut}
-		if *points > 0 {
-			cfg.Points = *points
-		}
-		if *seed != 0 {
-			cfg.Seed = *seed
-		}
-		if err := runHotpathBench(cfg, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
-			os.Exit(1)
 		}
 		return
 	}

@@ -56,6 +56,7 @@ type replicaBenchReport struct {
 	Dim        int               `json:"dim"`
 	Duration   string            `json:"duration"`
 	GoMaxProc  int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"numcpu,omitempty"`
 	Primary    replicaBenchPhase `json:"primaryOnly"`
 	ScaleOut   replicaBenchPhase `json:"scaleOut"`
 	Speedup    float64           `json:"speedup"`
@@ -265,6 +266,7 @@ func runReplicaBench(cfg replicaBenchConfig, w io.Writer) error {
 		Dim:        cfg.Dim,
 		Duration:   cfg.Duration.String(),
 		GoMaxProc:  runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Primary:    primaryPhase,
 		ScaleOut:   scalePhase,
 		Writes:     writes,
@@ -281,7 +283,21 @@ func runReplicaBench(cfg replicaBenchConfig, w io.Writer) error {
 		report.Speedup, report.MeanLag, report.MaxLag, report.LagSamples, report.Writes)
 
 	if cfg.OutPath != "" {
-		blob, err := json.MarshalIndent(report, "", "  ")
+		// Like BENCH_shard.json, the report file accumulates: each
+		// invocation appends to the array so runs under different
+		// machine configurations sit side by side. A legacy
+		// single-object file is migrated into a one-element array.
+		var reports []replicaBenchReport
+		if prev, err := os.ReadFile(cfg.OutPath); err == nil {
+			if json.Unmarshal(prev, &reports) != nil {
+				var single replicaBenchReport
+				if json.Unmarshal(prev, &single) == nil {
+					reports = append(reports, single)
+				}
+			}
+		}
+		reports = append(reports, report)
+		blob, err := json.MarshalIndent(reports, "", "  ")
 		if err != nil {
 			return err
 		}

@@ -1,13 +1,25 @@
-// Package btree implements an in-memory B+ tree over composite keys
-// (float64 key, uint32 id). It is the backing store for the planar
-// index's sorted list L (paper Section 4.2): bulk loading gives the
-// loglinear build, leaf-chained range scans give the sequential
-// SI/II/LI enumeration of Algorithm 1, and ordinary insert/delete
-// give the O(log n) dynamic updates of Section 4.4.
+// Package btree implements the ordered list L of the paper (Section
+// 4.2) as an arena-backed, Structure-of-Arrays B+ tree over
+// (key, id) pairs, where the key is the scalar product ⟨c, φ(x)⟩.
+//
+// Nodes are fixed-size slots in flat pooled buffers: a leaf slot owns
+// a LeafCap-wide window of the parallel `keys []float64` / `ids
+// []uint32` columns, an inner slot owns windows of the separator and
+// child-index columns. Child and leaf-chain references are int32 slot
+// numbers, not pointers, so the whole tree is a handful of flat
+// allocations with nothing for the GC to trace. Splits and merges are
+// bulk copy calls within the arenas, and freed slots are recycled
+// through per-arena free lists.
+//
+// The payoff is that the leaf arena IS the packed column the batched
+// verification kernels consume: Leaves and RangeChunks hand out
+// contiguous key/id slices that alias the arena directly, so the
+// engine no longer maintains a separate packed mirror of the tree.
 //
 // The tree is a set: each (Key, ID) pair appears at most once.
 // Entries are ordered by Key first, then ID. The zero Tree is empty
-// and ready to use, but most callers should use BulkLoad.
+// and ready to use, but most callers should use BulkLoad. A Tree
+// holds at most 2^31-1 entries (slot counts are int32).
 //
 // The tree is not safe for concurrent mutation; package core guards
 // it with a RWMutex.
@@ -17,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Entry is one element of the tree: a sort key (the scalar product
@@ -29,63 +42,109 @@ type Entry struct {
 // Less reports whether e orders strictly before f (key-major,
 // id-minor).
 func (e Entry) Less(f Entry) bool {
-	if e.Key != f.Key { //nolint:floatkey // total-order comparator: tolerance would break the tree's strict ordering invariant
-		return e.Key < f.Key
+	return less(e.Key, e.ID, f.Key, f.ID)
+}
+
+// less is the tree's total-order comparator over (key, id) pairs.
+// The key comparison is deliberately exact: a tolerance would break
+// the strict ordering invariant (this is why the package is
+// floatkey-exempt).
+func less(k1 float64, i1 uint32, k2 float64, i2 uint32) bool {
+	if k1 != k2 {
+		return k1 < k2
 	}
-	return e.ID < f.ID
+	return i1 < i2
 }
 
 const (
-	// maxEntries is the fan-out: maximum entries per leaf and maximum
-	// children per inner node. 64 keeps nodes near a cache line
-	// multiple and the tree shallow (1M entries in 4 levels).
-	maxEntries = 64
-	minEntries = maxEntries / 2
+	// LeafCap is the number of entries a leaf slot holds. It equals
+	// kernel.BlockRows so one leaf chunk handed out by RangeChunks is
+	// exactly one verification block; package exec asserts this at
+	// compile time. 256 keys = 2KB per leaf key column, a comfortable
+	// streaming unit.
+	LeafCap = 256
+
+	leafCap = LeafCap
+	leafMin = leafCap / 2
+
+	// innerCap is the inner fan-out (children per inner slot). 64
+	// children per node keeps a 10M-entry tree at height 4.
+	innerCap = 64
+	innerMin = innerCap / 2
+	sepCap   = innerCap - 1
+
+	// nilSlot is the null slot reference for child/chain indices.
+	nilSlot = int32(-1)
 )
 
-type node struct {
-	leaf bool
-	// ents holds data entries in a leaf; in an inner node it holds the
-	// separators (len(ents) == len(kids)-1). Child i contains entries
-	// e with ents[i-1] <= e < ents[i].
-	ents []Entry
-	kids []*node
-	// count caches the number of entries under an inner node, giving
-	// O(log n) rank queries (order statistics). Leaves use len(ents).
-	count int
-	// Leaf chain for range scans.
-	next, prev *node
-}
-
-// subtree returns the number of entries under n.
-func (n *node) subtree() int {
-	if n.leaf {
-		return len(n.ents)
-	}
-	return n.count
-}
-
-// recount recomputes an inner node's cached count from its children.
-func (n *node) recount() {
-	if n.leaf {
-		return
-	}
-	c := 0
-	for _, k := range n.kids {
-		c += k.subtree()
-	}
-	n.count = c
-}
-
-// Tree is a B+ tree set of Entry values.
+// Tree is a B+ tree set of Entry values, stored column-wise in two
+// slot arenas. A node is identified by (slot, depth): slots at depth
+// height-1 index the leaf arena, all shallower slots index the inner
+// arena, so no per-node leaf flag is stored.
 type Tree struct {
-	root   *node
+	// Leaf arena. Slot s owns keys[s*leafCap : (s+1)*leafCap] and the
+	// matching ids window; lnum[s] entries are live. lnext/lprev
+	// chain the leaves in key order for range scans.
+	keys  []float64
+	ids   []uint32
+	lnum  []int32
+	lnext []int32
+	lprev []int32
+
+	// Inner arena. Slot s owns sepKeys/sepIDs[s*sepCap : ...] (the
+	// knum[s]-1 live separators) and kids[s*innerCap : ...] (the
+	// knum[s] live children). counts[s] caches the number of entries
+	// under the subtree for O(log n) rank queries.
+	sepKeys []float64
+	sepIDs  []uint32
+	kids    []int32
+	knum    []int32
+	counts  []int32
+
+	// Free lists recycle slots released by merges and root collapse.
+	freeLeaf  []int32
+	freeInner []int32
+
+	root   int32
 	size   int
-	height int
+	height int // 0 empty, 1 a single leaf
 }
+
+// arenaPool recycles Tree arenas across the rebuild churn: an index
+// rebuild Releases the old tree and BulkLoads the replacement, so
+// steady-state mutation batches reuse the same flat buffers instead
+// of regrowing them.
+var arenaPool = sync.Pool{New: func() any { return new(Tree) }}
 
 // New returns an empty tree.
 func New() *Tree { return &Tree{} }
+
+// Release resets the tree and returns its arenas to the package pool
+// for reuse by a future BulkLoad. The tree must not be used after
+// Release.
+func (t *Tree) Release() {
+	t.reset()
+	arenaPool.Put(t)
+}
+
+// reset empties the tree but keeps arena capacity.
+func (t *Tree) reset() {
+	t.keys = t.keys[:0]
+	t.ids = t.ids[:0]
+	t.lnum = t.lnum[:0]
+	t.lnext = t.lnext[:0]
+	t.lprev = t.lprev[:0]
+	t.sepKeys = t.sepKeys[:0]
+	t.sepIDs = t.sepIDs[:0]
+	t.kids = t.kids[:0]
+	t.knum = t.knum[:0]
+	t.counts = t.counts[:0]
+	t.freeLeaf = t.freeLeaf[:0]
+	t.freeInner = t.freeInner[:0]
+	t.root = 0
+	t.size = 0
+	t.height = 0
+}
 
 // Len returns the number of entries.
 func (t *Tree) Len() int { return t.size }
@@ -94,8 +153,163 @@ func (t *Tree) Len() int { return t.size }
 // single leaf).
 func (t *Tree) Height() int { return t.height }
 
+// Arena window accessors. Every view spans the slot's full window;
+// callers bound reads by lnum/knum. Views are invalidated by slot
+// allocation (the arena may move when it grows), so they are re-taken
+// after allocLeaf/allocInner and after recursive inserts.
+
+func (t *Tree) lkeys(s int32) []float64 {
+	off := int(s) * leafCap
+	return t.keys[off : off+leafCap : off+leafCap]
+}
+
+func (t *Tree) lids(s int32) []uint32 {
+	off := int(s) * leafCap
+	return t.ids[off : off+leafCap : off+leafCap]
+}
+
+func (t *Tree) skeys(s int32) []float64 {
+	off := int(s) * sepCap
+	return t.sepKeys[off : off+sepCap : off+sepCap]
+}
+
+func (t *Tree) sids(s int32) []uint32 {
+	off := int(s) * sepCap
+	return t.sepIDs[off : off+sepCap : off+sepCap]
+}
+
+func (t *Tree) kidv(s int32) []int32 {
+	off := int(s) * innerCap
+	return t.kids[off : off+innerCap : off+innerCap]
+}
+
+// grown extends s by n elements, reusing spare capacity when the
+// arena has it (pooled trees) and doubling otherwise. The extension
+// is not zeroed: slot metadata is initialised on allocation and the
+// key/id columns are only read below the slot's live count.
+func grown[E any](s []E, n int) []E {
+	if cap(s)-len(s) >= n {
+		return s[:len(s)+n]
+	}
+	out := make([]E, len(s)+n, 2*cap(s)+n)
+	copy(out, s)
+	return out
+}
+
+// ensureCap grows s's capacity to at least n elements without
+// changing its length. Bulk loading pre-sizes the arenas through it
+// so the build path never pays doubling reallocations (or their ~2x
+// spare-capacity footprint).
+func ensureCap[E any](s []E, n int) []E {
+	if cap(s) >= n {
+		return s
+	}
+	out := make([]E, len(s), n)
+	copy(out, s)
+	return out
+}
+
+// allocLeaf returns an empty leaf slot, recycling the free list
+// before growing the arena.
+func (t *Tree) allocLeaf() int32 {
+	if n := len(t.freeLeaf); n > 0 {
+		s := t.freeLeaf[n-1]
+		t.freeLeaf = t.freeLeaf[:n-1]
+		t.lnum[s], t.lnext[s], t.lprev[s] = 0, nilSlot, nilSlot
+		return s
+	}
+	s := int32(len(t.lnum))
+	t.keys = grown(t.keys, leafCap)
+	t.ids = grown(t.ids, leafCap)
+	t.lnum = append(t.lnum, 0)
+	t.lnext = append(t.lnext, nilSlot)
+	t.lprev = append(t.lprev, nilSlot)
+	return s
+}
+
+// allocInner returns an empty inner slot.
+func (t *Tree) allocInner() int32 {
+	if n := len(t.freeInner); n > 0 {
+		s := t.freeInner[n-1]
+		t.freeInner = t.freeInner[:n-1]
+		t.knum[s], t.counts[s] = 0, 0
+		return s
+	}
+	s := int32(len(t.knum))
+	t.sepKeys = grown(t.sepKeys, sepCap)
+	t.sepIDs = grown(t.sepIDs, sepCap)
+	t.kids = grown(t.kids, innerCap)
+	t.knum = append(t.knum, 0)
+	t.counts = append(t.counts, 0)
+	return s
+}
+
+func (t *Tree) freeLeafSlot(s int32) {
+	t.lnum[s], t.lnext[s], t.lprev[s] = 0, nilSlot, nilSlot
+	t.freeLeaf = append(t.freeLeaf, s)
+}
+
+func (t *Tree) freeInnerSlot(s int32) {
+	t.knum[s], t.counts[s] = 0, 0
+	t.freeInner = append(t.freeInner, s)
+}
+
+// subtree returns the number of entries under slot s, which is a
+// leaf slot iff leaf is true.
+func (t *Tree) subtree(s int32, leaf bool) int {
+	if leaf {
+		return int(t.lnum[s])
+	}
+	return int(t.counts[s])
+}
+
+// recount recomputes an inner slot's cached count from its children
+// (childLeaf reports whether they are leaf slots).
+func (t *Tree) recount(s int32, childLeaf bool) {
+	kv := t.kidv(s)
+	c := 0
+	for _, k := range kv[:t.knum[s]] {
+		c += t.subtree(k, childLeaf)
+	}
+	t.counts[s] = int32(c)
+}
+
+// childIndex returns the index of the child of inner slot s that may
+// contain (key, id): the first separator strictly greater than it.
+func (t *Tree) childIndex(s int32, key float64, id uint32) int {
+	n := int(t.knum[s]) - 1
+	sk, si := t.skeys(s), t.sids(s)
+	return sort.Search(n, func(i int) bool { return less(key, id, sk[i], si[i]) })
+}
+
+// firstLeaf returns the leftmost leaf slot, or nilSlot when empty.
+func (t *Tree) firstLeaf() int32 {
+	if t.height == 0 {
+		return nilSlot
+	}
+	s := t.root
+	for d := 0; d < t.height-1; d++ {
+		s = t.kidv(s)[0]
+	}
+	return s
+}
+
+// lastLeaf returns the rightmost leaf slot, or nilSlot when empty.
+func (t *Tree) lastLeaf() int32 {
+	if t.height == 0 {
+		return nilSlot
+	}
+	s := t.root
+	for d := 0; d < t.height-1; d++ {
+		s = t.kidv(s)[t.knum[s]-1]
+	}
+	return s
+}
+
 // BulkLoad builds a tree from entries in O(n log n). The input slice
-// is sorted in place. Duplicate (Key, ID) pairs are collapsed.
+// is sorted in place. Duplicate (Key, ID) pairs are collapsed. The
+// arenas come from the package pool; pair with Release to recycle
+// them.
 func BulkLoad(entries []Entry) *Tree {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Less(entries[j]) })
 	// Collapse duplicates.
@@ -108,272 +322,324 @@ func BulkLoad(entries []Entry) *Tree {
 	}
 	entries = dedup
 
-	t := &Tree{}
+	t := arenaPool.Get().(*Tree)
+	t.reset()
 	if len(entries) == 0 {
 		return t
 	}
+
 	// Pack leaves at ~87% fill so immediate inserts do not split.
-	const fill = maxEntries - maxEntries/8
-	var leaves []*node
+	const fill = leafCap - leafCap/8
+
+	// Pre-size the arenas: at most one chunk per fill-target stride
+	// plus a split tail per level, and the inner levels shrink
+	// geometrically by at least innerMin.
+	nl := len(entries)/fill + 2
+	ni := nl/innerMin + 2*8
+	t.keys = ensureCap(t.keys, nl*leafCap)
+	t.ids = ensureCap(t.ids, nl*leafCap)
+	t.lnum = ensureCap(t.lnum, nl)
+	t.lnext = ensureCap(t.lnext, nl)
+	t.lprev = ensureCap(t.lprev, nl)
+	t.sepKeys = ensureCap(t.sepKeys, ni*sepCap)
+	t.sepIDs = ensureCap(t.sepIDs, ni*sepCap)
+	t.kids = ensureCap(t.kids, ni*innerCap)
+	t.knum = ensureCap(t.knum, ni)
+	t.counts = ensureCap(t.counts, ni)
+
+	var level []int32
+	var mins []Entry
 	for off := 0; off < len(entries); {
-		n := fill
-		if rem := len(entries) - off; rem < n {
-			n = rem
+		n := chunkWidth(len(entries)-off, fill, leafMin, leafCap)
+		s := t.allocLeaf()
+		lk, li := t.lkeys(s), t.lids(s)
+		for j, e := range entries[off : off+n] {
+			lk[j], li[j] = e.Key, e.ID
 		}
-		// Avoid an underfull final leaf by stealing from this one.
-		if rem := len(entries) - off - n; rem > 0 && rem < minEntries {
-			n = (n + rem + 1) / 2
+		t.lnum[s] = int32(n)
+		if len(level) > 0 {
+			p := level[len(level)-1]
+			t.lnext[p] = s
+			t.lprev[s] = p
 		}
-		lf := &node{leaf: true, ents: append([]Entry(nil), entries[off:off+n]...)}
-		if len(leaves) > 0 {
-			prev := leaves[len(leaves)-1]
-			prev.next = lf
-			lf.prev = prev
-		}
-		leaves = append(leaves, lf)
+		level = append(level, s)
+		mins = append(mins, entries[off])
 		off += n
 	}
 	t.size = len(entries)
 	t.height = 1
 
-	level := leaves
+	childLeaf := true
 	for len(level) > 1 {
-		var parents []*node
+		var parents []int32
+		var pmins []Entry
 		for off := 0; off < len(level); {
-			n := maxEntries
-			if rem := len(level) - off; rem < n {
-				n = rem
+			n := chunkWidth(len(level)-off, innerCap, innerMin, innerCap)
+			s := t.allocInner()
+			sk, si, kv := t.skeys(s), t.sids(s), t.kidv(s)
+			c := 0
+			for j := 0; j < n; j++ {
+				kv[j] = level[off+j]
+				c += t.subtree(level[off+j], childLeaf)
+				if j > 0 {
+					sk[j-1], si[j-1] = mins[off+j].Key, mins[off+j].ID
+				}
 			}
-			if rem := len(level) - off - n; rem > 0 && rem < minEntries {
-				n = (n + rem + 1) / 2
-			}
-			in := &node{kids: append([]*node(nil), level[off:off+n]...)}
-			for i := 1; i < len(in.kids); i++ {
-				in.ents = append(in.ents, minOf(in.kids[i]))
-			}
-			in.recount()
-			parents = append(parents, in)
+			t.knum[s] = int32(n)
+			t.counts[s] = int32(c)
+			parents = append(parents, s)
+			pmins = append(pmins, mins[off])
 			off += n
 		}
-		level = parents
+		level, mins = parents, pmins
+		childLeaf = false
 		t.height++
 	}
 	t.root = level[0]
 	return t
 }
 
-// minOf returns the smallest entry in the subtree rooted at n.
-func minOf(n *node) Entry {
-	for !n.leaf {
-		n = n.kids[0]
+// chunkWidth picks how many of rem items the next bulk-load node
+// takes: the fill target, adjusted so the final node of the level
+// never lands below min. A short tail is either absorbed whole (it
+// still fits: cap = 2*min) or the remainder is split into two halves
+// that both clear the floor.
+func chunkWidth(rem, fill, min, max int) int {
+	n := fill
+	if rem < n {
+		n = rem
 	}
-	return n.ents[0]
-}
-
-// childIndex returns the index of the child that may contain e.
-func (n *node) childIndex(e Entry) int {
-	// First separator strictly greater than e.
-	return sort.Search(len(n.ents), func(i int) bool { return e.Less(n.ents[i]) })
-}
-
-// leafIndex returns the position of e in the leaf, and whether it is
-// present.
-func (n *node) leafIndex(e Entry) (int, bool) {
-	i := sort.Search(len(n.ents), func(i int) bool { return !n.ents[i].Less(e) })
-	return i, i < len(n.ents) && !e.Less(n.ents[i])
+	if tail := rem - n; tail > 0 && tail < min {
+		if rem <= max {
+			n = rem
+		} else {
+			n = (rem + 1) / 2
+		}
+	}
+	return n
 }
 
 // Contains reports whether the (key, id) pair is present.
 func (t *Tree) Contains(key float64, id uint32) bool {
-	if t.root == nil {
+	if t.height == 0 {
 		return false
 	}
-	e := Entry{Key: key, ID: id}
-	n := t.root
-	for !n.leaf {
-		n = n.kids[n.childIndex(e)]
+	s := t.root
+	for d := 0; d < t.height-1; d++ {
+		s = t.kidv(s)[t.childIndex(s, key, id)]
 	}
-	_, ok := n.leafIndex(e)
-	return ok
+	n := int(t.lnum[s])
+	lk, li := t.lkeys(s), t.lids(s)
+	i := sort.Search(n, func(i int) bool { return !less(lk[i], li[i], key, id) })
+	return i < n && !less(key, id, lk[i], li[i])
 }
 
 // Insert adds the pair, returning false if it was already present.
 func (t *Tree) Insert(key float64, id uint32) bool {
-	e := Entry{Key: key, ID: id}
-	if t.root == nil {
-		t.root = &node{leaf: true, ents: []Entry{e}}
+	if t.height == 0 {
+		s := t.allocLeaf()
+		t.lkeys(s)[0], t.lids(s)[0] = key, id
+		t.lnum[s] = 1
+		t.root = s
 		t.size = 1
 		t.height = 1
 		return true
 	}
-	right, sep, added := t.insert(t.root, e)
+	right, sepK, sepI, added := t.insert(t.root, 0, key, id)
 	if !added {
 		return false
 	}
 	t.size++
-	if right != nil {
-		t.root = &node{ents: []Entry{sep}, kids: []*node{t.root, right}}
-		t.root.recount()
+	if right != nilSlot {
+		r := t.allocInner()
+		sk, si, kv := t.skeys(r), t.sids(r), t.kidv(r)
+		sk[0], si[0] = sepK, sepI
+		kv[0], kv[1] = t.root, right
+		t.knum[r] = 2
+		t.counts[r] = int32(t.size)
+		t.root = r
 		t.height++
 	}
 	return true
 }
 
-// insert adds e under n. If n splits, it returns the new right
-// sibling and the separator (smallest entry of the right subtree).
-func (t *Tree) insert(n *node, e Entry) (right *node, sep Entry, added bool) {
-	if n.leaf {
-		i, ok := n.leafIndex(e)
-		if ok {
-			return nil, Entry{}, false
+// insert adds (key, id) under slot s at the given depth. If the slot
+// splits it returns the new right sibling and the separator (the
+// smallest entry of the right subtree). Slots have fixed capacity,
+// so a full slot splits BEFORE the insert and the entry is routed
+// into the correct half.
+func (t *Tree) insert(s int32, depth int, key float64, id uint32) (right int32, sepK float64, sepI uint32, added bool) {
+	if depth == t.height-1 {
+		n := int(t.lnum[s])
+		lk, li := t.lkeys(s), t.lids(s)
+		i := sort.Search(n, func(i int) bool { return !less(lk[i], li[i], key, id) })
+		if i < n && !less(key, id, lk[i], li[i]) {
+			return nilSlot, 0, 0, false
 		}
-		n.ents = append(n.ents, Entry{})
-		copy(n.ents[i+1:], n.ents[i:])
-		n.ents[i] = e
-		if len(n.ents) <= maxEntries {
-			return nil, Entry{}, true
+		if n < leafCap {
+			t.leafInsertAt(s, i, key, id)
+			return nilSlot, 0, 0, true
 		}
-		mid := len(n.ents) / 2
-		r := &node{leaf: true, ents: append([]Entry(nil), n.ents[mid:]...)}
-		n.ents = n.ents[:mid:mid]
-		r.next = n.next
-		if r.next != nil {
-			r.next.prev = r
+		r := t.allocLeaf()
+		lk, li = t.lkeys(s), t.lids(s) // re-take: alloc may move the arena
+		rk, ri := t.lkeys(r), t.lids(r)
+		const mid = leafCap / 2
+		copy(rk, lk[mid:])
+		copy(ri, li[mid:])
+		t.lnum[s], t.lnum[r] = mid, leafCap-mid
+		t.lnext[r] = t.lnext[s]
+		if t.lnext[r] != nilSlot {
+			t.lprev[t.lnext[r]] = r
 		}
-		r.prev = n
-		n.next = r
-		return r, r.ents[0], true
+		t.lprev[r] = s
+		t.lnext[s] = r
+		sepK, sepI = rk[0], ri[0]
+		if less(key, id, sepK, sepI) {
+			t.leafInsertAt(s, i, key, id)
+		} else {
+			t.leafInsertAt(r, i-mid, key, id)
+		}
+		return r, sepK, sepI, true
 	}
 
-	ci := n.childIndex(e)
-	childRight, childSep, added := t.insert(n.kids[ci], e)
-	if !added {
-		return nil, Entry{}, false
+	ci := t.childIndex(s, key, id)
+	childRight, csK, csI, ok := t.insert(t.kidv(s)[ci], depth+1, key, id)
+	if !ok {
+		return nilSlot, 0, 0, false
 	}
-	n.count++
-	if childRight == nil {
-		return nil, Entry{}, true
+	t.counts[s]++
+	if childRight == nilSlot {
+		return nilSlot, 0, 0, true
 	}
-	// Insert childSep at position ci and childRight at ci+1.
-	n.ents = append(n.ents, Entry{})
-	copy(n.ents[ci+1:], n.ents[ci:])
-	n.ents[ci] = childSep
-	n.kids = append(n.kids, nil)
-	copy(n.kids[ci+2:], n.kids[ci+1:])
-	n.kids[ci+1] = childRight
-	if len(n.kids) <= maxEntries {
-		return nil, Entry{}, true
+	if int(t.knum[s]) < innerCap {
+		t.innerInsertAt(s, ci, csK, csI, childRight)
+		return nilSlot, 0, 0, true
 	}
-	midKid := len(n.kids) / 2
-	sep = n.ents[midKid-1]
-	r := &node{
-		ents: append([]Entry(nil), n.ents[midKid:]...),
-		kids: append([]*node(nil), n.kids[midKid:]...),
+	r := t.allocInner()
+	sk, si, kv := t.skeys(s), t.sids(s), t.kidv(s) // re-take after alloc
+	rk, ri, rv := t.skeys(r), t.sids(r), t.kidv(r)
+	const midKid = innerCap / 2
+	sepK, sepI = sk[midKid-1], si[midKid-1]
+	copy(rk, sk[midKid:])
+	copy(ri, si[midKid:])
+	copy(rv, kv[midKid:])
+	t.knum[s], t.knum[r] = midKid, innerCap-midKid
+	if ci < midKid {
+		t.innerInsertAt(s, ci, csK, csI, childRight)
+	} else {
+		t.innerInsertAt(r, ci-midKid, csK, csI, childRight)
 	}
-	n.ents = n.ents[: midKid-1 : midKid-1]
-	n.kids = n.kids[:midKid:midKid]
-	n.recount()
-	r.recount()
-	return r, sep, true
+	childLeaf := depth+1 == t.height-1
+	t.recount(s, childLeaf)
+	t.recount(r, childLeaf)
+	return r, sepK, sepI, true
+}
+
+// leafInsertAt shifts the tail of leaf s right by one and writes the
+// entry at position i. The caller guarantees lnum[s] < leafCap.
+func (t *Tree) leafInsertAt(s int32, i int, key float64, id uint32) {
+	n := int(t.lnum[s])
+	lk, li := t.lkeys(s), t.lids(s)
+	copy(lk[i+1:n+1], lk[i:n])
+	copy(li[i+1:n+1], li[i:n])
+	lk[i], li[i] = key, id
+	t.lnum[s] = int32(n + 1)
+}
+
+// innerInsertAt inserts separator (sepK, sepI) at position ci and
+// kid at position ci+1 in inner slot s. The caller guarantees
+// knum[s] < innerCap.
+func (t *Tree) innerInsertAt(s int32, ci int, sepK float64, sepI uint32, kid int32) {
+	n := int(t.knum[s])
+	sk, si, kv := t.skeys(s), t.sids(s), t.kidv(s)
+	copy(sk[ci+1:n], sk[ci:n-1])
+	copy(si[ci+1:n], si[ci:n-1])
+	sk[ci], si[ci] = sepK, sepI
+	copy(kv[ci+2:n+1], kv[ci+1:n])
+	kv[ci+1] = kid
+	t.knum[s] = int32(n + 1)
 }
 
 // Delete removes the pair, returning false if it was not present.
 func (t *Tree) Delete(key float64, id uint32) bool {
-	if t.root == nil {
+	if t.height == 0 {
 		return false
 	}
-	e := Entry{Key: key, ID: id}
-	if !t.delete(t.root, e) {
+	if !t.del(t.root, 0, key, id) {
 		return false
 	}
 	t.size--
 	// Collapse a root that lost all separators.
-	for t.root != nil && !t.root.leaf && len(t.root.kids) == 1 {
-		t.root = t.root.kids[0]
+	for t.height > 1 && t.knum[t.root] == 1 {
+		old := t.root
+		t.root = t.kidv(old)[0]
+		t.freeInnerSlot(old)
 		t.height--
 	}
-	if t.root != nil && t.root.leaf && len(t.root.ents) == 0 {
-		t.root = nil
+	if t.height == 1 && t.lnum[t.root] == 0 {
+		t.freeLeafSlot(t.root)
+		t.root = 0
 		t.height = 0
 	}
 	return true
 }
 
-func (t *Tree) delete(n *node, e Entry) bool {
-	if n.leaf {
-		i, ok := n.leafIndex(e)
-		if !ok {
+func (t *Tree) del(s int32, depth int, key float64, id uint32) bool {
+	if depth == t.height-1 {
+		n := int(t.lnum[s])
+		lk, li := t.lkeys(s), t.lids(s)
+		i := sort.Search(n, func(i int) bool { return !less(lk[i], li[i], key, id) })
+		if i >= n || less(key, id, lk[i], li[i]) {
 			return false
 		}
-		n.ents = append(n.ents[:i], n.ents[i+1:]...)
+		copy(lk[i:n-1], lk[i+1:n])
+		copy(li[i:n-1], li[i+1:n])
+		t.lnum[s] = int32(n - 1)
 		return true
 	}
-	ci := n.childIndex(e)
-	child := n.kids[ci]
-	if !t.delete(child, e) {
+	ci := t.childIndex(s, key, id)
+	child := t.kidv(s)[ci]
+	if !t.del(child, depth+1, key, id) {
 		return false
 	}
-	n.count--
-	if underflow(child) {
-		n.fixChild(ci)
+	t.counts[s]--
+	var under bool
+	if depth+1 == t.height-1 {
+		under = int(t.lnum[child]) < leafMin
+	} else {
+		under = int(t.knum[child]) < innerMin
+	}
+	if under {
+		t.fixChild(s, ci, depth)
 	}
 	return true
 }
 
-func underflow(n *node) bool {
-	if n.leaf {
-		return len(n.ents) < minEntries
-	}
-	return len(n.kids) < minEntries
-}
-
-// fixChild restores the invariant for child ci by borrowing from a
-// sibling or merging with one.
-func (n *node) fixChild(ci int) {
-	child := n.kids[ci]
-	// Try borrowing from the left sibling.
+// fixChild restores the fill invariant for child ci of inner slot s
+// (at the given depth) by borrowing from a sibling or merging with
+// one.
+func (t *Tree) fixChild(s int32, ci int, depth int) {
+	childLeaf := depth+1 == t.height-1
+	nk := int(t.knum[s])
+	kv := t.kidv(s)
 	if ci > 0 {
-		left := n.kids[ci-1]
-		if spare(left) {
-			if child.leaf {
-				last := left.ents[len(left.ents)-1]
-				left.ents = left.ents[:len(left.ents)-1]
-				child.ents = append([]Entry{last}, child.ents...)
-				n.ents[ci-1] = child.ents[0]
+		l := kv[ci-1]
+		if (childLeaf && int(t.lnum[l]) > leafMin) || (!childLeaf && int(t.knum[l]) > innerMin) {
+			if childLeaf {
+				t.borrowLeafLeft(s, ci)
 			} else {
-				// Rotate through the parent separator.
-				lastKid := left.kids[len(left.kids)-1]
-				lastSep := left.ents[len(left.ents)-1]
-				left.kids = left.kids[:len(left.kids)-1]
-				left.ents = left.ents[:len(left.ents)-1]
-				child.kids = append([]*node{lastKid}, child.kids...)
-				child.ents = append([]Entry{n.ents[ci-1]}, child.ents...)
-				n.ents[ci-1] = lastSep
-				left.recount()
-				child.recount()
+				t.borrowInnerLeft(s, ci, depth)
 			}
 			return
 		}
 	}
-	// Try borrowing from the right sibling.
-	if ci < len(n.kids)-1 {
-		right := n.kids[ci+1]
-		if spare(right) {
-			if child.leaf {
-				first := right.ents[0]
-				right.ents = right.ents[1:]
-				child.ents = append(child.ents, first)
-				n.ents[ci] = right.ents[0]
+	if ci < nk-1 {
+		r := kv[ci+1]
+		if (childLeaf && int(t.lnum[r]) > leafMin) || (!childLeaf && int(t.knum[r]) > innerMin) {
+			if childLeaf {
+				t.borrowLeafRight(s, ci)
 			} else {
-				firstKid := right.kids[0]
-				firstSep := right.ents[0]
-				right.kids = right.kids[1:]
-				right.ents = right.ents[1:]
-				child.kids = append(child.kids, firstKid)
-				child.ents = append(child.ents, n.ents[ci])
-				n.ents[ci] = firstSep
-				right.recount()
-				child.recount()
+				t.borrowInnerRight(s, ci, depth)
 			}
 			return
 		}
@@ -381,114 +647,196 @@ func (n *node) fixChild(ci int) {
 	// Merge with a sibling. Prefer merging child into its left
 	// sibling; otherwise merge the right sibling into child.
 	if ci > 0 {
-		n.mergeChildren(ci - 1)
+		t.mergeChildren(s, ci-1, childLeaf)
 	} else {
-		n.mergeChildren(ci)
+		t.mergeChildren(s, ci, childLeaf)
 	}
 }
 
-func spare(n *node) bool {
-	if n.leaf {
-		return len(n.ents) > minEntries
-	}
-	return len(n.kids) > minEntries
+// borrowLeafLeft moves the last entry of leaf ci-1 to the front of
+// leaf ci and refreshes the separator between them.
+func (t *Tree) borrowLeafLeft(s int32, ci int) {
+	kv := t.kidv(s)
+	l, c := kv[ci-1], kv[ci]
+	ln, cn := int(t.lnum[l]), int(t.lnum[c])
+	lk, li := t.lkeys(l), t.lids(l)
+	ck, cd := t.lkeys(c), t.lids(c)
+	copy(ck[1:cn+1], ck[:cn])
+	copy(cd[1:cn+1], cd[:cn])
+	ck[0], cd[0] = lk[ln-1], li[ln-1]
+	t.lnum[l], t.lnum[c] = int32(ln-1), int32(cn+1)
+	sk, si := t.skeys(s), t.sids(s)
+	sk[ci-1], si[ci-1] = ck[0], cd[0]
 }
 
-// mergeChildren merges child ci+1 into child ci and removes the
-// separator between them.
-func (n *node) mergeChildren(ci int) {
-	left, right := n.kids[ci], n.kids[ci+1]
-	if left.leaf {
-		left.ents = append(left.ents, right.ents...)
-		left.next = right.next
-		if left.next != nil {
-			left.next.prev = left
+// borrowLeafRight moves the first entry of leaf ci+1 to the end of
+// leaf ci and refreshes the separator between them.
+func (t *Tree) borrowLeafRight(s int32, ci int) {
+	kv := t.kidv(s)
+	c, r := kv[ci], kv[ci+1]
+	cn, rn := int(t.lnum[c]), int(t.lnum[r])
+	ck, cd := t.lkeys(c), t.lids(c)
+	rk, ri := t.lkeys(r), t.lids(r)
+	ck[cn], cd[cn] = rk[0], ri[0]
+	copy(rk[:rn-1], rk[1:rn])
+	copy(ri[:rn-1], ri[1:rn])
+	t.lnum[c], t.lnum[r] = int32(cn+1), int32(rn-1)
+	sk, si := t.skeys(s), t.sids(s)
+	sk[ci], si[ci] = rk[0], ri[0]
+}
+
+// borrowInnerLeft rotates the last child of inner slot ci-1 through
+// the parent separator into the front of inner slot ci.
+func (t *Tree) borrowInnerLeft(s int32, ci int, depth int) {
+	kv := t.kidv(s)
+	l, c := kv[ci-1], kv[ci]
+	ln, cn := int(t.knum[l]), int(t.knum[c])
+	sk, si := t.skeys(s), t.sids(s)
+	lsk, lsi, lkv := t.skeys(l), t.sids(l), t.kidv(l)
+	csk, csi, ckv := t.skeys(c), t.sids(c), t.kidv(c)
+	copy(csk[1:cn], csk[:cn-1])
+	copy(csi[1:cn], csi[:cn-1])
+	copy(ckv[1:cn+1], ckv[:cn])
+	csk[0], csi[0] = sk[ci-1], si[ci-1]
+	ckv[0] = lkv[ln-1]
+	sk[ci-1], si[ci-1] = lsk[ln-2], lsi[ln-2]
+	t.knum[l], t.knum[c] = int32(ln-1), int32(cn+1)
+	moved := int32(t.subtree(ckv[0], depth+2 == t.height-1))
+	t.counts[l] -= moved
+	t.counts[c] += moved
+}
+
+// borrowInnerRight rotates the first child of inner slot ci+1
+// through the parent separator onto the end of inner slot ci.
+func (t *Tree) borrowInnerRight(s int32, ci int, depth int) {
+	kv := t.kidv(s)
+	c, r := kv[ci], kv[ci+1]
+	cn, rn := int(t.knum[c]), int(t.knum[r])
+	sk, si := t.skeys(s), t.sids(s)
+	csk, csi, ckv := t.skeys(c), t.sids(c), t.kidv(c)
+	rsk, rsi, rkv := t.skeys(r), t.sids(r), t.kidv(r)
+	csk[cn-1], csi[cn-1] = sk[ci], si[ci]
+	ckv[cn] = rkv[0]
+	sk[ci], si[ci] = rsk[0], rsi[0]
+	copy(rsk[:rn-2], rsk[1:rn-1])
+	copy(rsi[:rn-2], rsi[1:rn-1])
+	copy(rkv[:rn-1], rkv[1:rn])
+	t.knum[c], t.knum[r] = int32(cn+1), int32(rn-1)
+	moved := int32(t.subtree(ckv[cn], depth+2 == t.height-1))
+	t.counts[r] -= moved
+	t.counts[c] += moved
+}
+
+// mergeChildren merges child li+1 into child li of inner slot s and
+// removes the separator between them. The fill invariants guarantee
+// the combined node fits its slot.
+func (t *Tree) mergeChildren(s int32, li int, childLeaf bool) {
+	kv := t.kidv(s)
+	l, r := kv[li], kv[li+1]
+	if childLeaf {
+		ln, rn := int(t.lnum[l]), int(t.lnum[r])
+		lk, lid := t.lkeys(l), t.lids(l)
+		rk, rid := t.lkeys(r), t.lids(r)
+		copy(lk[ln:ln+rn], rk[:rn])
+		copy(lid[ln:ln+rn], rid[:rn])
+		t.lnum[l] = int32(ln + rn)
+		t.lnext[l] = t.lnext[r]
+		if t.lnext[r] != nilSlot {
+			t.lprev[t.lnext[r]] = l
 		}
+		t.freeLeafSlot(r)
 	} else {
-		left.ents = append(left.ents, n.ents[ci])
-		left.ents = append(left.ents, right.ents...)
-		left.kids = append(left.kids, right.kids...)
-		left.recount()
+		ln, rn := int(t.knum[l]), int(t.knum[r])
+		sk, si := t.skeys(s), t.sids(s)
+		lsk, lsi, lkv := t.skeys(l), t.sids(l), t.kidv(l)
+		rsk, rsi, rkv := t.skeys(r), t.sids(r), t.kidv(r)
+		lsk[ln-1], lsi[ln-1] = sk[li], si[li]
+		copy(lsk[ln:ln+rn-1], rsk[:rn-1])
+		copy(lsi[ln:ln+rn-1], rsi[:rn-1])
+		copy(lkv[ln:ln+rn], rkv[:rn])
+		t.knum[l] = int32(ln + rn)
+		t.counts[l] += t.counts[r]
+		t.freeInnerSlot(r)
 	}
-	n.ents = append(n.ents[:ci], n.ents[ci+1:]...)
-	n.kids = append(n.kids[:ci+1], n.kids[ci+2:]...)
+	n := int(t.knum[s])
+	sk, si := t.skeys(s), t.sids(s)
+	copy(sk[li:n-2], sk[li+1:n-1])
+	copy(si[li:n-2], si[li+1:n-1])
+	copy(kv[li+1:n-1], kv[li+2:n])
+	t.knum[s] = int32(n - 1)
 }
 
 // Min returns the smallest entry.
 func (t *Tree) Min() (Entry, bool) {
-	if t.root == nil {
+	s := t.firstLeaf()
+	if s == nilSlot {
 		return Entry{}, false
 	}
-	return minOf(t.root), true
+	return Entry{Key: t.lkeys(s)[0], ID: t.lids(s)[0]}, true
 }
 
 // Max returns the largest entry.
 func (t *Tree) Max() (Entry, bool) {
-	if t.root == nil {
+	s := t.lastLeaf()
+	if s == nilSlot {
 		return Entry{}, false
 	}
-	n := t.root
-	for !n.leaf {
-		n = n.kids[len(n.kids)-1]
-	}
-	return n.ents[len(n.ents)-1], true
+	n := t.lnum[s] - 1
+	return Entry{Key: t.lkeys(s)[n], ID: t.lids(s)[n]}, true
 }
 
-// seekGE returns the leaf and index of the first entry >= e, or
-// (nil, 0) if no such entry exists.
-func (t *Tree) seekGE(e Entry) (*node, int) {
-	if t.root == nil {
-		return nil, 0
+// seekGT returns the leaf slot and index of the first entry strictly
+// greater than (key, id), or (nilSlot, 0) if no such entry exists.
+func (t *Tree) seekGT(key float64, id uint32) (int32, int) {
+	if t.height == 0 {
+		return nilSlot, 0
 	}
-	n := t.root
-	for !n.leaf {
-		n = n.kids[n.childIndex(e)]
+	s := t.root
+	for d := 0; d < t.height-1; d++ {
+		s = t.kidv(s)[t.childIndex(s, key, id)]
 	}
-	i := sort.Search(len(n.ents), func(i int) bool { return !n.ents[i].Less(e) })
-	if i == len(n.ents) {
-		if n.next == nil {
-			return nil, 0
+	n := int(t.lnum[s])
+	lk, li := t.lkeys(s), t.lids(s)
+	i := sort.Search(n, func(i int) bool { return less(key, id, lk[i], li[i]) })
+	if i == n {
+		if next := t.lnext[s]; next != nilSlot {
+			return next, 0
 		}
-		return n.next, 0
+		return nilSlot, 0
 	}
-	return n, i
+	return s, i
 }
 
-// seekLE returns the leaf and index of the last entry <= e, or
-// (nil, 0) if no such entry exists.
-func (t *Tree) seekLE(e Entry) (*node, int) {
-	if t.root == nil {
-		return nil, 0
+// seekLE returns the leaf slot and index of the last entry less than
+// or equal to (key, id), or (nilSlot, 0) if no such entry exists.
+func (t *Tree) seekLE(key float64, id uint32) (int32, int) {
+	if t.height == 0 {
+		return nilSlot, 0
 	}
-	n := t.root
-	for !n.leaf {
-		n = n.kids[n.childIndex(e)]
+	s := t.root
+	for d := 0; d < t.height-1; d++ {
+		s = t.kidv(s)[t.childIndex(s, key, id)]
 	}
-	// Last index with ents[i] <= e: one before the first entry > e.
-	i := sort.Search(len(n.ents), func(i int) bool { return e.Less(n.ents[i]) })
+	n := int(t.lnum[s])
+	lk, li := t.lkeys(s), t.lids(s)
+	i := sort.Search(n, func(i int) bool { return less(key, id, lk[i], li[i]) })
 	if i == 0 {
-		if n.prev == nil {
-			return nil, 0
+		if p := t.lprev[s]; p != nilSlot {
+			return p, int(t.lnum[p]) - 1
 		}
-		p := n.prev
-		return p, len(p.ents) - 1
+		return nilSlot, 0
 	}
-	return n, i - 1
+	return s, i - 1
 }
 
 // Ascend calls fn for every entry in ascending order until fn
 // returns false.
 func (t *Tree) Ascend(fn func(Entry) bool) {
-	if t.root == nil {
-		return
-	}
-	n := t.root
-	for !n.leaf {
-		n = n.kids[0]
-	}
-	for ; n != nil; n = n.next {
-		for _, e := range n.ents {
-			if !fn(e) {
+	for s := t.firstLeaf(); s != nilSlot; s = t.lnext[s] {
+		n := int(t.lnum[s])
+		lk, li := t.lkeys(s), t.lids(s)
+		for i := 0; i < n; i++ {
+			if !fn(Entry{Key: lk[i], ID: li[i]}) {
 				return
 			}
 		}
@@ -498,19 +846,14 @@ func (t *Tree) Ascend(fn func(Entry) bool) {
 // AscendLE calls fn for every entry with Key <= maxKey in ascending
 // order until fn returns false.
 func (t *Tree) AscendLE(maxKey float64, fn func(Entry) bool) {
-	if t.root == nil {
-		return
-	}
-	n := t.root
-	for !n.leaf {
-		n = n.kids[0]
-	}
-	for ; n != nil; n = n.next {
-		for _, e := range n.ents {
-			if e.Key > maxKey {
+	for s := t.firstLeaf(); s != nilSlot; s = t.lnext[s] {
+		n := int(t.lnum[s])
+		lk, li := t.lkeys(s), t.lids(s)
+		for i := 0; i < n; i++ {
+			if lk[i] > maxKey {
 				return
 			}
-			if !fn(e) {
+			if !fn(Entry{Key: lk[i], ID: li[i]}) {
 				return
 			}
 		}
@@ -524,30 +867,19 @@ func (t *Tree) AscendRange(loKeyExcl, hiKeyIncl float64, fn func(Entry) bool) {
 	if loKeyExcl > hiKeyIncl {
 		return
 	}
-	// First entry with key strictly greater than loKeyExcl: seek
-	// (loKeyExcl, MaxUint32) then step once if equal.
-	start, i := t.seekGE(Entry{Key: loKeyExcl, ID: ^uint32(0)})
-	if start == nil {
-		return
-	}
-	if start.ents[i].Key == loKeyExcl { //nolint:floatkey // boundary identity against the exact seek key, not a computed value
-		// The boundary pair (loKeyExcl, MaxUint32) itself: skip it.
-		i++
-		if i == len(start.ents) {
-			start = start.next
-			i = 0
-		}
-	}
-	for n := start; n != nil; n = n.next {
-		for ; i < len(n.ents); i++ {
-			e := n.ents[i]
-			if e.Key > hiKeyIncl {
+	s, i := t.seekGT(loKeyExcl, ^uint32(0))
+	for s != nilSlot {
+		n := int(t.lnum[s])
+		lk, li := t.lkeys(s), t.lids(s)
+		for ; i < n; i++ {
+			if lk[i] > hiKeyIncl {
 				return
 			}
-			if !fn(e) {
+			if !fn(Entry{Key: lk[i], ID: li[i]}) {
 				return
 			}
 		}
+		s = t.lnext[s]
 		i = 0
 	}
 }
@@ -559,70 +891,105 @@ func (t *Tree) AscendGT(minKeyExcl float64, fn func(Entry) bool) {
 	t.AscendRange(minKeyExcl, math.Inf(1), fn)
 }
 
-// DescendLE calls fn for every entry with Key <= maxKey in descending
-// order until fn returns false. This drives the top-k walk over the
-// smaller interval (Algorithm 2, lines 8-14).
+// DescendLE calls fn for every entry with Key <= maxKey in
+// descending order until fn returns false. This drives the top-k
+// walk over the smaller interval (Algorithm 2, lines 8-14).
 func (t *Tree) DescendLE(maxKey float64, fn func(Entry) bool) {
-	n, i := t.seekLE(Entry{Key: maxKey, ID: ^uint32(0)})
-	if n == nil {
-		return
-	}
-	for ; n != nil; n = n.prev {
+	s, i := t.seekLE(maxKey, ^uint32(0))
+	for s != nilSlot {
+		lk, li := t.lkeys(s), t.lids(s)
 		for ; i >= 0; i-- {
-			if !fn(n.ents[i]) {
+			if !fn(Entry{Key: lk[i], ID: li[i]}) {
 				return
 			}
 		}
-		if n.prev != nil {
-			i = len(n.prev.ents) - 1
+		s = t.lprev[s]
+		if s != nilSlot {
+			i = int(t.lnum[s]) - 1
 		}
 	}
 }
 
-// CopyInto writes every entry, in ascending order, into the parallel
-// arrays keys and ids, returning how many were written. Both slices
-// must hold at least Len() elements. It walks the leaf chain directly
-// — no per-entry callback — and is the bulk-export hook behind the
-// packed key/id column the batched verification engine mirrors the
-// tree into.
-func (t *Tree) CopyInto(keys []float64, ids []uint32) int {
-	if t.root == nil {
-		return 0
-	}
-	n := t.root
-	for !n.leaf {
-		n = n.kids[0]
-	}
-	w := 0
-	for ; n != nil; n = n.next {
-		for _, e := range n.ents {
-			keys[w] = e.Key
-			ids[w] = e.ID
-			w++
+// Leaves calls fn with each leaf's live key and id columns in
+// ascending order until fn returns false. The slices alias the
+// arena: they are valid until the next tree mutation and must not be
+// modified. Chunks never exceed LeafCap entries. This is the packed
+// export the batched verification engine consumes — the arena is the
+// column, so there is nothing to copy.
+func (t *Tree) Leaves(fn func(keys []float64, ids []uint32) bool) {
+	for s := t.firstLeaf(); s != nilSlot; s = t.lnext[s] {
+		n := int(t.lnum[s])
+		if n == 0 {
+			continue
+		}
+		if !fn(t.lkeys(s)[:n], t.lids(s)[:n]) {
+			return
 		}
 	}
-	return w
+}
+
+// RangeChunks calls fn with contiguous key/id chunks covering
+// exactly the entries with loKeyExcl < Key <= hiKeyIncl, in
+// ascending order, until fn returns false. Like Leaves, the slices
+// alias the arena and each chunk stays within one leaf (at most
+// LeafCap entries).
+func (t *Tree) RangeChunks(loKeyExcl, hiKeyIncl float64, fn func(keys []float64, ids []uint32) bool) {
+	if loKeyExcl > hiKeyIncl {
+		return
+	}
+	s, i := t.seekGT(loKeyExcl, ^uint32(0))
+	for s != nilSlot {
+		n := int(t.lnum[s])
+		lk, li := t.lkeys(s), t.lids(s)
+		if lk[n-1] > hiKeyIncl {
+			// The range ends inside this leaf.
+			j := i + sort.Search(n-i, func(k int) bool { return lk[i+k] > hiKeyIncl })
+			if j > i {
+				fn(lk[i:j], li[i:j])
+			}
+			return
+		}
+		if !fn(lk[i:n], li[i:n]) {
+			return
+		}
+		s = t.lnext[s]
+		i = 0
+	}
+}
+
+// CollectRange appends the ids of every entry with loKeyExcl < Key
+// <= hiKeyIncl to buf in ascending key order and returns it.
+func (t *Tree) CollectRange(loKeyExcl, hiKeyIncl float64, buf []uint32) []uint32 {
+	t.RangeChunks(loKeyExcl, hiKeyIncl, func(_ []float64, ids []uint32) bool {
+		buf = append(buf, ids...)
+		return true
+	})
+	return buf
 }
 
 // RankLE returns the number of entries with Key <= maxKey in
-// O(log n), using the per-node subtree counts (order statistics).
+// O(log n), using the per-slot subtree counts (order statistics).
 // This powers count-only queries and selectivity bounds without
 // scanning any interval.
 func (t *Tree) RankLE(maxKey float64) int {
-	if t.root == nil {
+	if t.height == 0 {
 		return 0
 	}
-	e := Entry{Key: maxKey, ID: ^uint32(0)}
-	n := t.root
+	id := ^uint32(0)
+	s := t.root
 	rank := 0
-	for !n.leaf {
-		ci := n.childIndex(e)
-		for _, k := range n.kids[:ci] {
-			rank += k.subtree()
+	for d := 0; d < t.height-1; d++ {
+		ci := t.childIndex(s, maxKey, id)
+		childLeaf := d+1 == t.height-1
+		kv := t.kidv(s)
+		for _, k := range kv[:ci] {
+			rank += t.subtree(k, childLeaf)
 		}
-		n = n.kids[ci]
+		s = kv[ci]
 	}
-	rank += sort.Search(len(n.ents), func(i int) bool { return e.Less(n.ents[i]) })
+	n := int(t.lnum[s])
+	lk, li := t.lkeys(s), t.lids(s)
+	rank += sort.Search(n, func(i int) bool { return less(maxKey, id, lk[i], li[i]) })
 	return rank
 }
 
@@ -639,63 +1006,91 @@ func (t *Tree) CountRange(loKeyExcl, hiKeyIncl float64) int {
 	return c
 }
 
-// Stats describes the tree's shape and approximate memory footprint.
+// Stats describes the tree's shape and memory footprint.
 type Stats struct {
 	Entries int
 	Leaves  int
 	Inner   int
 	Height  int
-	Bytes   int // approximate heap bytes
+	Bytes   int // arena bytes held, including free slots and spare capacity
 }
 
-// Stats walks the tree and returns shape statistics.
+// Stats returns shape statistics. Unlike a pointer tree this is
+// O(1): the footprint is the arena capacities, not a node walk.
 func (t *Tree) Stats() Stats {
 	s := Stats{Entries: t.size, Height: t.height}
-	var walk func(n *node)
-	walk = func(n *node) {
-		const nodeOverhead = 96 // struct + slice headers, approximate
-		s.Bytes += nodeOverhead + 12*cap(n.ents) + 8*cap(n.kids)
-		if n.leaf {
-			s.Leaves++
-			return
-		}
-		s.Inner++
-		for _, k := range n.kids {
-			walk(k)
-		}
+	if t.height > 0 {
+		s.Leaves = len(t.lnum) - len(t.freeLeaf)
+		s.Inner = len(t.knum) - len(t.freeInner)
 	}
-	if t.root != nil {
-		walk(t.root)
-	}
+	s.Bytes = 8*(cap(t.keys)+cap(t.sepKeys)) +
+		4*(cap(t.ids)+cap(t.sepIDs)+cap(t.kids)) +
+		4*(cap(t.lnum)+cap(t.lnext)+cap(t.lprev)+cap(t.knum)+cap(t.counts)) +
+		4*(cap(t.freeLeaf)+cap(t.freeInner))
 	return s
 }
 
-// Validate checks structural invariants (ordering, fill factors, leaf
-// chain consistency, separator correctness) and returns a descriptive
-// error on the first violation. It is used by tests and costs O(n).
+// Validate checks structural invariants (ordering, fill factors,
+// leaf chain consistency, separator correctness, arena slot
+// accounting) and returns a descriptive error on the first
+// violation. It is used by tests and costs O(n).
 func (t *Tree) Validate() error {
-	if t.root == nil {
+	freeL := make(map[int32]bool, len(t.freeLeaf))
+	for _, s := range t.freeLeaf {
+		if freeL[s] {
+			return fmt.Errorf("btree: leaf slot %d freed twice", s)
+		}
+		freeL[s] = true
+	}
+	freeI := make(map[int32]bool, len(t.freeInner))
+	for _, s := range t.freeInner {
+		if freeI[s] {
+			return fmt.Errorf("btree: inner slot %d freed twice", s)
+		}
+		freeI[s] = true
+	}
+	if t.height == 0 {
 		if t.size != 0 {
-			return fmt.Errorf("btree: empty root but size %d", t.size)
+			return fmt.Errorf("btree: empty tree but size %d", t.size)
+		}
+		if len(freeL) != len(t.lnum) || len(freeI) != len(t.knum) {
+			return fmt.Errorf("btree: empty tree leaks slots (%d/%d leaves free, %d/%d inner free)",
+				len(freeL), len(t.lnum), len(freeI), len(t.knum))
 		}
 		return nil
 	}
+
+	liveL := make(map[int32]bool)
+	liveI := make(map[int32]bool)
 	count := 0
 	var prev *Entry
-	var firstLeaf *node
-	var check func(n *node, depth int, lo, hi *Entry) error
-	check = func(n *node, depth int, lo, hi *Entry) error {
-		if n.leaf {
-			if depth != t.height-1 {
-				return fmt.Errorf("btree: leaf at depth %d, height %d", depth, t.height)
+	first := nilSlot
+	var check func(s int32, depth int, lo, hi *Entry) error
+	check = func(s int32, depth int, lo, hi *Entry) error {
+		if depth == t.height-1 {
+			if s < 0 || int(s) >= len(t.lnum) {
+				return fmt.Errorf("btree: leaf slot %d out of arena (have %d)", s, len(t.lnum))
 			}
-			if firstLeaf == nil {
-				firstLeaf = n
+			if freeL[s] {
+				return fmt.Errorf("btree: reachable leaf slot %d is on the free list", s)
 			}
-			if n != t.root && len(n.ents) < minEntries {
-				return fmt.Errorf("btree: underfull leaf (%d entries)", len(n.ents))
+			if liveL[s] {
+				return fmt.Errorf("btree: leaf slot %d reachable twice", s)
 			}
-			for _, e := range n.ents {
+			liveL[s] = true
+			if first == nilSlot {
+				first = s
+			}
+			n := int(t.lnum[s])
+			if s != t.root && n < leafMin {
+				return fmt.Errorf("btree: underfull leaf (%d entries)", n)
+			}
+			if n > leafCap {
+				return fmt.Errorf("btree: overfull leaf (%d entries)", n)
+			}
+			lk, li := t.lkeys(s), t.lids(s)
+			for i := 0; i < n; i++ {
+				e := Entry{Key: lk[i], ID: li[i]}
 				if prev != nil && !prev.Less(e) {
 					return fmt.Errorf("btree: leaf order violation at %v", e)
 				}
@@ -711,28 +1106,45 @@ func (t *Tree) Validate() error {
 			}
 			return nil
 		}
-		if len(n.kids) != len(n.ents)+1 {
-			return fmt.Errorf("btree: inner node with %d kids, %d separators", len(n.kids), len(n.ents))
+		if s < 0 || int(s) >= len(t.knum) {
+			return fmt.Errorf("btree: inner slot %d out of arena (have %d)", s, len(t.knum))
 		}
+		if freeI[s] {
+			return fmt.Errorf("btree: reachable inner slot %d is on the free list", s)
+		}
+		if liveI[s] {
+			return fmt.Errorf("btree: inner slot %d reachable twice", s)
+		}
+		liveI[s] = true
+		nk := int(t.knum[s])
+		if nk < 2 || nk > innerCap {
+			return fmt.Errorf("btree: inner slot with %d kids", nk)
+		}
+		if s != t.root && nk < innerMin {
+			return fmt.Errorf("btree: underfull inner slot (%d kids)", nk)
+		}
+		childLeaf := depth+1 == t.height-1
+		kv := t.kidv(s)
 		sub := 0
-		for _, k := range n.kids {
-			sub += k.subtree()
+		for _, k := range kv[:nk] {
+			sub += t.subtree(k, childLeaf)
 		}
-		if n.count != sub {
-			return fmt.Errorf("btree: inner count %d, children hold %d", n.count, sub)
+		if int(t.counts[s]) != sub {
+			return fmt.Errorf("btree: inner count %d, children hold %d", t.counts[s], sub)
 		}
-		if n != t.root && len(n.kids) < minEntries {
-			return fmt.Errorf("btree: underfull inner node (%d kids)", len(n.kids))
-		}
-		for i, k := range n.kids {
+		sk, si := t.skeys(s), t.sids(s)
+		for i := 0; i < nk; i++ {
 			klo, khi := lo, hi
+			var slo, shi Entry
 			if i > 0 {
-				klo = &n.ents[i-1]
+				slo = Entry{Key: sk[i-1], ID: si[i-1]}
+				klo = &slo
 			}
-			if i < len(n.ents) {
-				khi = &n.ents[i]
+			if i < nk-1 {
+				shi = Entry{Key: sk[i], ID: si[i]}
+				khi = &shi
 			}
-			if err := check(k, depth+1, klo, khi); err != nil {
+			if err := check(kv[i], depth+1, klo, khi); err != nil {
 				return err
 			}
 		}
@@ -744,16 +1156,34 @@ func (t *Tree) Validate() error {
 	if count != t.size {
 		return fmt.Errorf("btree: walked %d entries, size says %d", count, t.size)
 	}
-	// Leaf chain must visit exactly the leaves in order.
-	chain := 0
-	for n := firstLeaf; n != nil; n = n.next {
-		chain += len(n.ents)
-		if n.next != nil && n.next.prev != n {
-			return fmt.Errorf("btree: broken prev pointer in leaf chain")
+	if len(liveL)+len(freeL) != len(t.lnum) {
+		return fmt.Errorf("btree: leaked leaf slots (%d live + %d free, %d allocated)",
+			len(liveL), len(freeL), len(t.lnum))
+	}
+	if len(liveI)+len(freeI) != len(t.knum) {
+		return fmt.Errorf("btree: leaked inner slots (%d live + %d free, %d allocated)",
+			len(liveI), len(freeI), len(t.knum))
+	}
+	// The leaf chain must visit exactly the live leaves in order.
+	if t.lprev[first] != nilSlot {
+		return fmt.Errorf("btree: first leaf %d has a prev pointer", first)
+	}
+	chain, chained := 0, 0
+	for s := first; s != nilSlot; s = t.lnext[s] {
+		if !liveL[s] {
+			return fmt.Errorf("btree: leaf chain visits unreachable slot %d", s)
+		}
+		chain += int(t.lnum[s])
+		chained++
+		if next := t.lnext[s]; next != nilSlot && t.lprev[next] != s {
+			return fmt.Errorf("btree: broken prev pointer in leaf chain at slot %d", s)
 		}
 	}
 	if chain != t.size {
 		return fmt.Errorf("btree: leaf chain has %d entries, size says %d", chain, t.size)
+	}
+	if chained != len(liveL) {
+		return fmt.Errorf("btree: leaf chain visits %d slots, %d reachable", chained, len(liveL))
 	}
 	return nil
 }

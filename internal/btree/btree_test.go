@@ -78,7 +78,7 @@ func TestInsertLookupSmall(t *testing.T) {
 
 func TestBulkLoadMatchesInserts(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	for _, n := range []int{0, 1, 2, minEntries, maxEntries, maxEntries + 1, 1000, 5000} {
+	for _, n := range []int{0, 1, 2, leafMin, leafCap, leafCap + 1, 1000, 5000} {
 		ents := make([]Entry, n)
 		for i := range ents {
 			ents[i] = Entry{Key: math.Floor(rng.Float64() * 100), ID: uint32(i)}

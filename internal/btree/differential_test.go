@@ -1,0 +1,294 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"planar/internal/btree/reftree"
+)
+
+// The differential suite replays identical workloads against the
+// arena tree and the retired pointer tree (package reftree) and
+// asserts they answer every query identically. The pointer tree is
+// the reference implementation the arena rewrite must not diverge
+// from.
+
+func refCollect(t *reftree.Tree) []Entry {
+	var out []Entry
+	t.Ascend(func(e reftree.Entry) bool {
+		out = append(out, Entry{Key: e.Key, ID: e.ID})
+		return true
+	})
+	return out
+}
+
+func compareTrees(t *testing.T, arena *Tree, ref *reftree.Tree, rng *rand.Rand) {
+	t.Helper()
+	if arena.Len() != ref.Len() {
+		t.Fatalf("Len: arena %d, ref %d", arena.Len(), ref.Len())
+	}
+	a, b := collect(arena), refCollect(ref)
+	if len(a) != len(b) {
+		t.Fatalf("Ascend: arena %d entries, ref %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Ascend mismatch at %d: arena %v, ref %v", i, a[i], b[i])
+		}
+	}
+	am, aok := arena.Min()
+	rm, rok := ref.Min()
+	if aok != rok || (aok && am != (Entry{Key: rm.Key, ID: rm.ID})) {
+		t.Fatalf("Min: arena %v/%v, ref %v/%v", am, aok, rm, rok)
+	}
+	ax, aok := arena.Max()
+	rx, rok := ref.Max()
+	if aok != rok || (aok && ax != (Entry{Key: rx.Key, ID: rx.ID})) {
+		t.Fatalf("Max: arena %v/%v, ref %v/%v", ax, aok, rx, rok)
+	}
+	// Probe rank and range queries at random and boundary keys.
+	probes := []float64{math.Inf(-1), math.Inf(1), 0}
+	for i := 0; i < 8; i++ {
+		probes = append(probes, rng.Float64()*120-10)
+	}
+	if len(a) > 0 {
+		probes = append(probes, a[0].Key, a[len(a)-1].Key, a[rng.Intn(len(a))].Key)
+	}
+	for _, hi := range probes {
+		if g, w := arena.RankLE(hi), ref.RankLE(hi); g != w {
+			t.Fatalf("RankLE(%v): arena %d, ref %d", hi, g, w)
+		}
+		var ga, wa []Entry
+		arena.DescendLE(hi, func(e Entry) bool { ga = append(ga, e); return len(ga) < 300 })
+		ref.DescendLE(hi, func(e reftree.Entry) bool {
+			wa = append(wa, Entry{Key: e.Key, ID: e.ID})
+			return len(wa) < 300
+		})
+		if len(ga) != len(wa) {
+			t.Fatalf("DescendLE(%v): arena %d entries, ref %d", hi, len(ga), len(wa))
+		}
+		for i := range ga {
+			if ga[i] != wa[i] {
+				t.Fatalf("DescendLE(%v) mismatch at %d: %v vs %v", hi, i, ga[i], wa[i])
+			}
+		}
+		for _, lo := range probes {
+			if g, w := arena.CountRange(lo, hi), ref.CountRange(lo, hi); g != w {
+				t.Fatalf("CountRange(%v,%v): arena %d, ref %d", lo, hi, g, w)
+			}
+			ga, wa = ga[:0], wa[:0]
+			arena.AscendRange(lo, hi, func(e Entry) bool { ga = append(ga, e); return true })
+			ref.AscendRange(lo, hi, func(e reftree.Entry) bool {
+				wa = append(wa, Entry{Key: e.Key, ID: e.ID})
+				return true
+			})
+			if len(ga) != len(wa) {
+				t.Fatalf("AscendRange(%v,%v): arena %d entries, ref %d", lo, hi, len(ga), len(wa))
+			}
+			for i := range ga {
+				if ga[i] != wa[i] {
+					t.Fatalf("AscendRange(%v,%v) mismatch at %d: %v vs %v", lo, hi, i, ga[i], wa[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialVsReftree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	arena := New()
+	ref := reftree.New()
+	live := make(map[Entry]bool)
+	var pool []Entry
+
+	const rounds = 30
+	const opsPerRound = 600
+	for round := 0; round < rounds; round++ {
+		for op := 0; op < opsPerRound; op++ {
+			// Narrow key space (quantised) so duplicate keys with
+			// distinct ids and exact re-deletes are common.
+			e := Entry{
+				Key: math.Floor(rng.Float64()*400) / 4,
+				ID:  uint32(rng.Intn(2000)),
+			}
+			if rng.Intn(3) == 0 && len(pool) > 0 {
+				e = pool[rng.Intn(len(pool))]
+			}
+			if rng.Intn(2) == 0 {
+				ga := arena.Insert(e.Key, e.ID)
+				gr := ref.Insert(e.Key, e.ID)
+				if ga != gr {
+					t.Fatalf("Insert(%v): arena %v, ref %v", e, ga, gr)
+				}
+				if ga != !live[e] {
+					t.Fatalf("Insert(%v)=%v but live=%v", e, ga, live[e])
+				}
+				live[e] = true
+				pool = append(pool, e)
+			} else {
+				ga := arena.Delete(e.Key, e.ID)
+				gr := ref.Delete(e.Key, e.ID)
+				if ga != gr {
+					t.Fatalf("Delete(%v): arena %v, ref %v", e, ga, gr)
+				}
+				if ga != live[e] {
+					t.Fatalf("Delete(%v)=%v but live=%v", e, ga, live[e])
+				}
+				delete(live, e)
+			}
+			if g, w := arena.Contains(e.Key, e.ID), ref.Contains(e.Key, e.ID); g != w {
+				t.Fatalf("Contains(%v): arena %v, ref %v", e, g, w)
+			}
+		}
+		mustValidate(t, arena)
+		if err := ref.Validate(); err != nil {
+			t.Fatalf("reference tree invalid: %v", err)
+		}
+		compareTrees(t, arena, ref, rng)
+	}
+
+	// Drain to empty through both trees.
+	for e := range live {
+		if !arena.Delete(e.Key, e.ID) || !ref.Delete(e.Key, e.ID) {
+			t.Fatalf("drain delete %v failed", e)
+		}
+	}
+	mustValidate(t, arena)
+	compareTrees(t, arena, ref, rng)
+	if arena.Len() != 0 {
+		t.Fatalf("drained arena still has %d entries", arena.Len())
+	}
+}
+
+func TestDifferentialBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{1, 2, leafMin, leafCap, leafCap + 1, 2*leafCap + 17, 7000} {
+		ents := make([]Entry, n)
+		refEnts := make([]reftree.Entry, n)
+		for i := range ents {
+			e := Entry{Key: math.Floor(rng.Float64() * 50), ID: uint32(rng.Intn(5000))}
+			ents[i] = e
+			refEnts[i] = reftree.Entry{Key: e.Key, ID: e.ID}
+		}
+		arena := BulkLoad(ents)
+		ref := reftree.BulkLoad(refEnts)
+		mustValidate(t, arena)
+		compareTrees(t, arena, ref, rng)
+		arena.Release()
+	}
+}
+
+// TestChunkViewsMatchEntryWalks pins the new contiguous-view APIs
+// (Leaves, RangeChunks, CollectRange) to the entry-at-a-time walks:
+// same entries, same order, chunks bounded by LeafCap.
+func TestChunkViewsMatchEntryWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	ents := make([]Entry, 5000)
+	for i := range ents {
+		ents[i] = Entry{Key: math.Floor(rng.Float64()*1000) / 8, ID: uint32(i)}
+	}
+	tr := BulkLoad(append([]Entry(nil), ents...))
+	defer tr.Release()
+	// Churn so the leaf chain includes split and merged slots.
+	for i := 0; i < 1500; i++ {
+		e := ents[rng.Intn(len(ents))]
+		tr.Delete(e.Key, e.ID)
+	}
+	for i := 0; i < 700; i++ {
+		tr.Insert(math.Floor(rng.Float64()*1000)/8, uint32(len(ents)+i))
+	}
+	mustValidate(t, tr)
+
+	var walked []Entry
+	tr.Ascend(func(e Entry) bool { walked = append(walked, e); return true })
+	var chunked []Entry
+	tr.Leaves(func(keys []float64, ids []uint32) bool {
+		if len(keys) != len(ids) {
+			t.Fatalf("Leaves chunk: %d keys, %d ids", len(keys), len(ids))
+		}
+		if len(keys) == 0 || len(keys) > LeafCap {
+			t.Fatalf("Leaves chunk size %d out of (0, %d]", len(keys), LeafCap)
+		}
+		for i := range keys {
+			chunked = append(chunked, Entry{Key: keys[i], ID: ids[i]})
+		}
+		return true
+	})
+	if len(walked) != len(chunked) {
+		t.Fatalf("Leaves: %d entries, Ascend %d", len(chunked), len(walked))
+	}
+	for i := range walked {
+		if walked[i] != chunked[i] {
+			t.Fatalf("Leaves mismatch at %d: %v vs %v", i, chunked[i], walked[i])
+		}
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		lo := rng.Float64()*140 - 10
+		hi := lo + rng.Float64()*60
+		if trial%7 == 0 {
+			hi = lo // empty or single-key range
+		}
+		var want []Entry
+		tr.AscendRange(lo, hi, func(e Entry) bool { want = append(want, e); return true })
+		var got []Entry
+		tr.RangeChunks(lo, hi, func(keys []float64, ids []uint32) bool {
+			if len(keys) == 0 || len(keys) > LeafCap {
+				t.Fatalf("RangeChunks chunk size %d out of (0, %d]", len(keys), LeafCap)
+			}
+			for i := range keys {
+				got = append(got, Entry{Key: keys[i], ID: ids[i]})
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("RangeChunks(%v,%v): %d entries, AscendRange %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RangeChunks(%v,%v) mismatch at %d: %v vs %v", lo, hi, i, got[i], want[i])
+			}
+		}
+		ids := tr.CollectRange(lo, hi, nil)
+		if len(ids) != len(want) {
+			t.Fatalf("CollectRange(%v,%v): %d ids, want %d", lo, hi, len(ids), len(want))
+		}
+		for i := range want {
+			if ids[i] != want[i].ID {
+				t.Fatalf("CollectRange(%v,%v) mismatch at %d: %d vs %d", lo, hi, i, ids[i], want[i].ID)
+			}
+		}
+	}
+
+	// Early stop: a chunk callback returning false ends the walk.
+	calls := 0
+	tr.Leaves(func([]float64, []uint32) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("Leaves early stop made %d calls", calls)
+	}
+	calls = 0
+	tr.RangeChunks(math.Inf(-1), math.Inf(1), func([]float64, []uint32) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("RangeChunks early stop made %d calls", calls)
+	}
+}
+
+// TestArenaPoolReuse pins Release/BulkLoad recycling: a released
+// tree's arenas are reused without leaking state into the next load.
+func TestArenaPoolReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for round := 0; round < 10; round++ {
+		n := 1 + rng.Intn(4000)
+		ents := make([]Entry, n)
+		for i := range ents {
+			ents[i] = Entry{Key: rng.Float64(), ID: uint32(i)}
+		}
+		tr := BulkLoad(append([]Entry(nil), ents...))
+		mustValidate(t, tr)
+		if tr.Len() != len(collect(tr)) {
+			t.Fatalf("round %d: Len %d, walk %d", round, tr.Len(), len(collect(tr)))
+		}
+		tr.Release()
+	}
+}

@@ -76,7 +76,10 @@ func Capture(m *core.Multi) *Snapshot {
 }
 
 // Restore rebuilds a store and Multi from the snapshot. Point ids
-// match the captured store exactly.
+// match the captured store exactly. The snapshot's indexes are
+// materialised through core.AddNormals, which bulk-loads their
+// arenas in parallel — shard recovery restores every partition's
+// full index set through this path.
 func (s *Snapshot) Restore(opts ...core.MultiOption) (*core.Multi, error) {
 	store, err := core.NewPointStoreFromRaw(s.Dim, s.Data, s.Live, s.Free)
 	if err != nil {
@@ -86,10 +89,12 @@ func (s *Snapshot) Restore(opts ...core.MultiOption) (*core.Multi, error) {
 	if err != nil {
 		return nil, err
 	}
+	specs := make([]core.NormalSpec, len(s.Indexes))
 	for i, spec := range s.Indexes {
-		if _, err := m.AddNormal(spec.Normal, spec.Signs); err != nil {
-			return nil, fmt.Errorf("codec: index %d: %w", i, err)
-		}
+		specs[i] = core.NormalSpec{Normal: spec.Normal, Signs: spec.Signs}
+	}
+	if _, err := m.AddNormals(specs); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
 	}
 	return m, nil
 }

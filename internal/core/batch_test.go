@@ -126,10 +126,10 @@ func TestGoldenBatchedIdentity(t *testing.T) {
 	}
 }
 
-// TestPackedMirrorInvalidation checks the epoch contract: every kind
-// of mutation (append, update, remove, standalone Index.Add) must
-// invalidate the packed mirror so the next query sees current data.
-func TestPackedMirrorInvalidation(t *testing.T) {
+// TestMutationVisibility checks the freshness contract: every kind of
+// mutation (append, update, remove) rebuilds the leaf arena the
+// batched engine reads, so the next query sees current data.
+func TestMutationVisibility(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	store, _ := NewPointStore(3)
 	m, _ := NewMulti(store)
@@ -200,7 +200,7 @@ func TestSteadyStateQueryAllocs(t *testing.T) {
 		}
 	}
 	for i := 0; i < 10; i++ {
-		run() // warm the plan cache, packed mirror, and pools
+		run() // warm the plan cache and pools
 	}
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {

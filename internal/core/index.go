@@ -38,55 +38,12 @@ type Index struct {
 	tree  *btree.Tree
 	guard float64
 
-	// muts counts tree mutations; the packed mirror compares it to
-	// decide whether its arrays are current. Only touched under ix.mu
-	// write lock, so it is frozen while any reader holds the lock.
-	muts   uint64
-	packed packedMirror
-
 	// Bound once at construction so building an exec.Source does not
-	// allocate closures per query.
-	packedFn func() ([]float64, []uint32, bool)
-	vecFn    func(uint32) []float64
-	eachFn   func(func(uint32, []float64) bool)
-}
-
-// packedMirror is the index's packed key/id column: the B-tree's
-// entries exported to two parallel sorted arrays so the batched
-// engine can binary-search thresholds and slice the intermediate
-// interval contiguously. It is rebuilt lazily by the first query
-// after a mutation. pm.mu is only ever TryLocked from the query path:
-// a second query arriving mid-rebuild takes the tree walk instead of
-// blocking.
-type packedMirror struct {
-	mu   sync.Mutex
-	muts uint64
-	keys []float64
-	ids  []uint32
-}
-
-// packedView returns the current packed column, rebuilding it first
-// if a mutation happened since the last export. Callers hold ix.mu
-// (read); the returned slices stay valid until that lock is released
-// (a rebuild requires the write lock, which excludes every reader).
-func (ix *Index) packedView() ([]float64, []uint32, bool) {
-	pm := &ix.packed
-	if !pm.mu.TryLock() {
-		return nil, nil, false
-	}
-	defer pm.mu.Unlock()
-	if pm.muts != ix.muts {
-		n := ix.tree.Len()
-		if cap(pm.keys) < n {
-			pm.keys = make([]float64, n)
-			pm.ids = make([]uint32, n)
-		}
-		pm.keys = pm.keys[:n]
-		pm.ids = pm.ids[:n]
-		ix.tree.CopyInto(pm.keys, pm.ids)
-		pm.muts = ix.muts
-	}
-	return pm.keys, pm.ids, true
+	// allocate closures per query. The batched engine reads keys and
+	// ids directly out of the tree's leaf arena — there is no packed
+	// mirror to maintain.
+	vecFn  func(uint32) []float64
+	eachFn func(func(uint32, []float64) bool)
 }
 
 // IndexOption customises index construction.
@@ -137,7 +94,6 @@ func NewIndex(store *PointStore, normal []float64, signs vecmath.SignPattern, op
 	for _, o := range opts {
 		o(ix)
 	}
-	ix.packedFn = ix.packedView
 	ix.vecFn = store.Vector
 	ix.eachFn = store.Each
 	ix.rebuild()
@@ -168,8 +124,10 @@ func (ix *Index) rebuild() {
 		entries = append(entries, btree.Entry{Key: ix.key(v), ID: id})
 		return true
 	})
+	if ix.tree != nil {
+		ix.tree.Release()
+	}
 	ix.tree = btree.BulkLoad(entries)
-	ix.muts++
 }
 
 // key returns ⟨c, z(v)⟩ in the translated frame.
@@ -229,21 +187,18 @@ func (ix *Index) add(id uint32, v []float64) {
 		return
 	}
 	ix.tree.Insert(ix.key(v), id)
-	ix.muts++
 }
 
 // remove unindexes a point given the φ vector it was indexed under.
 // Callers hold ix.mu.
 func (ix *Index) remove(id uint32, old []float64) {
 	ix.tree.Delete(ix.key(old), id)
-	ix.muts++
 }
 
 // update re-keys a point whose φ vector changed from old to new.
 // Callers hold ix.mu. Per Section 4.4 this costs O(d' log n).
 func (ix *Index) update(id uint32, old, new []float64) {
 	ix.tree.Delete(ix.key(old), id)
-	ix.muts++
 	ix.add(id, new)
 }
 
@@ -265,13 +220,12 @@ func (ix *Index) Add(id uint32) error {
 // returned value.
 func (ix *Index) info() exec.IndexInfo {
 	return exec.IndexInfo{
-		Tree:   ix.tree,
-		C:      ix.c,
-		Delta:  ix.delta,
-		CS:     ix.cs,
-		Signs:  ix.signs,
-		Guard:  ix.guard,
-		Packed: ix.packedFn,
+		Tree:  ix.tree,
+		C:     ix.c,
+		Delta: ix.delta,
+		CS:    ix.cs,
+		Signs: ix.signs,
+		Guard: ix.guard,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"planar/internal/exec"
 	"planar/internal/vecmath"
@@ -280,6 +281,90 @@ func (m *Multi) AddNormal(normal []float64, signs vecmath.SignPattern) (bool, er
 	m.indexes = append(m.indexes, ix)
 	m.epoch++
 	return true, nil
+}
+
+// NormalSpec describes one index to install: its normal (translated
+// frame) and the hyper-octant of query coefficients it serves.
+type NormalSpec struct {
+	Normal []float64
+	Signs  vecmath.SignPattern
+}
+
+// AddNormals installs a batch of indexes at once, bulk-loading their
+// arenas on up to GOMAXPROCS goroutines. This is the recovery path:
+// snapshot restore and shard bootstrap rebuild every index of a store
+// from its spec list, and each build is an independent O(n log n)
+// BulkLoad over the shared (read-only) point store. Redundant specs —
+// parallel normal, same octant, against existing indexes or an
+// earlier spec in the batch — are skipped exactly as repeated
+// AddNormal calls would skip them. It returns how many indexes were
+// added.
+func (m *Multi) AddNormals(specs []NormalSpec) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The redundancy filter stays sequential so batch order has the
+	// same meaning as call order.
+	type job struct {
+		pos  int
+		spec NormalSpec
+	}
+	var jobs []job
+	for i, sp := range specs {
+		redundant := false
+		for _, ix := range m.indexes {
+			if ix.signs.Equal(sp.Signs) && vecmath.Parallel(ix.c, sp.Normal, 1e-9) {
+				redundant = true
+				break
+			}
+		}
+		for _, j := range jobs {
+			if redundant {
+				break
+			}
+			if j.spec.Signs.Equal(sp.Signs) && vecmath.Parallel(j.spec.Normal, sp.Normal, 1e-9) {
+				redundant = true
+			}
+		}
+		if !redundant {
+			jobs = append(jobs, job{pos: i, spec: sp})
+		}
+	}
+	if len(jobs) == 0 {
+		return 0, nil
+	}
+
+	built := make([]*Index, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := exec.ClampWorkers(len(jobs))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(jobs) {
+					return
+				}
+				ix, err := NewIndex(m.store, jobs[i].spec.Normal, jobs[i].spec.Signs, WithGuard(m.guard))
+				if err != nil {
+					errs[i] = fmt.Errorf("core: index %d: %w", jobs[i].pos, err)
+					continue
+				}
+				built[i] = ix
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	m.indexes = append(m.indexes, built...)
+	m.epoch++
+	return len(built), nil
 }
 
 // SampleBudget draws up to budget index normals uniformly from the

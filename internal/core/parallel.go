@@ -1,8 +1,6 @@
 package core
 
 import (
-	"runtime"
-
 	"planar/internal/exec"
 )
 
@@ -19,11 +17,9 @@ func (ix *Index) InequalityParallelIDs(q Query, workers int) ([]uint32, Stats, e
 	// Clamp before the serial-path check: a request for more workers
 	// than the scheduler will run must degrade to however many it
 	// will, including all the way down to the serial path on a
-	// single-CPU host.
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 {
+	// single-CPU host. exec.ClampWorkers is the same clamp the
+	// pipeline applies internally.
+	if workers = exec.ClampWorkers(workers); workers <= 1 {
 		return ix.InequalityIDs(q)
 	}
 	if err := q.Validate(ix.store.Dim()); err != nil {

@@ -1,26 +1,35 @@
 package exec
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 
+	"planar/internal/btree"
 	"planar/internal/kernel"
 )
 
 // This file is the batched verification engine: the KindRange and
 // KindScan execution strategies re-expressed over contiguous arrays.
-// The interval boundaries come from two binary searches on the
-// index's packed key column, the smaller interval resolves to index
-// arithmetic on the packed id column, and the intermediate interval
-// is verified block-by-block through the dimension-specialized
-// kernels in internal/kernel. All scratch memory is pooled, so a
-// steady-state query allocates nothing.
+// The interval boundaries are rank queries on the index tree, the
+// smaller interval resolves to a single rank, and the intermediate
+// interval is verified block-by-block through the
+// dimension-specialized kernels in internal/kernel. The key/id
+// columns are not copied anywhere: the tree's leaf arena IS the
+// packed column, and RangeChunks hands out slices that alias it
+// directly. All scratch memory is pooled, so a steady-state query
+// allocates nothing.
 //
-// The engine declines (and execute falls back to the B-tree walk)
-// when the source exposes no packed column or raw rows, when another
-// query holds the mirror mid-rebuild, or when the intermediate
-// interval is too small to amortise a gather (kernel.MinBatch).
+// The engine runs whenever the source exposes raw rows; ForceTreeWalk
+// pins the scalar per-entry walk in run.go instead, which remains the
+// reference implementation for correctness tests.
+
+// One RangeChunks chunk stays within one leaf, and one leaf is
+// exactly one kernel block. The two uint conversions reject a drift
+// in either direction at compile time.
+const (
+	_ = uint(kernel.BlockRows - btree.LeafCap)
+	_ = uint(btree.LeafCap - kernel.BlockRows)
+)
 
 // scratch is the per-query working set of the batched engine: a
 // gather buffer of one block of φ rows and a match-offset buffer.
@@ -44,117 +53,104 @@ func getScratch(dim int) *scratch {
 
 func putScratch(sc *scratch) { scratchPool.Put(sc) }
 
-// hitBuf is a pooled grow-able id buffer used by parallel workers to
-// collect their matches before ordered delivery.
+// hitBuf is a pooled grow-able id buffer: parallel workers collect
+// their matches in one before ordered delivery, and the parallel
+// driver flattens the intermediate interval into one.
 type hitBuf struct{ ids []uint32 }
 
 var hitPool = sync.Pool{New: func() any { return new(hitBuf) }}
 
-// upperBound returns the number of keys ≤ x — the packed-column
-// equivalent of Tree.RankLE. keys is sorted ascending.
-func upperBound(keys []float64, x float64) int {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if keys[mid] <= x {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
-// packedColumn resolves the source's packed mirror for one index, or
-// ok=false when the engine must fall back to the tree walk.
-func packedColumn(src *Source, info *IndexInfo) (keys []float64, ids []uint32, ok bool) {
-	if info.Packed == nil || src.Rows == nil || src.RowDim <= 0 {
-		return nil, nil, false
-	}
-	return info.Packed()
-}
-
-// executeBatched is the three-interval walk over the packed column.
+// executeBatched is the three-interval walk over the leaf arena.
 // Contract differences from the tree walk are deliberate and
 // documented: once the intermediate phase starts, Verified and
 // Rejected are final (as in the parallel walk) even if the sink stops
 // early.
-func executeBatched(src *Source, q Query, plan Plan, sink Sink, keys []float64, ids []uint32, workers int, st Stats) (Stats, error) {
-	// Smaller interval: index arithmetic instead of a walk.
-	si := upperBound(keys, plan.Tmin)
+func executeBatched(src *Source, q Query, plan Plan, info *IndexInfo, sink Sink, workers int, st Stats) (Stats, error) {
+	tree := info.Tree
+
+	// Smaller interval: accepted without verification, by rank
+	// arithmetic when the sink only counts.
 	if ac, ok := sink.(AcceptCounter); ok {
-		st.Accepted = si
-		ac.AcceptCount(si)
+		st.Accepted = tree.RankLE(plan.Tmin)
+		ac.AcceptCount(st.Accepted)
 	} else {
-		for _, id := range ids[:si] {
+		stopped := false
+		tree.AscendLE(plan.Tmin, func(e btree.Entry) bool {
 			st.Accepted++
-			if !sink.Accept(id) {
-				// Legacy early-stop contract: partial stats, larger
-				// interval unclassified.
-				return st, nil
+			if !sink.Accept(e.ID) {
+				stopped = true
+				return false
 			}
+			return true
+		})
+		if stopped {
+			// Legacy early-stop contract: partial stats, larger
+			// interval unclassified.
+			return st, nil
 		}
 	}
 
-	// Intermediate interval: a contiguous slice of the packed column.
-	hi := len(keys)
-	if !math.IsInf(plan.Tmax, 1) {
-		hi = upperBound(keys, plan.Tmax)
-	}
-	middle := ids[si:hi]
-	st.Verified = len(middle)
+	// Intermediate interval: the rank difference fixes Verified and
+	// Rejected before verification starts.
+	middleN := tree.CountRange(plan.Tmin, plan.Tmax)
+	st.Verified = middleN
 	st.Rejected = st.N - st.Accepted - st.Verified
-	if len(middle) == 0 {
+	if middleN == 0 {
 		return st, nil
 	}
 
-	if workers > 1 && len(middle) >= 2*kernel.BlockRows {
-		executeParallelBatched(src, q, middle, sink, workers, &st)
+	if workers > 1 && middleN >= 2*kernel.BlockRows {
+		executeParallelBatched(src, q, plan, tree, sink, workers, &st)
 		return st, nil
 	}
 
-	// Tiny intervals skip the gather: a direct pass over the
-	// contiguous ids already beats the tree walk.
-	if len(middle) < kernel.MinBatch {
-		for _, id := range middle {
-			if q.Satisfies(src.Vector(id)) {
-				st.Matched++
-				if !sink.Match(id) {
-					return st, nil
+	// Tiny intervals skip the gather: a direct pass over the arena
+	// ids already beats the per-entry tree walk.
+	if middleN < kernel.MinBatch {
+		tree.RangeChunks(plan.Tmin, plan.Tmax, func(_ []float64, ids []uint32) bool {
+			for _, id := range ids {
+				if q.Satisfies(src.Vector(id)) {
+					st.Matched++
+					if !sink.Match(id) {
+						return false
+					}
 				}
 			}
-		}
+			return true
+		})
 		return st, nil
 	}
 
 	sc := getScratch(src.RowDim)
 	defer putScratch(sc)
 	d := src.RowDim
-	for lo := 0; lo < len(middle); lo += kernel.BlockRows {
-		end := lo + kernel.BlockRows
-		if end > len(middle) {
-			end = len(middle)
-		}
-		blk := middle[lo:end]
-		kernel.Gather(src.Rows, d, blk, sc.gather)
-		m := kernel.FilterLE(q.A, q.B, sc.gather[:len(blk)*d], sc.matches)
+	tree.RangeChunks(plan.Tmin, plan.Tmax, func(_ []float64, ids []uint32) bool {
+		kernel.Gather(src.Rows, d, ids, sc.gather)
+		m := kernel.FilterLE(q.A, q.B, sc.gather[:len(ids)*d], sc.matches)
 		for _, off := range sc.matches[:m] {
 			st.Matched++
-			if !sink.Match(blk[off]) {
-				return st, nil
+			if !sink.Match(ids[off]) {
+				return false
 			}
 		}
-	}
+		return true
+	})
 	return st, nil
 }
 
 // executeParallelBatched verifies the intermediate interval with
-// block-granular work stealing: workers claim BlockRows-sized blocks
-// of the packed id slice off a shared atomic cursor, so a skewed
+// block-granular work stealing: the interval's ids are flattened out
+// of the leaf arena into a pooled buffer, workers claim
+// BlockRows-sized blocks off a shared atomic cursor, so a skewed
 // match distribution cannot leave one goroutine holding the tail.
 // Matches are handed back to the calling goroutine in worker order —
 // sinks never see concurrent calls.
-func executeParallelBatched(src *Source, q Query, middle []uint32, sink Sink, workers int, st *Stats) {
+func executeParallelBatched(src *Source, q Query, plan Plan, tree *btree.Tree, sink Sink, workers int, st *Stats) {
+	mb := hitPool.Get().(*hitBuf)
+	defer hitPool.Put(mb)
+	mb.ids = tree.CollectRange(plan.Tmin, plan.Tmax, mb.ids[:0])
+	middle := mb.ids
+
 	blocks := (len(middle) + kernel.BlockRows - 1) / kernel.BlockRows
 	if workers > blocks {
 		workers = blocks

@@ -10,7 +10,8 @@ import (
 
 // packSource upgrades a classic test source to a batched one: the
 // points are flattened into a row-major Rows array (with optional
-// dead rows) and every index is given a Packed export of its tree.
+// dead rows), which is all the batched engine needs — the key column
+// is read straight out of each tree's leaf arena.
 func packSource(points [][]float64, infos []IndexInfo, live []bool) *Source {
 	src := makeSource(points, infos)
 	d := 0
@@ -31,29 +32,7 @@ func packSource(points [][]float64, infos []IndexInfo, live []bool) *Source {
 	src.RowLive = live
 	src.RowDim = d
 	src.Fallback = true // mirror Multi's default scan fallback
-	for i := range infos {
-		tree := infos[i].Tree
-		keys := make([]float64, tree.Len())
-		ids := make([]uint32, tree.Len())
-		tree.CopyInto(keys, ids)
-		infos[i].Packed = func() ([]float64, []uint32, bool) { return keys, ids, true }
-	}
 	return src
-}
-
-func TestUpperBoundMatchesRankLE(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	points := randPoints(rng, 300, 2)
-	info := buildInfo(points, []float64{1, 2}, vecmath.SignPattern{1, 1}, 0)
-	keys := make([]float64, info.Tree.Len())
-	ids := make([]uint32, info.Tree.Len())
-	info.Tree.CopyInto(keys, ids)
-	probes := append([]float64{-1e18, 0, 1e18}, keys[:20]...)
-	for _, x := range probes {
-		if got, want := upperBound(keys, x), info.Tree.RankLE(x); got != want {
-			t.Fatalf("upperBound(%v) = %d, RankLE = %d", x, got, want)
-		}
-	}
 }
 
 // TestBatchedMatchesTreeWalk is the engine's golden identity at the
@@ -180,14 +159,14 @@ func TestBatchedScanSkipsDeadRows(t *testing.T) {
 // oversized Workers values all normalize into [1, GOMAXPROCS] and
 // produce identical answers.
 func TestOptionsWorkerClamp(t *testing.T) {
-	if got := clampWorkers(0); got != 1 {
-		t.Fatalf("clampWorkers(0) = %d, want 1", got)
+	if got := ClampWorkers(0); got != 1 {
+		t.Fatalf("ClampWorkers(0) = %d, want 1", got)
 	}
-	if got := clampWorkers(-8); got != 1 {
-		t.Fatalf("clampWorkers(-8) = %d, want 1", got)
+	if got := ClampWorkers(-8); got != 1 {
+		t.Fatalf("ClampWorkers(-8) = %d, want 1", got)
 	}
-	if max := runtime.GOMAXPROCS(0); clampWorkers(max+100) != max {
-		t.Fatalf("clampWorkers(max+100) = %d, want %d", clampWorkers(max+100), max)
+	if max := runtime.GOMAXPROCS(0); ClampWorkers(max+100) != max {
+		t.Fatalf("ClampWorkers(max+100) = %d, want %d", ClampWorkers(max+100), max)
 	}
 
 	rng := rand.New(rand.NewSource(13))
@@ -245,26 +224,6 @@ func TestBatchedParallelWorkStealing(t *testing.T) {
 	}
 	if stS.Matched != stP.Matched || stS.Verified != stP.Verified {
 		t.Fatalf("stats differ: serial %+v parallel %+v", stS, stP)
-	}
-}
-
-// TestPackedUnavailableFallsBack: a Packed hook reporting ok=false
-// (mirror mid-rebuild) must route the query through the tree walk.
-func TestPackedUnavailableFallsBack(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
-	points := randPoints(rng, 400, 2)
-	signs := vecmath.SignPattern{1, 1}
-	infos := []IndexInfo{buildInfo(points, []float64{1, 1}, signs, 1e-9)}
-	src := packSource(points, infos, nil)
-	src.Indexes[0].Packed = func() ([]float64, []uint32, bool) { return nil, nil, false }
-
-	q := Query{A: []float64{2, 1}, B: 5}
-	var sink IDSink
-	if _, err := Run(src, q, &sink, Options{}); err != nil {
-		t.Fatal(err)
-	}
-	if !equalIDs(sortedCopy(sink.IDs), sortedCopy(bruteIDs(points, q))) {
-		t.Fatal("fallback tree walk produced wrong answer")
 	}
 }
 

@@ -17,14 +17,18 @@ type Options struct {
 	// pool (clamped to GOMAXPROCS). Values below 1 — including 0 and
 	// negatives — verify serially.
 	Workers int
-	// ForceTreeWalk disables the batched verification engine even when
-	// the source exposes packed columns, pinning the classic per-entry
-	// B-tree walk. Used by correctness tests and as an escape hatch.
+	// ForceTreeWalk selects the scalar per-entry verification walk
+	// instead of the batched kernel engine. Both read the same leaf
+	// arena; the scalar walk is the reference implementation that
+	// correctness tests pin the kernels against.
 	ForceTreeWalk bool
 }
 
-// clampWorkers normalizes an Options.Workers value to [1, GOMAXPROCS].
-func clampWorkers(workers int) int {
+// ClampWorkers normalizes a worker count to [1, GOMAXPROCS]. It is
+// the single clamp shared by every parallel stage (exec verification,
+// core parallel queries), so 0, negative and oversized requests mean
+// the same thing everywhere.
+func ClampWorkers(workers int) int {
 	if workers < 1 {
 		return 1
 	}
@@ -95,15 +99,13 @@ func execute(src *Source, q Query, plan Plan, sink Sink, opts Options) (Stats, e
 		return executeTopK(src, q, plan, info, sink, b, st)
 	}
 
-	// Batched engine: when the index exposes its packed key/id column
-	// and the store its raw rows, the interval boundaries are two
-	// binary searches and the intermediate interval runs through the
-	// block kernels. Packed() reports ok=false when another query is
-	// mid-rebuild; the tree walk below is always a correct fallback.
-	if !opts.ForceTreeWalk {
-		if keys, ids, ok := packedColumn(src, info); ok {
-			return executeBatched(src, q, plan, sink, keys, ids, clampWorkers(opts.Workers), st)
-		}
+	// Batched engine: when the store exposes its raw rows, the
+	// interval boundaries are rank queries and the intermediate
+	// interval streams straight out of the leaf arena through the
+	// block kernels. The scalar walk below is the reference engine,
+	// kept for verification-path tests behind ForceTreeWalk.
+	if !opts.ForceTreeWalk && src.Rows != nil && src.RowDim > 0 {
+		return executeBatched(src, q, plan, info, sink, ClampWorkers(opts.Workers), st)
 	}
 
 	// Smaller interval: accepted without verification. An early stop
@@ -128,7 +130,7 @@ func execute(src *Source, q Query, plan Plan, sink Sink, opts Options) (Stats, e
 	}
 
 	// Intermediate interval: verify, serially or on a worker pool.
-	workers := clampWorkers(opts.Workers)
+	workers := ClampWorkers(opts.Workers)
 	if workers > 1 {
 		executeParallelII(src, q, plan, info, sink, workers, &st)
 	} else {

@@ -56,14 +56,6 @@ type IndexInfo struct {
 	// Guard is the relative width of the conservative band added
 	// around the thresholds (0 disables it).
 	Guard float64
-	// Packed, when non-nil, returns the index's packed key/id column:
-	// the tree's entries exported to two parallel sorted arrays, so
-	// interval boundaries become binary searches and the intermediate
-	// interval a contiguous id slice. ok=false means the mirror is
-	// unavailable right now (another query is mid-rebuild) and the
-	// engine must take the B-tree walk instead. The returned slices
-	// stay valid for as long as the caller's owning lock is held.
-	Packed func() (keys []float64, ids []uint32, ok bool)
 }
 
 // Source is everything the pipeline may touch to answer a query: the

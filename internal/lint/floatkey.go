@@ -28,8 +28,11 @@ var Floatkey = &analysis.Analyzer{
 func runFloatkey(pass *analysis.Pass) error {
 	// internal/kernel is exempt for the same reason as vecmath: its
 	// whole contract is bit-exact agreement with vecmath.Dot, so its
-	// comparisons are deliberately exact.
-	if pkgMatch(pass.Pkg.Path(), []string{"internal/vecmath", "internal/kernel"}) {
+	// comparisons are deliberately exact. internal/btree (the arena
+	// B+ tree) orders entries by exact (key, id) pairs — the tree
+	// stores keys verbatim and tolerance belongs to the interval
+	// thresholds, not the ordering relation.
+	if pkgMatch(pass.Pkg.Path(), []string{"internal/vecmath", "internal/kernel", "internal/btree"}) {
 		return nil
 	}
 	for _, file := range pass.Files {
