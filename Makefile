@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke ci clean
+.PHONY: all build test vet lint race race-shard replica-integration page-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke ci clean
 
 all: build
 
@@ -53,6 +53,15 @@ bench-shard-smoke:
 replica-integration:
 	$(GO) test -race ./internal/replica ./internal/replog
 
+# End-to-end paged storage under the race detector: the kill-and-
+# reopen service e2e (golden identity vs the all-RAM store with the
+# page cache smaller than the dataset, WAL replay bounded by the
+# checkpoint LSN) plus the pager, codec, and paged-btree suites —
+# crash recovery at every byte offset, cache eviction, COW flushes.
+page-integration:
+	$(GO) test -race ./internal/pager ./internal/codec
+	$(GO) test -race -run 'TestPaged' ./internal/service ./internal/btree
+
 # A tiny run of the replica read scale-out benchmark (no JSON report)
 # to prove the -replicas path still works.
 bench-replica-smoke:
@@ -69,7 +78,13 @@ bench-hotpath-smoke:
 bench-build-smoke:
 	$(GO) run ./cmd/planarbench -mode build -points 20000 -buildout ""
 
-ci: vet lint build race race-shard replica-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke
+# A tiny run of the disk-paged tier benchmark (no JSON report) to
+# prove the -mode paged path still works: cold open vs snapshot
+# rebuild plus the faulting regime with a floor-sized cache.
+bench-page-smoke:
+	$(GO) run ./cmd/planarbench -mode paged -points 5000 -queries 50 -pageout ""
+
+ci: vet lint build race race-shard replica-integration page-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke
 
 clean:
 	$(GO) clean ./...

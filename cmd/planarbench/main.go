@@ -44,6 +44,16 @@
 // and resident bytes per entry for the arena B+ tree against the
 // pointer-node reference tree, and writes the report to -buildout
 // (BENCH_build.json).
+//
+// A sixth mode benchmarks the disk-paged storage tier:
+//
+//	planarbench -mode paged
+//
+// which builds equivalent snapshot-mode and paged directories,
+// compares cold-open latency (full snapshot rebuild vs lazy page
+// faulting), warm-cache query latency against the all-RAM store, and
+// the faulting regime where the page cache is smaller than the
+// working set, and writes the report to -pageout (BENCH_page.json).
 package main
 
 import (
@@ -77,10 +87,11 @@ func main() {
 		repClients = flag.Int("repclients", 8, "client goroutines in the -replicas benchmark")
 		repOut     = flag.String("repout", "BENCH_replica.json", "JSON report path for the -replicas benchmark (empty = stdout only)")
 
-		mode     = flag.String("mode", "", "extra benchmark mode: \"hotpath\" compares batched vs tree-walk verification; \"build\" compares arena vs pointer-tree index builds")
+		mode     = flag.String("mode", "", "extra benchmark mode: \"hotpath\" compares batched vs tree-walk verification; \"build\" compares arena vs pointer-tree index builds; \"paged\" compares the disk-paged tier against snapshot restore and all-RAM queries")
 		hotOut   = flag.String("hotout", "BENCH_hotpath.json", "JSON report path for -mode hotpath (empty = stdout only)")
 		hotDur   = flag.Duration("hotdur", 300*time.Millisecond, "measurement window per engine per cell in -mode hotpath")
 		buildOut = flag.String("buildout", "BENCH_build.json", "JSON report path for -mode build (empty = stdout only)")
+		pageOut  = flag.String("pageout", "BENCH_page.json", "JSON report path for -mode paged (empty = stdout only)")
 	)
 	flag.Parse()
 
@@ -110,8 +121,30 @@ func main() {
 				fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
 				os.Exit(1)
 			}
+		case "paged":
+			cfg := pagedBenchConfig{
+				Points:    150000,
+				Dim:       *dim,
+				Seed:      2014,
+				Queries:   300,
+				TinyBytes: 1, // clamps to the pager's minimum frame count
+				OutPath:   *pageOut,
+			}
+			if *points > 0 {
+				cfg.Points = *points
+			}
+			if *queries > 0 {
+				cfg.Queries = *queries
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			if err := runPagedBench(cfg, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
+				os.Exit(1)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (\"hotpath\" or \"build\")\n", *mode)
+			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (\"hotpath\", \"build\", or \"paged\")\n", *mode)
 			os.Exit(2)
 		}
 		return

@@ -1,0 +1,255 @@
+package main
+
+// The -mode paged benchmark pins the disk-paged storage tier
+// (internal/pager + the btree paged-arena mode): cold-open latency of
+// a page-file directory against an equivalent snapshot directory that
+// must be decoded and bulk-rebuilt, steady-state query latency with a
+// warm cache against the all-RAM store, and query latency when the
+// working set is deliberately larger than the cache (the faulting
+// regime the tier exists for). The report lands in BENCH_page.json
+// and, like the other reports, accumulates an array across
+// invocations.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"planar/internal/core"
+	"planar/internal/service"
+	"planar/internal/vecmath"
+)
+
+type pagedBenchConfig struct {
+	Points     int
+	Dim        int
+	Seed       int64
+	Queries    int
+	CacheBytes int // warm-cache run (0 = service default)
+	TinyBytes  int // working-set-larger-than-cache run
+	OutPath    string
+}
+
+type pagedBenchEngine struct {
+	Engine      string  `json:"engine"`
+	ColdOpenMs  float64 `json:"coldOpenMs,omitempty"`
+	QueryNsPerQ float64 `json:"queryNsPerQuery"`
+}
+
+type pagedBenchFaulting struct {
+	pagedBenchEngine
+	CacheBytes    int     `json:"cacheBytes"`
+	HitRatio      float64 `json:"hitRatio"`
+	Misses        uint64  `json:"misses"`
+	Evictions     uint64  `json:"evictions"`
+	ResidentPages int     `json:"residentPages"`
+	TotalPages    int64   `json:"totalPages"`
+}
+
+type pagedBenchReport struct {
+	Points          int                `json:"points"`
+	Dim             int                `json:"dim"`
+	Seed            int64              `json:"seed"`
+	Queries         int                `json:"queries"`
+	Snapshot        pagedBenchEngine   `json:"snapshot"`
+	Paged           pagedBenchEngine   `json:"paged"`
+	PagedTiny       pagedBenchFaulting `json:"pagedTinyCache"`
+	ColdOpenSpeedup float64            `json:"coldOpenSpeedup"`
+	WarmQueryRatio  float64            `json:"pagedToRAMQueryRatio"`
+}
+
+// pagedBenchQueries drives the shared query workload: LE queries over
+// the first index's halfspace with bounds spread across the key
+// range, so selectivity (and therefore leaf pages touched) varies.
+func pagedBenchQueries(db *service.DB, dim, queries int, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, dim)
+	for i := range a {
+		a[i] = 0.5 + float64(i)*0.25
+	}
+	start := time.Now()
+	for q := 0; q < queries; q++ {
+		b := rng.Float64() * 100 * float64(dim)
+		if _, _, err := db.Query(core.Query{A: a, B: b, Op: core.LE}); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(queries), nil
+}
+
+func runPagedBench(cfg pagedBenchConfig, w io.Writer) error {
+	if cfg.Points < 1 {
+		return fmt.Errorf("paged bench: -points must be >= 1 (got %d)", cfg.Points)
+	}
+	root, err := os.MkdirTemp("", "planarbench-paged-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	snapDir := filepath.Join(root, "snapshot")
+	pageDir := filepath.Join(root, "paged")
+
+	fmt.Fprintf(w, "paged tier bench: %d points (dim %d), %d queries, seed %d\n",
+		cfg.Points, cfg.Dim, cfg.Queries, cfg.Seed)
+
+	// Build two directories with identical contents: one snapshot-mode,
+	// one paged. Two indexes so restores pay a realistic tree count.
+	build := func(dir string, opts service.Options) error {
+		opts.Dim = cfg.Dim
+		db, err := service.Open(dir, opts)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		signs := make(vecmath.SignPattern, cfg.Dim)
+		for i := range signs {
+			signs[i] = 1
+		}
+		a := make([]float64, cfg.Dim)
+		for i := range a {
+			a[i] = 0.5 + float64(i)*0.25
+		}
+		if _, err := db.AddNormal(a, signs); err != nil {
+			return err
+		}
+		for i := range a {
+			a[i] = 2.0 - float64(i)*0.2
+		}
+		if _, err := db.AddNormal(a, signs); err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		v := make([]float64, cfg.Dim)
+		for i := 0; i < cfg.Points; i++ {
+			for j := range v {
+				v[j] = rng.Float64() * 100
+			}
+			if _, err := db.Append(v); err != nil {
+				return err
+			}
+		}
+		return db.Checkpoint()
+	}
+	if err := build(snapDir, service.Options{}); err != nil {
+		return err
+	}
+	if err := build(pageDir, service.Options{Paged: true, PageCacheBytes: cfg.CacheBytes}); err != nil {
+		return err
+	}
+
+	// Cold open: the snapshot directory decodes every tree and
+	// bulk-rebuilds it; the paged directory reads the store blob and
+	// maps the trees lazily.
+	coldOpen := func(dir string, opts service.Options) (*service.DB, float64, error) {
+		start := time.Now()
+		db, err := service.Open(dir, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return db, float64(time.Since(start).Nanoseconds()) / 1e6, nil
+	}
+	snapDB, snapOpenMs, err := coldOpen(snapDir, service.Options{})
+	if err != nil {
+		return err
+	}
+	defer snapDB.Close()
+	pagedDB, pagedOpenMs, err := coldOpen(pageDir, service.Options{PageCacheBytes: cfg.CacheBytes})
+	if err != nil {
+		return err
+	}
+	defer pagedDB.Close()
+
+	// Warm both engines once, then measure the shared query workload.
+	if _, err := pagedBenchQueries(snapDB, cfg.Dim, 20, cfg.Seed+1); err != nil {
+		return err
+	}
+	if _, err := pagedBenchQueries(pagedDB, cfg.Dim, 20, cfg.Seed+1); err != nil {
+		return err
+	}
+	snapQ, err := pagedBenchQueries(snapDB, cfg.Dim, cfg.Queries, cfg.Seed+2)
+	if err != nil {
+		return err
+	}
+	pagedQ, err := pagedBenchQueries(pagedDB, cfg.Dim, cfg.Queries, cfg.Seed+2)
+	if err != nil {
+		return err
+	}
+	if err := pagedDB.Close(); err != nil {
+		return err
+	}
+
+	// Faulting regime: reopen with a cache pinned at the pager's floor
+	// so the working set cannot fit and every sweep evicts.
+	tinyDB, _, err := coldOpen(pageDir, service.Options{PageCacheBytes: cfg.TinyBytes})
+	if err != nil {
+		return err
+	}
+	defer tinyDB.Close()
+	tinyQ, err := pagedBenchQueries(tinyDB, cfg.Dim, cfg.Queries, cfg.Seed+2)
+	if err != nil {
+		return err
+	}
+	st, ok := tinyDB.PageStats()
+	if !ok {
+		return fmt.Errorf("paged bench: PageStats unavailable on paged store")
+	}
+
+	report := pagedBenchReport{
+		Points:   cfg.Points,
+		Dim:      cfg.Dim,
+		Seed:     cfg.Seed,
+		Queries:  cfg.Queries,
+		Snapshot: pagedBenchEngine{Engine: "snapshot", ColdOpenMs: snapOpenMs, QueryNsPerQ: snapQ},
+		Paged:    pagedBenchEngine{Engine: "paged", ColdOpenMs: pagedOpenMs, QueryNsPerQ: pagedQ},
+		PagedTiny: pagedBenchFaulting{
+			pagedBenchEngine: pagedBenchEngine{Engine: "paged-tiny-cache", QueryNsPerQ: tinyQ},
+			CacheBytes:       cfg.TinyBytes,
+			HitRatio:         st.HitRatio(),
+			Misses:           st.Misses,
+			Evictions:        st.Evictions,
+			ResidentPages:    st.Resident,
+			TotalPages:       st.Pages,
+		},
+	}
+	if pagedOpenMs > 0 {
+		report.ColdOpenSpeedup = snapOpenMs / pagedOpenMs
+	}
+	if snapQ > 0 {
+		report.WarmQueryRatio = pagedQ / snapQ
+	}
+
+	fmt.Fprintf(w, "%-18s %14s %16s\n", "engine", "cold open ms", "query ns/op")
+	fmt.Fprintf(w, "%-18s %14.2f %16.0f\n", "snapshot", snapOpenMs, snapQ)
+	fmt.Fprintf(w, "%-18s %14.2f %16.0f\n", "paged", pagedOpenMs, pagedQ)
+	fmt.Fprintf(w, "%-18s %14s %16.0f   (hit ratio %.3f, %d evictions, %d/%d pages resident)\n",
+		"paged-tiny-cache", "-", tinyQ, st.HitRatio(), st.Evictions, st.Resident, st.Pages)
+	fmt.Fprintf(w, "cold open %.2fx faster paged; warm paged queries %.2fx RAM latency\n",
+		report.ColdOpenSpeedup, report.WarmQueryRatio)
+
+	if cfg.OutPath != "" {
+		// Accumulating array, like the shard and replica reports.
+		var reports []pagedBenchReport
+		if prev, err := os.ReadFile(cfg.OutPath); err == nil {
+			if json.Unmarshal(prev, &reports) != nil {
+				var single pagedBenchReport
+				if json.Unmarshal(prev, &single) == nil {
+					reports = append(reports, single)
+				}
+			}
+		}
+		reports = append(reports, report)
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.OutPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", cfg.OutPath)
+	}
+	return nil
+}

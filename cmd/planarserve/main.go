@@ -4,7 +4,12 @@
 //	planarserve -data ./db -dim 4 -addr :8080
 //
 // The data directory holds a CRC-checked snapshot plus a write-ahead
-// log; kill the process at any point and reopen to recover.
+// log; kill the process at any point and reopen to recover. With
+// -paged (or -page-cache-mb N) a fresh directory instead uses the
+// disk-paged tier: trees live in a CRC-checked page file and fault
+// through a bounded page cache, so the resident set can be far
+// smaller than the dataset. Directories reopen in whichever layout
+// they were created with.
 //
 // With -replicate-from the process runs as a read replica instead: it
 // bootstraps from the primary's snapshot, tails its commit stream,
@@ -35,11 +40,14 @@ import (
 func main() {
 	var (
 		dataDir    = flag.String("data", "planar-data", "data directory (snapshot + write-ahead log)")
+		dataDirAlt = flag.String("data-dir", "", "alias for -data")
 		dim        = flag.Int("dim", 0, "φ dimensionality (required for a fresh directory)")
 		addr       = flag.String("addr", ":8080", "listen address")
 		syncWrites = flag.Bool("sync", false, "fsync the log after every mutation")
 		checkpoint = flag.Int("checkpoint", 10000, "auto-checkpoint after this many mutations (0 = manual only)")
 		shards     = flag.Int("shards", 0, "partition the store across N shards (0 = unsharded; existing directories keep their layout)")
+		paged      = flag.Bool("paged", false, "use the disk-paged storage tier for a fresh directory (existing directories keep their layout)")
+		cacheMB    = flag.Int("page-cache-mb", 0, "page-cache budget in MiB for the paged tier (implies -paged; 0 = default budget)")
 
 		role          = flag.String("role", "", "primary or replica (default: replica iff -replicate-from is set)")
 		replicateFrom = flag.String("replicate-from", "", "primary base URL to replicate from (enables replica role)")
@@ -48,6 +56,16 @@ func main() {
 		shutdownWait  = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	if *dataDirAlt != "" {
+		*dataDir = *dataDirAlt
+	}
+	if *cacheMB < 0 {
+		log.Fatal("planarserve: -page-cache-mb must be >= 0")
+	}
+	if *cacheMB > 0 {
+		*paged = true
+	}
 
 	isReplica := *replicateFrom != ""
 	switch *role {
@@ -88,6 +106,8 @@ func main() {
 			SyncEveryWrite:  *syncWrites,
 			CheckpointEvery: *checkpoint,
 			Shards:          *shards,
+			Paged:           *paged,
+			PageCacheBytes:  *cacheMB << 20,
 		})
 		if err == nil {
 			api, err = httpapi.New(db)
@@ -107,6 +127,9 @@ func main() {
 		layout := "unsharded"
 		if db.Sharded() {
 			layout = fmt.Sprintf("%d shards", db.Shards())
+		}
+		if db.Paged() {
+			layout += ", paged"
 		}
 		fmt.Printf("planarserve: %d points (dim %d), %d indexes, %s, listening on %s\n",
 			db.Len(), db.Dim(), db.NumIndexes(), layout, *addr)

@@ -108,6 +108,13 @@ type Tree struct {
 	root   int32
 	size   int
 	height int // 0 empty, 1 a single leaf
+
+	// pg, when non-nil, puts the tree in paged-arena mode: the data
+	// columns above are unused and slot contents are faulted from a
+	// page file through a page cache instead (see paged.go). The
+	// metadata columns (lnum/lnext/lprev, knum/counts, free lists)
+	// stay resident either way.
+	pg *pagedArena
 }
 
 // arenaPool recycles Tree arenas across the rebuild churn: an index
@@ -120,9 +127,16 @@ var arenaPool = sync.Pool{New: func() any { return new(Tree) }}
 func New() *Tree { return &Tree{} }
 
 // Release resets the tree and returns its arenas to the package pool
-// for reuse by a future BulkLoad. The tree must not be used after
-// Release.
+// for reuse by a future BulkLoad. A paged tree instead frees its
+// on-disk pages back to its file (reclaimed at the next checkpoint
+// commit) and is not pooled. The tree must not be used after Release.
 func (t *Tree) Release() {
+	if t.pg != nil {
+		t.pg.destroy()
+		t.pg = nil
+		t.root, t.size, t.height = 0, 0, 0
+		return
+	}
 	t.reset()
 	arenaPool.Put(t)
 }
@@ -156,29 +170,47 @@ func (t *Tree) Height() int { return t.height }
 // Arena window accessors. Every view spans the slot's full window;
 // callers bound reads by lnum/knum. Views are invalidated by slot
 // allocation (the arena may move when it grows), so they are re-taken
-// after allocLeaf/allocInner and after recursive inserts.
+// after allocLeaf/allocInner and after recursive inserts. In paged
+// mode the views alias a pinned cache frame instead: frames never
+// move, and pins last until the op bracket ends, so the same
+// re-take-after-alloc code is valid for both representations.
 
 func (t *Tree) lkeys(s int32) []float64 {
+	if t.pg != nil {
+		return t.pg.leafView(s).keys
+	}
 	off := int(s) * leafCap
 	return t.keys[off : off+leafCap : off+leafCap]
 }
 
 func (t *Tree) lids(s int32) []uint32 {
+	if t.pg != nil {
+		return t.pg.leafView(s).ids
+	}
 	off := int(s) * leafCap
 	return t.ids[off : off+leafCap : off+leafCap]
 }
 
 func (t *Tree) skeys(s int32) []float64 {
+	if t.pg != nil {
+		return t.pg.innerView(s).keys
+	}
 	off := int(s) * sepCap
 	return t.sepKeys[off : off+sepCap : off+sepCap]
 }
 
 func (t *Tree) sids(s int32) []uint32 {
+	if t.pg != nil {
+		return t.pg.innerView(s).ids
+	}
 	off := int(s) * sepCap
 	return t.sepIDs[off : off+sepCap : off+sepCap]
 }
 
 func (t *Tree) kidv(s int32) []int32 {
+	if t.pg != nil {
+		return t.pg.innerView(s).kids
+	}
 	off := int(s) * innerCap
 	return t.kids[off : off+innerCap : off+innerCap]
 }
@@ -216,14 +248,24 @@ func (t *Tree) allocLeaf() int32 {
 		s := t.freeLeaf[n-1]
 		t.freeLeaf = t.freeLeaf[:n-1]
 		t.lnum[s], t.lnext[s], t.lprev[s] = 0, nilSlot, nilSlot
+		if t.pg != nil {
+			t.pg.materializeLeaf(s)
+		}
 		return s
 	}
 	s := int32(len(t.lnum))
-	t.keys = grown(t.keys, leafCap)
-	t.ids = grown(t.ids, leafCap)
+	if t.pg != nil {
+		t.pg.growLeaf()
+	} else {
+		t.keys = grown(t.keys, leafCap)
+		t.ids = grown(t.ids, leafCap)
+	}
 	t.lnum = append(t.lnum, 0)
 	t.lnext = append(t.lnext, nilSlot)
 	t.lprev = append(t.lprev, nilSlot)
+	if t.pg != nil {
+		t.pg.materializeLeaf(s)
+	}
 	return s
 }
 
@@ -233,24 +275,40 @@ func (t *Tree) allocInner() int32 {
 		s := t.freeInner[n-1]
 		t.freeInner = t.freeInner[:n-1]
 		t.knum[s], t.counts[s] = 0, 0
+		if t.pg != nil {
+			t.pg.materializeInner(s)
+		}
 		return s
 	}
 	s := int32(len(t.knum))
-	t.sepKeys = grown(t.sepKeys, sepCap)
-	t.sepIDs = grown(t.sepIDs, sepCap)
-	t.kids = grown(t.kids, innerCap)
+	if t.pg != nil {
+		t.pg.growInner()
+	} else {
+		t.sepKeys = grown(t.sepKeys, sepCap)
+		t.sepIDs = grown(t.sepIDs, sepCap)
+		t.kids = grown(t.kids, innerCap)
+	}
 	t.knum = append(t.knum, 0)
 	t.counts = append(t.counts, 0)
+	if t.pg != nil {
+		t.pg.materializeInner(s)
+	}
 	return s
 }
 
 func (t *Tree) freeLeafSlot(s int32) {
 	t.lnum[s], t.lnext[s], t.lprev[s] = 0, nilSlot, nilSlot
+	if t.pg != nil {
+		t.pg.dropLeaf(s)
+	}
 	t.freeLeaf = append(t.freeLeaf, s)
 }
 
 func (t *Tree) freeInnerSlot(s int32) {
 	t.knum[s], t.counts[s] = 0, 0
+	if t.pg != nil {
+		t.pg.dropInner(s)
+	}
 	t.freeInner = append(t.freeInner, s)
 }
 
@@ -421,6 +479,9 @@ func chunkWidth(rem, fill, min, max int) int {
 
 // Contains reports whether the (key, id) pair is present.
 func (t *Tree) Contains(key float64, id uint32) bool {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
 	if t.height == 0 {
 		return false
 	}
@@ -436,6 +497,9 @@ func (t *Tree) Contains(key float64, id uint32) bool {
 
 // Insert adds the pair, returning false if it was already present.
 func (t *Tree) Insert(key float64, id uint32) bool {
+	if t.beginOp(true) {
+		defer t.pg.end()
+	}
 	if t.height == 0 {
 		s := t.allocLeaf()
 		t.lkeys(s)[0], t.lids(s)[0] = key, id
@@ -562,6 +626,9 @@ func (t *Tree) innerInsertAt(s int32, ci int, sepK float64, sepI uint32, kid int
 
 // Delete removes the pair, returning false if it was not present.
 func (t *Tree) Delete(key float64, id uint32) bool {
+	if t.beginOp(true) {
+		defer t.pg.end()
+	}
 	if t.height == 0 {
 		return false
 	}
@@ -768,6 +835,9 @@ func (t *Tree) mergeChildren(s int32, li int, childLeaf bool) {
 
 // Min returns the smallest entry.
 func (t *Tree) Min() (Entry, bool) {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
 	s := t.firstLeaf()
 	if s == nilSlot {
 		return Entry{}, false
@@ -777,6 +847,9 @@ func (t *Tree) Min() (Entry, bool) {
 
 // Max returns the largest entry.
 func (t *Tree) Max() (Entry, bool) {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
 	s := t.lastLeaf()
 	if s == nilSlot {
 		return Entry{}, false
@@ -832,7 +905,10 @@ func (t *Tree) seekLE(key float64, id uint32) (int32, int) {
 // Ascend calls fn for every entry in ascending order until fn
 // returns false.
 func (t *Tree) Ascend(fn func(Entry) bool) {
-	for s := t.firstLeaf(); s != nilSlot; s = t.lnext[s] {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
+	for s := t.firstLeaf(); s != nilSlot; {
 		n := int(t.lnum[s])
 		lk, li := t.lkeys(s), t.lids(s)
 		for i := 0; i < n; i++ {
@@ -840,13 +916,18 @@ func (t *Tree) Ascend(fn func(Entry) bool) {
 				return
 			}
 		}
+		t.releaseLeaf(s)
+		s = t.lnext[s]
 	}
 }
 
 // AscendLE calls fn for every entry with Key <= maxKey in ascending
 // order until fn returns false.
 func (t *Tree) AscendLE(maxKey float64, fn func(Entry) bool) {
-	for s := t.firstLeaf(); s != nilSlot; s = t.lnext[s] {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
+	for s := t.firstLeaf(); s != nilSlot; {
 		n := int(t.lnum[s])
 		lk, li := t.lkeys(s), t.lids(s)
 		for i := 0; i < n; i++ {
@@ -857,6 +938,8 @@ func (t *Tree) AscendLE(maxKey float64, fn func(Entry) bool) {
 				return
 			}
 		}
+		t.releaseLeaf(s)
+		s = t.lnext[s]
 	}
 }
 
@@ -864,6 +947,13 @@ func (t *Tree) AscendLE(maxKey float64, fn func(Entry) bool) {
 // hiKeyIncl in ascending order until fn returns false. This is the
 // intermediate-interval scan.
 func (t *Tree) AscendRange(loKeyExcl, hiKeyIncl float64, fn func(Entry) bool) {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
+	t.ascendRange(loKeyExcl, hiKeyIncl, fn)
+}
+
+func (t *Tree) ascendRange(loKeyExcl, hiKeyIncl float64, fn func(Entry) bool) {
 	if loKeyExcl > hiKeyIncl {
 		return
 	}
@@ -879,6 +969,7 @@ func (t *Tree) AscendRange(loKeyExcl, hiKeyIncl float64, fn func(Entry) bool) {
 				return
 			}
 		}
+		t.releaseLeaf(s)
 		s = t.lnext[s]
 		i = 0
 	}
@@ -888,13 +979,19 @@ func (t *Tree) AscendRange(loKeyExcl, hiKeyIncl float64, fn func(Entry) bool) {
 // ascending order until fn returns false. This is the
 // larger-interval scan.
 func (t *Tree) AscendGT(minKeyExcl float64, fn func(Entry) bool) {
-	t.AscendRange(minKeyExcl, math.Inf(1), fn)
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
+	t.ascendRange(minKeyExcl, math.Inf(1), fn)
 }
 
 // DescendLE calls fn for every entry with Key <= maxKey in
 // descending order until fn returns false. This drives the top-k
 // walk over the smaller interval (Algorithm 2, lines 8-14).
 func (t *Tree) DescendLE(maxKey float64, fn func(Entry) bool) {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
 	s, i := t.seekLE(maxKey, ^uint32(0))
 	for s != nilSlot {
 		lk, li := t.lkeys(s), t.lids(s)
@@ -903,6 +1000,7 @@ func (t *Tree) DescendLE(maxKey float64, fn func(Entry) bool) {
 				return
 			}
 		}
+		t.releaseLeaf(s)
 		s = t.lprev[s]
 		if s != nilSlot {
 			i = int(t.lnum[s]) - 1
@@ -917,14 +1015,16 @@ func (t *Tree) DescendLE(maxKey float64, fn func(Entry) bool) {
 // export the batched verification engine consumes — the arena is the
 // column, so there is nothing to copy.
 func (t *Tree) Leaves(fn func(keys []float64, ids []uint32) bool) {
-	for s := t.firstLeaf(); s != nilSlot; s = t.lnext[s] {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
+	for s := t.firstLeaf(); s != nilSlot; {
 		n := int(t.lnum[s])
-		if n == 0 {
-			continue
-		}
-		if !fn(t.lkeys(s)[:n], t.lids(s)[:n]) {
+		if n > 0 && !fn(t.lkeys(s)[:n], t.lids(s)[:n]) {
 			return
 		}
+		t.releaseLeaf(s)
+		s = t.lnext[s]
 	}
 }
 
@@ -934,6 +1034,13 @@ func (t *Tree) Leaves(fn func(keys []float64, ids []uint32) bool) {
 // alias the arena and each chunk stays within one leaf (at most
 // LeafCap entries).
 func (t *Tree) RangeChunks(loKeyExcl, hiKeyIncl float64, fn func(keys []float64, ids []uint32) bool) {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
+	t.rangeChunks(loKeyExcl, hiKeyIncl, fn)
+}
+
+func (t *Tree) rangeChunks(loKeyExcl, hiKeyIncl float64, fn func(keys []float64, ids []uint32) bool) {
 	if loKeyExcl > hiKeyIncl {
 		return
 	}
@@ -952,6 +1059,7 @@ func (t *Tree) RangeChunks(loKeyExcl, hiKeyIncl float64, fn func(keys []float64,
 		if !fn(lk[i:n], li[i:n]) {
 			return
 		}
+		t.releaseLeaf(s)
 		s = t.lnext[s]
 		i = 0
 	}
@@ -960,7 +1068,10 @@ func (t *Tree) RangeChunks(loKeyExcl, hiKeyIncl float64, fn func(keys []float64,
 // CollectRange appends the ids of every entry with loKeyExcl < Key
 // <= hiKeyIncl to buf in ascending key order and returns it.
 func (t *Tree) CollectRange(loKeyExcl, hiKeyIncl float64, buf []uint32) []uint32 {
-	t.RangeChunks(loKeyExcl, hiKeyIncl, func(_ []float64, ids []uint32) bool {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
+	t.rangeChunks(loKeyExcl, hiKeyIncl, func(_ []float64, ids []uint32) bool {
 		buf = append(buf, ids...)
 		return true
 	})
@@ -972,6 +1083,13 @@ func (t *Tree) CollectRange(loKeyExcl, hiKeyIncl float64, buf []uint32) []uint32
 // This powers count-only queries and selectivity bounds without
 // scanning any interval.
 func (t *Tree) RankLE(maxKey float64) int {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
+	return t.rankLE(maxKey)
+}
+
+func (t *Tree) rankLE(maxKey float64) int {
 	if t.height == 0 {
 		return 0
 	}
@@ -996,10 +1114,13 @@ func (t *Tree) RankLE(maxKey float64) int {
 // CountRange returns the number of entries with
 // loKeyExcl < Key <= hiKeyIncl in O(log n).
 func (t *Tree) CountRange(loKeyExcl, hiKeyIncl float64) int {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
 	if loKeyExcl > hiKeyIncl {
 		return 0
 	}
-	c := t.RankLE(hiKeyIncl) - t.RankLE(loKeyExcl)
+	c := t.rankLE(hiKeyIncl) - t.rankLE(loKeyExcl)
 	if c < 0 {
 		return 0
 	}
@@ -1035,6 +1156,9 @@ func (t *Tree) Stats() Stats {
 // accounting) and returns a descriptive error on the first
 // violation. It is used by tests and costs O(n).
 func (t *Tree) Validate() error {
+	if t.beginOp(false) {
+		defer t.pg.end()
+	}
 	freeL := make(map[int32]bool, len(t.freeLeaf))
 	for _, s := range t.freeLeaf {
 		if freeL[s] {

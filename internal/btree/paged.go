@@ -1,0 +1,654 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"planar/internal/pager"
+)
+
+// Paged-arena mode. A tree opened with OpenPaged keeps only its slot
+// *metadata* (lnum/lnext/lprev, knum/counts, free lists — a few bytes
+// per slot) in RAM; the data columns (keys/ids for leaves,
+// sepKeys/sepIDs/kids for inner slots) live in one page per slot
+// inside a pager.File and are faulted through a shared pager.Cache on
+// first touch. The arena accessors hand out slices aliasing the
+// pinned cache frame, so every algorithm above them — including the
+// zero-copy Leaves/RangeChunks chunk APIs the verification kernels
+// consume — runs unchanged on either representation.
+//
+// Concurrency: a paged tree serializes its operations on an internal
+// mutex (the op bracket beginOp/endOp), trading the RAM tier's
+// concurrent readers for a single shared pin set. Pins taken during
+// an operation are released when it ends; the long scans additionally
+// release each leaf's pin as soon as its callback returns, so a full
+// scan holds O(height) pins, not O(n), and works with a cache far
+// smaller than the tree.
+//
+// Durability is copy-on-write against the file's checkpoint: the
+// first write to a slot since the last checkpoint moves it to a
+// freshly allocated page (the frame is rekeyed in place — same bytes,
+// new home — and the old page is freed into the pager's pending
+// list). Dirty frames are never written back between checkpoints and
+// are never evicted; FlushPaged writes them out and the caller's
+// pager.Commit publishes the new epoch atomically. A crash at any
+// moment therefore leaves the previous checkpoint intact.
+//
+// I/O errors inside an accessor have no error channel to ~50 call
+// sites, so a failed fault panics with a wrapped pager error:
+// fail-stop on a corrupt or unreadable page rather than silently
+// wrong query results. The pager-level APIs used by tests and
+// recovery return errors normally.
+
+// Per-slot page payload layout. One leaf slot or one inner slot maps
+// to exactly one page. Offsets keep every column 8- or 4-byte aligned
+// relative to the frame base (which the cache 8-aligns).
+const (
+	leafKeysOff  = 0
+	leafIDsOff   = leafCap * 8            // 2048
+	leafPayload  = leafIDsOff + leafCap*4 // 3072
+	innerSepOff  = 0
+	innerSIDsOff = sepCap * 8                // 504
+	innerKidsOff = innerSIDsOff + sepCap*4   // 756
+	innerPayload = innerKidsOff + innerCap*4 // 1012
+)
+
+// Compile-time: both node payloads must fit one pager page.
+var (
+	_ [pager.PayloadSize - leafPayload]byte
+	_ [pager.PayloadSize - innerPayload]byte
+)
+
+// leafColumns reinterprets a frame payload as the leaf key/id columns.
+func leafColumns(buf []byte) ([]float64, []uint32) {
+	keys := unsafe.Slice((*float64)(unsafe.Pointer(&buf[leafKeysOff])), leafCap)
+	ids := unsafe.Slice((*uint32)(unsafe.Pointer(&buf[leafIDsOff])), leafCap)
+	return keys, ids
+}
+
+// innerColumns reinterprets a frame payload as the separator/kid
+// columns.
+func innerColumns(buf []byte) ([]float64, []uint32, []int32) {
+	sk := unsafe.Slice((*float64)(unsafe.Pointer(&buf[innerSepOff])), sepCap)
+	si := unsafe.Slice((*uint32)(unsafe.Pointer(&buf[innerSIDsOff])), sepCap)
+	kv := unsafe.Slice((*int32)(unsafe.Pointer(&buf[innerKidsOff])), innerCap)
+	return sk, si, kv
+}
+
+// pagedView caches the pinned frame and derived column slices for one
+// slot for the duration of an operation.
+type pagedView struct {
+	f    *pager.Frame
+	keys []float64 // leaf keys, or inner sepKeys
+	ids  []uint32  // leaf ids, or inner sepIDs
+	kids []int32   // inner only
+}
+
+// pagedArena is the paged tree's extra state.
+type pagedArena struct {
+	mu    sync.Mutex
+	file  *pager.File
+	cache *pager.Cache
+
+	leafPage  []int64 // page per leaf slot, -1 for free slots
+	innerPage []int64
+	ldirty    []bool // slot modified since the last checkpoint
+	idirty    []bool
+
+	lview   []pagedView
+	iview   []pagedView
+	pinnedL []int32
+	pinnedI []int32
+	writeOp bool
+}
+
+func (pg *pagedArena) begin(write bool) {
+	pg.mu.Lock()
+	pg.writeOp = write
+}
+
+func (pg *pagedArena) end() {
+	for _, s := range pg.pinnedL {
+		if v := &pg.lview[s]; v.f != nil {
+			pg.cache.Unpin(v.f)
+			*v = pagedView{}
+		}
+	}
+	pg.pinnedL = pg.pinnedL[:0]
+	for _, s := range pg.pinnedI {
+		if v := &pg.iview[s]; v.f != nil {
+			pg.cache.Unpin(v.f)
+			*v = pagedView{}
+		}
+	}
+	pg.pinnedI = pg.pinnedI[:0]
+	pg.writeOp = false
+	pg.mu.Unlock()
+}
+
+// beginOp starts the op bracket on a paged tree and reports whether
+// endOp must run; RAM trees skip both. Public Tree methods use it as
+//
+//	if t.beginOp(write) { defer t.pg.end() }
+func (t *Tree) beginOp(write bool) bool {
+	if t.pg == nil {
+		return false
+	}
+	t.pg.begin(write)
+	return true
+}
+
+// leafView returns the slot's pinned view, faulting the page in on
+// first touch and performing the copy-on-write page move when the
+// current operation is a mutation.
+func (pg *pagedArena) leafView(s int32) *pagedView {
+	v := &pg.lview[s]
+	if v.f == nil {
+		pg.faultLeaf(s, v)
+	}
+	if pg.writeOp && !pg.ldirty[s] {
+		pg.cowLeaf(s, v)
+	}
+	return v
+}
+
+func (pg *pagedArena) innerView(s int32) *pagedView {
+	v := &pg.iview[s]
+	if v.f == nil {
+		pg.faultInner(s, v)
+	}
+	if pg.writeOp && !pg.idirty[s] {
+		pg.cowInner(s, v)
+	}
+	return v
+}
+
+func (pg *pagedArena) faultLeaf(s int32, v *pagedView) {
+	page := pg.leafPage[s]
+	if page < 0 {
+		panic(fmt.Sprintf("btree: paged fault on free leaf slot %d", s))
+	}
+	f, err := pg.cache.Get(uint64(page), func(buf []byte) error {
+		typ, err := pg.file.ReadPage(page, buf)
+		if err == nil && typ != pager.PageLeaf {
+			err = fmt.Errorf("btree: leaf slot %d page %d has page type %d", s, page, typ)
+		}
+		return err
+	})
+	if err != nil {
+		panic(fmt.Sprintf("btree: paged leaf fault failed: %v", err))
+	}
+	v.f = f
+	v.keys, v.ids = leafColumns(f.Bytes())
+	pg.pinnedL = append(pg.pinnedL, s)
+}
+
+func (pg *pagedArena) faultInner(s int32, v *pagedView) {
+	page := pg.innerPage[s]
+	if page < 0 {
+		panic(fmt.Sprintf("btree: paged fault on free inner slot %d", s))
+	}
+	f, err := pg.cache.Get(uint64(page), func(buf []byte) error {
+		typ, err := pg.file.ReadPage(page, buf)
+		if err == nil && typ != pager.PageInner {
+			err = fmt.Errorf("btree: inner slot %d page %d has page type %d", s, page, typ)
+		}
+		return err
+	})
+	if err != nil {
+		panic(fmt.Sprintf("btree: paged inner fault failed: %v", err))
+	}
+	v.f = f
+	v.keys, v.ids, v.kids = innerColumns(f.Bytes())
+	pg.pinnedI = append(pg.pinnedI, s)
+}
+
+// cowLeaf moves a clean slot to a fresh page before its first write
+// of the epoch, preserving the durable checkpoint's copy.
+func (pg *pagedArena) cowLeaf(s int32, v *pagedView) {
+	old := pg.leafPage[s]
+	np := pg.file.Alloc()
+	pg.cache.Rekey(v.f, uint64(np))
+	pg.cache.MarkDirty(v.f)
+	pg.file.Free(old)
+	pg.leafPage[s] = np
+	pg.ldirty[s] = true
+}
+
+func (pg *pagedArena) cowInner(s int32, v *pagedView) {
+	old := pg.innerPage[s]
+	np := pg.file.Alloc()
+	pg.cache.Rekey(v.f, uint64(np))
+	pg.cache.MarkDirty(v.f)
+	pg.file.Free(old)
+	pg.innerPage[s] = np
+	pg.idirty[s] = true
+}
+
+// materializeLeaf backs a newly allocated slot with a fresh zeroed
+// page (pinned and dirty: it exists only in the cache until the next
+// checkpoint flush).
+func (pg *pagedArena) materializeLeaf(s int32) {
+	np := pg.file.Alloc()
+	f := pg.cache.NewFrame(uint64(np))
+	pg.leafPage[s] = np
+	pg.ldirty[s] = true
+	v := &pg.lview[s]
+	v.f = f
+	v.keys, v.ids = leafColumns(f.Bytes())
+	pg.pinnedL = append(pg.pinnedL, s)
+}
+
+func (pg *pagedArena) materializeInner(s int32) {
+	np := pg.file.Alloc()
+	f := pg.cache.NewFrame(uint64(np))
+	pg.innerPage[s] = np
+	pg.idirty[s] = true
+	v := &pg.iview[s]
+	v.f = f
+	v.keys, v.ids, v.kids = innerColumns(f.Bytes())
+	pg.pinnedI = append(pg.pinnedI, s)
+}
+
+// growLeaf extends the per-slot bookkeeping for one fresh leaf slot.
+func (pg *pagedArena) growLeaf() {
+	pg.leafPage = append(pg.leafPage, -1)
+	pg.ldirty = append(pg.ldirty, false)
+	pg.lview = append(pg.lview, pagedView{})
+}
+
+func (pg *pagedArena) growInner() {
+	pg.innerPage = append(pg.innerPage, -1)
+	pg.idirty = append(pg.idirty, false)
+	pg.iview = append(pg.iview, pagedView{})
+}
+
+// dropLeaf releases a freed slot's page: the frame (pinned or not) is
+// discarded and the page joins the pager's pending free list.
+func (pg *pagedArena) dropLeaf(s int32) {
+	if page := pg.leafPage[s]; page >= 0 {
+		if v := &pg.lview[s]; v.f != nil {
+			// The pin dies with the frame; endOp skips cleared views.
+			*v = pagedView{}
+		}
+		pg.cache.Drop(uint64(page))
+		pg.file.Free(page)
+		pg.leafPage[s] = -1
+		pg.ldirty[s] = false
+	}
+}
+
+func (pg *pagedArena) dropInner(s int32) {
+	if page := pg.innerPage[s]; page >= 0 {
+		if v := &pg.iview[s]; v.f != nil {
+			*v = pagedView{}
+		}
+		pg.cache.Drop(uint64(page))
+		pg.file.Free(page)
+		pg.innerPage[s] = -1
+		pg.idirty[s] = false
+	}
+}
+
+// releaseLeaf drops the pin a long scan holds on a finished leaf so
+// the cache can evict behind the scan front.
+func (t *Tree) releaseLeaf(s int32) {
+	if t.pg == nil {
+		return
+	}
+	if v := &t.pg.lview[s]; v.f != nil {
+		t.pg.cache.Unpin(v.f)
+		*v = pagedView{}
+	}
+}
+
+// PagedMeta is the serializable description of a paged tree: the RAM
+// metadata columns plus the slot→page mapping. It is what a
+// checkpoint stores and OpenPaged consumes.
+type PagedMeta struct {
+	Root   int32
+	Height int32
+	Size   int64
+
+	Lnum, Lnext, Lprev  []int32
+	Knum, Counts        []int32
+	FreeLeaf, FreeInner []int32
+	LeafPage, InnerPage []int64
+}
+
+const pagedMetaVersion = 1
+
+// AppendTo serializes the meta, appending to buf.
+func (m *PagedMeta) AppendTo(buf []byte) []byte {
+	buf = append(buf, pagedMetaVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Root))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Height))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Size))
+	app32 := func(s []int32) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		for _, v := range s {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	app64 := func(s []int64) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		for _, v := range s {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+	}
+	app32(m.Lnum)
+	app32(m.Lnext)
+	app32(m.Lprev)
+	app32(m.Knum)
+	app32(m.Counts)
+	app32(m.FreeLeaf)
+	app32(m.FreeInner)
+	app64(m.LeafPage)
+	app64(m.InnerPage)
+	return buf
+}
+
+// DecodePagedMeta parses a meta blob produced by AppendTo.
+func DecodePagedMeta(buf []byte) (*PagedMeta, error) {
+	if len(buf) < 17 {
+		return nil, fmt.Errorf("btree: paged meta truncated (%d bytes)", len(buf))
+	}
+	if buf[0] != pagedMetaVersion {
+		return nil, fmt.Errorf("btree: paged meta version %d, want %d", buf[0], pagedMetaVersion)
+	}
+	m := &PagedMeta{
+		Root:   int32(binary.LittleEndian.Uint32(buf[1:])),
+		Height: int32(binary.LittleEndian.Uint32(buf[5:])),
+		Size:   int64(binary.LittleEndian.Uint64(buf[9:])),
+	}
+	rest := buf[17:]
+	var derr error
+	take32 := func() []int32 {
+		if derr != nil {
+			return nil
+		}
+		if len(rest) < 4 {
+			derr = fmt.Errorf("btree: paged meta truncated")
+			return nil
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if n < 0 || len(rest) < 4*n {
+			derr = fmt.Errorf("btree: paged meta slice of %d entries overruns blob", n)
+			return nil
+		}
+		s := make([]int32, n)
+		for i := range s {
+			s[i] = int32(binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+		rest = rest[4*n:]
+		return s
+	}
+	take64 := func() []int64 {
+		if derr != nil {
+			return nil
+		}
+		if len(rest) < 4 {
+			derr = fmt.Errorf("btree: paged meta truncated")
+			return nil
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if n < 0 || len(rest) < 8*n {
+			derr = fmt.Errorf("btree: paged meta slice of %d entries overruns blob", n)
+			return nil
+		}
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		rest = rest[8*n:]
+		return s
+	}
+	m.Lnum = take32()
+	m.Lnext = take32()
+	m.Lprev = take32()
+	m.Knum = take32()
+	m.Counts = take32()
+	m.FreeLeaf = take32()
+	m.FreeInner = take32()
+	m.LeafPage = take64()
+	m.InnerPage = take64()
+	if derr != nil {
+		return nil, derr
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("btree: paged meta has %d trailing bytes", len(rest))
+	}
+	return m, nil
+}
+
+// validate sanity-checks a decoded meta before trusting its slot
+// references.
+func (m *PagedMeta) validate() error {
+	nl, ni := len(m.Lnum), len(m.Knum)
+	if len(m.Lnext) != nl || len(m.Lprev) != nl || len(m.LeafPage) != nl {
+		return fmt.Errorf("btree: paged meta leaf columns disagree (%d/%d/%d/%d)", nl, len(m.Lnext), len(m.Lprev), len(m.LeafPage))
+	}
+	if len(m.Counts) != ni || len(m.InnerPage) != ni {
+		return fmt.Errorf("btree: paged meta inner columns disagree (%d/%d/%d)", ni, len(m.Counts), len(m.InnerPage))
+	}
+	if m.Height < 0 || m.Size < 0 {
+		return fmt.Errorf("btree: paged meta has negative height/size")
+	}
+	if m.Height > 0 {
+		rootMax := int32(nl)
+		if m.Height > 1 {
+			rootMax = int32(ni)
+		}
+		if m.Root < 0 || m.Root >= rootMax {
+			return fmt.Errorf("btree: paged meta root %d out of range", m.Root)
+		}
+	}
+	for _, s := range m.FreeLeaf {
+		if s < 0 || int(s) >= nl {
+			return fmt.Errorf("btree: paged meta free leaf %d out of range", s)
+		}
+	}
+	for _, s := range m.FreeInner {
+		if s < 0 || int(s) >= ni {
+			return fmt.Errorf("btree: paged meta free inner %d out of range", s)
+		}
+	}
+	return nil
+}
+
+// OpenPaged materializes a tree from a checkpointed PagedMeta. Slot
+// metadata is loaded eagerly (a few bytes per slot); the data columns
+// stay on disk and fault through cache on first touch. The returned
+// tree owns its pages: Release frees them back to the file.
+func OpenPaged(file *pager.File, cache *pager.Cache, m *PagedMeta) (*Tree, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		lnum:      append([]int32(nil), m.Lnum...),
+		lnext:     append([]int32(nil), m.Lnext...),
+		lprev:     append([]int32(nil), m.Lprev...),
+		knum:      append([]int32(nil), m.Knum...),
+		counts:    append([]int32(nil), m.Counts...),
+		freeLeaf:  append([]int32(nil), m.FreeLeaf...),
+		freeInner: append([]int32(nil), m.FreeInner...),
+		root:      m.Root,
+		size:      int(m.Size),
+		height:    int(m.Height),
+	}
+	t.pg = &pagedArena{
+		file:      file,
+		cache:     cache,
+		leafPage:  append([]int64(nil), m.LeafPage...),
+		innerPage: append([]int64(nil), m.InnerPage...),
+		ldirty:    make([]bool, len(m.LeafPage)),
+		idirty:    make([]bool, len(m.InnerPage)),
+		lview:     make([]pagedView, len(m.LeafPage)),
+		iview:     make([]pagedView, len(m.InnerPage)),
+	}
+	return t, nil
+}
+
+// Paged reports whether the tree runs in paged-arena mode.
+func (t *Tree) Paged() bool { return t.pg != nil }
+
+// pagedMeta snapshots the tree's current metadata (cloned slices).
+// For RAM trees the page maps are left empty; WritePaged fills them.
+func (t *Tree) pagedMeta() *PagedMeta {
+	m := &PagedMeta{
+		Root:      t.root,
+		Height:    int32(t.height),
+		Size:      int64(t.size),
+		Lnum:      append([]int32(nil), t.lnum...),
+		Lnext:     append([]int32(nil), t.lnext...),
+		Lprev:     append([]int32(nil), t.lprev...),
+		Knum:      append([]int32(nil), t.knum...),
+		Counts:    append([]int32(nil), t.counts...),
+		FreeLeaf:  append([]int32(nil), t.freeLeaf...),
+		FreeInner: append([]int32(nil), t.freeInner...),
+	}
+	if t.pg != nil {
+		m.LeafPage = append([]int64(nil), t.pg.leafPage...)
+		m.InnerPage = append([]int64(nil), t.pg.innerPage...)
+	}
+	return m
+}
+
+// FlushPaged writes every dirty slot back to its (already
+// copy-on-write-relocated) page and returns the metadata to store in
+// the checkpoint. The caller is responsible for pager.Commit; until
+// then the previous checkpoint remains the durable state.
+func (t *Tree) FlushPaged() (*PagedMeta, error) {
+	pg := t.pg
+	if pg == nil {
+		return nil, fmt.Errorf("btree: FlushPaged on a non-paged tree")
+	}
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	for s, dirty := range pg.ldirty {
+		if !dirty {
+			continue
+		}
+		f, ok := pg.cache.Lookup(uint64(pg.leafPage[s]))
+		if !ok {
+			return nil, fmt.Errorf("btree: dirty leaf slot %d not resident", s)
+		}
+		err := pg.file.WritePage(pg.leafPage[s], pager.PageLeaf, f.Bytes()[:leafPayload])
+		if err == nil {
+			pg.cache.MarkClean(f)
+			pg.ldirty[s] = false
+		}
+		pg.cache.Unpin(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for s, dirty := range pg.idirty {
+		if !dirty {
+			continue
+		}
+		f, ok := pg.cache.Lookup(uint64(pg.innerPage[s]))
+		if !ok {
+			return nil, fmt.Errorf("btree: dirty inner slot %d not resident", s)
+		}
+		err := pg.file.WritePage(pg.innerPage[s], pager.PageInner, f.Bytes()[:innerPayload])
+		if err == nil {
+			pg.cache.MarkClean(f)
+			pg.idirty[s] = false
+		}
+		pg.cache.Unpin(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t.pagedMeta(), nil
+}
+
+// WritePaged writes a RAM tree's full contents into the file as one
+// page per live slot and returns the metadata describing it. The tree
+// itself stays a RAM tree (live trees only become paged through
+// OpenPaged after a restart); the caller owns the returned pages and
+// frees them when it rewrites the tree at the next checkpoint.
+func (t *Tree) WritePaged(file *pager.File) (*PagedMeta, error) {
+	if t.pg != nil {
+		return nil, fmt.Errorf("btree: WritePaged on an already-paged tree")
+	}
+	freeL := make(map[int32]bool, len(t.freeLeaf))
+	for _, s := range t.freeLeaf {
+		freeL[s] = true
+	}
+	freeI := make(map[int32]bool, len(t.freeInner))
+	for _, s := range t.freeInner {
+		freeI[s] = true
+	}
+	var page [pager.PayloadSize]byte
+	pk, pi := leafColumns(page[:])
+	m := t.pagedMeta()
+	m.LeafPage = make([]int64, len(t.lnum))
+	m.InnerPage = make([]int64, len(t.knum))
+	for s := range t.lnum {
+		if freeL[int32(s)] {
+			m.LeafPage[s] = -1
+			continue
+		}
+		p := file.Alloc()
+		copy(pk, t.lkeys(int32(s)))
+		copy(pi, t.lids(int32(s)))
+		if err := file.WritePage(p, pager.PageLeaf, page[:leafPayload]); err != nil {
+			return nil, err
+		}
+		m.LeafPage[s] = p
+	}
+	sk, si, kv := innerColumns(page[:])
+	for s := range t.knum {
+		if freeI[int32(s)] {
+			m.InnerPage[s] = -1
+			continue
+		}
+		p := file.Alloc()
+		copy(sk, t.skeys(int32(s)))
+		copy(si, t.sids(int32(s)))
+		copy(kv, t.kidv(int32(s)))
+		if err := file.WritePage(p, pager.PageInner, page[:innerPayload]); err != nil {
+			return nil, err
+		}
+		m.InnerPage[s] = p
+	}
+	return m, nil
+}
+
+// Pages appends every on-disk page a PagedMeta references to dst and
+// returns it — the page set a checkpoint owner must free when it
+// supersedes the meta.
+func (m *PagedMeta) Pages(dst []int64) []int64 {
+	for _, p := range m.LeafPage {
+		if p >= 0 {
+			dst = append(dst, p)
+		}
+	}
+	for _, p := range m.InnerPage {
+		if p >= 0 {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// destroy frees every page the paged tree owns and drops their
+// frames. Called from Release (e.g. when an index rebuild replaces a
+// paged tree with a fresh RAM bulk load); the pages become
+// allocatable after the next pager commit.
+func (pg *pagedArena) destroy() {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	for s := range pg.leafPage {
+		pg.dropLeaf(int32(s))
+	}
+	for s := range pg.innerPage {
+		pg.dropInner(int32(s))
+	}
+}

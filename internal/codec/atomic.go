@@ -1,0 +1,51 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// atomicWriteFile publishes a file atomically: the content is written
+// to a same-directory temp file, synced, renamed over path, and the
+// directory entry is synced so the rename itself survives a crash.
+// Readers therefore see either the previous complete file or the new
+// complete file, never a torn write. write receives the open temp
+// file and must not close it.
+func atomicWriteFile(path string, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	if err := write(tmp); err != nil {
+		err = errors.Join(err, tmp.Close(), os.Remove(tmpPath))
+		return fmt.Errorf("codec: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		err = errors.Join(err, tmp.Close(), os.Remove(tmpPath))
+		return fmt.Errorf("codec: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return errors.Join(fmt.Errorf("codec: closing %s: %w", path, err), os.Remove(tmpPath))
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return errors.Join(err, os.Remove(tmpPath))
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

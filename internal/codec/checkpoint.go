@@ -1,0 +1,482 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"planar/internal/btree"
+	"planar/internal/core"
+	"planar/internal/pager"
+	"planar/internal/vecmath"
+)
+
+// Paged checkpoints. Where Snapshot rewrites the whole state as one
+// flat file and rebuilds every index tree on load, a PagedStore keeps
+// the state inside a pager.File: the point store travels as a chain of
+// blob pages (read eagerly on open — the verification kernels need the
+// rows resident), and each index tree is checkpointed as one page per
+// node plus a btree.PagedMeta. Opening is therefore pread-lazy for the
+// dominant cost: trees come back in paged-arena mode with only their
+// slot metadata in RAM, and node pages fault through a shared cache on
+// first touch instead of being rebuilt with an O(n log n) bulk load.
+//
+// Page ownership is split two ways. Trees that are already paged
+// relocate their nodes copy-on-write as they are mutated and free
+// their own pages; Checkpoint merely flushes their dirty frames in
+// place. Trees living in RAM (freshly built since the last restart)
+// are dumped as a brand-new page set each checkpoint, and those pages
+// — like the store blob's — are owned by the PagedStore, which frees
+// the previous checkpoint's set when the next one supersedes it.
+//
+// Crash safety comes from the pager: nothing here overwrites a page
+// reachable from the durable superblock, and Commit publishes the new
+// page set atomically. A failed checkpoint leaves the previous one
+// bit-identical on disk.
+
+const (
+	pagedMagic   = uint32(0x504c4e43) // "PLNC"
+	pagedVersion = byte(1)
+)
+
+// PagedStore is an open paged checkpoint file plus the page cache its
+// trees fault through.
+type PagedStore struct {
+	file  *pager.File
+	cache *pager.Cache
+	dim   int
+	// owned is the store-blob and RAM-tree-dump page set of the last
+	// committed checkpoint; the next Checkpoint frees it.
+	owned []int64
+}
+
+// CreatePaged creates a fresh paged checkpoint file for an empty
+// dim-dimensional store. cacheBytes sizes the shared page cache (a
+// small floor is enforced).
+func CreatePaged(path string, dim int, cacheBytes int) (*PagedStore, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("codec: dimension must be positive, got %d", dim)
+	}
+	meta := encodePagedUserMeta(dim, 0, nil, nil)
+	f, err := pager.Create(path, meta, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &PagedStore{
+		file:  f,
+		cache: pager.NewCache(cacheBytes, pager.PayloadSize),
+		dim:   dim,
+	}, nil
+}
+
+// OpenPaged opens an existing paged checkpoint and materialises its
+// Multi: the point store is read into RAM, every index is reattached
+// with its tree in paged-arena mode. On success the caller owns both
+// the returned store (Close it last) and the Multi.
+func OpenPaged(path string, cacheBytes int, opts ...core.MultiOption) (*PagedStore, *core.Multi, error) {
+	f, err := pager.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps, m, err := openPagedFile(f, cacheBytes, opts...)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return ps, m, nil
+}
+
+func openPagedFile(f *pager.File, cacheBytes int, opts ...core.MultiOption) (*PagedStore, *core.Multi, error) {
+	dec, err := decodePagedUserMeta(f.Meta())
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := dec.buildStore(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.NewMulti(store, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := &PagedStore{
+		file:  f,
+		cache: pager.NewCache(cacheBytes, pager.PayloadSize),
+		dim:   dec.dim,
+		owned: append([]int64(nil), dec.blobPages...),
+	}
+	prebuilt := make([]core.PrebuiltIndex, len(dec.indexes))
+	for i, ix := range dec.indexes {
+		tree, err := btree.OpenPaged(f, ps.cache, ix.meta)
+		if err != nil {
+			return nil, nil, fmt.Errorf("codec: index %d: %w", i, err)
+		}
+		prebuilt[i] = core.PrebuiltIndex{
+			Normal: ix.normal,
+			Signs:  ix.signs,
+			Delta:  ix.delta,
+			Tree:   tree,
+		}
+	}
+	if err := m.AttachPrebuilt(prebuilt); err != nil {
+		return nil, nil, err
+	}
+	return ps, m, nil
+}
+
+// Checkpoint writes m's full state as the file's next durable epoch:
+// a fresh store blob, every index tree flushed (paged) or dumped
+// (RAM), the previous checkpoint's owned pages freed, and one atomic
+// pager.Commit carrying lsn. The caller must exclude concurrent
+// mutations of m for the duration; on error the previous checkpoint
+// remains the durable state.
+func (ps *PagedStore) Checkpoint(m *core.Multi, lsn uint64) error {
+	store := m.Store()
+	if store.Dim() != ps.dim {
+		return fmt.Errorf("codec: checkpoint dimension %d into a %d-dimensional paged store", store.Dim(), ps.dim)
+	}
+	data, live, free := store.Raw()
+	blob := encodeStoreBlob(ps.dim, data, live, free)
+	blobPages, err := ps.writeBlob(blob)
+	if err != nil {
+		return err
+	}
+	persists, err := m.CheckpointIndexes(ps.file)
+	if err != nil {
+		return err
+	}
+	newOwned := append([]int64(nil), blobPages...)
+	for _, p := range persists {
+		if p.Owned {
+			newOwned = p.Meta.Pages(newOwned)
+		}
+	}
+	meta := encodePagedUserMeta(ps.dim, int64(len(blob)), blobPages, persists)
+
+	// Free the superseded page set exactly once: ps.owned is cleared
+	// before Commit so a failed commit retried later cannot double-free
+	// (the freed pages only become allocatable after a commit succeeds,
+	// which also publishes the meta that no longer references them).
+	olds := ps.owned
+	ps.owned = nil
+	for _, p := range olds {
+		ps.file.Free(p)
+	}
+	if err := ps.file.Commit(meta, lsn); err != nil {
+		return err
+	}
+	ps.owned = newOwned
+	return nil
+}
+
+// writeBlob chunks blob into PageBlob pages.
+func (ps *PagedStore) writeBlob(blob []byte) ([]int64, error) {
+	var pages []int64
+	for off := 0; off < len(blob); off += pager.PayloadSize {
+		end := off + pager.PayloadSize
+		if end > len(blob) {
+			end = len(blob)
+		}
+		p := ps.file.Alloc()
+		if err := ps.file.WritePage(p, pager.PageBlob, blob[off:end]); err != nil {
+			return nil, err
+		}
+		pages = append(pages, p)
+	}
+	return pages, nil
+}
+
+// PageTierStats is the observable state of one paged store: cache
+// counters plus file size and the durable checkpoint position. Sharded
+// deployments aggregate one per partition with Add.
+type PageTierStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Resident      int // frames currently resident
+	Target        int // soft cache capacity in frames
+	Pages         int64
+	CheckpointLSN uint64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any access.
+func (s PageTierStats) HitRatio() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Add merges another store's counters (sizes sum; the checkpoint LSN
+// keeps the maximum).
+func (s PageTierStats) Add(o PageTierStats) PageTierStats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Resident += o.Resident
+	s.Target += o.Target
+	s.Pages += o.Pages
+	if o.CheckpointLSN > s.CheckpointLSN {
+		s.CheckpointLSN = o.CheckpointLSN
+	}
+	return s
+}
+
+// Stats snapshots the store's page-tier counters.
+func (ps *PagedStore) Stats() PageTierStats {
+	cs := ps.cache.Stats()
+	return PageTierStats{
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Evictions:     cs.Evictions,
+		Resident:      cs.Resident,
+		Target:        cs.Target,
+		Pages:         ps.file.NumPages(),
+		CheckpointLSN: ps.file.CheckpointLSN(),
+	}
+}
+
+// Cache returns the shared page cache (trees opened from this store
+// fault through it).
+func (ps *PagedStore) Cache() *pager.Cache { return ps.cache }
+
+// CacheStats returns the page cache counters.
+func (ps *PagedStore) CacheStats() pager.CacheStats { return ps.cache.Stats() }
+
+// CheckpointLSN returns the WAL LSN the durable checkpoint covers;
+// replay resumes after it.
+func (ps *PagedStore) CheckpointLSN() uint64 { return ps.file.CheckpointLSN() }
+
+// NumPages returns the page-file length in pages.
+func (ps *PagedStore) NumPages() int64 { return ps.file.NumPages() }
+
+// Path returns the page file's path.
+func (ps *PagedStore) Path() string { return ps.file.Path() }
+
+// Dim returns the store dimensionality recorded in the file.
+func (ps *PagedStore) Dim() int { return ps.dim }
+
+// Close closes the underlying page file. Trees opened from this store
+// must not be used afterwards.
+func (ps *PagedStore) Close() error { return ps.file.Close() }
+
+// ---- store blob ----
+
+// encodeStoreBlob serialises the point store's exact raw layout:
+// dim, row/free counts, live bitmap, row data, free list. Integrity
+// is the pager's per-page CRC; the blob carries no extra checksum.
+func encodeStoreBlob(dim int, data []float64, live []bool, free []uint32) []byte {
+	buf := make([]byte, 0, 12+len(live)+8*len(data)+4*len(free))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(live)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(free)))
+	for _, lv := range live {
+		b := byte(0)
+		if lv {
+			b = 1
+		}
+		buf = append(buf, b)
+	}
+	for _, v := range data {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, id := range free {
+		buf = binary.LittleEndian.AppendUint32(buf, id)
+	}
+	return buf
+}
+
+func decodeStoreBlob(blob []byte, wantDim int) (*core.PointStore, error) {
+	if len(blob) < 12 {
+		return nil, fmt.Errorf("%w: store blob truncated (%d bytes)", ErrCorrupt, len(blob))
+	}
+	dim := int(binary.LittleEndian.Uint32(blob[0:]))
+	nRows := int(binary.LittleEndian.Uint32(blob[4:]))
+	nFree := int(binary.LittleEndian.Uint32(blob[8:]))
+	if dim != wantDim {
+		return nil, fmt.Errorf("%w: store blob dimension %d, meta says %d", ErrCorrupt, dim, wantDim)
+	}
+	need := 12 + nRows + 8*nRows*dim + 4*nFree
+	if nRows < 0 || nFree < 0 || len(blob) != need {
+		return nil, fmt.Errorf("%w: store blob is %d bytes, header implies %d", ErrCorrupt, len(blob), need)
+	}
+	live := make([]bool, nRows)
+	off := 12
+	for i := range live {
+		live[i] = blob[off+i] != 0
+	}
+	off += nRows
+	data := make([]float64, nRows*dim)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[off:]))
+		off += 8
+	}
+	free := make([]uint32, nFree)
+	for i := range free {
+		free[i] = binary.LittleEndian.Uint32(blob[off:])
+		off += 4
+	}
+	store, err := core.NewPointStoreFromRaw(dim, data, live, free)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return store, nil
+}
+
+// ---- user meta ----
+
+type pagedIndexMeta struct {
+	normal []float64
+	signs  vecmath.SignPattern
+	delta  []float64
+	meta   *btree.PagedMeta
+}
+
+type pagedUserMeta struct {
+	dim       int
+	blobLen   int64
+	blobPages []int64
+	indexes   []pagedIndexMeta
+}
+
+// buildStore reads the blob page chain and decodes the point store.
+func (d *pagedUserMeta) buildStore(f *pager.File) (*core.PointStore, error) {
+	if len(d.blobPages) == 0 && d.blobLen == 0 {
+		return core.NewPointStore(d.dim)
+	}
+	blob := make([]byte, 0, d.blobLen)
+	buf := make([]byte, pager.PayloadSize)
+	remaining := d.blobLen
+	for _, p := range d.blobPages {
+		typ, err := f.ReadPage(p, buf)
+		if err != nil {
+			return nil, fmt.Errorf("codec: store blob page %d: %w", p, err)
+		}
+		if typ != pager.PageBlob {
+			return nil, fmt.Errorf("%w: store blob page %d has type %d", ErrCorrupt, p, typ)
+		}
+		n := int64(pager.PayloadSize)
+		if n > remaining {
+			n = remaining
+		}
+		blob = append(blob, buf[:n]...)
+		remaining -= n
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("%w: store blob pages cover %d of %d bytes", ErrCorrupt, d.blobLen-remaining, d.blobLen)
+	}
+	return decodeStoreBlob(blob, d.dim)
+}
+
+func encodePagedUserMeta(dim int, blobLen int64, blobPages []int64, persists []core.IndexPersist) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, pagedMagic)
+	buf = append(buf, pagedVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(blobLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blobPages)))
+	for _, p := range blobPages {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(persists)))
+	for _, ix := range persists {
+		for _, v := range ix.Normal {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		for _, s := range ix.Signs {
+			buf = append(buf, byte(s))
+		}
+		for _, v := range ix.Delta {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		mb := ix.Meta.AppendTo(nil)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mb)))
+		buf = append(buf, mb...)
+	}
+	return buf
+}
+
+func decodePagedUserMeta(buf []byte) (*pagedUserMeta, error) {
+	if len(buf) < 21 {
+		return nil, fmt.Errorf("%w: paged meta truncated (%d bytes)", ErrCorrupt, len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf); m != pagedMagic {
+		return nil, fmt.Errorf("%w: bad paged meta magic %08x", ErrCorrupt, m)
+	}
+	if buf[4] != pagedVersion {
+		return nil, fmt.Errorf("codec: unsupported paged meta version %d", buf[4])
+	}
+	d := &pagedUserMeta{
+		dim:     int(binary.LittleEndian.Uint32(buf[5:])),
+		blobLen: int64(binary.LittleEndian.Uint64(buf[9:])),
+	}
+	if d.dim <= 0 || d.dim > 1<<16 || d.blobLen < 0 {
+		return nil, fmt.Errorf("%w: implausible paged meta (dim=%d blobLen=%d)", ErrCorrupt, d.dim, d.blobLen)
+	}
+	rest := buf[17:]
+	take := func(n int, what string) ([]byte, error) {
+		if n < 0 || len(rest) < n {
+			return nil, fmt.Errorf("%w: paged meta %s overruns blob", ErrCorrupt, what)
+		}
+		b := rest[:n]
+		rest = rest[n:]
+		return b, nil
+	}
+	b, err := take(4, "blob page count")
+	if err != nil {
+		return nil, err
+	}
+	nBlob := int(binary.LittleEndian.Uint32(b))
+	if b, err = take(8*nBlob, "blob page list"); err != nil {
+		return nil, err
+	}
+	d.blobPages = make([]int64, nBlob)
+	for i := range d.blobPages {
+		d.blobPages[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	if b, err = take(4, "index count"); err != nil {
+		return nil, err
+	}
+	nIdx := int(binary.LittleEndian.Uint32(b))
+	if nIdx > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible index count %d", ErrCorrupt, nIdx)
+	}
+	d.indexes = make([]pagedIndexMeta, nIdx)
+	for i := range d.indexes {
+		ix := &d.indexes[i]
+		if b, err = take(8*d.dim, "index normal"); err != nil {
+			return nil, err
+		}
+		ix.normal = make([]float64, d.dim)
+		for j := range ix.normal {
+			ix.normal[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+		}
+		if b, err = take(d.dim, "index signs"); err != nil {
+			return nil, err
+		}
+		ix.signs = make(vecmath.SignPattern, d.dim)
+		for j := range ix.signs {
+			ix.signs[j] = int8(b[j])
+		}
+		if b, err = take(8*d.dim, "index delta"); err != nil {
+			return nil, err
+		}
+		ix.delta = make([]float64, d.dim)
+		for j := range ix.delta {
+			ix.delta[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+		}
+		if b, err = take(4, "index meta length"); err != nil {
+			return nil, err
+		}
+		mlen := int(binary.LittleEndian.Uint32(b))
+		if b, err = take(mlen, "index tree meta"); err != nil {
+			return nil, err
+		}
+		if ix.meta, err = btree.DecodePagedMeta(b); err != nil {
+			return nil, fmt.Errorf("%w: index %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: paged meta has %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return d, nil
+}

@@ -297,21 +297,11 @@ func Read(r io.Reader) (*Snapshot, error) {
 	return s, nil
 }
 
-// Save writes the snapshot to a file and syncs it.
-func (s *Snapshot) Save(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	if err := s.Write(f); err != nil {
-		return err
-	}
-	return f.Sync()
+// Save writes the snapshot to a file atomically: the bytes land in a
+// temp file that is synced and renamed over path, so a crash mid-save
+// leaves any previous snapshot intact rather than a torn file.
+func (s *Snapshot) Save(path string) error {
+	return atomicWriteFile(path, func(f *os.File) error { return s.Write(f) })
 }
 
 // Load reads a snapshot from a file.

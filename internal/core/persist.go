@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"planar/internal/btree"
+	"planar/internal/pager"
+	"planar/internal/vecmath"
+)
+
+// This file is the index side of the disk-paged checkpoint protocol
+// (package codec owns the file format). Two flows meet here:
+//
+//   - Checkpoint: CheckpointIndexes turns every index into an
+//     IndexPersist — geometry plus a btree.PagedMeta whose pages are
+//     durable once the caller commits the pager file.
+//   - Restart: AttachPrebuilt installs indexes whose trees were opened
+//     straight from those pages (btree.OpenPaged), skipping the
+//     O(n log n) bulk rebuild that Snapshot.Restore pays.
+//
+// The translation offsets (delta) are part of the persisted geometry:
+// tree keys are ⟨cs, φ⟩ + ⟨c, delta⟩, and a live index's delta can be
+// wider than what rebuild() would recompute from the current points
+// (deletes never shrink it). Restoring with a recomputed delta would
+// silently shift every key, so the exact vector travels with the tree.
+
+// PrebuiltIndex is the restart-path constructor input for one index:
+// its geometry plus an already-materialised tree (typically paged).
+type PrebuiltIndex struct {
+	Normal []float64
+	Signs  vecmath.SignPattern
+	Delta  []float64
+	Tree   *btree.Tree
+}
+
+// IndexPersist is the durable state of one index at a checkpoint.
+// Owned reports that the meta's pages were freshly written by this
+// checkpoint pass (a RAM tree dumped via WritePaged) and are therefore
+// owned — and later freed — by the checkpoint writer; paged trees
+// manage their own pages copy-on-write and Owned is false.
+type IndexPersist struct {
+	Normal []float64
+	Signs  vecmath.SignPattern
+	Delta  []float64
+	Meta   *btree.PagedMeta
+	Owned  bool
+}
+
+// newPrebuiltIndex validates a PrebuiltIndex against store and wires
+// it up without rebuilding its tree.
+func newPrebuiltIndex(store *PointStore, p PrebuiltIndex, guard float64) (*Index, error) {
+	if store == nil {
+		return nil, errors.New("core: nil point store")
+	}
+	if p.Tree == nil {
+		return nil, errors.New("core: prebuilt index has nil tree")
+	}
+	d := store.Dim()
+	if err := vecmath.CheckDim("index normal", p.Normal, d); err != nil {
+		return nil, err
+	}
+	if !vecmath.AllFinite(p.Normal) {
+		return nil, errors.New("core: index normal must be finite")
+	}
+	for i, v := range p.Normal {
+		if v <= 0 {
+			return nil, fmt.Errorf("core: index normal component %d is %v, must be > 0", i, v)
+		}
+	}
+	if len(p.Signs) != d {
+		return nil, fmt.Errorf("core: sign pattern has dimension %d, want %d", len(p.Signs), d)
+	}
+	for i, s := range p.Signs {
+		if s != 1 && s != -1 {
+			return nil, fmt.Errorf("core: sign pattern component %d is %d, must be ±1", i, s)
+		}
+	}
+	if err := vecmath.CheckDim("index delta", p.Delta, d); err != nil {
+		return nil, err
+	}
+	if !vecmath.AllFinite(p.Delta) {
+		return nil, errors.New("core: index delta must be finite")
+	}
+	for i, v := range p.Delta {
+		if v < 0 {
+			return nil, fmt.Errorf("core: index delta component %d is %v, must be >= 0", i, v)
+		}
+	}
+	ix := &Index{
+		store: store,
+		c:     vecmath.Clone(p.Normal),
+		signs: append(vecmath.SignPattern(nil), p.Signs...),
+		delta: vecmath.Clone(p.Delta),
+		tree:  p.Tree,
+		guard: guard,
+	}
+	ix.cs = make([]float64, d)
+	for i := 0; i < d; i++ {
+		ix.cs[i] = ix.c[i] * float64(ix.signs[i])
+	}
+	ix.base = vecmath.Dot(ix.c, ix.delta)
+	ix.vecFn = store.Vector
+	ix.eachFn = store.Each
+	return ix, nil
+}
+
+// AttachPrebuilt installs restored indexes without rebuilding their
+// trees — the restart path mirroring Snapshot.Restore's AddNormals.
+// No redundancy filtering is applied: a checkpoint records exactly the
+// index set that was live, so it is reattached verbatim.
+func (m *Multi) AttachPrebuilt(ps []PrebuiltIndex) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	built := make([]*Index, len(ps))
+	for i, p := range ps {
+		ix, err := newPrebuiltIndex(m.store, p, m.guard)
+		if err != nil {
+			return fmt.Errorf("core: prebuilt index %d: %w", i, err)
+		}
+		built[i] = ix
+	}
+	m.indexes = append(m.indexes, built...)
+	m.epoch++
+	return nil
+}
+
+// Tree exposes the index's underlying key tree for inspection (e.g.
+// checking paged mode after a restart). Callers must not mutate it.
+func (ix *Index) Tree() *btree.Tree {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree
+}
+
+// persist checkpoints one index's tree into file: paged trees flush
+// their dirty pages in place (copy-on-write already relocated them),
+// RAM trees are dumped as a fresh page set the caller owns.
+func (ix *Index) persist(file *pager.File) (IndexPersist, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	p := IndexPersist{
+		Normal: vecmath.Clone(ix.c),
+		Signs:  append(vecmath.SignPattern(nil), ix.signs...),
+		Delta:  vecmath.Clone(ix.delta),
+	}
+	var err error
+	if ix.tree.Paged() {
+		p.Meta, err = ix.tree.FlushPaged()
+	} else {
+		p.Meta, err = ix.tree.WritePaged(file)
+		p.Owned = true
+	}
+	if err != nil {
+		return IndexPersist{}, err
+	}
+	return p, nil
+}
+
+// CheckpointIndexes flushes or dumps every index's tree into file and
+// returns the persistent spec list in index order. Pages written here
+// are durable only after the caller's pager.Commit; on error the
+// durable state is untouched (pages allocated by a failed pass leak
+// in memory until the next reopen, never on disk). The caller must
+// exclude concurrent mutations of the Multi for the duration.
+func (m *Multi) CheckpointIndexes(file *pager.File) ([]IndexPersist, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]IndexPersist, len(m.indexes))
+	for i, ix := range m.indexes {
+		p, err := ix.persist(file)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint index %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}

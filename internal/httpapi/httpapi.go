@@ -520,6 +520,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"planCache": map[string]uint64{"hits": hits, "misses": misses},
 	}
+	if st, ok := db.PageStats(); ok {
+		body["pageCache"] = map[string]interface{}{
+			"hits":          st.Hits,
+			"misses":        st.Misses,
+			"evictions":     st.Evictions,
+			"hitRatio":      st.HitRatio(),
+			"residentPages": st.Resident,
+			"targetFrames":  st.Target,
+			"totalPages":    st.Pages,
+			"checkpointLSN": st.CheckpointLSN,
+		}
+	}
 	if s.rep != nil {
 		body["replication"] = s.rep.Status()
 	}

@@ -234,3 +234,45 @@ func TestShardedServer(t *testing.T) {
 	}
 	call(t, ts, "POST", "/v1/checkpoint", nil, http.StatusOK)
 }
+
+// TestPagedStats checks that /v1/stats surfaces the page-cache block
+// for paged stores and omits it for snapshot-mode stores.
+func TestPagedStats(t *testing.T) {
+	ts, _ := testServer(t)
+	out := call(t, ts, "GET", "/v1/stats", nil, http.StatusOK)
+	if _, ok := out["pageCache"]; ok {
+		t.Fatalf("snapshot-mode stats should not report pageCache: %v", out)
+	}
+
+	db, err := service.Open(t.TempDir(), service.Options{Dim: 2, Paged: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	api, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(api.Handler())
+	t.Cleanup(pts.Close)
+
+	call(t, pts, "POST", "/v1/indexes",
+		map[string]interface{}{"normal": []float64{1, 2}}, http.StatusOK)
+	for i := 0; i < 50; i++ {
+		call(t, pts, "POST", "/v1/points",
+			map[string]interface{}{"vec": []float64{float64(i), float64(i % 7)}}, http.StatusOK)
+	}
+	call(t, pts, "POST", "/v1/checkpoint", nil, http.StatusOK)
+
+	out = call(t, pts, "GET", "/v1/stats", nil, http.StatusOK)
+	pc, ok := out["pageCache"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("paged stats missing pageCache: %v", out)
+	}
+	if pc["totalPages"].(float64) <= 0 {
+		t.Fatalf("pageCache reports no pages: %v", pc)
+	}
+	if _, ok := pc["hitRatio"].(float64); !ok {
+		t.Fatalf("pageCache missing hitRatio: %v", pc)
+	}
+}

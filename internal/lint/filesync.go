@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+
+	"planar/internal/lint/analysis"
+)
+
+// Filesync enforces the durability contract on write-path files: an
+// *os.File obtained from os.Create, os.CreateTemp, or a write-mode
+// os.OpenFile must reach both Sync and Close in the function that
+// opened it, and neither call's error may be silently dropped — a
+// missed fsync turns "committed" into "committed until the page cache
+// feels like it", and a dropped Sync error hides exactly the failures
+// the pager and WAL exist to surface. It is scoped to the packages
+// that own durable files: the pager, the snapshot/checkpoint codec,
+// and the WAL.
+//
+// Like bodyclose, the check is conservative to stay zero-false-
+// positive: it only fires when the file is bound to an identifier and
+// every use of that identifier is a direct method call (f.Write,
+// f.Sync, …). If the file escapes — returned, stored in a struct,
+// passed to another function — responsibility transfers and the
+// missing-call check stays quiet (the dropped-error check still
+// applies to calls it can see). Discarding with `_ =` is an explicit,
+// reviewable decision and is not flagged.
+var Filesync = &analysis.Analyzer{
+	Name: "filesync",
+	Doc:  "flag write-opened files that miss Sync/Close or drop their errors",
+	Run:  runFilesync,
+}
+
+var filesyncScope = []string{
+	"internal/pager",
+	"internal/codec",
+	"internal/wal",
+}
+
+func runFilesync(pass *analysis.Pass) error {
+	if !pkgMatch(pass.Pkg.Path(), filesyncScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFilesync(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFilesync(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals get their own checkFilesync pass
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !filesyncWriteOpen(pass, call) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || typeKey(obj.Type()) != "os.File" {
+				continue
+			}
+			if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+				continue
+			}
+			synced, closed, escapes, drops := filesyncUsage(pass, body, obj)
+			for _, d := range drops {
+				pass.Reportf(d.pos, "error returned by %s.%s is %s; a write-path file must surface Sync/Close failures (join them into the returned error)",
+					id.Name, d.method, d.how)
+			}
+			if escapes {
+				continue
+			}
+			if !synced {
+				pass.Reportf(id.Pos(), "write-path file %s never reaches Sync; buffered data is not durable until fsync", id.Name)
+			}
+			if !closed {
+				pass.Reportf(id.Pos(), "write-path file %s never reaches Close; the descriptor (and any pending write error) leaks", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// filesyncWriteOpen reports whether call opens a file for writing:
+// os.Create / os.CreateTemp always, os.OpenFile when its flag
+// argument is a constant carrying O_WRONLY, O_RDWR, or O_APPEND. A
+// non-constant flag expression stays silent rather than guessing.
+func filesyncWriteOpen(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || funcPkgPath(f) != "os" {
+		return false
+	}
+	switch f.Name() {
+	case "Create", "CreateTemp":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			return false
+		}
+		flags, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		return ok && flags&int64(os.O_WRONLY|os.O_RDWR|os.O_APPEND) != 0
+	}
+	return false
+}
+
+// filesyncDrop is one Sync/Close call whose error result vanishes.
+type filesyncDrop struct {
+	pos    token.Pos
+	method string
+	how    string
+}
+
+// filesyncUsage scans every use of the file object within body
+// (including inside closures — a deferred cleanup literal is the
+// idiomatic place for Close) and classifies each: a direct method
+// call contributes Sync/Close evidence, anything else is an escape.
+func filesyncUsage(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) (synced, closed, escapes bool, drops []filesyncDrop) {
+	type use struct {
+		id    *ast.Ident
+		chain []ast.Node // ancestors, innermost last
+	}
+	var uses []use
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			chain := make([]ast.Node, len(stack))
+			copy(chain, stack)
+			uses = append(uses, use{id, chain})
+		}
+		stack = append(stack, n)
+		return true
+	})
+	up := func(chain []ast.Node, k int) ast.Node {
+		if len(chain) < k {
+			return nil
+		}
+		return chain[len(chain)-k]
+	}
+	for _, u := range uses {
+		sel, ok := up(u.chain, 1).(*ast.SelectorExpr)
+		if !ok || sel.X != u.id {
+			escapes = true
+			continue
+		}
+		call, ok := up(u.chain, 2).(*ast.CallExpr)
+		if !ok || ast.Unparen(call.Fun) != sel {
+			// A method value (g(f.Close), h := f.Sync) hands the call to
+			// someone this scan cannot see.
+			escapes = true
+			continue
+		}
+		switch sel.Sel.Name {
+		case "Sync":
+			synced = true
+		case "Close":
+			closed = true
+		default:
+			continue
+		}
+		switch p := up(u.chain, 3).(type) {
+		case *ast.ExprStmt:
+			drops = append(drops, filesyncDrop{call.Pos(), sel.Sel.Name, "dropped"})
+		case *ast.DeferStmt:
+			if p.Call == call {
+				drops = append(drops, filesyncDrop{call.Pos(), sel.Sel.Name, "dropped by defer"})
+			}
+		case *ast.GoStmt:
+			if p.Call == call {
+				drops = append(drops, filesyncDrop{call.Pos(), sel.Sel.Name, "dropped by go"})
+			}
+		}
+	}
+	return synced, closed, escapes, drops
+}

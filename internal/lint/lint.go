@@ -8,6 +8,7 @@
 //	errsink     — no dropped errors on durability/IO paths
 //	ctxhttp     — HTTP clients and handler goroutines carry contexts
 //	bodyclose   — HTTP response bodies are always closed
+//	filesync    — write-path files reach Sync and Close, errors kept
 //
 // Analyzers are built on the stdlib-only framework in the analysis
 // subpackage and run via `go run ./cmd/planarlint ./...` (wired into
@@ -35,6 +36,7 @@ func All() []*analysis.Analyzer {
 		Errsink,
 		Ctxhttp,
 		Bodyclose,
+		Filesync,
 	}
 }
 

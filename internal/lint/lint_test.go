@@ -45,6 +45,14 @@ func TestBodyclose(t *testing.T) {
 	run(t, "bodyclose", "bodyclose", "planar/internal/replica")
 }
 
+func TestFilesync(t *testing.T) {
+	run(t, "filesync", "filesync", "planar/internal/pager")
+}
+
+func TestFilesyncUnscoped(t *testing.T) {
+	run(t, "filesync", "filesync_unscoped", "planar/internal/dataset")
+}
+
 func TestWalordering(t *testing.T) {
 	run(t, "walordering", "walordering", "planar/internal/service")
 }

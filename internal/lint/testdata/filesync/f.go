@@ -1,0 +1,104 @@
+// Fixture for the filesync analyzer, type-checked as
+// planar/internal/pager (in scope).
+package pager
+
+import (
+	"errors"
+	"os"
+)
+
+func missingSync(path string) error {
+	f, err := os.Create(path) // want `write-path file f never reaches Sync`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+func missingBoth(path string) { // both diagnostics land on the binding line
+	f, _ := os.Create(path) // want `f never reaches Sync` `f never reaches Close`
+	f.Write([]byte("x"))
+}
+
+func missingCloseOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644) // want `f never reaches Close`
+	if err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func droppedErrors(path string) {
+	f, _ := os.Create(path)
+	defer f.Close() // want `error returned by f.Close is dropped by defer`
+	f.Sync()        // want `error returned by f.Sync is dropped`
+}
+
+func clean(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, f.Close()) }()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func cleanExplicitDiscard(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readOnlyNotTracked(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0) // read mode: not a write path
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return buf, errors.Join(err, f.Close())
+}
+
+type holder struct{ f *os.File }
+
+func escapesToStruct(path string) (*holder, error) {
+	f, err := os.Create(path) // ownership transfers: not flagged
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+func escapesAsArg(path string, sink func(*os.File) error) error {
+	f, err := os.CreateTemp("", path) // handed to sink: not flagged
+	if err != nil {
+		return err
+	}
+	return sink(f)
+}
+
+func escapesButStillDrops(path string, sink func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Sync() // want `error returned by f.Sync is dropped`
+	return sink(f)
+}
+
+func suppressed(path string) {
+	f, _ := os.Create(path) //nolint:filesync // fixture: suppression form
+	f.Write([]byte("x"))
+}

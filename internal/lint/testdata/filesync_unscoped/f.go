@@ -1,0 +1,17 @@
+// Fixture proving the filesync analyzer is scoped: the same
+// violations as the in-scope fixture, type-checked as
+// planar/internal/dataset, must produce no diagnostics.
+package dataset
+
+import "os"
+
+func missingEverything(path string) {
+	f, _ := os.Create(path)
+	f.Write([]byte("x"))
+}
+
+func droppedErrors(path string) {
+	f, _ := os.Create(path)
+	defer f.Close()
+	f.Sync()
+}

@@ -1,0 +1,303 @@
+package pager
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Cache is a sharded page cache keyed by page number. Frames carry
+// pin refcounts (a pinned frame is never evicted and its buffer is
+// stable) and dirty bits (a dirty frame is never evicted either: the
+// paged tier writes dirty pages back only at checkpoint, so eviction
+// policy only ever discards clean frames). Eviction is CLOCK over the
+// clean, unpinned frames of a shard; when every frame is pinned or
+// dirty the shard grows past its target instead of failing, so the
+// capacity is a soft bound.
+//
+// Frame buffers are carved from []uint64 allocations, so their base
+// is 8-byte aligned and callers may reinterpret payload regions as
+// float64/uint32/int32 columns.
+type Cache struct {
+	frameBytes int
+	shards     []cacheShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu     sync.Mutex
+	frames map[uint64]*Frame
+	ring   []*Frame
+	hand   int
+	target int
+}
+
+// Frame is one resident page. The payload buffer is valid while the
+// caller holds a pin.
+type Frame struct {
+	key   uint64
+	buf   []byte
+	pins  int32
+	dirty bool
+	ref   bool
+}
+
+// Bytes returns the frame's payload buffer (frameBytes long). The
+// caller must hold a pin.
+func (fr *Frame) Bytes() []byte { return fr.buf }
+
+const cacheShards = 8
+
+// NewCache builds a cache targeting roughly capacityBytes of resident
+// frames of frameBytes each. The target is floored at a few frames
+// per shard so tiny configurations still operate.
+func NewCache(capacityBytes, frameBytes int) *Cache {
+	total := capacityBytes / frameBytes
+	per := total / cacheShards
+	if per < 4 {
+		per = 4
+	}
+	c := &Cache{frameBytes: frameBytes, shards: make([]cacheShard, cacheShards)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{frames: make(map[uint64]*Frame), target: per}
+	}
+	return c
+}
+
+func (c *Cache) shardOf(key uint64) *cacheShard {
+	// Fibonacci hash of the page number spreads sequential pages
+	// across shards.
+	return &c.shards[(key*0x9e3779b97f4a7c15)>>61&(cacheShards-1)]
+}
+
+func (c *Cache) newBuf() []byte {
+	words := make([]uint64, (c.frameBytes+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), c.frameBytes)
+}
+
+// Get returns a pinned frame for key, calling fill to populate the
+// buffer on a miss. On fill failure the frame is discarded and the
+// error returned. Release the pin with Unpin.
+func (c *Cache) Get(key uint64, fill func(buf []byte) error) (*Frame, error) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if fr, ok := sh.frames[key]; ok {
+		fr.pins++
+		fr.ref = true
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return fr, nil
+	}
+	c.misses.Add(1)
+	fr := c.takeFrameLocked(sh, key)
+	// Fill under the shard lock: the paged tree serializes its own
+	// faults anyway, and this keeps a concurrent Get for the same key
+	// from observing an unfilled frame.
+	if err := fill(fr.buf); err != nil {
+		delete(sh.frames, key)
+		sh.ring = sh.ring[:len(sh.ring)-1]
+		sh.mu.Unlock()
+		return nil, err
+	}
+	sh.mu.Unlock()
+	return fr, nil
+}
+
+// Lookup returns a pinned frame for key only if it is resident.
+func (c *Cache) Lookup(key uint64) (*Frame, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fr, ok := sh.frames[key]
+	if !ok {
+		return nil, false
+	}
+	fr.pins++
+	fr.ref = true
+	return fr, true
+}
+
+// NewFrame returns a pinned, dirty, zeroed frame for a key that is
+// not resident — the fault path for freshly allocated pages that have
+// no on-disk contents yet.
+func (c *Cache) NewFrame(key uint64) *Frame {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.frames[key]; ok {
+		panic(fmt.Sprintf("pager: NewFrame for resident page %d", key))
+	}
+	fr := c.takeFrameLocked(sh, key)
+	for i := range fr.buf {
+		fr.buf[i] = 0
+	}
+	fr.dirty = true
+	return fr
+}
+
+// takeFrameLocked produces a pinned frame registered under key,
+// evicting a clean unpinned frame when the shard is at target.
+func (c *Cache) takeFrameLocked(sh *cacheShard, key uint64) *Frame {
+	var fr *Frame
+	if len(sh.ring) >= sh.target {
+		if v := c.evictLocked(sh); v != nil {
+			fr = v
+		}
+	}
+	if fr == nil {
+		fr = &Frame{buf: c.newBuf()}
+	}
+	fr.key = key
+	fr.pins = 1
+	fr.dirty = false
+	fr.ref = true
+	sh.frames[key] = fr
+	sh.ring = append(sh.ring, fr)
+	return fr
+}
+
+// evictLocked runs the CLOCK hand over the shard, returning a victim
+// frame (already deregistered) or nil when every frame is pinned or
+// dirty.
+func (c *Cache) evictLocked(sh *cacheShard) *Frame {
+	for pass := 0; pass < 2*len(sh.ring); pass++ {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		fr := sh.ring[sh.hand]
+		if fr.pins > 0 || fr.dirty {
+			sh.hand++
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			sh.hand++
+			continue
+		}
+		// Victim: swap-remove from the ring.
+		last := len(sh.ring) - 1
+		sh.ring[sh.hand] = sh.ring[last]
+		sh.ring = sh.ring[:last]
+		delete(sh.frames, fr.key)
+		c.evictions.Add(1)
+		return fr
+	}
+	return nil
+}
+
+// Unpin releases one pin.
+func (c *Cache) Unpin(fr *Frame) {
+	sh := c.shardOf(fr.key)
+	sh.mu.Lock()
+	fr.pins--
+	if fr.pins < 0 {
+		sh.mu.Unlock()
+		panic("pager: frame unpinned below zero")
+	}
+	sh.mu.Unlock()
+}
+
+// MarkDirty flags a pinned frame's contents as newer than its page.
+// Dirty frames stay resident until MarkClean.
+func (c *Cache) MarkDirty(fr *Frame) {
+	sh := c.shardOf(fr.key)
+	sh.mu.Lock()
+	fr.dirty = true
+	sh.mu.Unlock()
+}
+
+// MarkClean clears the dirty flag after the caller has written the
+// frame back to its page.
+func (c *Cache) MarkClean(fr *Frame) {
+	sh := c.shardOf(fr.key)
+	sh.mu.Lock()
+	fr.dirty = false
+	sh.mu.Unlock()
+}
+
+// Rekey atomically re-registers a pinned frame under a new page
+// number (the copy-on-write page relocation: same bytes, new home).
+func (c *Cache) Rekey(fr *Frame, newKey uint64) {
+	oldSh, newSh := c.shardOf(fr.key), c.shardOf(newKey)
+	if oldSh == newSh {
+		oldSh.mu.Lock()
+		delete(oldSh.frames, fr.key)
+		fr.key = newKey
+		oldSh.frames[newKey] = fr
+		oldSh.mu.Unlock()
+		return
+	}
+	// Lock both shards in address order.
+	a, b := oldSh, newSh
+	if uintptr(unsafe.Pointer(a)) > uintptr(unsafe.Pointer(b)) {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock() //nolint:locknesting // distinct shards (checked above), locked in address order
+	delete(oldSh.frames, fr.key)
+	for i, r := range oldSh.ring {
+		if r == fr {
+			last := len(oldSh.ring) - 1
+			oldSh.ring[i] = oldSh.ring[last]
+			oldSh.ring = oldSh.ring[:last]
+			break
+		}
+	}
+	fr.key = newKey
+	newSh.frames[newKey] = fr
+	newSh.ring = append(newSh.ring, fr)
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Drop removes the key's frame from the cache if resident, regardless
+// of pins or dirtiness: the caller is declaring the page dead (slot
+// freed, tree released). Outstanding pins stay valid — the buffer is
+// simply never reused by the cache.
+func (c *Cache) Drop(key uint64) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	fr, ok := sh.frames[key]
+	if ok {
+		delete(sh.frames, key)
+		for i, r := range sh.ring {
+			if r == fr {
+				last := len(sh.ring) - 1
+				sh.ring[i] = sh.ring[last]
+				sh.ring = sh.ring[:last]
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Resident  int // frames currently resident
+	Target    int // soft capacity in frames
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Resident += len(sh.ring)
+		st.Target += sh.target
+		sh.mu.Unlock()
+	}
+	return st
+}

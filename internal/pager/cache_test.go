@@ -1,0 +1,153 @@
+package pager
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fillSeed(seed byte) func([]byte) error {
+	return func(buf []byte) error {
+		for i := range buf {
+			buf[i] = seed
+		}
+		return nil
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1<<20, PayloadSize)
+	fr, err := c.Get(7, fillSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Bytes()[0] != 9 {
+		t.Fatal("fill did not run")
+	}
+	c.Unpin(fr)
+	fr2, err := c.Get(7, func([]byte) error {
+		t.Fatal("fill ran on a resident page")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Unpin(fr2)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestCacheEvictsOnlyCleanUnpinned(t *testing.T) {
+	c := NewCache(0, PayloadSize) // floor capacity: 4 frames per shard
+	// Pin one frame and dirty another; then stream many keys through.
+	pinned, err := c.Get(1, fillSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := c.Get(2, fillSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkDirty(dirty)
+	c.Unpin(dirty)
+	for k := uint64(100); k < 400; k++ {
+		fr, err := c.Get(k, fillSeed(byte(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Unpin(fr)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("streaming through a floor-sized cache evicted nothing")
+	}
+	if _, ok := c.Lookup(1); !ok {
+		t.Fatal("pinned frame was evicted")
+	}
+	if _, ok := c.Lookup(2); !ok {
+		t.Fatal("dirty frame was evicted")
+	}
+	if pinned.Bytes()[0] != 1 || dirty.Bytes()[0] != 2 {
+		t.Fatal("protected frame contents clobbered")
+	}
+}
+
+func TestCacheRekey(t *testing.T) {
+	c := NewCache(1<<20, PayloadSize)
+	fr, err := c.Get(5, fillSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Rekey(fr, 900)
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("old key still resident after Rekey")
+	}
+	got, ok := c.Lookup(900)
+	if !ok {
+		t.Fatal("new key not resident after Rekey")
+	}
+	if got != fr || got.Bytes()[0] != 5 {
+		t.Fatal("Rekey moved the wrong frame")
+	}
+	c.Unpin(got)
+	c.Unpin(fr)
+}
+
+func TestCacheDrop(t *testing.T) {
+	c := NewCache(1<<20, PayloadSize)
+	fr, err := c.Get(5, fillSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkDirty(fr)
+	c.Drop(5)
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("dropped key still resident")
+	}
+	// The outstanding pin stays valid and releasable.
+	if fr.Bytes()[0] != 5 {
+		t.Fatal("dropped frame buffer reused while pinned")
+	}
+	c.Unpin(fr)
+}
+
+func TestCacheFillError(t *testing.T) {
+	c := NewCache(1<<20, PayloadSize)
+	wantErr := fmt.Errorf("boom")
+	if _, err := c.Get(3, func([]byte) error { return wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// The failed frame must not be resident.
+	if _, ok := c.Lookup(3); ok {
+		t.Fatal("failed fill left a frame resident")
+	}
+	// And a retry must re-run fill.
+	fr, err := c.Get(3, fillSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Unpin(fr)
+}
+
+func TestCacheSoftCapacityGrowsWhenAllProtected(t *testing.T) {
+	c := NewCache(0, PayloadSize)
+	var frames []*Frame
+	// Pin far more frames than the floor capacity; Get must keep
+	// succeeding (soft cap) rather than deadlock or fail.
+	for k := uint64(0); k < 200; k++ {
+		fr, err := c.Get(k, fillSeed(byte(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, fr)
+	}
+	if got := c.Stats().Resident; got < 200 {
+		t.Fatalf("resident = %d, want >= 200", got)
+	}
+	for i, fr := range frames {
+		if fr.Bytes()[0] != byte(i) {
+			t.Fatalf("pinned frame %d clobbered", i)
+		}
+		c.Unpin(fr)
+	}
+}

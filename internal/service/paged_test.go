@@ -1,0 +1,292 @@
+package service
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"planar/internal/core"
+	"planar/internal/vecmath"
+)
+
+// pagedGolden drives a paged DB and a plain snapshot-mode DB through
+// one identical mutation stream and compares query answers.
+type pagedGolden struct {
+	t     *testing.T
+	rng   *rand.Rand
+	dim   int
+	paged *DB
+	plain *DB
+	live  []uint32
+}
+
+func (g *pagedGolden) vec() []float64 {
+	v := make([]float64, g.dim)
+	for i := range v {
+		v[i] = g.rng.Float64() * 50
+	}
+	return v
+}
+
+func (g *pagedGolden) append() {
+	v := g.vec()
+	id1, err := g.paged.Append(v)
+	if err != nil {
+		g.t.Fatal(err)
+	}
+	if _, err := g.plain.Append(v); err != nil {
+		g.t.Fatal(err)
+	}
+	g.live = append(g.live, id1)
+}
+
+func (g *pagedGolden) mutate(n int) {
+	for i := 0; i < n; i++ {
+		switch r := g.rng.Intn(10); {
+		case r < 6 || len(g.live) == 0:
+			g.append()
+		case r < 8:
+			j := g.rng.Intn(len(g.live))
+			v := g.vec()
+			if err := g.paged.Update(g.live[j], v); err != nil {
+				g.t.Fatal(err)
+			}
+			if err := g.plain.Update(g.live[j], v); err != nil {
+				g.t.Fatal(err)
+			}
+		default:
+			j := g.rng.Intn(len(g.live))
+			if err := g.paged.Remove(g.live[j]); err != nil {
+				g.t.Fatal(err)
+			}
+			if err := g.plain.Remove(g.live[j]); err != nil {
+				g.t.Fatal(err)
+			}
+			g.live[j] = g.live[len(g.live)-1]
+			g.live = g.live[:len(g.live)-1]
+		}
+	}
+}
+
+func (g *pagedGolden) compare(queries int) {
+	g.t.Helper()
+	if gl, pl := g.paged.Len(), g.plain.Len(); gl != pl {
+		g.t.Fatalf("Len: paged %d, plain %d", gl, pl)
+	}
+	for q := 0; q < queries; q++ {
+		a := make([]float64, g.dim)
+		for i := range a {
+			a[i] = 0.01 + g.rng.Float64()
+		}
+		b := g.rng.Float64() * 50 * float64(g.dim)
+		qry := core.Query{A: a, B: b, Op: core.LE}
+		got, _, err := g.paged.Query(qry)
+		if err != nil {
+			g.t.Fatal(err)
+		}
+		want, _, err := g.plain.Query(qry)
+		if err != nil {
+			g.t.Fatal(err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			g.t.Fatalf("query %d: paged %d ids, plain %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				g.t.Fatalf("query %d: id %d differs (paged %d, plain %d)", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPagedServiceEndToEnd is the paged tier's kill-and-reopen e2e:
+// a paged DB with a cache far smaller than the dataset must answer
+// every query identically to a snapshot-mode golden twin, survive a
+// checkpoint + close + reopen cycle with trees coming back in paged
+// mode, and replay only the WAL records the checkpoint does not
+// cover.
+func TestPagedServiceEndToEnd(t *testing.T) {
+	root := t.TempDir()
+	const dim = 6
+	// The cache budget is below the pager's floor, so it clamps to the
+	// minimum (32 frames) — far fewer than the trees' page count.
+	const tinyCache = 1 << 15
+	paged, err := Open(filepath.Join(root, "paged"), Options{
+		Dim: dim, Paged: true, PageCacheBytes: tinyCache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(filepath.Join(root, "plain"), Options{Dim: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if !paged.Paged() {
+		t.Fatal("Paged option did not select the paged tier")
+	}
+	if _, err := os.Stat(filepath.Join(root, "paged", pagesFile)); err != nil {
+		t.Fatalf("page file missing: %v", err)
+	}
+
+	g := &pagedGolden{t: t, rng: rand.New(rand.NewSource(20140808)), dim: dim, paged: paged, plain: plain}
+
+	signs := make(vecmath.SignPattern, dim)
+	for i := range signs {
+		signs[i] = 1
+	}
+	addNormal := func(seed int64) {
+		nrng := rand.New(rand.NewSource(seed))
+		normal := make([]float64, dim)
+		for i := range normal {
+			normal[i] = 0.1 + nrng.Float64()
+		}
+		if _, err := g.paged.AddNormal(normal, signs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.plain.AddNormal(normal, signs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g.mutate(8000)
+	addNormal(1)
+	addNormal(2)
+	g.mutate(8000)
+	g.compare(10)
+
+	// First durable checkpoint, then a tail of mutations that only the
+	// WAL holds.
+	if err := paged.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	const tail = 137
+	g.mutate(tail)
+	g.compare(5)
+
+	// Kill and reopen: replay must apply exactly the post-checkpoint
+	// tail, and the restored trees must run in paged-arena mode.
+	if err := paged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paged, err = Open(filepath.Join(root, "paged"), Options{PageCacheBytes: tinyCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	g.paged = paged
+	if !paged.Paged() {
+		t.Fatal("directory with a page file did not reopen paged")
+	}
+	if got := paged.ReplayedRecords(); got != tail {
+		t.Fatalf("reopen replayed %d WAL records, want exactly the post-checkpoint %d", got, tail)
+	}
+	for i := 0; i < paged.Multi().NumIndexes(); i++ {
+		if !paged.Multi().Index(i).Tree().Paged() {
+			t.Fatalf("restored index %d is not paged", i)
+		}
+	}
+	g.compare(15)
+
+	// The cache must be faulting pages in, not holding the whole file.
+	st, ok := paged.PageStats()
+	if !ok {
+		t.Fatal("PageStats not available on the paged tier")
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("page cache idle after queries: %+v", st)
+	}
+
+	// Keep mutating after the reopen (copy-on-write against the new
+	// checkpoint), checkpoint again, reopen again.
+	g.mutate(1000)
+	g.compare(10)
+	if err := paged.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := paged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paged, err = Open(filepath.Join(root, "paged"), Options{PageCacheBytes: tinyCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	g.paged = paged
+	if got := paged.ReplayedRecords(); got != 0 {
+		t.Fatalf("reopen after clean checkpoint replayed %d records, want 0", got)
+	}
+	g.compare(15)
+
+	// After a clean reopen every frame is clean (no WAL tail to COW),
+	// so the query sweep above must have cycled the tiny cache: more
+	// distinct pages touched than frames, hence evictions.
+	st, ok = paged.PageStats()
+	if !ok {
+		t.Fatal("PageStats not available after clean reopen")
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("cache larger than dataset defeats the test: %+v", st)
+	}
+	if st.Resident >= int(st.Pages) {
+		t.Fatalf("entire page file resident (%d/%d): cache not smaller than dataset", st.Resident, st.Pages)
+	}
+}
+
+// TestPagedServiceSharded runs the paged tier under the sharded
+// layout: per-shard page files, split cache budget, aggregated stats.
+func TestPagedServiceSharded(t *testing.T) {
+	root := t.TempDir()
+	const dim = 4
+	paged, err := Open(filepath.Join(root, "paged"), Options{
+		Dim: dim, Shards: 3, Paged: true, PageCacheBytes: 1 << 19,
+		CheckpointEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(filepath.Join(root, "plain"), Options{Dim: dim, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if !paged.Paged() || !paged.Sharded() {
+		t.Fatalf("want sharded+paged, got sharded=%v paged=%v", paged.Sharded(), paged.Paged())
+	}
+
+	g := &pagedGolden{t: t, rng: rand.New(rand.NewSource(7)), dim: dim, paged: paged, plain: plain}
+	signs := make(vecmath.SignPattern, dim)
+	for i := range signs {
+		signs[i] = 1
+	}
+	normal := []float64{0.5, 1.1, 0.9, 1.4}
+	if _, err := paged.AddNormal(normal, signs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.AddNormal(normal, signs); err != nil {
+		t.Fatal(err)
+	}
+	g.mutate(6000) // crosses the automatic per-shard checkpoint threshold
+	g.compare(10)
+
+	if err := paged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paged, err = Open(filepath.Join(root, "paged"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	g.paged = paged
+	if !paged.Paged() || !paged.Sharded() {
+		t.Fatal("sharded paged directory did not reopen sharded+paged")
+	}
+	g.compare(15)
+	if st, ok := paged.PageStats(); !ok || st.Pages == 0 {
+		t.Fatalf("sharded PageStats = %+v, %v", st, ok)
+	}
+}

@@ -41,7 +41,11 @@ var ErrReadOnly = errors.New("service: store is read-only (replica)")
 const (
 	snapshotFile = "snapshot.plnr"
 	walFile      = "wal.log"
-	snapshotTmp  = "snapshot.plnr.tmp"
+	pagesFile    = "pages.plnr"
+
+	// defaultPageCacheBytes sizes the paged tier's cache when the
+	// options leave it unset (64 MiB).
+	defaultPageCacheBytes = 64 << 20
 )
 
 // Options configures a DB.
@@ -66,6 +70,18 @@ type Options struct {
 	// RingSize bounds the in-memory tail of committed records kept
 	// for replication streaming (0 = replog.DefaultRingSize).
 	RingSize int
+	// Paged selects the disk-paged storage tier: state lives in a
+	// copy-on-write page file ("pages.plnr") instead of a flat
+	// snapshot, and after a restart index trees run in paged-arena
+	// mode, faulting node pages through a cache on demand rather than
+	// being rebuilt with an O(n log n) bulk load. A directory that
+	// already holds a page file reopens paged regardless; the two
+	// layouts are not convertible in place.
+	Paged bool
+	// PageCacheBytes sizes the paged tier's page cache (0 = a 64 MiB
+	// default; a small floor is always enforced). In sharded mode the
+	// budget is split evenly across shards.
+	PageCacheBytes int
 	// Multi options (selection heuristic, fallback, guard band).
 	MultiOptions []core.MultiOption
 }
@@ -86,6 +102,12 @@ type DB struct {
 	multi   *core.Multi
 	log     *wal.Writer
 	pending int // mutations since the last checkpoint
+
+	// pstore is the paged tier's checkpoint file (nil in snapshot
+	// mode); replayed counts WAL records applied at Open after the
+	// checkpoint-LSN filter.
+	pstore   *codec.PagedStore
+	replayed int
 
 	shards *shard.Store // non-nil in sharded mode
 
@@ -272,9 +294,56 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	snapPath := filepath.Join(dir, snapshotFile)
 	walPath := filepath.Join(dir, walFile)
+	pagePath := filepath.Join(dir, pagesFile)
 
-	var m *core.Multi
-	if snap, err := codec.Load(snapPath); err == nil {
+	// A directory holding a page file reopens paged regardless of the
+	// option, mirroring the sharded-layout auto-detection.
+	_, pageStatErr := os.Stat(pagePath)
+	paged := opts.Paged || pageStatErr == nil
+
+	var (
+		m      *core.Multi
+		pstore *codec.PagedStore
+		cpLSN  uint64 // WAL records at or below this are in the checkpoint
+	)
+	if paged {
+		if _, err := os.Stat(snapPath); err == nil {
+			return nil, errors.New("service: directory holds a flat snapshot; converting to the paged layout in place is not supported")
+		}
+		opts.Paged = true
+		cacheBytes := opts.PageCacheBytes
+		if cacheBytes <= 0 {
+			cacheBytes = defaultPageCacheBytes
+		}
+		var err error
+		if pageStatErr == nil {
+			pstore, m, err = codec.OpenPaged(pagePath, cacheBytes, opts.MultiOptions...)
+			if err != nil {
+				return nil, err
+			}
+			if opts.Dim != 0 && opts.Dim != pstore.Dim() {
+				pstore.Close()
+				return nil, fmt.Errorf("service: page file dimension %d, options say %d", pstore.Dim(), opts.Dim)
+			}
+			opts.Dim = pstore.Dim()
+			cpLSN = pstore.CheckpointLSN()
+		} else {
+			if opts.Dim <= 0 {
+				return nil, errors.New("service: Dim required to create a fresh store")
+			}
+			if pstore, err = codec.CreatePaged(pagePath, opts.Dim, cacheBytes); err != nil {
+				return nil, err
+			}
+			store, serr := core.NewPointStore(opts.Dim)
+			if serr == nil {
+				m, serr = core.NewMulti(store, opts.MultiOptions...)
+			}
+			if serr != nil {
+				pstore.Close()
+				return nil, serr
+			}
+		}
+	} else if snap, err := codec.Load(snapPath); err == nil {
 		if opts.Dim != 0 && opts.Dim != snap.Dim {
 			return nil, fmt.Errorf("service: snapshot dimension %d, options say %d", snap.Dim, opts.Dim)
 		}
@@ -299,8 +368,17 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 
-	// Replay mutations logged after the snapshot.
-	replayed, err := wal.Replay(walPath, func(r wal.Record) error {
+	// Replay mutations logged after the checkpoint. In snapshot mode
+	// the checkpoint truncated the log, so everything in it applies; in
+	// paged mode records at or below the checkpoint LSN are filtered
+	// out (a crash between pager commit and log truncation leaves
+	// them behind, already durable in the page file).
+	applied := 0
+	_, err := wal.Replay(walPath, func(r wal.Record) error {
+		if paged && r.LSN != 0 && r.LSN <= cpLSN {
+			return nil
+		}
+		applied++
 		switch r.Op {
 		case wal.OpAppend:
 			id, err := m.Append(r.Vec)
@@ -320,18 +398,25 @@ func Open(dir string, opts Options) (*DB, error) {
 		}
 	})
 	if err != nil {
+		if pstore != nil {
+			pstore.Close()
+		}
 		return nil, fmt.Errorf("service: replaying log: %w", err)
 	}
 
 	w, err := wal.Open(walPath, opts.Dim)
 	if err != nil {
+		if pstore != nil {
+			pstore.Close()
+		}
 		return nil, err
 	}
 	if n := w.Recovered(); n > 0 {
 		log.Printf("service: %s: recovered torn tail, truncated %d bytes", walPath, n)
 	}
 	return &DB{
-		dir: dir, opts: opts, multi: m, log: w, pending: replayed,
+		dir: dir, opts: opts, multi: m, log: w, pending: applied,
+		pstore: pstore, replayed: applied,
 		seq: replog.NewSequencer(w.NextLSN(), opts.RingSize),
 	}, nil
 }
@@ -347,6 +432,9 @@ func openSharded(dir string, opts Options) (*DB, error) {
 		if _, err := os.Stat(filepath.Join(dir, walFile)); err == nil {
 			return nil, errors.New("service: directory holds a single-store log; resharding in place is not supported")
 		}
+		if _, err := os.Stat(filepath.Join(dir, pagesFile)); err == nil {
+			return nil, errors.New("service: directory holds a single-store page file; resharding in place is not supported")
+		}
 	}
 	st, err := shard.Open(dir, shard.Options{
 		Shards:          opts.Shards,
@@ -354,6 +442,8 @@ func openSharded(dir string, opts Options) (*DB, error) {
 		SyncEveryWrite:  opts.SyncEveryWrite,
 		CheckpointEvery: opts.CheckpointEvery,
 		RingSize:        opts.RingSize,
+		Paged:           opts.Paged,
+		PageCacheBytes:  opts.PageCacheBytes,
 		MultiOptions:    opts.MultiOptions,
 	})
 	if err != nil {
@@ -550,14 +640,19 @@ func (db *DB) checkpointLocked() error {
 	if err := db.log.Sync(); err != nil {
 		return err
 	}
-	tmp := filepath.Join(db.dir, snapshotTmp)
-	if err := codec.Capture(db.multi).Save(tmp); err != nil {
-		return err
+	if db.pstore != nil {
+		// Paged tier: flush/dump every index tree and the store blob,
+		// then one atomic pager commit carrying the last assigned LSN —
+		// replay after a crash skips records the checkpoint covers.
+		if err := db.pstore.Checkpoint(db.multi, db.seq.Next()-1); err != nil {
+			return err
+		}
+	} else {
+		if err := codec.Capture(db.multi).Save(filepath.Join(db.dir, snapshotFile)); err != nil {
+			return err
+		}
 	}
-	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
-		return err
-	}
-	// The snapshot covers everything: start a fresh log whose header
+	// The checkpoint covers everything: start a fresh log whose header
 	// pins the LSN position across restarts.
 	if err := db.log.Close(); err != nil {
 		return err
@@ -587,5 +682,47 @@ func (db *DB) Close() error {
 		err = cerr
 	}
 	db.log = nil
+	if db.pstore != nil {
+		// Dirty pages in the cache are deliberately dropped: they are
+		// re-derived from the WAL on the next Open, and the page file's
+		// durable state stays the last committed checkpoint.
+		if cerr := db.pstore.Close(); err == nil {
+			err = cerr
+		}
+		db.pstore = nil
+	}
 	return err
+}
+
+// Paged reports whether the DB runs on the disk-paged storage tier.
+func (db *DB) Paged() bool {
+	if db.shards != nil {
+		return db.shards.Paged()
+	}
+	return db.pstore != nil
+}
+
+// PageStats returns the paged tier's cache and file counters, summed
+// across shards in sharded mode. ok is false when the DB runs on the
+// flat-snapshot tier.
+func (db *DB) PageStats() (st codec.PageTierStats, ok bool) {
+	if db.shards != nil {
+		return db.shards.PageStats()
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.pstore == nil {
+		return codec.PageTierStats{}, false
+	}
+	return db.pstore.Stats(), true
+}
+
+// ReplayedRecords returns how many WAL records Open applied after the
+// checkpoint filter — the restart-cost observability hook (paged mode
+// replays only post-checkpoint entries), summed across shards.
+func (db *DB) ReplayedRecords() int {
+	if db.shards != nil {
+		return db.shards.ReplayedRecords()
+	}
+	return db.replayed
 }

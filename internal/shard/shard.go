@@ -24,7 +24,7 @@ const (
 
 	snapshotFile = SnapshotFileName
 	walFile      = WALFileName
-	snapshotTmp  = "snapshot.plnr.tmp"
+	pagesFile    = "pages.plnr"
 )
 
 // partition is one shard: a full vertical slice of the engine
@@ -46,6 +46,12 @@ type partition struct {
 	multi   *core.Multi
 	log     *wal.Writer // nil when ephemeral
 	pending int         // mutations since the last checkpoint
+
+	// pstore is this shard's paged checkpoint file (nil in snapshot
+	// mode); replayed counts WAL records applied at open after the
+	// checkpoint-LSN filter.
+	pstore   *codec.PagedStore
+	replayed int
 
 	seq *replog.Sequencer
 	gid func(uint32) uint32 // shard-local id → global id
@@ -82,9 +88,48 @@ func openPartition(dir string, dim int, opts Options) (*partition, error) {
 	}
 	snapPath := filepath.Join(dir, snapshotFile)
 	walPath := filepath.Join(dir, walFile)
+	pagePath := filepath.Join(dir, pagesFile)
 
-	var m *core.Multi
-	if snap, err := codec.Load(snapPath); err == nil {
+	_, pageStatErr := os.Stat(pagePath)
+	paged := opts.Paged || pageStatErr == nil
+
+	var (
+		m     *core.Multi
+		cpLSN uint64
+	)
+	if paged {
+		if _, err := os.Stat(snapPath); err == nil {
+			return nil, errors.New("shard: directory holds a flat snapshot; converting to the paged layout in place is not supported")
+		}
+		var err error
+		if pageStatErr == nil {
+			p.pstore, m, err = codec.OpenPaged(pagePath, opts.PageCacheBytes, opts.MultiOptions...)
+			if err != nil {
+				return nil, err
+			}
+			if dim != 0 && dim != p.pstore.Dim() {
+				p.pstore.Close()
+				return nil, fmt.Errorf("shard: page file dimension %d, store says %d", p.pstore.Dim(), dim)
+			}
+			dim = p.pstore.Dim()
+			cpLSN = p.pstore.CheckpointLSN()
+		} else {
+			if dim <= 0 {
+				return nil, errors.New("shard: Dim required to create a fresh shard")
+			}
+			if p.pstore, err = codec.CreatePaged(pagePath, dim, opts.PageCacheBytes); err != nil {
+				return nil, err
+			}
+			store, serr := core.NewPointStore(dim)
+			if serr == nil {
+				m, serr = core.NewMulti(store, opts.MultiOptions...)
+			}
+			if serr != nil {
+				p.pstore.Close()
+				return nil, serr
+			}
+		}
+	} else if snap, err := codec.Load(snapPath); err == nil {
 		if dim != 0 && dim != snap.Dim {
 			return nil, fmt.Errorf("shard: snapshot dimension %d, store says %d", snap.Dim, dim)
 		}
@@ -109,9 +154,16 @@ func openPartition(dir string, dim int, opts Options) (*partition, error) {
 		return nil, err
 	}
 
-	// Replay mutations logged after the snapshot. Records carry
-	// shard-local ids, so each shard's log is self-contained.
-	replayed, err := wal.Replay(walPath, func(r wal.Record) error {
+	// Replay mutations logged after the checkpoint. Records carry
+	// shard-local ids, so each shard's log is self-contained; in paged
+	// mode records the page file's checkpoint already covers are
+	// filtered by LSN.
+	applied := 0
+	_, err := wal.Replay(walPath, func(r wal.Record) error {
+		if paged && r.LSN != 0 && r.LSN <= cpLSN {
+			return nil
+		}
+		applied++
 		switch r.Op {
 		case wal.OpAppend:
 			id, err := m.Append(r.Vec)
@@ -131,11 +183,17 @@ func openPartition(dir string, dim int, opts Options) (*partition, error) {
 		}
 	})
 	if err != nil {
+		if p.pstore != nil {
+			p.pstore.Close()
+		}
 		return nil, fmt.Errorf("shard: replaying %s: %w", walPath, err)
 	}
 
 	w, err := wal.Open(walPath, dim)
 	if err != nil {
+		if p.pstore != nil {
+			p.pstore.Close()
+		}
 		return nil, err
 	}
 	if n := w.Recovered(); n > 0 {
@@ -143,7 +201,8 @@ func openPartition(dir string, dim int, opts Options) (*partition, error) {
 	}
 	p.multi = m
 	p.log = w
-	p.pending = replayed
+	p.pending = applied
+	p.replayed = applied
 	return p, nil
 }
 
@@ -299,12 +358,14 @@ func (p *partition) checkpointLocked() error {
 	if err := p.log.Sync(); err != nil {
 		return err
 	}
-	tmp := filepath.Join(p.dir, snapshotTmp)
-	if err := codec.Capture(p.multi).Save(tmp); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(p.dir, snapshotFile)); err != nil {
-		return err
+	if p.pstore != nil {
+		if err := p.pstore.Checkpoint(p.multi, p.seq.Next()-1); err != nil {
+			return err
+		}
+	} else {
+		if err := codec.Capture(p.multi).Save(filepath.Join(p.dir, snapshotFile)); err != nil {
+			return err
+		}
 	}
 	if err := p.log.Close(); err != nil {
 		return err
@@ -320,17 +381,23 @@ func (p *partition) checkpointLocked() error {
 	return nil
 }
 
-// close flushes and releases the shard's log.
+// close flushes and releases the shard's log and page file.
 func (p *partition) close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.log == nil {
-		return nil
+	var err error
+	if p.log != nil {
+		err = p.log.Sync()
+		if cerr := p.log.Close(); err == nil {
+			err = cerr
+		}
+		p.log = nil
 	}
-	err := p.log.Sync()
-	if cerr := p.log.Close(); err == nil {
-		err = cerr
+	if p.pstore != nil {
+		if cerr := p.pstore.Close(); err == nil {
+			err = cerr
+		}
+		p.pstore = nil
 	}
-	p.log = nil
 	return err
 }

@@ -46,6 +46,13 @@ type Options struct {
 	// RingSize bounds the in-memory tail of committed records kept
 	// for replication streaming (0 = replog.DefaultRingSize).
 	RingSize int
+	// Paged selects the disk-paged storage tier for every shard (see
+	// service.Options.Paged). Shard directories holding page files
+	// reopen paged regardless.
+	Paged bool
+	// PageCacheBytes is the store-wide page-cache budget, split evenly
+	// across shards (each shard enforces a small floor).
+	PageCacheBytes int
 }
 
 // Store is a hash-partitioned collection of planar index shards with
@@ -186,6 +193,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		fanout = n
 	}
 	s := &Store{parts: make([]*partition, n), fanout: fanout, dir: dir}
+
+	// The page-cache budget is store-wide; each shard gets an equal
+	// slice (the per-shard cache enforces its own floor).
+	opts.PageCacheBytes /= n
 
 	// Shards recover independently, so open them in parallel: each
 	// goroutine loads one snapshot and replays one WAL segment.
@@ -679,6 +690,36 @@ func (s *Store) FeedFromDisk(from uint64, max int) (recs []wal.Record, tooOld bo
 		}
 	}
 	return out, false, nil
+}
+
+// Paged reports whether the shards run on the disk-paged storage
+// tier (all shards share one layout).
+func (s *Store) Paged() bool {
+	return s.parts[0].pstore != nil
+}
+
+// PageStats sums every shard's page-tier counters. ok is false when
+// the store runs on the flat-snapshot tier.
+func (s *Store) PageStats() (st codec.PageTierStats, ok bool) {
+	for _, p := range s.parts {
+		p.mu.RLock()
+		if p.pstore != nil {
+			st = st.Add(p.pstore.Stats())
+			ok = true
+		}
+		p.mu.RUnlock()
+	}
+	return st, ok
+}
+
+// ReplayedRecords sums the WAL records each shard applied at open
+// after its checkpoint filter.
+func (s *Store) ReplayedRecords() int {
+	total := 0
+	for _, p := range s.parts {
+		total += p.replayed
+	}
+	return total
 }
 
 // Checkpoint snapshots every shard in parallel.
