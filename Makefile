@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-shard replica-integration page-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke ci clean
+.PHONY: all build test vet lint race race-shard replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke ci clean
 
 all: build
 
@@ -62,6 +62,16 @@ page-integration:
 	$(GO) test -race ./internal/pager ./internal/codec
 	$(GO) test -race -run 'TestPaged' ./internal/service ./internal/btree
 
+# End-to-end group commit under the race detector: the grouped-vs-
+# sync golden identity (byte-identical snapshots, WAL batch-frame
+# replay, replica tailing), torn-batch recovery at every byte offset,
+# concurrent-writer stress, and shutdown drain.
+ingest-integration:
+	$(GO) test -race ./internal/ingest
+	$(GO) test -race -run 'TestGrouped|TestReplicaTailsGrouped|TestIngest' ./internal/service
+	$(GO) test -race -run 'TestAppendBatch|TestTornBatch|TestDecodeRecordRejectsBatch' ./internal/wal
+	$(GO) test -race -run 'TestCommitBatch' ./internal/replog
+
 # A tiny run of the replica read scale-out benchmark (no JSON report)
 # to prove the -replicas path still works.
 bench-replica-smoke:
@@ -84,7 +94,13 @@ bench-build-smoke:
 bench-page-smoke:
 	$(GO) run ./cmd/planarbench -mode paged -points 5000 -queries 50 -pageout ""
 
-ci: vet lint build race race-shard replica-integration page-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke
+# A tiny run of the group-commit write benchmark (no JSON report) to
+# prove the -mode ingest path still works: sync vs grouped fsync
+# amortisation with windowed writers.
+bench-ingest-smoke:
+	$(GO) run ./cmd/planarbench -mode ingest -writers 2 -window 4 -batch 8 -benchdur 200ms -ingestout ""
+
+ci: vet lint build race race-shard replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke
 
 clean:
 	$(GO) clean ./...

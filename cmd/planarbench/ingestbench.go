@@ -1,0 +1,262 @@
+package main
+
+// The -mode ingest benchmark measures what group commit buys on the
+// write path: N writer goroutines append into a durable on-disk store,
+// once against the synchronous per-request-fsync path and once against
+// the ingest pipeline (batched WAL frames, one fsync per batch).
+// Writers on the grouped run keep a small window of submissions in
+// flight — the whole point of an async front-end — while every ack is
+// still measured from submission to durability. The report
+// (BENCH_ingest.json) carries sustained QPS, ack p50/p99, and the
+// pipeline's batch accounting so the fsync amortisation is visible.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"planar/internal/ingest"
+	"planar/internal/service"
+)
+
+type ingestBenchRun struct {
+	Mode         string  `json:"mode"` // "sync" or "grouped"
+	Writers      int     `json:"writers"`
+	Ops          int     `json:"ops"`
+	Seconds      float64 `json:"seconds"`
+	QPS          float64 `json:"qps"`
+	AckP50Micros int64   `json:"ackP50Micros"`
+	AckP99Micros int64   `json:"ackP99Micros"`
+	Batches      uint64  `json:"batches,omitempty"`
+	AvgBatch     float64 `json:"avgBatch,omitempty"`
+	FsyncsSaved  uint64  `json:"fsyncsSaved,omitempty"`
+	Shed         uint64  `json:"shed,omitempty"`
+}
+
+type ingestBenchReport struct {
+	Dim                 int              `json:"dim"`
+	Writers             int              `json:"writers"`
+	Window              int              `json:"window"`
+	BatchSize           int              `json:"batchSize"`
+	FlushIntervalMicros int64            `json:"flushIntervalMicros"`
+	Duration            string           `json:"duration"`
+	GoMaxProc           int              `json:"gomaxprocs"`
+	NumCPU              int              `json:"numcpu,omitempty"`
+	Runs                []ingestBenchRun `json:"runs"`
+	Speedup             float64          `json:"speedup"` // grouped QPS / sync QPS
+}
+
+type ingestBenchConfig struct {
+	Writers  int
+	Window   int // in-flight submissions per writer on the grouped run
+	Dim      int
+	Batch    int
+	Flush    time.Duration
+	Duration time.Duration
+	Seed     int64
+	OutPath  string
+}
+
+// ackHist is a power-of-two microsecond latency histogram, the same
+// bucketing the pipeline uses, so bench-side and stats-side
+// percentiles are directly comparable.
+type ackHist [32]uint64
+
+func (h *ackHist) observe(d time.Duration) {
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= len(h) {
+		i = len(h) - 1
+	}
+	h[i]++
+}
+
+func (h *ackHist) merge(o *ackHist) {
+	for i, c := range o {
+		h[i] += c
+	}
+}
+
+// percentileMicros returns the upper bound of the bucket holding the
+// p-th percentile, in microseconds.
+func (h *ackHist) percentileMicros(p int) int64 {
+	var total uint64
+	for _, c := range h {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := (total*uint64(p) + 99) / 100
+	var cum uint64
+	for i, c := range h {
+		cum += c
+		if cum >= rank {
+			return int64(1) << i
+		}
+	}
+	return int64(1) << (len(h) - 1)
+}
+
+// ingestOneRun drives cfg.Writers goroutines against a fresh durable
+// store until the deadline. grouped selects the pipeline path.
+func ingestOneRun(grouped bool, cfg ingestBenchConfig) (ingestBenchRun, error) {
+	dir, err := os.MkdirTemp("", "planar-ingestbench-")
+	if err != nil {
+		return ingestBenchRun{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	opts := service.Options{Dim: cfg.Dim, SyncEveryWrite: true}
+	if grouped {
+		opts.IngestBatch = cfg.Batch
+		opts.IngestFlushInterval = cfg.Flush
+		opts.IngestBlock = true
+	}
+	db, err := service.Open(dir, opts)
+	if err != nil {
+		return ingestBenchRun{}, err
+	}
+
+	hists := make([]ackHist, cfg.Writers)
+	ops := make([]int, cfg.Writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for c := 0; c < cfg.Writers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c) + 1))
+			if !grouped {
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					if _, err := db.Append(benchVec(rng, cfg.Dim)); err != nil {
+						return
+					}
+					hists[c].observe(time.Since(t0))
+					ops[c]++
+				}
+				return
+			}
+			// Grouped path: keep up to cfg.Window appends in flight so
+			// the committer sees real batches; ack latency still runs
+			// submission → durable resolution for every op.
+			futs := make([]*ingest.Future, 0, cfg.Window)
+			starts := make([]time.Time, 0, cfg.Window)
+			reap := func() bool {
+				res := futs[0].Wait()
+				hists[c].observe(time.Since(starts[0]))
+				futs = futs[1:]
+				starts = starts[1:]
+				if res.Err != nil {
+					return false
+				}
+				ops[c]++
+				return true
+			}
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				f, err := db.AppendAsync(benchVec(rng, cfg.Dim))
+				if err != nil {
+					break
+				}
+				futs = append(futs, f)
+				starts = append(starts, t0)
+				if len(futs) == cfg.Window && !reap() {
+					break
+				}
+			}
+			for len(futs) > 0 {
+				reap()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	run := ingestBenchRun{Mode: "sync", Writers: cfg.Writers, Seconds: elapsed.Seconds()}
+	if grouped {
+		run.Mode = "grouped"
+	}
+	var all ackHist
+	for c := range hists {
+		run.Ops += ops[c]
+		all.merge(&hists[c])
+	}
+	run.QPS = float64(run.Ops) / elapsed.Seconds()
+	run.AckP50Micros = all.percentileMicros(50)
+	run.AckP99Micros = all.percentileMicros(99)
+	if st, ok := db.IngestStats(); ok {
+		run.Batches = st.Batches
+		run.FsyncsSaved = st.FsyncsSaved
+		run.Shed = st.Shed
+		if st.Batches > 0 {
+			run.AvgBatch = float64(st.Records) / float64(st.Batches)
+		}
+	}
+	return run, db.Close()
+}
+
+func runIngestBench(cfg ingestBenchConfig, w io.Writer) error {
+	if cfg.Writers < 1 {
+		return fmt.Errorf("ingest bench: -writers must be >= 1 (got %d)", cfg.Writers)
+	}
+	report := ingestBenchReport{
+		Dim:                 cfg.Dim,
+		Writers:             cfg.Writers,
+		Window:              cfg.Window,
+		BatchSize:           cfg.Batch,
+		FlushIntervalMicros: cfg.Flush.Microseconds(),
+		Duration:            cfg.Duration.String(),
+		GoMaxProc:           runtime.GOMAXPROCS(0),
+		NumCPU:              runtime.NumCPU(),
+	}
+	fmt.Fprintf(w, "ingest bench: %d writers (dim %d), grouped batch %d / flush %s / window %d, %s per run\n",
+		cfg.Writers, cfg.Dim, cfg.Batch, cfg.Flush, cfg.Window, cfg.Duration)
+	fmt.Fprintf(w, "%8s %10s %12s %10s %10s %10s %10s\n",
+		"mode", "ops", "qps", "p50(µs)", "p99(µs)", "avgBatch", "noFsync")
+	for _, grouped := range []bool{false, true} {
+		run, err := ingestOneRun(grouped, cfg)
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Fprintf(w, "%8s %10d %12.0f %10d %10d %10.1f %10d\n",
+			run.Mode, run.Ops, run.QPS, run.AckP50Micros, run.AckP99Micros, run.AvgBatch, run.FsyncsSaved)
+	}
+	if report.Runs[0].QPS > 0 {
+		report.Speedup = report.Runs[1].QPS / report.Runs[0].QPS
+	}
+	fmt.Fprintf(w, "grouped/sync speedup: %.2fx\n", report.Speedup)
+	if cfg.OutPath != "" {
+		// Append-array convention shared with the other reports: each
+		// invocation appends so runs under different configurations sit
+		// side by side; a legacy single object migrates to a one-element
+		// array.
+		var reports []ingestBenchReport
+		if prev, err := os.ReadFile(cfg.OutPath); err == nil {
+			if json.Unmarshal(prev, &reports) != nil {
+				var single ingestBenchReport
+				if json.Unmarshal(prev, &single) == nil {
+					reports = append(reports, single)
+				}
+			}
+		}
+		reports = append(reports, report)
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.OutPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", cfg.OutPath)
+	}
+	return nil
+}

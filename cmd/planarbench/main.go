@@ -54,6 +54,16 @@
 // faulting), warm-cache query latency against the all-RAM store, and
 // the faulting regime where the page cache is smaller than the
 // working set, and writes the report to -pageout (BENCH_page.json).
+//
+// A seventh mode benchmarks the group-commit write pipeline:
+//
+//	planarbench -mode ingest
+//
+// which drives -writers concurrent writers against a durable store
+// twice — the synchronous per-request-fsync path versus the ingest
+// pipeline batching records into single-fsync WAL frames — and writes
+// sustained QPS plus ack latency percentiles to -ingestout
+// (BENCH_ingest.json).
 package main
 
 import (
@@ -92,6 +102,12 @@ func main() {
 		hotDur   = flag.Duration("hotdur", 300*time.Millisecond, "measurement window per engine per cell in -mode hotpath")
 		buildOut = flag.String("buildout", "BENCH_build.json", "JSON report path for -mode build (empty = stdout only)")
 		pageOut  = flag.String("pageout", "BENCH_page.json", "JSON report path for -mode paged (empty = stdout only)")
+
+		writers      = flag.Int("writers", 8, "concurrent writers in -mode ingest")
+		ingestWindow = flag.Int("window", 16, "in-flight submissions per writer on the grouped run of -mode ingest")
+		ingestBatch  = flag.Int("batch", 256, "group-commit batch cap in -mode ingest")
+		ingestFlush  = flag.Duration("flush", 2*time.Millisecond, "group-commit flush interval in -mode ingest")
+		ingestOut    = flag.String("ingestout", "BENCH_ingest.json", "JSON report path for -mode ingest (empty = stdout only)")
 	)
 	flag.Parse()
 
@@ -143,8 +159,26 @@ func main() {
 				fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
 				os.Exit(1)
 			}
+		case "ingest":
+			cfg := ingestBenchConfig{
+				Writers:  *writers,
+				Window:   *ingestWindow,
+				Dim:      *dim,
+				Batch:    *ingestBatch,
+				Flush:    *ingestFlush,
+				Duration: *benchDur,
+				Seed:     2014,
+				OutPath:  *ingestOut,
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			if err := runIngestBench(cfg, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
+				os.Exit(1)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (\"hotpath\", \"build\", or \"paged\")\n", *mode)
+			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (\"hotpath\", \"build\", \"paged\", or \"ingest\")\n", *mode)
 			os.Exit(2)
 		}
 		return

@@ -11,6 +11,13 @@
 // smaller than the dataset. Directories reopen in whichever layout
 // they were created with.
 //
+// With -ingest-batch N the write path group-commits: mutations queue
+// on a per-shard ring, a committer drains batches of up to N (or
+// whatever arrived within -ingest-flush-interval), applies them under
+// one lock and journals them as a single WAL frame with one fsync.
+// Requests still ack only after their record is durable; see
+// DESIGN.md §13.
+//
 // With -replicate-from the process runs as a read replica instead: it
 // bootstraps from the primary's snapshot, tails its commit stream,
 // and serves the full read API while writes answer 403 (or proxy
@@ -49,6 +56,11 @@ func main() {
 		paged      = flag.Bool("paged", false, "use the disk-paged storage tier for a fresh directory (existing directories keep their layout)")
 		cacheMB    = flag.Int("page-cache-mb", 0, "page-cache budget in MiB for the paged tier (implies -paged; 0 = default budget)")
 
+		ingestBatch = flag.Int("ingest-batch", 0, "group-commit writes in batches up to this size (0 = synchronous per-request path)")
+		ingestFlush = flag.Duration("ingest-flush-interval", 0, "max time a group commit waits to fill its batch (0 = default 2ms; needs -ingest-batch)")
+		ingestQueue = flag.Int("ingest-queue", 0, "per-lane ingest ring capacity in intents (0 = 4x batch; needs -ingest-batch)")
+		ingestShed  = flag.Bool("ingest-shed", false, "answer 429 when the ingest ring is full instead of blocking the request")
+
 		role          = flag.String("role", "", "primary or replica (default: replica iff -replicate-from is set)")
 		replicateFrom = flag.String("replicate-from", "", "primary base URL to replicate from (enables replica role)")
 		proxyWrites   = flag.Bool("proxy-writes", false, "replica: proxy mutations to the primary instead of rejecting them")
@@ -65,6 +77,12 @@ func main() {
 	}
 	if *cacheMB > 0 {
 		*paged = true
+	}
+	if *ingestBatch < 0 {
+		log.Fatal("planarserve: -ingest-batch must be >= 0")
+	}
+	if *ingestBatch == 0 && (*ingestFlush != 0 || *ingestQueue != 0 || *ingestShed) {
+		log.Fatal("planarserve: -ingest-flush-interval/-ingest-queue/-ingest-shed need -ingest-batch")
 	}
 
 	isReplica := *replicateFrom != ""
@@ -108,6 +126,11 @@ func main() {
 			Shards:          *shards,
 			Paged:           *paged,
 			PageCacheBytes:  *cacheMB << 20,
+
+			IngestBatch:         *ingestBatch,
+			IngestFlushInterval: *ingestFlush,
+			IngestQueueDepth:    *ingestQueue,
+			IngestBlock:         !*ingestShed,
 		})
 		if err == nil {
 			api, err = httpapi.New(db)

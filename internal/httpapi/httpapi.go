@@ -421,10 +421,20 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.store(r).Append(req.Vec)
 	if err != nil {
-		fail(w, http.StatusBadRequest, err)
+		fail(w, mutationStatus(err), err)
 		return
 	}
 	reply(w, map[string]interface{}{"id": id})
+}
+
+// mutationStatus maps a write error to its HTTP status: a shed by a
+// full ingest ring is 429 (retry later), anything else is the caller's
+// fault.
+func mutationStatus(err error) int {
+	if errors.Is(err, service.ErrBackpressure) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusBadRequest
 }
 
 func pathID(r *http.Request) (uint32, error) {
@@ -447,7 +457,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.store(r).Update(id, req.Vec); err != nil {
-		fail(w, http.StatusBadRequest, err)
+		fail(w, mutationStatus(err), err)
 		return
 	}
 	reply(w, map[string]interface{}{"ok": true})
@@ -460,7 +470,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.store(r).Remove(id); err != nil {
-		fail(w, http.StatusBadRequest, err)
+		fail(w, mutationStatus(err), err)
 		return
 	}
 	reply(w, map[string]interface{}{"ok": true})
@@ -519,6 +529,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"pointsVerified": met.PointsVerified,
 		},
 		"planCache": map[string]uint64{"hits": hits, "misses": misses},
+	}
+	if ist, ok := db.IngestStats(); ok {
+		avg := 0.0
+		if ist.Batches > 0 {
+			avg = float64(ist.Records) / float64(ist.Batches)
+		}
+		body["ingest"] = map[string]interface{}{
+			"submitted":    ist.Submitted,
+			"shed":         ist.Shed,
+			"queueDepth":   ist.QueueDepth,
+			"batches":      ist.Batches,
+			"records":      ist.Records,
+			"avgBatch":     avg,
+			"fsyncsSaved":  ist.FsyncsSaved,
+			"batchSizes":   ist.BatchSizes,
+			"ackP50Micros": ist.AckP50.Microseconds(),
+			"ackP99Micros": ist.AckP99.Microseconds(),
+		}
 	}
 	if st, ok := db.PageStats(); ok {
 		body["pageCache"] = map[string]interface{}{

@@ -1,0 +1,90 @@
+package ingest
+
+import "sync"
+
+// ring is one lane's bounded MPMC submission queue: a fixed circular
+// buffer of pooled items guarded by a mutex, a condition variable for
+// producers blocked on a full ring, and a one-token notify channel
+// that wakes the lane's committer without a thundering herd.
+type ring struct {
+	mu      sync.Mutex
+	notFull *sync.Cond
+	buf     []*item
+	head    int // index of the oldest queued item
+	n       int // queued item count
+	closed  bool
+
+	notify chan struct{} // one-token committer wakeup
+}
+
+func newRing(capacity int) *ring {
+	r := &ring{
+		buf:    make([]*item, capacity),
+		notify: make(chan struct{}, 1),
+	}
+	r.notFull = sync.NewCond(&r.mu)
+	return r
+}
+
+// push enqueues an item. With block set, a full ring parks the
+// producer until a committer drains space (backpressure); otherwise
+// it sheds with ErrBacklog. After close, push always reports
+// ErrClosed so drain terminates.
+func (r *ring) push(it *item, block bool) error {
+	r.mu.Lock()
+	for r.n == len(r.buf) && !r.closed {
+		if !block {
+			r.mu.Unlock()
+			return ErrBacklog
+		}
+		r.notFull.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = it
+	r.n++
+	r.mu.Unlock()
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// tryPop moves up to max queued items into dst and returns the
+// extended slice, waking any producers blocked on a full ring.
+func (r *ring) tryPop(dst []*item, max int) []*item {
+	r.mu.Lock()
+	took := 0
+	for r.n > 0 && took < max {
+		it := r.buf[r.head]
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		took++
+		dst = append(dst, it)
+	}
+	if took > 0 {
+		r.notFull.Broadcast()
+	}
+	r.mu.Unlock()
+	return dst
+}
+
+// close marks the ring closed and releases blocked producers; queued
+// items stay queued for the committer's final drain.
+func (r *ring) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+}
+
+// depth returns the current queue length (stats gauge).
+func (r *ring) depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

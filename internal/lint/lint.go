@@ -9,6 +9,7 @@
 //	ctxhttp     — HTTP clients and handler goroutines carry contexts
 //	bodyclose   — HTTP response bodies are always closed
 //	filesync    — write-path files reach Sync and Close, errors kept
+//	tickerleak  — timers and tickers in long-lived loops get stopped
 //
 // Analyzers are built on the stdlib-only framework in the analysis
 // subpackage and run via `go run ./cmd/planarlint ./...` (wired into
@@ -37,6 +38,7 @@ func All() []*analysis.Analyzer {
 		Ctxhttp,
 		Bodyclose,
 		Filesync,
+		Tickerleak,
 	}
 }
 

@@ -53,6 +53,10 @@ func TestFilesyncUnscoped(t *testing.T) {
 	run(t, "filesync", "filesync_unscoped", "planar/internal/dataset")
 }
 
+func TestTickerleak(t *testing.T) {
+	run(t, "tickerleak", "tickerleak", "planar/internal/replica")
+}
+
 func TestWalordering(t *testing.T) {
 	run(t, "walordering", "walordering", "planar/internal/service")
 }

@@ -47,13 +47,19 @@ func unlockThenRelock(db *DB) {
 func sequencerUnderLeaf(db *DB, s *replog.Sequencer) {
 	db.metMu.Lock()
 	defer db.metMu.Unlock()
-	_ = s.Last() // want `sequencerUnderLeaf calls Last which acquires planar/internal/replog.Sequencer.mu while holding planar/internal/service.DB.metMu`
+	_ = s.Next() // want `sequencerUnderLeaf calls Next which acquires planar/internal/replog.Sequencer.mu while holding planar/internal/service.DB.metMu`
 }
 
 func sequencerOK(db *DB, s *replog.Sequencer) {
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
-	_ = s.Last() // sequencer (60) nests fine under commitMu (10)
+	_ = s.Next() // sequencer (60) nests fine under commitMu (10)
+}
+
+func lockFreeLastUnderLeaf(db *DB, s *replog.Sequencer) {
+	db.metMu.Lock()
+	defer db.metMu.Unlock()
+	_ = s.Last() // atomic mirror, takes no lock: fine under a leaf
 }
 
 func helper(db *DB) {

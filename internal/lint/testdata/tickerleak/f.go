@@ -1,0 +1,135 @@
+// Fixture for the tickerleak analyzer (unscoped: runs everywhere).
+package replica
+
+import "time"
+
+func keep(t *time.Ticker) {}
+
+func naiveTick(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.Tick(time.Second): // want `time.Tick has no Stop handle`
+		}
+	}
+}
+
+func afterInLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second): // want `time.After in a loop starts a new timer`
+		}
+	}
+}
+
+func afterOnce(done chan struct{}) bool {
+	// A one-shot timeout outside any loop is the intended use.
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Second):
+		return false
+	}
+}
+
+func afterInNestedLit(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		// The literal is its own function: its body has no loop, so
+		// the After inside it is a one-shot, not per-iteration.
+		func() {
+			<-time.After(time.Millisecond)
+		}()
+	}
+}
+
+func leakedTicker(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // want `ticker t is never stopped`
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func stoppedTicker(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func stoppedInClosure(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer func() { t.Stop() }()
+	<-stop
+}
+
+func leakedVarForm() {
+	var t = time.NewTicker(time.Second) // want `ticker t is never stopped`
+	<-t.C
+}
+
+func leakedInGoroutine(stop chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second) // want `ticker t is never stopped`
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+func perIterationDeferred(work []int) {
+	for range work {
+		t := time.NewTicker(time.Millisecond) // want `only stopped by defer`
+		defer t.Stop()
+		<-t.C
+	}
+}
+
+func perIterationStopped(work []int) {
+	for range work {
+		t := time.NewTicker(time.Millisecond)
+		<-t.C
+		t.Stop()
+	}
+}
+
+func escapesToCaller() *time.Ticker {
+	t := time.NewTicker(time.Second) // ownership transfers with the return
+	return t
+}
+
+func escapesToHelper() {
+	t := time.NewTicker(time.Second) // ownership transfers to keep
+	keep(t)
+}
+
+func suppressed(stop chan struct{}) {
+	t := time.NewTicker(time.Second) //nolint:tickerleak // fixture: goroutine lives for the process
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -44,8 +44,9 @@ var walMutators = map[string]bool{
 
 // walJournals are the calls that make a mutation durable.
 var walJournals = map[string]bool{
-	"planar/internal/replog.Sequencer.Commit":   true,
-	"planar/internal/replog.Sequencer.CommitAt": true,
+	"planar/internal/replog.Sequencer.Commit":      true,
+	"planar/internal/replog.Sequencer.CommitAt":    true,
+	"planar/internal/replog.Sequencer.CommitBatch": true,
 }
 
 // walReplayers take recovery callbacks whose mutations are exempt.

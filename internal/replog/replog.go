@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"planar/internal/wal"
 )
@@ -44,6 +45,11 @@ type Sequencer struct {
 	ringCap  int
 	ringBase uint64 // LSN of ring[0]; ring holds [ringBase, next)
 	notify   chan struct{}
+
+	// last mirrors next-1 so Last — called on every read to stamp the
+	// X-Planar-LSN header — never contends with commits holding mu
+	// across a journal fsync.
+	last atomic.Uint64
 }
 
 // NewSequencer starts the sequence at next (the first LSN it will
@@ -56,12 +62,14 @@ func NewSequencer(next uint64, ringSize int) *Sequencer {
 	if ringSize <= 0 {
 		ringSize = DefaultRingSize
 	}
-	return &Sequencer{
+	s := &Sequencer{
 		next:     next,
 		ringCap:  ringSize,
 		ringBase: next,
 		notify:   make(chan struct{}),
 	}
+	s.last.Store(next - 1)
+	return s
 }
 
 // Next returns the LSN the next commit will receive.
@@ -71,12 +79,10 @@ func (s *Sequencer) Next() uint64 {
 	return s.next
 }
 
-// Last returns the most recently committed LSN (0 if none).
-func (s *Sequencer) Last() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.next - 1
-}
+// Last returns the most recently committed LSN (0 if none). It is
+// lock-free: reads stamping LSN headers never wait behind a commit's
+// journal fsync.
+func (s *Sequencer) Last() uint64 { return s.last.Load() }
 
 // Commit assigns the next LSN to a mutation in the global id space,
 // runs the journal callback (the per-shard WAL append) under the
@@ -116,6 +122,40 @@ func (s *Sequencer) CommitAt(lsn uint64, op wal.Op, gid uint32, vec []float64, j
 	return nil
 }
 
+// CommitBatch assigns a contiguous LSN range to a group-committed
+// batch: recs[j] receives base+j in place, the journal callback (one
+// multi-record WAL append plus one fsync) runs under the sequence
+// lock so on-disk order matches LSN order, and all records publish to
+// the ring with a single waiter wakeup. The record ids must already
+// be global; vectors are cloned into the ring. The caller holds its
+// shard lock across this call, exactly as for Commit.
+func (s *Sequencer) CommitBatch(recs []wal.Record, journal func(base uint64) error) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, errors.New("replog: empty batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.next
+	for j := range recs {
+		recs[j].LSN = base + uint64(j)
+	}
+	if journal != nil {
+		if err := journal(base); err != nil {
+			return 0, err
+		}
+	}
+	for _, r := range recs {
+		r.Vec = cloneVec(r.Vec)
+		s.ring = append(s.ring, r)
+	}
+	if over := len(s.ring) - s.ringCap; over > 0 {
+		s.ring = append(s.ring[:0], s.ring[over:]...)
+		s.ringBase += uint64(over)
+	}
+	s.advanceLocked(base + uint64(len(recs)))
+	return base, nil
+}
+
 // publishLocked appends one record to the ring and wakes waiters.
 func (s *Sequencer) publishLocked(rec wal.Record) {
 	s.ring = append(s.ring, rec)
@@ -123,7 +163,14 @@ func (s *Sequencer) publishLocked(rec wal.Record) {
 		s.ring = append(s.ring[:0], s.ring[over:]...)
 		s.ringBase += uint64(over)
 	}
-	s.next = rec.LSN + 1
+	s.advanceLocked(rec.LSN + 1)
+}
+
+// advanceLocked moves the sequence to next, mirrors it for lock-free
+// Last readers, and wakes waiters.
+func (s *Sequencer) advanceLocked(next uint64) {
+	s.next = next
+	s.last.Store(next - 1)
 	close(s.notify)
 	s.notify = make(chan struct{})
 }

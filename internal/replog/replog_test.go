@@ -55,6 +55,88 @@ func TestReadFromRingAndTooOld(t *testing.T) {
 	}
 }
 
+func TestCommitBatchAssignsContiguousRange(t *testing.T) {
+	s := NewSequencer(1, 8)
+	if _, err := s.Commit(wal.OpAppend, 0, []float64{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := []wal.Record{
+		{Op: wal.OpAppend, ID: 1, Vec: []float64{1}},
+		{Op: wal.OpUpdate, ID: 0, Vec: []float64{2}},
+		{Op: wal.OpRemove, ID: 1},
+	}
+	var journaled uint64
+	base, err := s.CommitBatch(recs, func(b uint64) error {
+		journaled = b
+		// LSNs are assigned before the journal runs so the WAL
+		// append can frame the batch.
+		for j, r := range recs {
+			if r.LSN != b+uint64(j) {
+				t.Errorf("journal saw record %d with LSN %d, want %d", j, r.LSN, b+uint64(j))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 2 || journaled != 2 {
+		t.Fatalf("base=%d journaled=%d, want 2", base, journaled)
+	}
+	if s.Last() != 4 || s.Next() != 5 {
+		t.Fatalf("last=%d next=%d, want 4/5", s.Last(), s.Next())
+	}
+	got, tooOld := s.ReadFrom(1, 0)
+	if tooOld || len(got) != 4 {
+		t.Fatalf("ReadFrom(1): tooOld=%v n=%d", tooOld, len(got))
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("ring LSN order: %v", got)
+		}
+	}
+	// Ring vectors are clones: mutating the caller's batch must not
+	// reach replication readers.
+	recs[0].Vec[0] = 99
+	if got[1].Vec[0] != 1 {
+		t.Fatal("ring shares vector storage with the committed batch")
+	}
+
+	// A failed journal assigns nothing.
+	wantErr := errors.New("disk full")
+	if _, err := s.CommitBatch([]wal.Record{{Op: wal.OpRemove, ID: 0}}, func(uint64) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("journal error not surfaced: %v", err)
+	}
+	if s.Next() != 5 {
+		t.Fatalf("failed batch advanced sequence to %d", s.Next())
+	}
+	if _, err := s.CommitBatch(nil, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestCommitBatchWakesWaiters(t *testing.T) {
+	s := NewSequencer(1, 8)
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Wait(ctx, 3)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	recs := []wal.Record{
+		{Op: wal.OpRemove, ID: 0},
+		{Op: wal.OpRemove, ID: 1},
+		{Op: wal.OpRemove, ID: 2},
+	}
+	if _, err := s.CommitBatch(recs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("wait across batch commit: %v", err)
+	}
+}
+
 func TestCommitAtEnforcesSequence(t *testing.T) {
 	s := NewSequencer(5, 8)
 	if err := s.CommitAt(5, wal.OpAppend, 0, []float64{1}, nil); err != nil {

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"fmt"
+
+	"planar/internal/ingest"
+	"planar/internal/wal"
+)
+
+// ErrBackpressure reports a write shed by a full ingest ring; the
+// caller should retry later (the HTTP layer answers 429).
+var ErrBackpressure = ingest.ErrBacklog
+
+// startIngest wires the group-commit pipeline when Options.IngestBatch
+// asks for one: a lane per shard (one lane in single mode), committed
+// through the mode's batch-commit path. Replicas never configure a
+// pipeline — their writes arrive pre-sequenced on the replication
+// stream.
+func (db *DB) startIngest() error {
+	if db.opts.IngestBatch <= 0 {
+		return nil
+	}
+	batch := db.opts.IngestBatch
+	if batch > wal.MaxBatchRecords {
+		batch = wal.MaxBatchRecords
+	}
+	lanes := 1
+	commit := db.commitBatch
+	if db.shards != nil {
+		lanes = db.shards.NumShards()
+		commit = func(lane int, intents []ingest.Intent, results []ingest.Result) error {
+			// commitMu read-held across apply+journal, exactly like a
+			// synchronous write, so CaptureState can drain in-flight
+			// batches to a consistent cut.
+			db.commitMu.RLock()
+			defer db.commitMu.RUnlock()
+			return db.shards.CommitBatch(lane, intents, results)
+		}
+	}
+	p, err := ingest.New(ingest.Config{
+		Lanes:         lanes,
+		BatchSize:     batch,
+		FlushInterval: db.opts.IngestFlushInterval,
+		QueueDepth:    db.opts.IngestQueueDepth,
+		Block:         db.opts.IngestBlock,
+		Commit:        commit,
+	})
+	if err != nil {
+		return err
+	}
+	db.pipe = p
+	return nil
+}
+
+// commitBatch is the single-mode group commit: apply every intent
+// under one acquisition of db.mu, journal the survivors as one WAL
+// frame with one fsync, and let the sequencer hand the batch a
+// contiguous LSN range. Apply errors stay scoped to their intent; a
+// journal error fails the whole batch.
+func (db *DB) commitBatch(_ int, intents []ingest.Intent, results []ingest.Result) error {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	recs := make([]wal.Record, 0, len(intents))
+	okIdx := make([]int, 0, len(intents))
+	for i, in := range intents {
+		if results[i].Err != nil {
+			continue
+		}
+		op := wal.Op(in.Op)
+		id := in.ID
+		var err error
+		switch op {
+		case wal.OpAppend:
+			id, err = db.multi.Append(in.Vec)
+		case wal.OpUpdate:
+			err = db.multi.Update(id, in.Vec)
+		case wal.OpRemove:
+			err = db.multi.Remove(id)
+		default:
+			err = fmt.Errorf("service: unknown op %d", in.Op)
+		}
+		if err != nil {
+			results[i] = ingest.Result{Err: err}
+			continue
+		}
+		vec := in.Vec
+		if op == wal.OpRemove {
+			vec = nil
+		}
+		results[i] = ingest.Result{ID: id}
+		recs = append(recs, wal.Record{Op: op, ID: id, Vec: vec})
+		okIdx = append(okIdx, i)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	// CommitBatch assigns recs[j].LSN = base+j before the journal
+	// runs, so the frame encodes the final LSNs. Group commit always
+	// fsyncs before acking — that is its durability contract, stronger
+	// than the SyncEveryWrite default.
+	base, err := db.seq.CommitBatch(recs, func(uint64) error {
+		if err := db.log.AppendBatch(recs); err != nil {
+			return err
+		}
+		return db.log.Sync()
+	})
+	if err != nil {
+		return err
+	}
+	for j, i := range okIdx {
+		results[i].LSN = base + uint64(j)
+	}
+	for range okIdx {
+		if err := db.bumpLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendAsync submits an append to the ingest pipeline and returns an
+// awaitable future; the write is durable (batch frame fsynced) when
+// the future resolves. Without a pipeline it degrades to the
+// synchronous path and returns an already-resolved future.
+func (db *DB) AppendAsync(v []float64) (*ingest.Future, error) {
+	if db.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	if db.pipe == nil {
+		id, err := db.Append(v)
+		if err != nil {
+			return nil, err
+		}
+		return ingest.Resolved(ingest.Result{ID: id, LSN: db.seq.Last()}), nil
+	}
+	lane := 0
+	if db.shards != nil {
+		lane = db.shards.NextAppendLane()
+	}
+	return db.pipe.Submit(lane, ingest.Intent{Op: uint8(wal.OpAppend), Vec: v})
+}
+
+// UpdateAsync submits an update to the ingest pipeline. Same-key
+// operations ride the same lane, so they commit in submission order.
+func (db *DB) UpdateAsync(id uint32, v []float64) (*ingest.Future, error) {
+	if db.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	if db.pipe == nil {
+		if err := db.Update(id, v); err != nil {
+			return nil, err
+		}
+		return ingest.Resolved(ingest.Result{ID: id, LSN: db.seq.Last()}), nil
+	}
+	return db.pipe.Submit(db.laneOf(id), ingest.Intent{Op: uint8(wal.OpUpdate), ID: id, Vec: v})
+}
+
+// RemoveAsync submits a remove to the ingest pipeline.
+func (db *DB) RemoveAsync(id uint32) (*ingest.Future, error) {
+	if db.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	if db.pipe == nil {
+		if err := db.Remove(id); err != nil {
+			return nil, err
+		}
+		return ingest.Resolved(ingest.Result{ID: id, LSN: db.seq.Last()}), nil
+	}
+	return db.pipe.Submit(db.laneOf(id), ingest.Intent{Op: uint8(wal.OpRemove), ID: id})
+}
+
+// laneOf routes a keyed intent to its commit lane: the owning shard,
+// or the only lane in single mode.
+func (db *DB) laneOf(id uint32) int {
+	if db.shards != nil {
+		return db.shards.LaneOf(id)
+	}
+	return 0
+}
+
+// IngestStats snapshots the pipeline counters; ok is false when the
+// DB runs the synchronous write path.
+func (db *DB) IngestStats() (ingest.Stats, bool) {
+	if db.pipe == nil {
+		return ingest.Stats{}, false
+	}
+	return db.pipe.Stats(), true
+}

@@ -24,9 +24,11 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"planar/internal/codec"
 	"planar/internal/core"
+	"planar/internal/ingest"
 	"planar/internal/replog"
 	"planar/internal/shard"
 	"planar/internal/vecmath"
@@ -82,6 +84,24 @@ type Options struct {
 	// default; a small floor is always enforced). In sharded mode the
 	// budget is split evenly across shards.
 	PageCacheBytes int
+	// IngestBatch enables the asynchronous group-commit write pipeline
+	// (internal/ingest): up to this many mutations apply under one
+	// lock acquisition and journal as one WAL frame with one fsync.
+	// 0 (the default) keeps the synchronous per-mutation write path.
+	// Grouped commits always fsync before acking, superseding
+	// SyncEveryWrite on the grouped path.
+	IngestBatch int
+	// IngestFlushInterval bounds how long the first mutation of a
+	// batch waits for the batch to fill (0 = a 2ms default). It is the
+	// ack-latency ceiling under light load.
+	IngestFlushInterval time.Duration
+	// IngestQueueDepth is the per-lane submission ring capacity
+	// (0 = 4×IngestBatch).
+	IngestQueueDepth int
+	// IngestBlock selects backpressure mode for a full ring: block the
+	// submitter (true) or shed with ErrBackpressure (false, the
+	// default — the HTTP layer answers 429).
+	IngestBlock bool
 	// Multi options (selection heuristic, fallback, guard band).
 	MultiOptions []core.MultiOption
 }
@@ -123,8 +143,11 @@ type DB struct {
 	commitMu sync.RWMutex
 	readOnly atomic.Bool
 
-	metMu sync.Mutex
-	met   Metrics
+	// pipe is the group-commit ingest pipeline (nil when
+	// Options.IngestBatch is 0 — the synchronous write path).
+	pipe *ingest.Pipeline
+
+	met metricsBlock
 }
 
 // Metrics aggregates execution-pipeline stats across every query
@@ -148,28 +171,48 @@ type Metrics struct {
 	PointsVerified uint64
 }
 
+// metricsBlock is the rollup's storage: per-counter atomics instead
+// of one mutex, so every query on every core can record its stats
+// without serializing on a shared lock (the rollup was a measurable
+// contention point at high read concurrency). A snapshot may tear
+// across counters by a query or two, which a monitoring rollup
+// tolerates.
+type metricsBlock struct {
+	queries   atomic.Uint64
+	planNanos atomic.Int64
+	execNanos atomic.Int64
+	cacheHits atomic.Uint64
+	fellBack  atomic.Uint64
+	pruned    atomic.Uint64
+	verified  atomic.Uint64
+}
+
 // record folds one query's stats into the rollup.
 func (db *DB) record(st core.Stats) {
-	db.metMu.Lock()
-	defer db.metMu.Unlock()
-	db.met.Queries++
-	db.met.PlanNanos += st.PlanNanos
-	db.met.ExecNanos += st.ExecNanos
+	db.met.queries.Add(1)
+	db.met.planNanos.Add(st.PlanNanos)
+	db.met.execNanos.Add(st.ExecNanos)
 	if st.CacheHit {
-		db.met.CacheHits++
+		db.met.cacheHits.Add(1)
 	}
 	if st.FellBack {
-		db.met.FellBack++
+		db.met.fellBack.Add(1)
 	}
-	db.met.PointsPruned += uint64(st.Accepted + st.Rejected)
-	db.met.PointsVerified += uint64(st.Verified)
+	db.met.pruned.Add(uint64(st.Accepted + st.Rejected))
+	db.met.verified.Add(uint64(st.Verified))
 }
 
 // Metrics returns a snapshot of the cumulative query metrics.
 func (db *DB) Metrics() Metrics {
-	db.metMu.Lock()
-	defer db.metMu.Unlock()
-	return db.met
+	return Metrics{
+		Queries:        db.met.queries.Load(),
+		PlanNanos:      db.met.planNanos.Load(),
+		ExecNanos:      db.met.execNanos.Load(),
+		CacheHits:      db.met.cacheHits.Load(),
+		FellBack:       db.met.fellBack.Load(),
+		PointsPruned:   db.met.pruned.Load(),
+		PointsVerified: db.met.verified.Load(),
+	}
 }
 
 // Query answers an inequality query, recording pipeline metrics. In
@@ -414,11 +457,15 @@ func Open(dir string, opts Options) (*DB, error) {
 	if n := w.Recovered(); n > 0 {
 		log.Printf("service: %s: recovered torn tail, truncated %d bytes", walPath, n)
 	}
-	return &DB{
+	db := &DB{
 		dir: dir, opts: opts, multi: m, log: w, pending: applied,
 		pstore: pstore, replayed: applied,
 		seq: replog.NewSequencer(w.NextLSN(), opts.RingSize),
-	}, nil
+	}
+	if err := db.startIngest(); err != nil {
+		return nil, errors.Join(err, db.Close())
+	}
+	return db, nil
 }
 
 // openSharded opens (or creates) the sharded layout. A directory
@@ -449,7 +496,11 @@ func openSharded(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{dir: dir, opts: opts, shards: st, seq: st.Seq()}, nil
+	db := &DB{dir: dir, opts: opts, shards: st, seq: st.Seq()}
+	if err := db.startIngest(); err != nil {
+		return nil, errors.Join(err, db.Close())
+	}
+	return db, nil
 }
 
 // Multi exposes the underlying index collection in single mode. It
@@ -558,10 +609,20 @@ func (db *DB) bumpLocked() error {
 	return nil
 }
 
-// Append durably adds a point and returns its id.
+// Append durably adds a point and returns its id. With the ingest
+// pipeline enabled the write group-commits: it is acked after the
+// fsync of the batch frame holding it.
 func (db *DB) Append(v []float64) (uint32, error) {
 	if db.readOnly.Load() {
 		return 0, ErrReadOnly
+	}
+	if db.pipe != nil {
+		f, err := db.AppendAsync(v)
+		if err != nil {
+			return 0, err
+		}
+		res := f.Wait()
+		return res.ID, res.Err
 	}
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
@@ -587,6 +648,13 @@ func (db *DB) Update(id uint32, v []float64) error {
 	if db.readOnly.Load() {
 		return ErrReadOnly
 	}
+	if db.pipe != nil {
+		f, err := db.UpdateAsync(id, v)
+		if err != nil {
+			return err
+		}
+		return f.Wait().Err
+	}
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
 	if db.shards != nil {
@@ -607,6 +675,13 @@ func (db *DB) Update(id uint32, v []float64) error {
 func (db *DB) Remove(id uint32) error {
 	if db.readOnly.Load() {
 		return ErrReadOnly
+	}
+	if db.pipe != nil {
+		f, err := db.RemoveAsync(id)
+		if err != nil {
+			return err
+		}
+		return f.Wait().Err
 	}
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
@@ -667,8 +742,13 @@ func (db *DB) checkpointLocked() error {
 }
 
 // Close flushes the log and releases the DB. It does not checkpoint;
-// the log is replayed on the next Open.
+// the log is replayed on the next Open. An active ingest pipeline is
+// drained first — every queued intent commits and resolves its future
+// before the logs close, so an acked write is never dropped.
 func (db *DB) Close() error {
+	if db.pipe != nil {
+		db.pipe.Close()
+	}
 	if db.shards != nil {
 		return db.shards.Close()
 	}

@@ -10,6 +10,7 @@ import (
 
 	"planar/internal/codec"
 	"planar/internal/core"
+	"planar/internal/ingest"
 	"planar/internal/replog"
 	"planar/internal/vecmath"
 	"planar/internal/wal"
@@ -271,6 +272,88 @@ func (p *partition) remove(id uint32) error {
 		return err
 	}
 	return p.bumpLocked()
+}
+
+// commitBatch group-commits one ingest batch: every intent applies
+// under a single acquisition of the shard lock, the survivors journal
+// as one multi-record WAL frame with one fsync, and the sequencer
+// hands the batch a contiguous LSN range. Intent ids are shard-local
+// (the Store translates at the boundary); results carry global ids.
+// Entries whose result already holds an error are skipped — the Store
+// pre-fails mis-routed intents. Apply errors (bad dimension, dead
+// point) stay scoped to their intent and never reach the journal; a
+// journal error fails the whole batch.
+func (p *partition) commitBatch(intents []ingest.Intent, results []ingest.Result) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	walRecs := make([]wal.Record, 0, len(intents))
+	ringRecs := make([]wal.Record, 0, len(intents))
+	okIdx := make([]int, 0, len(intents))
+	for i, in := range intents {
+		if results[i].Err != nil {
+			continue
+		}
+		op := wal.Op(in.Op)
+		local := in.ID
+		var err error
+		switch op {
+		case wal.OpAppend:
+			local, err = p.multi.Append(in.Vec)
+		case wal.OpUpdate:
+			err = p.multi.Update(local, in.Vec)
+		case wal.OpRemove:
+			err = p.multi.Remove(local)
+		default:
+			err = fmt.Errorf("shard: unknown op %d", in.Op)
+		}
+		if err != nil {
+			results[i] = ingest.Result{Err: err}
+			continue
+		}
+		vec := in.Vec
+		if op == wal.OpRemove {
+			vec = nil
+		}
+		results[i] = ingest.Result{ID: p.gid(local)}
+		walRecs = append(walRecs, wal.Record{Op: op, ID: local, Vec: vec})
+		ringRecs = append(ringRecs, wal.Record{Op: op, ID: p.gid(local), Vec: vec})
+		okIdx = append(okIdx, i)
+	}
+	if len(ringRecs) == 0 {
+		return nil
+	}
+	base, err := p.seq.CommitBatch(ringRecs, p.journalBatch(walRecs))
+	if err != nil {
+		return err
+	}
+	for j, i := range okIdx {
+		results[i].LSN = base + uint64(j)
+	}
+	for range okIdx {
+		if err := p.bumpLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// journalBatch returns the batch commit callback: one frame, one
+// fsync. Acks resolve only after this fsync — group commit always
+// syncs regardless of syncEveryWrite, that is its durability
+// contract. Nil when ephemeral.
+func (p *partition) journalBatch(recs []wal.Record) func(uint64) error {
+	if p.log == nil {
+		return nil
+	}
+	return func(base uint64) error {
+		for j := range recs {
+			recs[j].LSN = base + uint64(j)
+		}
+		if err := p.log.AppendBatch(recs); err != nil {
+			return err
+		}
+		return p.log.Sync()
+	}
 }
 
 // applyReplicated applies one record streamed from a primary. The

@@ -12,6 +12,7 @@ import (
 
 	"planar/internal/codec"
 	"planar/internal/core"
+	"planar/internal/ingest"
 	"planar/internal/replog"
 	"planar/internal/vecmath"
 	"planar/internal/wal"
@@ -383,6 +384,42 @@ func (s *Store) Append(v []float64) (uint32, error) {
 		return 0, err
 	}
 	return s.globalID(si, local), nil
+}
+
+// NextAppendLane returns the shard the next append routes to, drawing
+// from the same round-robin counter as Append — the grouped and
+// synchronous write paths assign points to shards in the same order,
+// which is what makes them produce identical stores.
+func (s *Store) NextAppendLane() int {
+	return int(s.rr.Add(1)-1) % len(s.parts)
+}
+
+// LaneOf returns the shard owning a global id — the ingest lane its
+// updates and removes must ride so same-key operations commit in
+// submission order.
+func (s *Store) LaneOf(gid uint32) int {
+	si, _ := s.shardOf(gid)
+	return si
+}
+
+// CommitBatch group-commits one ingest batch on shard lane: apply
+// under one shard-lock acquisition, journal as one WAL frame with one
+// fsync, allocate a contiguous LSN range. Intent and result ids are
+// global; a mis-routed intent (wrong lane for its id) fails scoped to
+// its own result.
+func (s *Store) CommitBatch(lane int, intents []ingest.Intent, results []ingest.Result) error {
+	local := make([]ingest.Intent, len(intents))
+	for i, in := range intents {
+		if wal.Op(in.Op) != wal.OpAppend {
+			si, lid := s.shardOf(in.ID)
+			if si != lane {
+				results[i] = ingest.Result{Err: fmt.Errorf("shard: point %d belongs to shard %d, batch is on lane %d", in.ID, si, lane)}
+			}
+			in.ID = lid
+		}
+		local[i] = in
+	}
+	return s.parts[lane].commitBatch(local, results)
 }
 
 // Update replaces a point's φ vector on its owning shard.

@@ -23,6 +23,18 @@
 // truncated or CRC-broken final record is a torn tail: Open recovers
 // by truncating the file back to the last good record, and iteration
 // treats it as a clean end of log.
+//
+// Group commit (package ingest) journals a whole batch as one frame:
+//
+//	op(1)=batch baseLSN(8) count(2) {op(1) id(4) n(2) vec(8n)}×count crc(4)
+//
+// Sub-records carry implicit contiguous LSNs baseLSN, baseLSN+1, …
+// and share the single trailing CRC, so a batch is atomic on disk by
+// construction: a torn or corrupt batch frame fails as one unit and
+// recovery truncates the whole batch — a partially fsynced group
+// commit can never replay a prefix of its records. Segment iteration
+// expands batch frames transparently, so replay and the catch-up feed
+// see the same flat record sequence either way.
 package wal
 
 import (
@@ -46,7 +58,17 @@ const (
 	OpUpdate Op = 2
 	// OpRemove deletes a point.
 	OpRemove Op = 3
+
+	// opBatch frames a group-committed batch of records inside a
+	// segment file. It never appears in Record.Op: iteration expands
+	// the frame into its constituent mutation records.
+	opBatch Op = 4
 )
+
+// MaxBatchRecords bounds how many records one batch frame may carry —
+// both a sanity cap on decode (a corrupt count cannot allocate
+// unboundedly) and the ceiling for the ingest pipeline's batch size.
+const MaxBatchRecords = 1 << 12
 
 // Record is one logged mutation. LSN is the commit sequence number;
 // ID is shard-local in on-disk segments and global in replication
@@ -104,54 +126,185 @@ func EncodeRecord(w io.Writer, r Record) error {
 
 // DecodeRecord reads one record, re-verifying its CRC. It returns
 // io.EOF at a clean boundary, io.ErrUnexpectedEOF for a record cut
-// short, and ErrCorrupt for a checksum failure.
+// short, and ErrCorrupt for a checksum failure. Batch frames are a
+// segment-file construct and report ErrCorrupt here; replication
+// streams carry only flat records (use Segment to read a file).
 func DecodeRecord(br io.Reader) (Record, error) {
+	recs, _, err := decodeFrame(br, false)
+	if err != nil {
+		return Record{}, err
+	}
+	return recs[0], nil
+}
+
+// EncodeBatch writes a batch frame: the records share one header and
+// one trailing CRC, so the whole group is atomic under torn-tail
+// recovery. Records must carry contiguous LSNs starting at the
+// frame's base; each is encoded as op(1) id(4) n(2) vec(8n) with the
+// LSN left implicit.
+func EncodeBatch(w io.Writer, recs []Record) error {
+	if len(recs) < 2 {
+		return errors.New("wal: batch frame needs at least two records")
+	}
+	if len(recs) > MaxBatchRecords {
+		return fmt.Errorf("wal: batch of %d records exceeds %d", len(recs), MaxBatchRecords)
+	}
+	h := crc32.NewIEEE()
+	out := io.MultiWriter(w, h)
+	if err := binary.Write(out, binary.LittleEndian, uint8(opBatch)); err != nil {
+		return err
+	}
+	base := recs[0].LSN
+	if err := binary.Write(out, binary.LittleEndian, base); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, uint16(len(recs))); err != nil {
+		return err
+	}
+	for i, r := range recs {
+		if r.LSN != base+uint64(i) {
+			return fmt.Errorf("wal: batch LSNs not contiguous: record %d has %d, want %d", i, r.LSN, base+uint64(i))
+		}
+		if err := binary.Write(out, binary.LittleEndian, uint8(r.Op)); err != nil {
+			return err
+		}
+		if err := binary.Write(out, binary.LittleEndian, r.ID); err != nil {
+			return err
+		}
+		if err := binary.Write(out, binary.LittleEndian, uint16(len(r.Vec))); err != nil {
+			return err
+		}
+		for _, v := range r.Vec {
+			if err := binary.Write(out, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, h.Sum32())
+}
+
+// decodeFrame reads one wire frame — a flat record or (when
+// allowBatch) a batch frame — returning the records it carries and
+// its full on-disk byte length. Errors follow DecodeRecord: io.EOF at
+// a clean boundary, io.ErrUnexpectedEOF for a frame cut short,
+// ErrCorrupt for a checksum failure or implausible field.
+func decodeFrame(br io.Reader, allowBatch bool) ([]Record, int64, error) {
 	h := crc32.NewIEEE()
 	hr := io.TeeReader(br, h)
 
 	var op uint8
 	if err := binary.Read(hr, binary.LittleEndian, &op); err != nil {
-		return Record{}, err
+		return nil, 0, err
+	}
+	if Op(op) == opBatch {
+		if !allowBatch {
+			return nil, 0, ErrCorrupt
+		}
+		return decodeBatchBody(br, hr, h)
 	}
 	var lsn uint64
 	if err := binary.Read(hr, binary.LittleEndian, &lsn); err != nil {
-		return Record{}, io.ErrUnexpectedEOF
+		return nil, 0, io.ErrUnexpectedEOF
 	}
 	var id uint32
 	if err := binary.Read(hr, binary.LittleEndian, &id); err != nil {
-		return Record{}, io.ErrUnexpectedEOF
+		return nil, 0, io.ErrUnexpectedEOF
 	}
+	vec, err := decodeVec(hr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := checkCRC(br, h); err != nil {
+		return nil, 0, err
+	}
+	return []Record{{Op: Op(op), LSN: lsn, ID: id, Vec: vec}}, recordSize(len(vec)), nil
+}
+
+// decodeBatchBody reads a batch frame after its op byte. Every short
+// read or checksum failure rejects the frame as a unit: the caller
+// never sees a prefix of a torn batch.
+func decodeBatchBody(br io.Reader, hr io.Reader, h hash32) ([]Record, int64, error) {
+	var base uint64
+	if err := binary.Read(hr, binary.LittleEndian, &base); err != nil {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	var count uint16
+	if err := binary.Read(hr, binary.LittleEndian, &count); err != nil {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	if count < 2 || int(count) > MaxBatchRecords {
+		return nil, 0, ErrCorrupt
+	}
+	size := int64(11 + 4) // op + base + count + trailing crc
+	recs := make([]Record, count)
+	for i := range recs {
+		var op uint8
+		if err := binary.Read(hr, binary.LittleEndian, &op); err != nil {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		if Op(op) != OpAppend && Op(op) != OpUpdate && Op(op) != OpRemove {
+			return nil, 0, ErrCorrupt
+		}
+		var id uint32
+		if err := binary.Read(hr, binary.LittleEndian, &id); err != nil {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		vec, err := decodeVec(hr)
+		if err != nil {
+			return nil, 0, err
+		}
+		recs[i] = Record{Op: Op(op), LSN: base + uint64(i), ID: id, Vec: vec}
+		size += 7 + 8*int64(len(vec))
+	}
+	if err := checkCRC(br, h); err != nil {
+		return nil, 0, err
+	}
+	return recs, size, nil
+}
+
+// hash32 is the slice of hash.Hash32 the decoder needs.
+type hash32 interface{ Sum32() uint32 }
+
+// decodeVec reads the n(2) vec(8n) tail shared by flat records and
+// batch sub-records.
+func decodeVec(hr io.Reader) ([]float64, error) {
 	var n uint16
 	if err := binary.Read(hr, binary.LittleEndian, &n); err != nil {
-		return Record{}, io.ErrUnexpectedEOF
+		return nil, io.ErrUnexpectedEOF
 	}
 	if n > 1<<12 {
-		return Record{}, ErrCorrupt
+		return nil, ErrCorrupt
+	}
+	if n == 0 {
+		return nil, nil
 	}
 	vec := make([]float64, n)
 	for i := range vec {
 		var b uint64
 		if err := binary.Read(hr, binary.LittleEndian, &b); err != nil {
-			return Record{}, io.ErrUnexpectedEOF
+			return nil, io.ErrUnexpectedEOF
 		}
 		vec[i] = math.Float64frombits(b)
 	}
+	return vec, nil
+}
+
+// checkCRC reads the trailing checksum and compares it against the
+// hash accumulated over the frame body.
+func checkCRC(br io.Reader, h hash32) error {
 	want := h.Sum32()
 	var got uint32
 	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
-		return Record{}, io.ErrUnexpectedEOF
+		return io.ErrUnexpectedEOF
 	}
 	if got != want {
-		return Record{}, ErrCorrupt
+		return ErrCorrupt
 	}
-	if n == 0 {
-		vec = nil
-	}
-	return Record{Op: Op(op), LSN: lsn, ID: id, Vec: vec}, nil
+	return nil
 }
 
-// recordSize is the on-disk byte length of a record with n vector
-// components: op(1) lsn(8) id(4) n(2) vec(8n) crc(4).
+// recordSize is the on-disk byte length of a flat record with n
+// vector components: op(1) lsn(8) id(4) n(2) vec(8n) crc(4).
 func recordSize(n int) int64 { return 19 + 8*int64(n) }
 
 // Writer appends records to a segment file.
@@ -283,6 +436,48 @@ func (w *Writer) Append(r Record) error {
 	return nil
 }
 
+// AppendBatch logs a group-committed batch as one frame sharing a
+// single CRC, so the whole batch is atomic under torn-tail recovery.
+// Records must carry contiguous LSNs starting at or above NextLSN. A
+// single record is logged as a plain frame (there is nothing to
+// group); an empty batch is a no-op. Like Append, the frame is
+// buffered — call Sync to force it to stable storage.
+func (w *Writer) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if len(recs) == 1 {
+		return w.Append(recs[0])
+	}
+	if len(recs) > MaxBatchRecords {
+		return fmt.Errorf("wal: batch of %d records exceeds %d", len(recs), MaxBatchRecords)
+	}
+	base := recs[0].LSN
+	if base < w.next {
+		return fmt.Errorf("wal: batch base LSN %d below segment position %d", base, w.next)
+	}
+	for i, r := range recs {
+		if r.Op != OpAppend && r.Op != OpUpdate && r.Op != OpRemove {
+			return fmt.Errorf("wal: unknown op %d", r.Op)
+		}
+		if r.Op == OpRemove {
+			if len(r.Vec) != 0 {
+				return errors.New("wal: remove record must not carry a vector")
+			}
+		} else if len(r.Vec) != w.dim {
+			return fmt.Errorf("wal: vector has dimension %d, want %d", len(r.Vec), w.dim)
+		}
+		if r.LSN != base+uint64(i) {
+			return fmt.Errorf("wal: batch LSNs not contiguous: record %d has %d, want %d", i, r.LSN, base+uint64(i))
+		}
+	}
+	if err := EncodeBatch(w.bw, recs); err != nil {
+		return err
+	}
+	w.next = base + uint64(len(recs))
+	return nil
+}
+
 // Flush pushes buffered records to the OS without fsyncing — enough
 // for a concurrent segment reader (the catch-up feed) to see them.
 func (w *Writer) Flush() error { return w.bw.Flush() }
@@ -308,11 +503,12 @@ func (w *Writer) Close() error {
 // for the replication catch-up feed (stream from an offset without
 // re-reading the whole file).
 type Segment struct {
-	f    *os.File
-	br   *bufio.Reader
-	base uint64
-	pos  int64  // end offset of the last good record
-	last uint64 // LSN of the last good record (0 before any)
+	f       *os.File
+	br      *bufio.Reader
+	base    uint64
+	pos     int64    // end offset of the last good frame
+	last    uint64   // LSN of the last good record (0 before any)
+	pending []Record // batch-frame records not yet handed out
 }
 
 // OpenSegment opens a segment file for iteration, validating its
@@ -348,15 +544,23 @@ func (s *Segment) Pos() int64 { return s.pos }
 // 0 if none has been read yet.
 func (s *Segment) LastLSN() uint64 { return s.last }
 
-// Next decodes the next record. It returns io.EOF at a clean end;
+// Next decodes the next record, expanding batch frames into their
+// constituent records. It returns io.EOF at a clean end;
 // io.ErrUnexpectedEOF or ErrCorrupt mark a torn tail (use IsTail).
-// Pos is only advanced past records that decode successfully.
+// Pos is only advanced past frames that decode successfully — a batch
+// frame advances it all at once when its first record is returned, so
+// a torn batch never contributes a partial prefix.
 func (s *Segment) Next() (Record, error) {
-	r, err := DecodeRecord(s.br)
-	if err != nil {
-		return Record{}, err
+	if len(s.pending) == 0 {
+		recs, size, err := decodeFrame(s.br, true)
+		if err != nil {
+			return Record{}, err
+		}
+		s.pos += size
+		s.pending = recs
 	}
-	s.pos += recordSize(len(r.Vec))
+	r := s.pending[0]
+	s.pending = s.pending[1:]
 	s.last = r.LSN
 	return r, nil
 }
