@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-shard replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke ci clean
+.PHONY: all build test vet lint lint-strict race race-shard race-pager replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke ci clean
 
 all: build
 
@@ -29,6 +29,24 @@ lint:
 		echo "golangci-lint not installed; skipping (planarlint still ran)"; \
 	fi
 
+# The strict CI variant: same checks as lint, but a missing
+# golangci-lint binary is a hard failure instead of a skip, and the
+# planarlint analyzer count is recorded in the output so a CI log
+# proves which suite version ran. Use on builders that are supposed
+# to have the full toolchain; `make lint` remains the laptop target.
+lint-strict:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) mod tidy -diff
+	@out=$$($(GO) run ./cmd/planarlint -json ./...) || { echo "$$out"; exit 1; }; \
+		count=$$(echo "$$out" | grep -c '"name"'); \
+		echo "planarlint: $$count analyzers, 0 findings"
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "lint-strict: golangci-lint not installed" >&2; exit 1; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
@@ -36,6 +54,14 @@ race:
 # Append/Update/Remove/query mixes against scatter-gather execution.
 race-shard:
 	$(GO) test -race -run 'TestStress|TestSharded' ./internal/shard ./internal/service
+
+# The pager and paged-btree suites under the race detector: the pin
+# discipline, shard-locked cache, and paged-mode tree operations that
+# the pinrelease/guardedby analyzers reason about statically get their
+# dynamic counterpart here.
+race-pager:
+	$(GO) test -race ./internal/pager
+	$(GO) test -race -run 'TestPaged' ./internal/btree
 
 # A fast benchmark smoke: a handful of iterations of the pipeline and
 # plan-cache benchmarks, just to prove they still compile and run.
@@ -100,7 +126,7 @@ bench-page-smoke:
 bench-ingest-smoke:
 	$(GO) run ./cmd/planarbench -mode ingest -writers 2 -window 4 -batch 8 -benchdur 200ms -ingestout ""
 
-ci: vet lint build race race-shard replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke
+ci: vet lint build race race-shard race-pager replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"planar/internal/lint"
 	"planar/internal/lint/analysis"
@@ -34,9 +35,22 @@ type finding struct {
 	Message  string `json:"message"`
 }
 
+// analyzerStat is the per-analyzer timing/count entry in -json output.
+type analyzerStat struct {
+	Name     string `json:"name"`
+	Findings int    `json:"findings"`
+	Millis   int64  `json:"millis"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	Analyzers []analyzerStat `json:"analyzers"`
+	Findings  []finding      `json:"findings"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("planarlint", flag.ContinueOnError)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	jsonOut := fs.Bool("json", false, "emit a JSON report (per-analyzer stats + findings) on stdout")
 	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: planarlint [-json] [-run name,name] [packages...]\n\nanalyzers:\n")
@@ -73,16 +87,23 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "planarlint: %v\n", err)
 		return 2
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	diags, stats, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "planarlint: %v\n", err)
 		return 2
 	}
 
 	if *jsonOut {
-		out := []finding{} // encode [] rather than null when clean
+		out := report{Analyzers: []analyzerStat{}, Findings: []finding{}} // encode [] rather than null when clean
+		for _, s := range stats {
+			out.Analyzers = append(out.Analyzers, analyzerStat{
+				Name:     s.Name,
+				Findings: s.Findings,
+				Millis:   s.Duration.Milliseconds(),
+			})
+		}
 		for _, d := range diags {
-			out = append(out, finding{
+			out.Findings = append(out.Findings, finding{
 				File:     d.Pos.Filename,
 				Line:     d.Pos.Line,
 				Column:   d.Pos.Column,
@@ -100,9 +121,12 @@ func run(args []string) int {
 		for _, d := range diags {
 			fmt.Printf("%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 		}
-		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "planarlint: %d finding(s)\n", len(diags))
+		var total time.Duration
+		for _, s := range stats {
+			total += s.Duration
 		}
+		fmt.Fprintf(os.Stderr, "planarlint: %d analyzer(s), %d finding(s) in %dms\n",
+			len(stats), len(diags), total.Milliseconds())
 	}
 	if len(diags) > 0 {
 		return 1

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"os"
 	"testing"
+
+	"planar/internal/lint"
 )
 
 func TestUnknownAnalyzerExitsTwo(t *testing.T) {
@@ -15,8 +17,9 @@ func TestUnknownAnalyzerExitsTwo(t *testing.T) {
 
 // TestJSONOnCleanPackage runs the real pipeline (go list -export,
 // type-check, all analyzers) over this command's own package, which
-// must be clean, and checks the -json contract: a JSON array (empty,
-// not null) on stdout and exit 0.
+// must be clean, and checks the -json contract: a report object with
+// one stats entry per analyzer, an empty (not null) findings array,
+// and exit 0.
 func TestJSONOnCleanPackage(t *testing.T) {
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -34,15 +37,23 @@ func TestJSONOnCleanPackage(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("planarlint -json . on a clean package: exit %d\n%s", code, buf.String())
 	}
-	var out []finding
+	var out report
 	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
-		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+		t.Fatalf("output is not a JSON report object: %v\n%s", err, buf.String())
 	}
-	if len(out) != 0 {
-		t.Fatalf("unexpected findings on own package: %+v", out)
+	if len(out.Findings) != 0 {
+		t.Fatalf("unexpected findings on own package: %+v", out.Findings)
 	}
-	if bytes.HasPrefix(bytes.TrimSpace(buf.Bytes()), []byte("null")) {
-		t.Fatalf("clean run must encode [], not null")
+	if want := len(lint.All()); len(out.Analyzers) != want {
+		t.Fatalf("report has %d analyzer entries, want %d\n%s", len(out.Analyzers), want, buf.String())
+	}
+	for _, s := range out.Analyzers {
+		if s.Name == "" || s.Findings != 0 || s.Millis < 0 {
+			t.Fatalf("malformed analyzer stat %+v", s)
+		}
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"findings": null`)) {
+		t.Fatalf("clean run must encode [], not null:\n%s", buf.String())
 	}
 }
 

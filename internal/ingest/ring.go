@@ -9,10 +9,10 @@ import "sync"
 type ring struct {
 	mu      sync.Mutex
 	notFull *sync.Cond
-	buf     []*item
-	head    int // index of the oldest queued item
-	n       int // queued item count
-	closed  bool
+	buf     []*item // guarded by mu
+	head    int     // guarded by mu; index of the oldest queued item
+	n       int     // guarded by mu; queued item count
+	closed  bool    // guarded by mu
 
 	notify chan struct{} // one-token committer wakeup
 }

@@ -9,10 +9,12 @@
 // full *types.Info.
 //
 // The subset is deliberately minimal: an Analyzer is a named Run
-// function over a Pass; there are no Facts, no Requires graph and no
-// SSA. That is enough for the invariant checks in internal/lint,
-// and the analyzer sources stay structurally compatible with
-// go/analysis should the dependency ever become available.
+// function over a Pass; there is no Requires graph and no SSA, but
+// there is a per-function CFG (cfg.go) for flow-sensitive checks and
+// a string-keyed fact store (facts.go) for cross-function summaries.
+// That is enough for the invariant checks in internal/lint, and the
+// analyzer sources stay structurally compatible with go/analysis
+// should the dependency ever become available.
 package analysis
 
 import (
@@ -21,6 +23,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one static check: a name (used by //nolint:<name>
@@ -49,6 +52,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is shared across every pass of one Run; packages arrive
+	// in dependency order, so summaries exported by a dependency are
+	// visible here. See facts.go for the keying convention.
+	Facts *Facts
+
 	diags *[]Diagnostic
 }
 
@@ -61,10 +69,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// Stat is one analyzer's aggregate over a whole Run: how many
+// findings survived suppression and how long its passes took, summed
+// across packages. CI prints these so a slow or silently-dropped
+// analyzer is visible in logs.
+type Stat struct {
+	Name     string
+	Findings int
+	Duration time.Duration
+}
+
 // Run applies every analyzer to every package, filters the raw
 // diagnostics through //nolint suppressions, and returns the
-// survivors sorted by file position.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// survivors sorted by file position, plus one Stat per analyzer in
+// suite order. Packages are iterated in the dependency order `go
+// list -deps` produced them in, analyzers in suite order within each
+// package, so fact exports flow dependency-up and analyzer-down.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Stat, error) {
+	facts := NewFacts()
+	durations := make(map[string]time.Duration, len(analyzers))
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
@@ -75,10 +98,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 				diags:     &diags,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			durations[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
 		out = append(out, filterSuppressed(pkg, diags)...)
@@ -96,5 +123,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	counts := map[string]int{}
+	for _, d := range out {
+		counts[d.Analyzer]++
+	}
+	stats := make([]Stat, 0, len(analyzers))
+	for _, a := range analyzers {
+		stats = append(stats, Stat{Name: a.Name, Findings: counts[a.Name], Duration: durations[a.Name]})
+	}
+	return out, stats, nil
 }

@@ -1,0 +1,398 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the intra-procedural control-flow graph the
+// flow-sensitive analyzers (pinrelease, guardedby) run dataflow over.
+// It is deliberately statement-granular: a Block holds the simple
+// statements and control expressions executed straight-line, in
+// source order, and Succs the possible continuations. Compound
+// statements are decomposed — their control expressions land in the
+// block that evaluates them, their bodies become separate blocks — so
+// an analyzer never has to worry about a node in Block.Nodes spanning
+// more than one execution point. Function literals are opaque: a
+// FuncLit stays embedded in whatever statement carries it, and an
+// analyzer that cares builds a separate CFG for the literal's body.
+
+// CFG is the control-flow graph of one function body. Entry is where
+// execution starts; Exit is the single synthetic block every return
+// (and the fall-off end of the body) feeds into. Blocks with no path
+// from Entry are unreachable code and are kept (harmless to a
+// worklist seeded at Entry).
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Block is one straight-line run of statements. When Cond is non-nil
+// the block ends by evaluating it: Succs[0] is the true edge and
+// Succs[1] the false edge. Otherwise every successor is an
+// unconditional continuation (loop heads with no condition, switch
+// dispatch, select dispatch).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Cond  ast.Expr
+}
+
+// NewCFG builds the graph for body. info is used to recognise calls
+// that never return (panic, os.Exit, log.Fatal*, runtime.Goexit), so
+// paths through them grow no edge to Exit — an analyzer checking
+// "released on all paths to return" does not see fail-stop paths.
+func NewCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	c := &CFG{Exit: &Block{}}
+	b := &cfgBuilder{c: c, info: info, labels: map[string]*Block{}}
+	c.Entry = b.newBlock()
+	b.cur = c.Entry
+	b.stmt(body)
+	b.jump(b.cur, c.Exit)
+	c.Exit.Index = len(c.Blocks)
+	c.Blocks = append(c.Blocks, c.Exit)
+	return c
+}
+
+// ctrlFrame is one enclosing breakable/continuable construct. cont is
+// nil for switch/select and labeled plain statements; loopOrSwitch
+// distinguishes constructs an unlabeled break may target from frames
+// that exist only to serve their label.
+type ctrlFrame struct {
+	label        string
+	brk          *Block
+	cont         *Block
+	loopOrSwitch bool
+}
+
+type cfgBuilder struct {
+	c             *CFG
+	info          *types.Info
+	cur           *Block
+	frames        []ctrlFrame
+	labels        map[string]*Block
+	fallthroughTo *Block
+	pendingLabel  string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.c.Blocks)}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) jump(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// labelBlock returns the block a label names, creating it on first
+// use so forward gotos resolve without a second pass.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the label a LabeledStmt put down for the
+// construct it wraps.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == "" && f.loopOrSwitch {
+			return f.brk
+		}
+		if label != "" && f.label == label {
+			return f.brk
+		}
+	}
+	return b.c.Exit // malformed input; fail open
+}
+
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f.cont
+		}
+	}
+	return b.c.Exit
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.takeLabel() // a labeled bare block already got its frame
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		cond := b.cur
+		cond.Nodes = append(cond.Nodes, s.Cond)
+		cond.Cond = s.Cond
+		then := b.newBlock()
+		join := b.newBlock()
+		cond.Succs = append(cond.Succs, then)
+		var els *Block
+		if s.Else != nil {
+			els = b.newBlock()
+			cond.Succs = append(cond.Succs, els)
+		} else {
+			cond.Succs = append(cond.Succs, join)
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(b.cur, join)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(b.cur, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		post := b.newBlock()
+		join := b.newBlock()
+		b.jump(b.cur, head)
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Cond = s.Cond
+			head.Succs = append(head.Succs, body, join)
+		} else {
+			head.Succs = append(head.Succs, body)
+		}
+		b.frames = append(b.frames, ctrlFrame{label: label, brk: join, cont: post, loopOrSwitch: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(b.cur, post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		b.jump(post, head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		join := b.newBlock()
+		b.jump(b.cur, head)
+		// Represent the per-iteration binding as a synthetic
+		// assignment so analyzers see both the range operand's uses
+		// and the key/value definitions at the loop head.
+		if s.Key != nil {
+			lhs := []ast.Expr{s.Key}
+			if s.Value != nil {
+				lhs = append(lhs, s.Value)
+			}
+			head.Nodes = append(head.Nodes, &ast.AssignStmt{
+				Lhs: lhs, TokPos: s.TokPos, Tok: s.Tok, Rhs: []ast.Expr{s.X},
+			})
+		} else {
+			head.Nodes = append(head.Nodes, s.X)
+		}
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body, join)
+		b.frames = append(b.frames, ctrlFrame{label: label, brk: join, cont: head, loopOrSwitch: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(b.cur, head)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.caseDispatch(label, s.Body.List, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.caseDispatch(label, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, ctrlFrame{label: label, brk: join, loopOrSwitch: true})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.jump(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.jump(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A case-less select blocks forever: head keeps no successor
+		// and join stays unreachable, which is exactly its semantics.
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(b.cur, lb)
+		b.cur = lb
+		after := b.newBlock()
+		b.frames = append(b.frames, ctrlFrame{label: s.Label.Name, brk: after})
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(b.cur, after)
+		b.cur = after
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			b.jump(b.cur, b.findBreak(label))
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			b.jump(b.cur, b.findContinue(label))
+		case token.GOTO:
+			b.jump(b.cur, b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.jump(b.cur, b.fallthroughTo)
+			}
+		}
+		b.cur = b.newBlock() // anything after is unreachable
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.cur, b.c.Exit)
+		b.cur = b.newBlock()
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.isTerminal(call) {
+			b.cur = b.newBlock() // fail-stop: no edge to Exit
+		}
+
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt,
+		// DeferStmt, EmptyStmt: plain straight-line nodes.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// caseDispatch builds the blocks of a (type) switch: the current
+// block fans out to one block per case (plus straight to join when
+// there is no default), case expressions are evaluated at the top of
+// their case's block, and fallthrough edges chain source-adjacent
+// cases.
+func (b *cfgBuilder) caseDispatch(label string, clauses []ast.Stmt, allowFallthrough bool) {
+	head := b.cur
+	join := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		blocks[i] = b.newBlock()
+		b.jump(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.jump(head, join)
+	}
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: join, loopOrSwitch: true})
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		blk := blocks[i]
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		savedFT := b.fallthroughTo
+		if allowFallthrough && i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = blk
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.fallthroughTo = savedFT
+		b.jump(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// isTerminal reports whether a call never returns to the enclosing
+// function.
+func (b *cfgBuilder) isTerminal(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if bi, ok := b.info.Uses[fun].(*types.Builtin); ok {
+			return bi.Name() == "panic"
+		}
+		if f, ok := b.info.Uses[fun].(*types.Func); ok {
+			return terminalFunc(f)
+		}
+	case *ast.SelectorExpr:
+		if f, ok := b.info.Uses[fun.Sel].(*types.Func); ok {
+			return terminalFunc(f)
+		}
+	}
+	return false
+}
+
+func terminalFunc(f *types.Func) bool {
+	if f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() + "." + f.Name() {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildCFG type-checks src (which must not import anything) and
+// returns the CFG of the function named fn.
+func buildCFG(t *testing.T, src, fn string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	if _, err := conf.Check("cfgtest", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return NewCFG(fd.Body, info)
+		}
+	}
+	t.Fatalf("no function %q in fixture", fn)
+	return nil
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(c *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+// blockHasMarker reports whether a block's nodes contain the string
+// literal marker (fixtures mark positions with sink("marker") calls)
+// or an identifier of that name.
+func blockHasMarker(b *Block, marker string) bool {
+	quoted := `"` + marker + `"`
+	for _, n := range b.Nodes {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.BasicLit:
+				if m.Value == quoted {
+					found = true
+				}
+			case *ast.Ident:
+				if m.Name == marker {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func findBlock(t *testing.T, c *CFG, marker string) *Block {
+	t.Helper()
+	for _, b := range c.Blocks {
+		if blockHasMarker(b, marker) {
+			return b
+		}
+	}
+	t.Fatalf("no block containing %q", marker)
+	return nil
+}
+
+const cfgSrc = `package cfgtest
+
+func sink(...interface{}) {}
+
+func branches(x int) int {
+	if x > 0 {
+		sink("then")
+		return 1
+	}
+	sink("tail")
+	return 0
+}
+
+func loops(xs []int) {
+	total := 0
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		sink("body")
+	}
+	for _, x := range xs {
+		total += x
+	}
+	sink(total)
+}
+
+func failstop(x int) {
+	if x < 0 {
+		sink("neg")
+		panic("negative")
+	}
+	sink("ok")
+}
+
+func dispatch(x int) {
+	switch x {
+	case 1:
+		sink("one")
+		fallthrough
+	case 2:
+		sink("two")
+	default:
+		sink("other")
+	}
+	sink("after")
+}
+
+func jumps(x int) {
+outer:
+	for i := 0; i < x; i++ {
+		for j := 0; j < x; j++ {
+			if j > i {
+				continue outer
+			}
+			if i+j == 9 {
+				break outer
+			}
+		}
+	}
+	sink("done")
+}
+`
+
+func TestCFGBranches(t *testing.T) {
+	c := buildCFG(t, cfgSrc, "branches")
+	if c.Entry.Cond == nil || len(c.Entry.Succs) != 2 {
+		t.Fatalf("entry should end on the if condition with 2 successors, got cond=%v succs=%d", c.Entry.Cond, len(c.Entry.Succs))
+	}
+	then := c.Entry.Succs[0]
+	if !blockHasMarker(then, "then") {
+		t.Fatalf("true edge should lead to the then-branch")
+	}
+	if len(then.Succs) != 1 || then.Succs[0] != c.Exit {
+		t.Fatalf("the then-branch returns: its only successor must be Exit")
+	}
+	tail := findBlock(t, c, "tail")
+	if len(tail.Succs) != 1 || tail.Succs[0] != c.Exit {
+		t.Fatalf("the tail returns: its only successor must be Exit")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Fatalf("Exit must be reachable")
+	}
+}
+
+func TestCFGLoops(t *testing.T) {
+	c := buildCFG(t, cfgSrc, "loops")
+	seen := reachable(c)
+	if !seen[c.Exit] {
+		t.Fatalf("Exit must be reachable")
+	}
+	// The for-loop body must sit on a cycle: some reachable block has
+	// a successor with a smaller index (the back edge to the head).
+	back := false
+	for b := range seen {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("loops must produce a back edge")
+	}
+	body := findBlock(t, c, "body")
+	if !seen[body] {
+		t.Fatalf("loop body must be reachable (break/continue must not sever it)")
+	}
+}
+
+func TestCFGFailStop(t *testing.T) {
+	c := buildCFG(t, cfgSrc, "failstop")
+	neg := findBlock(t, c, "neg")
+	if len(neg.Succs) != 0 {
+		t.Fatalf("a block ending in panic must have no successors, got %d", len(neg.Succs))
+	}
+	ok := findBlock(t, c, "ok")
+	if !reachable(c)[ok] {
+		t.Fatalf("the non-panicking path must stay reachable")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildCFG(t, cfgSrc, "dispatch")
+	one := findBlock(t, c, "one")
+	two := findBlock(t, c, "two")
+	ft := false
+	for _, s := range one.Succs {
+		if s == two {
+			ft = true
+		}
+	}
+	if !ft {
+		t.Fatalf("fallthrough must edge from case 1 into case 2")
+	}
+	after := findBlock(t, c, "after")
+	if !reachable(c)[after] {
+		t.Fatalf("code after the switch must be reachable")
+	}
+}
+
+func TestCFGLabeledJumps(t *testing.T) {
+	c := buildCFG(t, cfgSrc, "jumps")
+	if !reachable(c)[c.Exit] {
+		t.Fatalf("Exit must be reachable through labeled break/continue")
+	}
+	done := findBlock(t, c, "done")
+	if !reachable(c)[done] {
+		t.Fatalf("the statement after the labeled loop must be reachable")
+	}
+	// Every reachable non-Exit block must flow somewhere: labeled
+	// jumps must not leave dangling blocks behind.
+	for b := range reachable(c) {
+		if b != c.Exit && len(b.Succs) == 0 {
+			t.Fatalf("reachable block %d dangles with no successors", b.Index)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Facts is planarlint's cross-function summary store. One store is
+// shared by every pass of one Run, and `go list -deps` hands the
+// loader packages in dependency order, so a summary exported while
+// analyzing a dependency is visible to every later package (and to
+// later analyzers of the same package — analyzers run in suite order
+// within a pass).
+//
+// Unlike go/analysis facts, entries are keyed by strings rather than
+// types.Object: a package type-checked from source and the same
+// package read back through export data produce *different* object
+// pointers, so pointer identity cannot name anything across package
+// boundaries here. Analyzers build keys from the stable spellings the
+// lint package already uses for lock classes — "name:pkgpath.Type.field"
+// or "name:pkgpath.Func" — which are identical from both sides.
+type Facts struct {
+	m map[string]interface{}
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts {
+	return &Facts{m: map[string]interface{}{}}
+}
+
+// Export records a fact under key, overwriting any previous value.
+func (f *Facts) Export(key string, v interface{}) {
+	f.m[key] = v
+}
+
+// Lookup returns the fact stored under key.
+func (f *Facts) Lookup(key string) (interface{}, bool) {
+	v, ok := f.m[key]
+	return v, ok
+}
+
+// Keys returns every stored key with the given prefix, sorted, for
+// deterministic iteration.
+func (f *Facts) Keys(prefix string) []string {
+	var out []string
+	for k := range f.m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -116,7 +116,7 @@ func runTestdata(a *Analyzer, dir, asPath string) ([]Diagnostic, *token.FileSet,
 	}
 	pkg := &Package{ImportPath: asPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
 	var diags []Diagnostic
-	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info, diags: &diags}
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info, Facts: NewFacts(), diags: &diags}
 	if err := a.Run(pass); err != nil {
 		return nil, nil, nil, fmt.Errorf("running %s on %s: %w", a.Name, dir, err)
 	}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"planar/internal/lint/analysis"
+)
+
+// Atomicmix guards the atomic-access discipline behind the lock-free
+// fast paths PR 8 introduced (Sequencer.Last's atomic mirror, the
+// ingest stats block, the per-counter service metrics): a variable
+// that is accessed through sync/atomic anywhere may never be read or
+// written plainly anywhere else — one careless refactor away from a
+// data race the test matrix may not catch.
+//
+// Two checks:
+//
+//  1. Mixed access: any field or package-level variable passed by
+//     address to a sync/atomic function is recorded (and exported as
+//     an "atomic.field" fact, so uses in dependent packages are
+//     checked too); every other plain read, write or address-take of
+//     it is flagged. Composite-literal keys are exempt — a struct
+//     literal initialises memory no other goroutine can see yet.
+//
+//  2. Copies: a value of one of the sync/atomic types (atomic.Uint64,
+//     atomic.Value, …) must not be copied after first use; assigning,
+//     returning, sending or passing one by value is flagged. (go vet's
+//     copylocks catches structs that embed them; this catches the
+//     direct-value shapes.)
+//
+// The discipline is deliberately strict: even a plainly-read mirror
+// that happens to be guarded by a mutex today is flagged, because the
+// point of the atomic is that the mutex may be dropped tomorrow. Use
+// the typed sync/atomic values (which make plain access impossible)
+// or suppress with //nolint:atomicmix and a proof.
+var Atomicmix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "variables accessed via sync/atomic must never be read or written plainly elsewhere",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *analysis.Pass) error {
+	// Phase 1: find &x arguments to sync/atomic calls.
+	atomicUses := map[types.Object]token.Position{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			f := calleeFunc(pass.TypesInfo, call)
+			if f == nil || funcPkgPath(f) != "sync/atomic" || recvKey(f) != "" {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			obj, key := atomicTargetVar(pass, ast.Unparen(un.X))
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicUses[obj]; !seen {
+				atomicUses[obj] = pass.Fset.Position(call.Pos())
+			}
+			if key != "" {
+				p := pass.Fset.Position(call.Pos())
+				pass.Facts.Export("atomic.field:"+key, fmt.Sprintf("%s:%d", p.Filename, p.Line))
+			}
+			return true
+		})
+	}
+
+	// Phase 2: flag plain accesses of those variables, here and of
+	// any variable a dependency package marked atomic.
+	for _, file := range pass.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			var obj types.Object
+			var key string
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj, key = atomicTargetVar(pass, n)
+			case *ast.Ident:
+				// Only package-level vars (locals and parameters are
+				// too noisy, and a local atomic is private anyway),
+				// and only uses — the declaration ident is not an
+				// access.
+				o := pass.TypesInfo.Uses[n]
+				if v, ok := o.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+					obj, key = o, v.Pkg().Path()+"."+v.Name()
+				}
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			atPos, local := atomicUses[obj]
+			where := ""
+			if local {
+				where = fmt.Sprintf("%s:%d", atPos.Filename, atPos.Line)
+			} else if key != "" {
+				if v, ok := pass.Facts.Lookup("atomic.field:" + key); ok {
+					where, _ = v.(string)
+					local = true
+				}
+			}
+			if !local {
+				return true
+			}
+			if insideAtomicArg(pass, stack) || compositeKey(n, stack) {
+				return true // sanctioned; keep walking children
+			}
+			pass.Reportf(n.Pos(), "%s is accessed with sync/atomic (%s); this plain access races with it — use atomic loads/stores everywhere",
+				exprString(pass.Fset, n.(ast.Expr)), where)
+			return false // one report per expression, not per sub-part
+		})
+	}
+
+	// Phase 3: flag copies of sync/atomic-typed values.
+	for _, file := range pass.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			default:
+				return true
+			}
+			e := n.(ast.Expr)
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || !isAtomicValueType(tv.Type) {
+				return true
+			}
+			if !copyContext(e, stack) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "copies %s (type %s): sync/atomic values must not be copied after first use",
+				exprString(pass.Fset, e), tv.Type.String())
+			return false
+		})
+	}
+	return nil
+}
+
+// atomicTargetVar resolves the variable an atomic operand denotes: a
+// struct field (via the selection) or a package-level var. The key is
+// the stable cross-package spelling, "" when the var is local.
+func atomicTargetVar(pass *analysis.Pass, e ast.Expr) (types.Object, string) {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				if tk := typeKey(sel.Recv()); tk != "" {
+					return v, tk + "." + v.Name()
+				}
+				return v, ""
+			}
+			return nil, ""
+		}
+		// Package-qualified var: pkg.counter.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil {
+			return v, v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		o := objOf(pass, e)
+		if v, ok := o.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v, v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return nil, ""
+}
+
+// insideAtomicArg reports whether the stack shows we are inside the
+// &x argument of a sync/atomic call — the sanctioned access.
+func insideAtomicArg(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		un, ok := stack[i].(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			if _, isParen := stack[i].(*ast.ParenExpr); isParen {
+				continue
+			}
+			if _, isSel := stack[i].(*ast.SelectorExpr); isSel {
+				continue
+			}
+			return false
+		}
+		for j := i - 1; j >= 0; j-- {
+			if _, isParen := stack[j].(*ast.ParenExpr); isParen {
+				continue
+			}
+			call, ok := stack[j].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			f := calleeFunc(pass.TypesInfo, call)
+			return f != nil && funcPkgPath(f) == "sync/atomic"
+		}
+		return false
+	}
+	return false
+}
+
+// compositeKey reports whether n is the key of a struct composite
+// literal entry (initialisation, not an access).
+func compositeKey(n ast.Node, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	if !ok || kv.Key != n {
+		return false
+	}
+	_, inLit := stack[len(stack)-2].(*ast.CompositeLit)
+	return inLit
+}
+
+// isAtomicValueType reports whether t is (an alias of) one of the
+// value types defined by sync/atomic.
+func isAtomicValueType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// copyContext reports whether e's position in the tree copies its
+// value: assignment/declaration RHS, call argument, return value,
+// composite element or channel send.
+func copyContext(e ast.Expr, stack []ast.Node) bool {
+	parent := directParent(stack)
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, r := range p.Rhs {
+			if r == e {
+				return true
+			}
+		}
+	case *ast.ValueSpec:
+		for _, v := range p.Values {
+			if v == e {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		for _, a := range p.Args {
+			if a == e {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range p.Results {
+			if r == e {
+				return true
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range p.Elts {
+			if el == e {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return p.Value == e
+	case *ast.SendStmt:
+		return p.Value == e
+	}
+	return false
+}

@@ -1,0 +1,544 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"planar/internal/lint/analysis"
+)
+
+// Guardedby machine-checks the `// guarded by <mu>` comments on
+// struct fields and package variables: every access to an annotated
+// variable must happen with the named mutex held, proven by a
+// must-hold dataflow over the per-function CFG (Lock generates,
+// Unlock kills, a deferred Unlock holds to every exit, branch merges
+// intersect). Writes under an RLock are flagged separately — a read
+// lock does not license mutation.
+//
+// The guard name is either a sibling field of the same struct
+// ("guarded by mu"), a dotted same-package class ("guarded by
+// cacheShard.mu" for a field whose guard lives on another type), or a
+// package-level mutex variable. Lock identity is type-level, the same
+// approximation locknesting uses: any value of the owning type counts
+// as the same lock class, which is exact for the singleton and
+// per-shard locks in this tree.
+//
+// Escape hatches, because a flow analysis cannot see ownership:
+// functions whose name ends in "Locked" (the repo's convention for
+// helpers called with the lock held) and functions annotated
+// //planar:locked are skipped — but a *Locked method that itself
+// acquires one of its receiver's own mutexes is flagged as a
+// self-deadlock, using the acquisition summaries locknesting exports
+// to the fact store. Accesses through a local freshly built from a
+// composite literal are exempt (constructors own their value until
+// they publish it), and function literals inherit the held set at
+// their creation point — except `go` literals, which start empty on
+// their own goroutine.
+var Guardedby = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "accesses to `// guarded by mu` fields must hold the named mutex (write lock for writes)",
+	Run:  runGuardedby,
+}
+
+// guardRe matches an annotation line: the comment line must start
+// with the annotation (so prose like "happens to be guarded by a
+// mutex" elsewhere in a doc comment is not mistaken for one), with an
+// optional `; explanation` tail.
+var guardRe = regexp.MustCompile(`(?m)^\s*guarded by ([A-Za-z_][A-Za-z0-9_.]*)\.?\s*(;.*)?$`)
+
+type guardInfo struct {
+	class   string         // lock class that must be held
+	name    string         // guard spelling from the annotation
+	declPos token.Position // where the annotation sits
+}
+
+const (
+	holdRead  = 1
+	holdWrite = 2
+)
+
+// heldSet maps lock class → strongest mode provably held.
+type heldSet map[string]int
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// meet intersects two held sets (must-analysis join).
+func meet(a, b heldSet) heldSet {
+	out := heldSet{}
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			if w < v {
+				v = w
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func sameHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runGuardedby(pass *analysis.Pass) error {
+	guarded := collectGuards(pass)
+	g := &guardChecker{pass: pass, guarded: guarded}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") || hasDirective(pass.Fset, pass.Files, fd, "planar:locked") {
+				g.checkLockedHelper(fd)
+				continue
+			}
+			if len(guarded) == 0 {
+				continue
+			}
+			g.fresh = freshLocals(pass, fd.Body)
+			g.checkBody(fd.Body, heldSet{})
+		}
+	}
+	return nil
+}
+
+// collectGuards parses the annotations. Annotations naming a guard
+// that does not exist are themselves reported — a misspelled guard
+// must not silently disable the check.
+func collectGuards(pass *analysis.Pass) map[types.Object]guardInfo {
+	guarded := map[types.Object]guardInfo{}
+	pkgPath := pass.Pkg.Path()
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					siblings := map[string]bool{}
+					for _, f := range st.Fields.List {
+						for _, n := range f.Names {
+							siblings[n.Name] = true
+						}
+					}
+					for _, f := range st.Fields.List {
+						guard := fieldGuardName(f)
+						if guard == "" {
+							continue
+						}
+						var class string
+						switch {
+						case strings.Contains(guard, "."):
+							class = pkgPath + "." + guard
+						case siblings[guard]:
+							class = pkgPath + "." + ts.Name.Name + "." + guard
+						case pass.Pkg.Scope().Lookup(guard) != nil:
+							class = pkgPath + "." + guard
+						default:
+							pass.Reportf(f.Pos(), "guarded-by annotation names unknown guard %q (no sibling field, dotted class or package var)", guard)
+							continue
+						}
+						for _, n := range f.Names {
+							if obj := pass.TypesInfo.Defs[n]; obj != nil {
+								guarded[obj] = guardInfo{class: class, name: guard, declPos: pass.Fset.Position(n.Pos())}
+							}
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					guard := specGuardName(gd, vs)
+					if guard == "" {
+						continue
+					}
+					if pass.Pkg.Scope().Lookup(guard) == nil {
+						pass.Reportf(vs.Pos(), "guarded-by annotation names unknown guard %q (no package var of that name)", guard)
+						continue
+					}
+					class := pkgPath + "." + guard
+					for _, n := range vs.Names {
+						if obj := pass.TypesInfo.Defs[n]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+							guarded[obj] = guardInfo{class: class, name: guard, declPos: pass.Fset.Position(n.Pos())}
+						}
+					}
+				}
+			}
+		}
+	}
+	return guarded
+}
+
+func fieldGuardName(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func specGuardName(gd *ast.GenDecl, vs *ast.ValueSpec) string {
+	for _, cg := range []*ast.CommentGroup{gd.Doc, vs.Doc, vs.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// freshLocals collects local variables assigned directly from a
+// composite literal (or its address): a value under construction is
+// single-owner until published, so its guarded fields may be touched
+// without the lock.
+func freshLocals(pass *analysis.Pass, body ast.Node) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				rhs = ast.Unparen(un.X)
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				if obj := objOf(pass, id); obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+type guardChecker struct {
+	pass    *analysis.Pass
+	guarded map[types.Object]guardInfo
+	fresh   map[types.Object]bool
+}
+
+// litSite is a function literal found during the scan, with the held
+// set at its creation point.
+type litSite struct {
+	lit  *ast.FuncLit
+	held heldSet
+}
+
+// checkBody runs the must-hold dataflow over one function body and
+// reports unguarded accesses, then recurses into the literals it
+// found with their inherited entry sets.
+func (g *guardChecker) checkBody(body *ast.BlockStmt, entry heldSet) {
+	cfg := analysis.NewCFG(body, g.pass.TypesInfo)
+	in := map[*analysis.Block]heldSet{cfg.Entry: entry}
+	work := []*analysis.Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[b].clone()
+		for _, n := range b.Nodes {
+			out = g.applyNode(out, n, nil)
+		}
+		for _, s := range b.Succs {
+			prev, seen := in[s]
+			var next heldSet
+			if !seen {
+				next = out.clone()
+			} else {
+				next = meet(prev, out)
+			}
+			if !seen || !sameHeld(prev, next) {
+				in[s] = next
+				work = append(work, s)
+			}
+		}
+	}
+	// Deterministic report pass; collects literals with snapshots.
+	var lits []litSite
+	for _, b := range cfg.Blocks {
+		st, reached := in[b]
+		if !reached {
+			continue
+		}
+		st = st.clone()
+		for _, n := range b.Nodes {
+			st = g.applyNode(st, n, &lits)
+		}
+	}
+	for _, l := range lits {
+		g.checkBody(l.lit.Body, l.held)
+	}
+}
+
+// applyNode is the transfer function for one block node: lock ops
+// update the held set in source order; with report != nil guarded
+// accesses are checked and literals collected.
+func (g *guardChecker) applyNode(held heldSet, node ast.Node, report *[]litSite) heldSet {
+	pass := g.pass
+	inspectWithStack(node, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if report != nil {
+				entry := held.clone()
+				if underGo(stack) {
+					entry = heldSet{} // runs on its own goroutine
+				}
+				*report = append(*report, litSite{lit: n, held: entry})
+			}
+			return false
+		case *ast.CallExpr:
+			if underGo(stack) {
+				return true // the call runs elsewhere; args still scanned
+			}
+			if op, class, _, ok := lockOp(pass, n); ok {
+				if !underDefer(stack) {
+					switch op {
+					case "Lock":
+						held[string(class)] = holdWrite
+					case "RLock":
+						if held[string(class)] < holdRead {
+							held[string(class)] = holdRead
+						}
+					case "Unlock", "RUnlock":
+						delete(held, string(class))
+					}
+				}
+				// A deferred Unlock releases at return: held to every
+				// exit, so no kill. A deferred Lock is nonsense; skip.
+				return true
+			}
+			return true
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok {
+				return true
+			}
+			info, ok := g.guarded[sel.Obj()]
+			if !ok {
+				return true
+			}
+			if report != nil {
+				g.checkAccess(n, n.Sel.Name, info, held, stack)
+			}
+			return true
+		case *ast.Ident:
+			obj := objOf(pass, n)
+			info, ok := g.guarded[obj]
+			if !ok {
+				return true
+			}
+			if v, isVar := obj.(*types.Var); !isVar || v.IsField() {
+				return true // field idents are handled via their selector
+			}
+			if report != nil {
+				g.checkAccess(n, n.Name, info, held, stack)
+			}
+			return true
+		}
+		return true
+	})
+	return held
+}
+
+// checkAccess reports an access that does not hold its guard (or
+// holds it too weakly for a write).
+func (g *guardChecker) checkAccess(e ast.Expr, name string, info guardInfo, held heldSet, stack []ast.Node) {
+	// Constructor exemption: access through a freshly built local.
+	if base, ok := baseIdent(e); ok && g.fresh[objOf(g.pass, base)] {
+		return
+	}
+	mode := accessMode(e, stack)
+	got := held[info.class]
+	switch {
+	case got == 0:
+		g.pass.Reportf(e.Pos(), "%s is guarded by %s (annotated at %s:%d) but accessed without it held",
+			exprString(g.pass.Fset, e), info.name, shortPath(info.declPos.Filename), info.declPos.Line)
+	case mode == holdWrite && got < holdWrite:
+		g.pass.Reportf(e.Pos(), "write to %s while %s is only read-locked: writes need the write lock",
+			exprString(g.pass.Fset, e), info.name)
+	}
+}
+
+// accessMode decides whether the matched expression is written.
+func accessMode(e ast.Expr, stack []ast.Node) int {
+	parent := directParent(stack)
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == e {
+				return holdWrite
+			}
+		}
+	case *ast.IncDecStmt:
+		if p.X == e {
+			return holdWrite
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return holdWrite // an escaping address can be written through
+		}
+	case *ast.IndexExpr:
+		// m[k] = v and delete(m, k) mutate through the field.
+		if p.X == e && len(stack) >= 2 {
+			if as, ok := stack[len(stack)-2].(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if lhs == p {
+						return holdWrite
+					}
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok && id.Name == "delete" && len(p.Args) > 0 && p.Args[0] == e {
+			return holdWrite
+		}
+	}
+	return holdRead
+}
+
+// baseIdent walks a selector chain down to its root identifier.
+func baseIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// underGo reports whether the innermost enclosing statement is a
+// GoStmt.
+func underGo(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.GoStmt:
+			return true
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// checkLockedHelper verifies the *Locked / //planar:locked contract
+// from the other side: a helper whose name promises "caller already
+// holds the lock" must not itself acquire one of its receiver's
+// mutexes — that is a self-deadlock the moment the promise is kept.
+// Acquisition summaries come from the facts locknesting exported
+// earlier in the suite; when absent (single-analyzer runs) the body
+// is scanned directly.
+func (g *guardChecker) checkLockedHelper(fd *ast.FuncDecl) {
+	pass := g.pass
+	obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if obj == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	recvClasses := receiverMutexClasses(pass, fd)
+	if len(recvClasses) == 0 {
+		return
+	}
+	var acquired []string
+	if v, ok := pass.Facts.Lookup("lock.acquires:" + funcKey(obj)); ok {
+		acquired, _ = v.([]string)
+	} else {
+		for _, ev := range collectLockEvents(pass, fd.Body) {
+			if ev.kind == evAcquire {
+				acquired = append(acquired, string(ev.class))
+			}
+		}
+	}
+	for _, c := range acquired {
+		if recvClasses[c] {
+			pass.Reportf(fd.Name.Pos(), "%s is named for running with the lock held, but acquires %s itself: self-deadlock when the caller keeps the contract",
+				fd.Name.Name, c)
+		}
+	}
+}
+
+// receiverMutexClasses lists the lock classes of the receiver type's
+// own mutex fields.
+func receiverMutexClasses(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	recv := fd.Recv.List[0]
+	tv, ok := pass.TypesInfo.Types[recv.Type]
+	if !ok {
+		return out
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return out
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return out
+	}
+	tk := typeKey(named)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if k := typeKey(f.Type()); k == "sync.Mutex" || k == "sync.RWMutex" {
+			out[tk+"."+f.Name()] = true
+		}
+	}
+	return out
+}
+
+// shortPath trims a position filename down to its last two segments
+// for readable diagnostics.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 2 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -10,11 +10,17 @@
 //	bodyclose   — HTTP response bodies are always closed
 //	filesync    — write-path files reach Sync and Close, errors kept
 //	tickerleak  — timers and tickers in long-lived loops get stopped
+//	pinrelease  — pager frame pins reach Unpin on every path
+//	atomicmix   — atomically accessed variables are never touched plainly
+//	guardedby   — `// guarded by mu` annotations hold on every path
+//	spawnjoin   — goroutines owned by a Close/Stop type are joined
 //
-// Analyzers are built on the stdlib-only framework in the analysis
-// subpackage and run via `go run ./cmd/planarlint ./...` (wired into
-// make lint / make ci). Suppress a deliberate violation with
-// `//nolint:<analyzer> // reason` on or directly above the line.
+// The first eight are syntactic; the last four are flow-sensitive,
+// built on the per-function CFG and cross-function fact store the
+// analysis subpackage provides. Analyzers run via
+// `go run ./cmd/planarlint ./...` (wired into make lint / make ci).
+// Suppress a deliberate violation with `//nolint:<analyzer> // reason`
+// on or directly above the line.
 package lint
 
 import (
@@ -39,6 +45,10 @@ func All() []*analysis.Analyzer {
 		Bodyclose,
 		Filesync,
 		Tickerleak,
+		Pinrelease,
+		Atomicmix,
+		Guardedby,
+		Spawnjoin,
 	}
 }
 
@@ -136,6 +146,34 @@ func funcPkgPath(f *types.Func) string {
 		return ""
 	}
 	return f.Pkg().Path()
+}
+
+// funcKey renders a function or method as a stable cross-package key:
+// "pkgpath.Type.Method" or "pkgpath.Func". It is the spelling the
+// fact store is keyed by (see analysis.Facts).
+func funcKey(f *types.Func) string {
+	if k := recvKey(f); k != "" {
+		return k + "." + f.Name()
+	}
+	return funcPkgPath(f) + "." + f.Name()
+}
+
+// inspectWithStack walks n in preorder like ast.Inspect but hands the
+// visitor the stack of ancestors (outermost first, not including m
+// itself). Returning false prunes the subtree.
+func inspectWithStack(n ast.Node, visit func(m ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := visit(m, stack)
+		if ok {
+			stack = append(stack, m)
+		}
+		return ok
+	})
 }
 
 // exprString renders an expression compactly for diagnostics.

@@ -69,6 +69,46 @@ func TestLocknesting(t *testing.T) {
 	run(t, "locknesting", "locknesting", "planar/internal/service")
 }
 
+func TestPinrelease(t *testing.T) {
+	run(t, "pinrelease", "pinrelease", "planar/internal/btree")
+}
+
+func TestAtomicmix(t *testing.T) {
+	run(t, "atomicmix", "atomicmix", "planar/internal/replog")
+}
+
+func TestGuardedby(t *testing.T) {
+	run(t, "guardedby", "guardedby", "planar/internal/pager")
+}
+
+func TestSpawnjoin(t *testing.T) {
+	run(t, "spawnjoin", "spawnjoin", "planar/internal/replica")
+}
+
+// TestTreeClean is the end-to-end regression gate: the full analyzer
+// suite over the real module must stay at zero findings. A finding
+// here means either new code broke an invariant or an analyzer
+// regressed into a false positive — both are failures.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, stats, err := analysis.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if want := len(lint.All()); len(stats) != want {
+		t.Errorf("got stats for %d analyzers, want %d", len(stats), want)
+	}
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.All() {
 		if got := lint.ByName(a.Name); got != a {

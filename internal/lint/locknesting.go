@@ -187,6 +187,18 @@ func runLocknesting(pass *analysis.Pass) error {
 			}
 		}
 	}
+	// Publish the post-fixpoint summaries as facts so flow-sensitive
+	// analyzers later in the suite (guardedby's *Locked consistency
+	// check) see which locks each function acquires without redoing
+	// the walk.
+	for f, classes := range summary {
+		var cs []string
+		for c := range classes {
+			cs = append(cs, string(c))
+		}
+		sort.Strings(cs)
+		pass.Facts.Export("lock.acquires:"+funcKey(f), cs)
+	}
 
 	// Simulate each function, checking acquisitions against held locks.
 	edges := map[lockClass]map[lockClass]token.Pos{}

@@ -1,0 +1,525 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"planar/internal/lint/analysis"
+)
+
+// Pinrelease enforces the page-cache pin discipline (DESIGN.md §12):
+// every frame pinned by Cache.Get / Cache.Lookup / Cache.NewFrame
+// must reach Cache.Unpin on every path to return — including error
+// returns — or be handed off (stored, returned, passed on). It is
+// the bodyclose shape for page frames, run over the per-function CFG
+// so error-return paths, refined by the paired err/ok test, are
+// checked individually; paths that fail-stop (panic, os.Exit) are
+// exempt because the process dies holding the pin anyway.
+//
+// A second check flags pins held across a durability boundary
+// (pager.File.Commit, codec.PagedStore.Checkpoint, btree FlushPaged/
+// WritePaged): a pinned frame is unevictable, so holding one across a
+// commit defeats the cache's ability to shed the epoch's dirty set.
+//
+// Ownership transfer is conservative and quiet: a frame that is
+// returned, stored into a field, sent, or passed to a function
+// without a known release summary stops being tracked. Helpers that
+// do release a frame parameter are recognised through "pin.releases"
+// facts, exported for any function whose body directly unpins one of
+// its *pager.Frame parameters — cross-package too, since dependency
+// packages are analyzed first.
+var Pinrelease = &analysis.Analyzer{
+	Name: "pinrelease",
+	Doc:  "pinned page-cache frames must be unpinned on every path and not held across commit/flush",
+	Run:  runPinrelease,
+}
+
+const pagerCacheType = "planar/internal/pager.Cache"
+const pagerFrameType = "planar/internal/pager.Frame"
+
+// pinBoundaries are the durability entry points a pin must not be
+// held across.
+var pinBoundaries = map[string]bool{
+	"planar/internal/pager.File.Commit":           true,
+	"planar/internal/codec.PagedStore.Checkpoint": true,
+	"planar/internal/btree.Tree.FlushPaged":       true,
+	"planar/internal/btree.Tree.WritePaged":       true,
+}
+
+// Pin-state bits for the may-analysis: a block's in-state is the set
+// of states some path reaches it in.
+const (
+	pinNone     uint8 = 1 << iota // no live pin on this path
+	pinHeld                       // pinned, no release seen
+	pinDeferred                   // pinned, a deferred Unpin will run at return
+	pinClear                      // released or ownership transferred
+)
+
+type pinAcq struct {
+	call      *ast.CallExpr
+	callee    *types.Func
+	pinObj    types.Object // the frame variable
+	errObj    types.Object // paired err/ok variable, nil if none
+	errIsBool bool         // Lookup's ok vs Get's err
+	errKilled token.Pos    // first reassignment of errObj after the call (NoPos = never)
+	assign    *ast.AssignStmt
+}
+
+func runPinrelease(pass *analysis.Pass) error {
+	if !importsPath(pass.Pkg, "planar/internal/pager") && pass.Pkg.Path() != "planar/internal/pager" {
+		return nil
+	}
+
+	// Phase 1: export release summaries for helpers that unpin a
+	// frame parameter, so passing a pin to them counts as a release
+	// at call sites here and in dependent packages.
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					pobj := pass.TypesInfo.Defs[name]
+					if pobj != nil && typeKey(pobj.Type()) == pagerFrameType && bodyUnpins(pass, fd.Body, pobj) {
+						pass.Facts.Export("pin.releases:"+funcKey(obj)+":"+strconv.Itoa(idx), true)
+					}
+					idx++
+				}
+				if len(field.Names) == 0 {
+					idx++
+				}
+			}
+		}
+	}
+
+	// Phase 2: track each acquisition through its function's CFG.
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, root := range splitFuncLits(fd.Body) {
+				body, ok := root.(*ast.BlockStmt)
+				if !ok {
+					continue
+				}
+				checkPinRoot(pass, body)
+			}
+		}
+	}
+	return nil
+}
+
+// bodyUnpins reports whether body directly calls Cache.Unpin on obj
+// (not inside a nested function literal).
+func bodyUnpins(pass *analysis.Pass, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		f := calleeFunc(pass.TypesInfo, call)
+		if f != nil && recvKey(f) == pagerCacheType && f.Name() == "Unpin" &&
+			len(call.Args) == 1 && identResolvesTo(pass, call.Args[0], obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func identResolvesTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// checkPinRoot finds the pin acquisitions in one function body
+// (literals excluded — they are their own roots) and runs the
+// dataflow for each.
+func checkPinRoot(pass *analysis.Pass, body *ast.BlockStmt) {
+	var acqs []*pinAcq
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.TypesInfo, call)
+		if f == nil || recvKey(f) != pagerCacheType {
+			return true
+		}
+		switch f.Name() {
+		case "Get", "Lookup", "NewFrame":
+		default:
+			return true
+		}
+		parent := directParent(stack)
+		switch p := parent.(type) {
+		case *ast.AssignStmt:
+			if len(p.Rhs) != 1 || ast.Unparen(p.Rhs[0]) != call {
+				return true // multi-assign tuple tricks; leave it alone
+			}
+			id, ok := p.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored straight into a field: ownership transferred
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "result of %s is pinned but discarded: the frame can never be unpinned", exprString(pass.Fset, call.Fun))
+				return true
+			}
+			acq := &pinAcq{call: call, callee: f, pinObj: objOf(pass, id), assign: p}
+			if acq.pinObj == nil {
+				return true
+			}
+			if len(p.Lhs) > 1 {
+				if eid, ok := p.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+					acq.errObj = objOf(pass, eid)
+					if acq.errObj != nil {
+						if basic, ok := acq.errObj.Type().Underlying().(*types.Basic); ok && basic.Kind() == types.Bool {
+							acq.errIsBool = true
+						}
+					}
+				}
+			}
+			acqs = append(acqs, acq)
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of %s is pinned but discarded: the frame can never be unpinned", exprString(pass.Fset, call.Fun))
+		}
+		// Any other context (argument, return value, composite
+		// literal) hands the pin off; the receiver owns it now.
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+	cfg := analysis.NewCFG(body, pass.TypesInfo)
+	for _, acq := range acqs {
+		acq.errKilled = firstKill(pass, body, acq)
+		trackPin(pass, cfg, acq)
+	}
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func directParent(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// firstKill finds the first reassignment of the acquisition's err/ok
+// variable after the acquisition; edge refinement on that variable is
+// only sound before it.
+func firstKill(pass *analysis.Pass, body ast.Node, acq *pinAcq) token.Pos {
+	if acq.errObj == nil {
+		return token.NoPos
+	}
+	kill := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as == acq.assign {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && objOf(pass, id) == acq.errObj && as.Pos() > acq.call.Pos() {
+				if kill == token.NoPos || as.Pos() < kill {
+					kill = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return kill
+}
+
+// trackPin runs the may-analysis for one acquisition over the CFG and
+// reports leaks and boundary crossings.
+func trackPin(pass *analysis.Pass, cfg *analysis.CFG, acq *pinAcq) {
+	in := map[*analysis.Block]uint8{cfg.Entry: pinNone}
+	work := []*analysis.Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[b]
+		for _, n := range b.Nodes {
+			out = applyPinNode(pass, acq, out, n, nil)
+		}
+		for i, s := range b.Succs {
+			ns := refinePinEdge(pass, acq, b, i, out)
+			if in[s]|ns != in[s] {
+				in[s] |= ns
+				work = append(work, s)
+			}
+		}
+	}
+	if in[cfg.Exit]&pinHeld != 0 {
+		pass.Reportf(acq.call.Pos(),
+			"frame pinned by %s is not released on every path to return (add `defer cache.Unpin(...)` or unpin before returning)",
+			exprString(pass.Fset, acq.call.Fun))
+	}
+	// Deterministic reporting pass for boundary crossings.
+	reported := map[token.Pos]bool{}
+	for _, b := range cfg.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			st = applyPinNode(pass, acq, st, n, reported)
+		}
+	}
+}
+
+// refinePinEdge narrows the out-state along a conditional edge that
+// tests the acquisition's err/ok variable: on the failure edge the
+// frame was never pinned.
+func refinePinEdge(pass *analysis.Pass, acq *pinAcq, b *analysis.Block, succIdx int, st uint8) uint8 {
+	if b.Cond == nil || acq.errObj == nil {
+		return st
+	}
+	if b.Cond.Pos() <= acq.call.Pos() {
+		return st
+	}
+	if acq.errKilled != token.NoPos && b.Cond.Pos() >= acq.errKilled {
+		return st
+	}
+	fail := failEdgeIndex(pass, acq, b.Cond)
+	if fail < 0 {
+		return st
+	}
+	if succIdx == fail {
+		// err != nil / !ok: the acquisition returned no frame.
+		if st&pinHeld != 0 {
+			st = (st &^ pinHeld) | pinNone
+		}
+	}
+	return st
+}
+
+// failEdgeIndex decodes which successor of a condition on the err/ok
+// variable is the acquisition-failed edge (0 = true edge, 1 = false
+// edge, -1 = not a recognised test).
+func failEdgeIndex(pass *analysis.Pass, acq *pinAcq, cond ast.Expr) int {
+	cond = ast.Unparen(cond)
+	if acq.errIsBool {
+		switch c := cond.(type) {
+		case *ast.Ident:
+			if objOf(pass, c) == acq.errObj {
+				return 1 // "if ok { ... }": false edge means no frame
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.NOT {
+				if id, ok := ast.Unparen(c.X).(*ast.Ident); ok && objOf(pass, id) == acq.errObj {
+					return 0
+				}
+			}
+		}
+		return -1
+	}
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return -1
+	}
+	id, ok := ast.Unparen(be.X).(*ast.Ident)
+	if !ok || objOf(pass, id) != acq.errObj {
+		return -1
+	}
+	if nid, ok := ast.Unparen(be.Y).(*ast.Ident); !ok || nid.Name != "nil" {
+		return -1
+	}
+	switch be.Op {
+	case token.NEQ:
+		return 0 // "if err != nil": true edge means no frame
+	case token.EQL:
+		return 1
+	}
+	return -1
+}
+
+// applyPinNode is the transfer function over one block node. With
+// reported non-nil it also emits boundary diagnostics (the final,
+// deterministic pass); with nil it only transforms state (fixpoint).
+func applyPinNode(pass *analysis.Pass, acq *pinAcq, st uint8, node ast.Node, reported map[token.Pos]bool) uint8 {
+	inspectWithStack(node, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			st = applyPinLit(pass, acq, st, n, stack)
+			return false
+		case *ast.CallExpr:
+			if n == acq.call {
+				st = pinHeld
+				return true
+			}
+			f := calleeFunc(pass.TypesInfo, n)
+			if f != nil && pinBoundaries[funcKey(f)] && st&(pinHeld|pinDeferred) != 0 && reported != nil && !reported[n.Pos()] {
+				reported[n.Pos()] = true
+				pass.Reportf(n.Pos(), "frame pinned by %s is still pinned across %s: pinned frames are unevictable, release before the commit/flush",
+					exprString(pass.Fset, acq.call.Fun), funcKey(f))
+			}
+			return true
+		case *ast.Ident:
+			if objOf(pass, n) != acq.pinObj {
+				return true
+			}
+			st = applyPinUse(pass, acq, st, n, stack, reported)
+			return true
+		}
+		return true
+	})
+	return st
+}
+
+// applyPinLit handles a function literal encountered while scanning:
+// a deferred literal that directly unpins the frame is a deferred
+// release; a go'd literal or any other literal mentioning the frame
+// takes ownership (conservatively quiet).
+func applyPinLit(pass *analysis.Pass, acq *pinAcq, st uint8, lit *ast.FuncLit, stack []ast.Node) uint8 {
+	mentions := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(pass, id) == acq.pinObj {
+			mentions = true
+		}
+		return !mentions
+	})
+	if !mentions {
+		return st
+	}
+	if underDefer(stack) && bodyUnpins(pass, lit.Body, acq.pinObj) {
+		if st&pinHeld != 0 {
+			st = (st &^ pinHeld) | pinDeferred
+		}
+		return st
+	}
+	// go func(){...}(fr) or a stored closure: ownership moves.
+	if st&pinHeld != 0 {
+		st = (st &^ pinHeld) | pinClear
+	}
+	return st
+}
+
+// applyPinUse classifies one appearance of the pinned variable.
+// reported is non-nil only during the final reporting pass.
+func applyPinUse(pass *analysis.Pass, acq *pinAcq, st uint8, id *ast.Ident, stack []ast.Node, reported map[token.Pos]bool) uint8 {
+	release := func(deferred bool) uint8 {
+		if st&pinHeld != 0 {
+			st &^= pinHeld
+			if deferred {
+				st |= pinDeferred
+			} else {
+				st |= pinClear
+			}
+		}
+		return st
+	}
+	transfer := func() uint8 {
+		if st&pinHeld != 0 {
+			st = (st &^ pinHeld) | pinClear
+		}
+		return st
+	}
+	parent := directParent(stack)
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// fr.Bytes(), fr.field: plain use, pin unaffected.
+		return st
+	case *ast.CallExpr:
+		f := calleeFunc(pass.TypesInfo, p)
+		if f != nil && recvKey(f) == pagerCacheType {
+			switch f.Name() {
+			case "Unpin":
+				return release(underDefer(stack))
+			case "MarkDirty", "MarkClean", "Rekey":
+				return st
+			}
+		}
+		if f != nil {
+			for i, arg := range p.Args {
+				if ast.Unparen(arg) == id {
+					if _, ok := pass.Facts.Lookup("pin.releases:" + funcKey(f) + ":" + strconv.Itoa(i)); ok {
+						return release(underDefer(stack))
+					}
+				}
+			}
+		}
+		return transfer() // unknown callee takes the frame
+	case *ast.AssignStmt:
+		if p == acq.assign {
+			return st
+		}
+		for _, lhs := range p.Lhs {
+			if lhs == id {
+				// The variable is overwritten; a still-held pin can
+				// no longer be released through it.
+				if st&pinHeld != 0 {
+					if reported != nil && !reported[p.Pos()] {
+						reported[p.Pos()] = true
+						pass.Reportf(p.Pos(), "frame pinned by %s is overwritten while still pinned (unpin it first)",
+							exprString(pass.Fset, acq.call.Fun))
+					}
+					return transfer()
+				}
+				return st
+			}
+		}
+		return transfer() // appears on the RHS: aliased/stored away
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt, *ast.IndexExpr:
+		return transfer()
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return transfer()
+		}
+		return st
+	case *ast.BinaryExpr:
+		return st // fr == nil etc.
+	}
+	return st
+}
+
+// underDefer reports whether the innermost enclosing statement on the
+// stack is a DeferStmt.
+func underDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// importsPath reports whether pkg imports path (directly).
+func importsPath(pkg *types.Package, path string) bool {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return true
+		}
+	}
+	return false
+}

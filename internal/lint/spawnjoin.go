@@ -1,0 +1,406 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"planar/internal/lint/analysis"
+)
+
+// Spawnjoin checks goroutine lifecycles: a goroutine launched on
+// behalf of a type that has a shutdown method (Close, Stop, Shutdown,
+// Wait, Drain or Join) must be provably joined — otherwise Close
+// returns while the goroutine still touches the value, the exact
+// shape of the pipeline-shutdown races PR 6's group-commit work had
+// to be so careful about.
+//
+// For every `go` statement inside a method of such a type T (or
+// inside a constructor returning T), one of four pieces of evidence
+// must hold:
+//
+//  1. local channel join — the goroutine sends on or closes a channel
+//     local to the launching function, and the function receives from
+//     it (the errc pattern);
+//  2. local WaitGroup join — the goroutine calls Done on a local
+//     sync.WaitGroup and the launching function calls its Wait;
+//  3. WaitGroup field join — the goroutine calls Done on a WaitGroup
+//     field of T and one of T's shutdown methods calls Wait on that
+//     field;
+//  4. done-channel drain — the goroutine closes a channel field of T
+//     (typically via defer) and a shutdown method receives from it.
+//
+// Note the asymmetry in (4): the *goroutine* must close and the
+// *shutdown method* must receive. The reverse — Close closes a quit
+// channel the goroutine selects on — is a stop signal, not a join:
+// nothing waits for the goroutine to actually finish.
+//
+// Goroutines whose body cannot be resolved (calls through function
+// values, methods of other packages) and functions with no owning
+// type are out of scope: the check trades recall for zero false
+// positives on the ownership shapes this tree actually uses.
+var Spawnjoin = &analysis.Analyzer{
+	Name: "spawnjoin",
+	Doc:  "goroutines launched by a type with Close/Stop must be provably joined by it",
+	Run:  runSpawnjoin,
+}
+
+var lifecycleNames = map[string]bool{
+	"Close": true, "Stop": true, "Shutdown": true,
+	"Wait": true, "Drain": true, "Join": true,
+}
+
+func runSpawnjoin(pass *analysis.Pass) error {
+	// Methods of each package-local named type, for field-evidence
+	// searches and `go x.run()` resolution.
+	methodsOf := map[*types.Named][]*ast.FuncDecl{}
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok {
+					if n := namedOf(tv.Type); n != nil {
+						methodsOf[n] = append(methodsOf[n], fd)
+					}
+				}
+			}
+		}
+	}
+	for _, fd := range decls {
+		owner := spawnOwner(pass, fd)
+		if owner == nil || !hasLifecycle(owner) {
+			continue
+		}
+		fdBody := fd.Body
+		ast.Inspect(fdBody, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			spawned := spawnedBody(pass, owner, g)
+			if spawned == nil {
+				return true // unresolvable target: out of scope
+			}
+			if localChanJoin(pass, spawned, fdBody, g) ||
+				localWgJoin(pass, spawned, fdBody, g) ||
+				fieldWgJoin(pass, owner, spawned, methodsOf[owner]) ||
+				doneChanDrain(pass, owner, spawned, methodsOf[owner]) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine launched for %s is not provably joined: no local WaitGroup/channel join here and no %s shutdown method waits for it (join via a WaitGroup field or drain a done channel the goroutine closes)",
+				owner.Obj().Name(), owner.Obj().Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnOwner resolves the type a function launches goroutines on
+// behalf of: its receiver, or for constructors the package-local
+// named type (or pointer to one) it returns.
+func spawnOwner(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok {
+			return namedOf(tv.Type)
+		}
+		return nil
+	}
+	if fd.Type.Results == nil {
+		return nil
+	}
+	for _, r := range fd.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[r.Type]
+		if !ok {
+			continue
+		}
+		if n := namedOf(tv.Type); n != nil && n.Obj().Pkg() == pass.Pkg {
+			return n
+		}
+	}
+	return nil
+}
+
+func hasLifecycle(n *types.Named) bool {
+	for i := 0; i < n.NumMethods(); i++ {
+		if lifecycleNames[n.Method(i).Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnedBody resolves what the goroutine runs: a function literal's
+// body, or the body of a same-package method of the owner type.
+// Anything else returns nil (out of scope).
+func spawnedBody(pass *analysis.Pass, owner *types.Named, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	f := calleeFunc(pass.TypesInfo, g.Call)
+	if f == nil || f.Pkg() != pass.Pkg {
+		return nil
+	}
+	if recvKey(f) != typeKey(owner) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Body != nil && pass.TypesInfo.Defs[fd.Name] == f {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// localChanJoin: the goroutine sends on or closes a function-local
+// channel, and the launching function receives from the same variable
+// outside the go statement.
+func localChanJoin(pass *analysis.Pass, spawned *ast.BlockStmt, fn *ast.BlockStmt, g *ast.GoStmt) bool {
+	signalled := map[types.Object]bool{}
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if obj := chanVarObj(pass, n.Chan); obj != nil {
+				signalled[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if obj := chanVarObj(pass, n.Args[0]); obj != nil {
+					signalled[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(signalled) == 0 {
+		return false
+	}
+	return receivesFromAny(pass, fn, g, signalled)
+}
+
+// localWgJoin: the goroutine calls Done on a local sync.WaitGroup the
+// launching function Waits on.
+func localWgJoin(pass *analysis.Pass, spawned *ast.BlockStmt, fn *ast.BlockStmt, g *ast.GoStmt) bool {
+	done := map[types.Object]bool{}
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		if obj := wgMethodTarget(pass, n, "Done"); obj != nil {
+			done[obj] = true
+		}
+		return true
+	})
+	if len(done) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == g {
+			return false
+		}
+		if obj := wgMethodTarget(pass, n, "Wait"); obj != nil && done[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fieldWgJoin: the goroutine calls Done on a WaitGroup field of the
+// owner, and one of the owner's shutdown methods Waits on that field.
+func fieldWgJoin(pass *analysis.Pass, owner *types.Named, spawned *ast.BlockStmt, methods []*ast.FuncDecl) bool {
+	done := map[types.Object]bool{}
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		if fld := wgFieldTarget(pass, owner, n, "Done"); fld != nil {
+			done[fld] = true
+		}
+		return true
+	})
+	if len(done) == 0 {
+		return false
+	}
+	for _, m := range methods {
+		if !lifecycleNames[m.Name.Name] {
+			continue
+		}
+		found := false
+		ast.Inspect(m.Body, func(n ast.Node) bool {
+			if fld := wgFieldTarget(pass, owner, n, "Wait"); fld != nil && done[fld] {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// doneChanDrain: the goroutine closes a channel field of the owner
+// and a shutdown method receives from it. Close-the-quit-chan with
+// the goroutine on the receiving end does not count — see the
+// analyzer doc.
+func doneChanDrain(pass *analysis.Pass, owner *types.Named, spawned *ast.BlockStmt, methods []*ast.FuncDecl) bool {
+	closed := map[types.Object]bool{}
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+			if fld := chanFieldObj(pass, owner, call.Args[0]); fld != nil {
+				closed[fld] = true
+			}
+		}
+		return true
+	})
+	if len(closed) == 0 {
+		return false
+	}
+	for _, m := range methods {
+		if !lifecycleNames[m.Name.Name] {
+			continue
+		}
+		found := false
+		ast.Inspect(m.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if fld := chanFieldObj(pass, owner, n.X); fld != nil && closed[fld] {
+						found = true
+					}
+				}
+			case *ast.RangeStmt:
+				if fld := chanFieldObj(pass, owner, n.X); fld != nil && closed[fld] {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// receivesFromAny reports whether fn (outside the go statement g)
+// receives from any of the given channel variables, via <-ch, range
+// ch, or a select comm clause.
+func receivesFromAny(pass *analysis.Pass, fn *ast.BlockStmt, g *ast.GoStmt, chans map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == g {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && chans[chanVarObj(pass, n.X)] {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if chans[chanVarObj(pass, n.X)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// chanVarObj resolves a channel expression to its identifier's object
+// when it is a plain (usually local) variable of channel type.
+func chanVarObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objOf(pass, id)
+	if v, ok := obj.(*types.Var); ok && !v.IsField() {
+		if _, isChan := v.Type().Underlying().(*types.Chan); isChan {
+			return v
+		}
+	}
+	return nil
+}
+
+// wgMethodTarget matches a call `x.<name>()` where x is a plain
+// sync.WaitGroup variable, returning x's object.
+func wgMethodTarget(pass *analysis.Pass, n ast.Node, name string) types.Object {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objOf(pass, id)
+	if v, ok := obj.(*types.Var); ok && !v.IsField() && typeKey(v.Type()) == "sync.WaitGroup" {
+		return v
+	}
+	return nil
+}
+
+// wgFieldTarget matches a call `recv.fld.<name>()` where fld is a
+// sync.WaitGroup field of the owner type, returning the field object.
+func wgFieldTarget(pass *analysis.Pass, owner *types.Named, n ast.Node, name string) types.Object {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	fldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[fldSel]
+	if !ok {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() || typeKey(v.Type()) != "sync.WaitGroup" {
+		return nil
+	}
+	if namedOf(s.Recv()) != owner {
+		return nil
+	}
+	return v
+}
+
+// chanFieldObj resolves `recv.fld` to the field object when fld is a
+// channel field of the owner type.
+func chanFieldObj(pass *analysis.Pass, owner *types.Named, e ast.Expr) types.Object {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	if namedOf(s.Recv()) != owner {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,83 @@
+// Fixture for the atomicmix analyzer, type-checked as
+// planar/internal/replog. Covers the mixed atomic/plain field, the
+// compliant all-atomic counter, package-level vars, the sanctioned
+// composite-literal key, and copies of sync/atomic value types.
+package replog
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits  uint64 // updated with atomic.AddUint64
+	total uint64 // plain, mutex-guarded elsewhere: fine
+	mu    sync.Mutex
+	typed atomic.Uint64
+}
+
+var globalSeq uint64
+
+// bump is the sanctioned access shape.
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&globalSeq, 1)
+}
+
+// mixedRead reads the atomically-updated field plainly: a data race
+// one refactor away.
+func mixedRead(c *counters) uint64 {
+	return c.hits // want `c.hits is accessed with sync/atomic`
+}
+
+// mixedWrite is worse: a plain store racing the atomic adds.
+func mixedWrite(c *counters) {
+	c.hits = 0 // want `c.hits is accessed with sync/atomic`
+}
+
+// mixedGlobal races the package-level sequence counter.
+func mixedGlobal() uint64 {
+	return globalSeq // want `globalSeq is accessed with sync/atomic`
+}
+
+// plainField is untouched by sync/atomic anywhere, so plain access
+// under the mutex stays quiet.
+func plainField(c *counters) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	return c.total
+}
+
+// initLiteral initialises the field in a composite literal — memory
+// no other goroutine can see yet, so the key is exempt.
+func initLiteral() *counters {
+	return &counters{hits: 0}
+}
+
+// typedLoad uses the typed atomic — plain access is impossible by
+// construction, nothing to flag.
+func typedLoad(c *counters) uint64 {
+	return c.typed.Load()
+}
+
+// copyTyped copies an atomic.Uint64 by value: the copy is torn loose
+// from the original's atomicity.
+func copyTyped(c *counters) {
+	cp := c.typed // want `copies c.typed \(type sync/atomic.Uint64\)`
+	_ = cp.Load()
+}
+
+// passTyped passes one by value — same defect through a call.
+func sinkAtomic(v atomic.Uint64) uint64 { return v.Load() }
+
+func passTyped(c *counters) uint64 {
+	return sinkAtomic(c.typed) // want `copies c.typed \(type sync/atomic.Uint64\)`
+}
+
+// pointerToTyped is the compliant way to hand one around.
+func usePtr(v *atomic.Uint64) uint64 { return v.Load() }
+
+func pointerToTyped(c *counters) uint64 {
+	return usePtr(&c.typed)
+}

@@ -1,0 +1,153 @@
+// Fixture for the guardedby analyzer, type-checked as
+// planar/internal/pager. Covers unguarded access, write-under-RLock,
+// unlock-then-access, branch merges, deferred unlock, the Locked
+// suffix contract (including its self-deadlock check), goroutine
+// literals, the constructor exemption, dotted cross-type guards,
+// package vars, and a bad annotation.
+package pager
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	n  int           // guarded by mu
+	m  map[int]int   // guarded by mu
+	ch chan struct{} // not guarded
+}
+
+type entry struct {
+	pins int // guarded by store.mu
+}
+
+var (
+	tblMu sync.Mutex
+	// guarded by tblMu
+	tbl map[string]int
+)
+
+// getN is the compliant read.
+func getN(s *store) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// setN is the compliant write.
+func setN(s *store, v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+// racyRead takes no lock at all.
+func racyRead(s *store) int {
+	return s.n // want `s.n is guarded by mu \(annotated at guardedby/f.go:\d+\) but accessed without it held`
+}
+
+// writeUnderRLock mutates with only the read side held.
+func writeUnderRLock(s *store) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.n++ // want `write to s.n while mu is only read-locked: writes need the write lock`
+}
+
+// unlockThenTouch releases before the access.
+func unlockThenTouch(s *store) int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.n // want `s.n is guarded by mu .* but accessed without it held`
+}
+
+// branchMerge locks on only one arm, so the merge point holds
+// nothing.
+func branchMerge(s *store, lock bool) int {
+	if lock {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.n // want `s.n is guarded by mu .* but accessed without it held`
+}
+
+// mapMutate needs the write lock for delete.
+func mapMutate(s *store) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	delete(s.m, 1) // want `write to s.m while mu is only read-locked`
+}
+
+// bumpLocked is the documented contract: caller holds mu. The suffix
+// suppresses access checks.
+func bumpLocked(s *store) {
+	s.n++
+}
+
+// brokenLocked violates its own name: it acquires the receiver's
+// mutex the caller already holds.
+type lockedRecv struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (r *lockedRecv) brokenLocked() { // want `brokenLocked is named for running with the lock held, but acquires planar/internal/pager.lockedRecv.mu itself`
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// goLiteral: the spawned goroutine does not inherit the held lock —
+// it runs after Unlock on its own schedule.
+func goLiteral(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.n++ // want `s.n is guarded by mu .* but accessed without it held`
+	}()
+}
+
+// deferredLiteral inherits the held set at its creation point; with
+// mu held to every exit by the deferred Unlock, the access is fine.
+func deferredLiteral(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		s.n++
+	}()
+}
+
+// construct touches guarded fields of a value it just built — single
+// owner, no lock needed.
+func construct() *store {
+	s := &store{m: map[int]int{}}
+	s.n = 1
+	s.m[0] = 1
+	return s
+}
+
+// crossType: entry.pins is guarded by a *different* type's mutex via
+// the dotted form.
+func crossType(s *store, e *entry) {
+	s.mu.Lock()
+	e.pins++
+	s.mu.Unlock()
+}
+
+func crossTypeRacy(e *entry) {
+	e.pins++ // want `e.pins is guarded by store.mu .* but accessed without it held`
+}
+
+// pkgVar: package-level var guarded by a package-level mutex.
+func pkgVar() int {
+	tblMu.Lock()
+	defer tblMu.Unlock()
+	return tbl["k"]
+}
+
+func pkgVarRacy() int {
+	return tbl["k"] // want `tbl is guarded by tblMu .* but accessed without it held`
+}
+
+// badGuard names a guard that does not exist.
+type badGuard struct {
+	// guarded by nosuchmu
+	x int // want `guarded-by annotation names unknown guard "nosuchmu"`
+}

@@ -1,0 +1,137 @@
+// Fixture for the pinrelease analyzer, type-checked as
+// planar/internal/btree so it sits in a package that imports the real
+// pager (the analyzer only runs there). Covers the leak shapes, the
+// compliant releases (deferred and all-paths manual), err/ok edge
+// refinement, ownership transfer, helper release via facts, and the
+// held-across-Commit boundary check.
+package btree
+
+import (
+	"errors"
+
+	"planar/internal/pager"
+)
+
+type holder struct {
+	fr *pager.Frame
+}
+
+// leakOnError pins and releases on the happy path only: the early
+// error return leaks the pin.
+func leakOnError(c *pager.Cache) error {
+	fr, err := c.Get(7, nil) // want `frame pinned by c.Get is not released on every path to return`
+	if err != nil {
+		return err
+	}
+	if len(fr.Bytes()) == 0 {
+		return errors.New("empty") // leaks fr
+	}
+	c.Unpin(fr)
+	return nil
+}
+
+// deferRelease is the compliant shape: the deferred Unpin covers
+// every return.
+func deferRelease(c *pager.Cache) error {
+	fr, err := c.Get(7, nil)
+	if err != nil {
+		return err
+	}
+	defer c.Unpin(fr)
+	if len(fr.Bytes()) == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// manualRelease unpins on every path by hand — also compliant.
+func manualRelease(c *pager.Cache) error {
+	fr, err := c.Get(7, nil)
+	if err != nil {
+		return err
+	}
+	if len(fr.Bytes()) == 0 {
+		c.Unpin(fr)
+		return errors.New("empty")
+	}
+	c.Unpin(fr)
+	return nil
+}
+
+// lookupRefined: on the !ok edge no frame was pinned, so the early
+// return is fine; the ok path unpins.
+func lookupRefined(c *pager.Cache) int {
+	fr, ok := c.Lookup(7)
+	if !ok {
+		return 0
+	}
+	n := len(fr.Bytes())
+	c.Unpin(fr)
+	return n
+}
+
+// lookupLeak releases nothing on the ok path.
+func lookupLeak(c *pager.Cache) int {
+	fr, ok := c.Lookup(7) // want `frame pinned by c.Lookup is not released on every path to return`
+	if !ok {
+		return 0
+	}
+	return len(fr.Bytes())
+}
+
+// newFrameDiscarded throws the only handle to the pin away.
+func newFrameDiscarded(c *pager.Cache) {
+	_ = c.NewFrame(9) // want `result of c.NewFrame is pinned but discarded`
+}
+
+// escapeToField hands the pin off: the holder owns it now, quiet.
+func escapeToField(c *pager.Cache, h *holder) {
+	fr := c.NewFrame(9)
+	h.fr = fr
+}
+
+// releaseHelper unpins its frame parameter; the analyzer exports a
+// pin.releases fact for it.
+func releaseHelper(c *pager.Cache, fr *pager.Frame) {
+	c.Unpin(fr)
+}
+
+// helperRelease routes the release through releaseHelper — the fact
+// makes the call count as the Unpin.
+func helperRelease(c *pager.Cache) {
+	fr := c.NewFrame(9)
+	releaseHelper(c, fr)
+}
+
+// heldAcrossCommit keeps the pin across the durability boundary: the
+// frame is unevictable for the whole checkpoint.
+func heldAcrossCommit(c *pager.Cache, f *pager.File) error {
+	fr := c.NewFrame(9)
+	defer c.Unpin(fr)
+	return f.Commit(nil, 1) // want `still pinned across planar/internal/pager.File.Commit`
+}
+
+// commitAfterRelease is the compliant ordering.
+func commitAfterRelease(c *pager.Cache, f *pager.File) error {
+	fr := c.NewFrame(9)
+	c.Unpin(fr)
+	return f.Commit(nil, 1)
+}
+
+// overwriteWhilePinned loses the only handle to the first frame by
+// reassigning the variable (the second pin is released normally).
+func overwriteWhilePinned(c *pager.Cache) {
+	fr := c.NewFrame(9)
+	fr = c.NewFrame(10) // want `frame pinned by c.NewFrame is overwritten while still pinned`
+	c.Unpin(fr)
+}
+
+// panicPathExempt: the fail-stop path dies holding the pin, which is
+// fine — the process is gone.
+func panicPathExempt(c *pager.Cache) {
+	fr := c.NewFrame(9)
+	if len(fr.Bytes()) == 0 {
+		panic("empty frame")
+	}
+	c.Unpin(fr)
+}

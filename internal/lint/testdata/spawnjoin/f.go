@@ -1,0 +1,109 @@
+// Fixture for the spawnjoin analyzer, type-checked as
+// planar/internal/replica. Covers the four join evidences (local
+// channel, local WaitGroup, WaitGroup field, done-channel drain), the
+// leaky shapes, constructor-spawned goroutines, `go x.run()` method
+// resolution, and the stop-signal-is-not-a-join asymmetry.
+package replica
+
+import "sync"
+
+// Pipeline joins its committer through a WaitGroup field: compliant.
+type Pipeline struct {
+	wg sync.WaitGroup
+}
+
+func (p *Pipeline) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+
+func (p *Pipeline) Close() {
+	p.wg.Wait()
+}
+
+// Leaky launches a goroutine nothing ever waits for.
+type Leaky struct {
+	quit chan struct{}
+}
+
+func (l *Leaky) Start() {
+	go func() { // want `goroutine launched for Leaky is not provably joined`
+		<-l.quit
+	}()
+}
+
+// Close signals the goroutine to stop but does not wait for it to
+// finish — a stop signal, not a join.
+func (l *Leaky) Close() {
+	close(l.quit)
+}
+
+// Drainer joins through a done channel the goroutine closes and Close
+// drains: compliant.
+type Drainer struct {
+	done chan struct{}
+}
+
+func NewDrainer() *Drainer {
+	d := &Drainer{done: make(chan struct{})}
+	go d.run()
+	return d
+}
+
+func (d *Drainer) run() {
+	defer close(d.done)
+}
+
+func (d *Drainer) Close() {
+	<-d.done
+}
+
+// LocalJoins: goroutines joined inside the launching method need no
+// field evidence.
+type LocalJoins struct{}
+
+func (LocalJoins) Close() {}
+
+func (LocalJoins) scatter() int {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	if err := <-errc; err != nil {
+		return 1
+	}
+	return 0
+}
+
+// LeakyCtor leaks from its constructor: the type has Stop but nothing
+// joins the goroutine.
+type LeakyCtor struct {
+	n int
+}
+
+func NewLeakyCtor() *LeakyCtor {
+	c := &LeakyCtor{}
+	go func() { // want `goroutine launched for LeakyCtor is not provably joined`
+		c.n++
+	}()
+	return c
+}
+
+func (c *LeakyCtor) Stop() {}
+
+// NoLifecycle has no Close/Stop: fire-and-forget is its documented
+// shape, out of scope.
+type NoLifecycle struct{}
+
+func (NoLifecycle) kick() {
+	go func() {}()
+}

@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
 
 	"planar/internal/lint/analysis"
 )
@@ -139,12 +138,4 @@ func checkWalFunc(pass *analysis.Pass, name string, body *ast.BlockStmt, replayL
 		pass.Reportf(call.Pos(), "%s mutates the store via %s without a sequencer Commit in %s; journal the mutation or annotate the function //planar:journaled",
 			name, exprString(pass.Fset, call.Fun), name)
 	}
-}
-
-// funcKey renders a callee as "pkgpath.Type.Method" or "pkgpath.Func".
-func funcKey(f *types.Func) string {
-	if key := recvKey(f); key != "" {
-		return key + "." + f.Name()
-	}
-	return funcPkgPath(f) + "." + f.Name()
 }

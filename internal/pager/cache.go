@@ -30,10 +30,10 @@ type Cache struct {
 
 type cacheShard struct {
 	mu     sync.Mutex
-	frames map[uint64]*Frame
-	ring   []*Frame
-	hand   int
-	target int
+	frames map[uint64]*Frame // guarded by mu
+	ring   []*Frame          // guarded by mu
+	hand   int               // guarded by mu
+	target int               // guarded by mu
 }
 
 // Frame is one resident page. The payload buffer is valid while the
@@ -41,9 +41,9 @@ type cacheShard struct {
 type Frame struct {
 	key   uint64
 	buf   []byte
-	pins  int32
-	dirty bool
-	ref   bool
+	pins  int32 // guarded by cacheShard.mu
+	dirty bool  // guarded by cacheShard.mu
+	ref   bool  // guarded by cacheShard.mu
 }
 
 // Bytes returns the frame's payload buffer (frameBytes long). The

@@ -85,15 +85,15 @@ type File struct {
 	f    *os.File
 	path string
 
-	epoch    uint64
-	slot     int   // superblock slot holding the current epoch (0 or 1)
-	nPages   int64 // allocation high-water mark, including the 2 superblocks
-	cpLSN    uint64
-	meta     []byte // caller metadata from the last commit
-	metaPage []int64
+	epoch    uint64  // guarded by mu
+	slot     int     // guarded by mu; superblock slot holding the current epoch (0 or 1)
+	nPages   int64   // guarded by mu; allocation high-water mark, including the 2 superblocks
+	cpLSN    uint64  // guarded by mu
+	meta     []byte  // guarded by mu; caller metadata from the last commit
+	metaPage []int64 // guarded by mu
 
-	freeList    []int64 // unreferenced by the durable checkpoint: writable now
-	pendingFree []int64 // freed this epoch but still referenced: writable after Commit
+	freeList    []int64 // guarded by mu; unreferenced by the durable checkpoint: writable now
+	pendingFree []int64 // guarded by mu; freed this epoch but still referenced: writable after Commit
 }
 
 type superblock struct {
@@ -206,6 +206,10 @@ func Open(path string) (*File, error) {
 	return f, nil
 }
 
+// recover runs from Open before the File is published to any other
+// goroutine, so it initialises mu-guarded fields without the lock.
+//
+//planar:locked
 func (f *File) recover() error {
 	var buf [2 * PageSize]byte
 	n, err := f.f.ReadAt(buf[:], 0)
@@ -340,10 +344,18 @@ func (f *File) Path() string { return f.path }
 
 // Meta returns the caller metadata recorded by the last durable
 // commit. The slice must not be modified.
-func (f *File) Meta() []byte { return f.meta }
+func (f *File) Meta() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.meta
+}
 
 // CheckpointLSN returns the LSN recorded by the last durable commit.
-func (f *File) CheckpointLSN() uint64 { return f.cpLSN }
+func (f *File) CheckpointLSN() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cpLSN
+}
 
 // NumPages returns the allocation high-water mark in pages, including
 // the two superblocks.

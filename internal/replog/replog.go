@@ -40,11 +40,11 @@ const DefaultRingSize = 1 << 14
 // tail. All methods are safe for concurrent use.
 type Sequencer struct {
 	mu       sync.Mutex
-	next     uint64 // next LSN to assign (≥ 1)
-	ring     []wal.Record
+	next     uint64       // guarded by mu; next LSN to assign (≥ 1)
+	ring     []wal.Record // guarded by mu
 	ringCap  int
-	ringBase uint64 // LSN of ring[0]; ring holds [ringBase, next)
-	notify   chan struct{}
+	ringBase uint64        // guarded by mu; LSN of ring[0]; ring holds [ringBase, next)
+	notify   chan struct{} // guarded by mu
 
 	// last mirrors next-1 so Last — called on every read to stamp the
 	// X-Planar-LSN header — never contends with commits holding mu

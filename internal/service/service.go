@@ -120,13 +120,13 @@ type DB struct {
 	dir     string
 	opts    Options
 	multi   *core.Multi
-	log     *wal.Writer
-	pending int // mutations since the last checkpoint
+	log     *wal.Writer // guarded by mu
+	pending int         // guarded by mu; mutations since the last checkpoint
 
 	// pstore is the paged tier's checkpoint file (nil in snapshot
 	// mode); replayed counts WAL records applied at Open after the
 	// checkpoint-LSN filter.
-	pstore   *codec.PagedStore
+	pstore   *codec.PagedStore // guarded by mu
 	replayed int
 
 	shards *shard.Store // non-nil in sharded mode
@@ -586,7 +586,11 @@ func (db *DB) AddNormal(normal []float64, signs vecmath.SignPattern) (bool, erro
 
 // journal returns the commit callback appending the record to the
 // single-mode log; it runs under the sequencer lock so log order
-// matches LSN order.
+// matches LSN order. The callback touches db.log without taking db.mu
+// because every caller invokes it from a mutation path that already
+// holds mu exclusively (the apply and the append must be atomic).
+//
+//planar:locked
 func (db *DB) journal(op wal.Op, id uint32, vec []float64) func(uint64) error {
 	return func(lsn uint64) error {
 		if err := db.log.Append(wal.Record{Op: op, LSN: lsn, ID: id, Vec: vec}); err != nil {
@@ -779,6 +783,8 @@ func (db *DB) Paged() bool {
 	if db.shards != nil {
 		return db.shards.Paged()
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.pstore != nil
 }
 
