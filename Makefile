@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-strict race race-shard race-pager replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke ci clean
+.PHONY: all build test vet lint lint-strict race race-shard race-pager replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke bench-checkpoint-smoke ci clean
 
 all: build
 
@@ -126,7 +126,13 @@ bench-page-smoke:
 bench-ingest-smoke:
 	$(GO) run ./cmd/planarbench -mode ingest -writers 2 -window 4 -batch 8 -benchdur 200ms -ingestout ""
 
-ci: vet lint build race race-shard race-pager replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke
+# A tiny run of the checkpoint benchmark (no JSON report) to prove
+# the -mode checkpoint path still works: full-flush vs background
+# writeback plus incremental checkpoints under localized churn.
+bench-checkpoint-smoke:
+	$(GO) run ./cmd/planarbench -mode checkpoint -points 5000 -rounds 3 -muts 500 -checkpointout ""
+
+ci: vet lint build race race-shard race-pager replica-integration page-integration ingest-integration bench-smoke bench-shard-smoke bench-replica-smoke bench-hotpath-smoke bench-build-smoke bench-page-smoke bench-ingest-smoke bench-checkpoint-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,326 @@
+// Checkpoint-latency benchmark for the paged tier (-mode checkpoint).
+//
+// A write-heavy churn workload (skewed updates plus appends) runs
+// against two otherwise-identical paged stores: one checkpointing the
+// old way (no background writer, every data page rewritten under the
+// store lock) and one with the background page writer plus
+// incremental checkpoints. Each round mutates, then checkpoints; we
+// record the wall time of the checkpoint call, the lock-held window
+// the store reports, the pages each checkpoint wrote, and the
+// dirty-frame / resident-set high-water marks sampled during churn.
+// The report lands in BENCH_checkpoint.json as an accumulating array.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"planar/internal/service"
+	"planar/internal/vecmath"
+)
+
+type checkpointBenchConfig struct {
+	Points   int           // initial dataset cardinality
+	Dim      int           // point dimensionality
+	Rounds   int           // churn+checkpoint cycles per engine
+	Muts     int           // mutations per round
+	Seed     int64         // workload RNG seed
+	Interval time.Duration // background writer cadence (incremental side)
+	OutPath  string        // JSON report path ("" = stdout only)
+}
+
+type checkpointBenchSide struct {
+	Mode               string  `json:"mode"`
+	WallMsP50          float64 `json:"checkpointMsP50"`
+	WallMsP90          float64 `json:"checkpointMsP90"`
+	WallMsMax          float64 `json:"checkpointMsMax"`
+	LockMsP50          float64 `json:"lockMsP50"`
+	LockMsP90          float64 `json:"lockMsP90"`
+	LockMsMax          float64 `json:"lockMsMax"`
+	PagesPerCheckpoint float64 `json:"pagesPerCheckpoint"`
+	DirtyHighWater     int     `json:"dirtyFrameHighWater"`
+	ResidentHighWater  int     `json:"residentHighWater"`
+	WritebackPages     uint64  `json:"writebackPages"`
+	MutsPerSec         float64 `json:"mutationsPerSec"`
+}
+
+type checkpointBenchReport struct {
+	Points         int                 `json:"points"`
+	Dim            int                 `json:"dim"`
+	Rounds         int                 `json:"rounds"`
+	Muts           int                 `json:"mutationsPerRound"`
+	Seed           int64               `json:"seed"`
+	Full           checkpointBenchSide `json:"fullFlush"`
+	Incremental    checkpointBenchSide `json:"incremental"`
+	WallSpeedupP50 float64             `json:"checkpointSpeedupP50"`
+	LockSpeedupP50 float64             `json:"lockWindowSpeedupP50"`
+}
+
+// checkpointPercentile returns the pth percentile of a sorted sample.
+func checkpointPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// runCheckpointSide builds a paged store, churns it for cfg.Rounds
+// cycles and returns the measured side. The churn has the locality
+// real write-heavy workloads have: 70% appends clustered around a
+// per-round ingest front (time-correlated arrivals land in one key
+// region), 30% small perturbations of a hot cluster of points
+// (moving objects drift, they do not teleport). Uniform-random churn
+// would dirty every leaf of every tree each round and measure only
+// the store-blob rewrite; locality is the regime incremental
+// checkpoints are built for.
+func runCheckpointSide(cfg checkpointBenchConfig, mode string, opts service.Options) (checkpointBenchSide, error) {
+	side := checkpointBenchSide{Mode: mode}
+	dir, err := os.MkdirTemp("", "planarbench-checkpoint-*")
+	if err != nil {
+		return side, err
+	}
+	defer os.RemoveAll(dir)
+
+	opts.Dim = cfg.Dim
+	db, err := service.Open(dir, opts)
+	if err != nil {
+		return side, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			db.Close()
+		}
+	}()
+
+	signs := make(vecmath.SignPattern, cfg.Dim)
+	for i := range signs {
+		signs[i] = 1
+	}
+	a := make([]float64, cfg.Dim)
+	for i := range a {
+		a[i] = 0.5 + float64(i)*0.25
+	}
+	if _, err := db.AddNormal(a, signs); err != nil {
+		return side, err
+	}
+	for i := range a {
+		a[i] = 2.0 - float64(i)*0.2
+	}
+	if _, err := db.AddNormal(a, signs); err != nil {
+		return side, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := make([]float64, cfg.Dim)
+	for i := 0; i < cfg.Points; i++ {
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		if _, err := db.Append(v); err != nil {
+			return side, err
+		}
+	}
+	// Hot cluster: a contiguous id range whose vectors share a small
+	// key region, appended last so its store rows are dense too.
+	hot := cfg.Points / 50
+	if hot < 64 {
+		hot = 64
+	}
+	hotIDs := make([]uint32, 0, hot)
+	hotVecs := make([][]float64, 0, hot)
+	for i := 0; i < hot; i++ {
+		hv := make([]float64, cfg.Dim)
+		for j := range hv {
+			hv[j] = 48 + rng.Float64()*4
+		}
+		id, err := db.Append(hv)
+		if err != nil {
+			return side, err
+		}
+		hotIDs = append(hotIDs, id)
+		hotVecs = append(hotVecs, hv)
+	}
+	// Baseline checkpoint, then reopen: freshly built trees live in
+	// RAM and only fault through the page cache after a cold open, so
+	// the measured rounds must run against the reopened store.
+	if err := db.Checkpoint(); err != nil {
+		return side, err
+	}
+	if err := db.Close(); err != nil {
+		return side, err
+	}
+	db, err = service.Open(dir, opts)
+	if err != nil {
+		return side, err
+	}
+
+	var (
+		wallMs    []float64
+		lockMs    []float64
+		pagesSum  int64
+		mutTotal  int
+		mutStart  = time.Now()
+		mutSpent  time.Duration
+		sampleDHW = func() {
+			if st, ok := db.PageStats(); ok {
+				if st.DirtyFrames > side.DirtyHighWater {
+					side.DirtyHighWater = st.DirtyFrames
+				}
+				if st.Resident > side.ResidentHighWater {
+					side.ResidentHighWater = st.Resident
+				}
+			}
+		}
+	)
+	front := make([]float64, cfg.Dim)
+	for round := 0; round < cfg.Rounds; round++ {
+		// The ingest front moves each round; arrivals cluster near it.
+		for j := range front {
+			front[j] = rng.Float64() * 96
+		}
+		mutStart = time.Now()
+		for m := 0; m < cfg.Muts; m++ {
+			if rng.Float64() < 0.7 {
+				for j := range v {
+					v[j] = front[j] + rng.Float64()*4
+				}
+				if _, err := db.Append(v); err != nil {
+					return side, err
+				}
+			} else {
+				k := rng.Intn(len(hotIDs))
+				hv := hotVecs[k]
+				for j := range hv {
+					hv[j] += (rng.Float64() - 0.5) * 0.5
+				}
+				if err := db.Update(hotIDs[k], hv); err != nil {
+					return side, err
+				}
+			}
+			mutTotal++
+			if m%128 == 127 {
+				sampleDHW()
+			}
+		}
+		mutSpent += time.Since(mutStart)
+		sampleDHW()
+
+		start := time.Now()
+		if err := db.Checkpoint(); err != nil {
+			return side, err
+		}
+		wallMs = append(wallMs, float64(time.Since(start).Nanoseconds())/1e6)
+		st, ok := db.PageStats()
+		if !ok {
+			return side, fmt.Errorf("checkpoint bench: PageStats unavailable on paged store")
+		}
+		lockMs = append(lockMs, st.LastCheckpointMs)
+		pagesSum += st.IncrementalPages
+	}
+
+	if st, ok := db.PageStats(); ok {
+		side.WritebackPages = st.WritebackPages
+	}
+	sort.Float64s(wallMs)
+	sort.Float64s(lockMs)
+	side.WallMsP50 = checkpointPercentile(wallMs, 50)
+	side.WallMsP90 = checkpointPercentile(wallMs, 90)
+	side.WallMsMax = wallMs[len(wallMs)-1]
+	side.LockMsP50 = checkpointPercentile(lockMs, 50)
+	side.LockMsP90 = checkpointPercentile(lockMs, 90)
+	side.LockMsMax = lockMs[len(lockMs)-1]
+	side.PagesPerCheckpoint = float64(pagesSum) / float64(cfg.Rounds)
+	if secs := mutSpent.Seconds(); secs > 0 {
+		side.MutsPerSec = float64(mutTotal) / secs
+	}
+	closed = true
+	return side, db.Close()
+}
+
+func runCheckpointBench(cfg checkpointBenchConfig, w io.Writer) error {
+	if cfg.Points < 1 {
+		return fmt.Errorf("checkpoint bench: -points must be >= 1 (got %d)", cfg.Points)
+	}
+	if cfg.Rounds < 1 {
+		return fmt.Errorf("checkpoint bench: -rounds must be >= 1 (got %d)", cfg.Rounds)
+	}
+	fmt.Fprintf(w, "checkpoint bench: %d points (dim %d), %d rounds x %d mutations, seed %d\n",
+		cfg.Points, cfg.Dim, cfg.Rounds, cfg.Muts, cfg.Seed)
+
+	full, err := runCheckpointSide(cfg, "full-flush", service.Options{
+		Paged:            true,
+		DisableWriteback: true,
+		FullCheckpoints:  true,
+	})
+	if err != nil {
+		return err
+	}
+	incr, err := runCheckpointSide(cfg, "incremental", service.Options{
+		Paged:             true,
+		WritebackInterval: cfg.Interval,
+	})
+	if err != nil {
+		return err
+	}
+
+	report := checkpointBenchReport{
+		Points:      cfg.Points,
+		Dim:         cfg.Dim,
+		Rounds:      cfg.Rounds,
+		Muts:        cfg.Muts,
+		Seed:        cfg.Seed,
+		Full:        full,
+		Incremental: incr,
+	}
+	if incr.WallMsP50 > 0 {
+		report.WallSpeedupP50 = full.WallMsP50 / incr.WallMsP50
+	}
+	if incr.LockMsP50 > 0 {
+		report.LockSpeedupP50 = full.LockMsP50 / incr.LockMsP50
+	}
+
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %11s %10s %10s\n",
+		"mode", "cp p50 ms", "cp p90 ms", "cp max ms", "lock p50", "pages/ckpt", "dirty hw", "wb pages")
+	for _, s := range []checkpointBenchSide{full, incr} {
+		fmt.Fprintf(w, "%-12s %10.2f %10.2f %10.2f %10.2f %11.0f %10d %10d\n",
+			s.Mode, s.WallMsP50, s.WallMsP90, s.WallMsMax, s.LockMsP50, s.PagesPerCheckpoint, s.DirtyHighWater, s.WritebackPages)
+	}
+	fmt.Fprintf(w, "checkpoint p50 %.2fx faster incremental; lock window %.2fx smaller\n",
+		report.WallSpeedupP50, report.LockSpeedupP50)
+
+	if cfg.OutPath != "" {
+		// Accumulating array, like the paged and shard reports.
+		var reports []checkpointBenchReport
+		if prev, err := os.ReadFile(cfg.OutPath); err == nil {
+			if json.Unmarshal(prev, &reports) != nil {
+				var single checkpointBenchReport
+				if json.Unmarshal(prev, &single) == nil {
+					reports = append(reports, single)
+				}
+			}
+		}
+		reports = append(reports, report)
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.OutPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "report written to %s\n", cfg.OutPath)
+	}
+	return nil
+}

@@ -64,6 +64,18 @@
 // pipeline batching records into single-fsync WAL frames — and writes
 // sustained QPS plus ack latency percentiles to -ingestout
 // (BENCH_ingest.json).
+//
+// An eighth mode benchmarks paged-tier checkpoints:
+//
+//	planarbench -mode checkpoint
+//
+// which runs a write-heavy churn workload (skewed updates plus
+// appends) against two paged stores — full-flush checkpoints with no
+// background writer vs background writeback plus incremental
+// checkpoints — and reports checkpoint latency percentiles,
+// lock-window durations, pages written per checkpoint, and
+// dirty-frame high-water marks to -checkpointout
+// (BENCH_checkpoint.json).
 package main
 
 import (
@@ -97,11 +109,16 @@ func main() {
 		repClients = flag.Int("repclients", 8, "client goroutines in the -replicas benchmark")
 		repOut     = flag.String("repout", "BENCH_replica.json", "JSON report path for the -replicas benchmark (empty = stdout only)")
 
-		mode     = flag.String("mode", "", "extra benchmark mode: \"hotpath\" compares batched vs tree-walk verification; \"build\" compares arena vs pointer-tree index builds; \"paged\" compares the disk-paged tier against snapshot restore and all-RAM queries")
+		mode     = flag.String("mode", "", "extra benchmark mode: \"hotpath\" compares batched vs tree-walk verification; \"build\" compares arena vs pointer-tree index builds; \"paged\" compares the disk-paged tier against snapshot restore and all-RAM queries; \"checkpoint\" compares full-flush vs background+incremental checkpoints")
 		hotOut   = flag.String("hotout", "BENCH_hotpath.json", "JSON report path for -mode hotpath (empty = stdout only)")
 		hotDur   = flag.Duration("hotdur", 300*time.Millisecond, "measurement window per engine per cell in -mode hotpath")
 		buildOut = flag.String("buildout", "BENCH_build.json", "JSON report path for -mode build (empty = stdout only)")
 		pageOut  = flag.String("pageout", "BENCH_page.json", "JSON report path for -mode paged (empty = stdout only)")
+
+		cpRounds   = flag.Int("rounds", 10, "churn+checkpoint cycles per engine in -mode checkpoint")
+		cpMuts     = flag.Int("muts", 3000, "mutations per round in -mode checkpoint")
+		cpInterval = flag.Duration("writeback-interval", 5*time.Millisecond, "background writer cadence in -mode checkpoint")
+		cpOut      = flag.String("checkpointout", "BENCH_checkpoint.json", "JSON report path for -mode checkpoint (empty = stdout only)")
 
 		writers      = flag.Int("writers", 8, "concurrent writers in -mode ingest")
 		ingestWindow = flag.Int("window", 16, "in-flight submissions per writer on the grouped run of -mode ingest")
@@ -159,6 +176,26 @@ func main() {
 				fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
 				os.Exit(1)
 			}
+		case "checkpoint":
+			cfg := checkpointBenchConfig{
+				Points:   80000,
+				Dim:      8,
+				Rounds:   *cpRounds,
+				Muts:     *cpMuts,
+				Seed:     2014,
+				Interval: *cpInterval,
+				OutPath:  *cpOut,
+			}
+			if *points > 0 {
+				cfg.Points = *points
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			if err := runCheckpointBench(cfg, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "planarbench: %v\n", err)
+				os.Exit(1)
+			}
 		case "ingest":
 			cfg := ingestBenchConfig{
 				Writers:  *writers,
@@ -178,7 +215,7 @@ func main() {
 				os.Exit(1)
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (\"hotpath\", \"build\", \"paged\", or \"ingest\")\n", *mode)
+			fmt.Fprintf(os.Stderr, "planarbench: unknown -mode %q (\"hotpath\", \"build\", \"paged\", \"checkpoint\", or \"ingest\")\n", *mode)
 			os.Exit(2)
 		}
 		return

@@ -56,6 +56,11 @@ func main() {
 		paged      = flag.Bool("paged", false, "use the disk-paged storage tier for a fresh directory (existing directories keep their layout)")
 		cacheMB    = flag.Int("page-cache-mb", 0, "page-cache budget in MiB for the paged tier (implies -paged; 0 = default budget)")
 
+		writebackEvery = flag.Duration("writeback-interval", 0, "paged tier: background page-writer cadence (0 = default 25ms)")
+		writebackPages = flag.Int("writeback-pages", 0, "paged tier: max pages per writer round (0 = default 128)")
+		noWriteback    = flag.Bool("no-writeback", false, "paged tier: disable the background page writer (dirty frames flush only at checkpoint)")
+		fullCheckpoint = flag.Bool("full-checkpoints", false, "paged tier: rewrite the whole store page set each checkpoint instead of the delta")
+
 		ingestBatch = flag.Int("ingest-batch", 0, "group-commit writes in batches up to this size (0 = synchronous per-request path)")
 		ingestFlush = flag.Duration("ingest-flush-interval", 0, "max time a group commit waits to fill its batch (0 = default 2ms; needs -ingest-batch)")
 		ingestQueue = flag.Int("ingest-queue", 0, "per-lane ingest ring capacity in intents (0 = 4x batch; needs -ingest-batch)")
@@ -126,6 +131,11 @@ func main() {
 			Shards:          *shards,
 			Paged:           *paged,
 			PageCacheBytes:  *cacheMB << 20,
+
+			WritebackInterval:   *writebackEvery,
+			WritebackBatchPages: *writebackPages,
+			DisableWriteback:    *noWriteback,
+			FullCheckpoints:     *fullCheckpoint,
 
 			IngestBatch:         *ingestBatch,
 			IngestFlushInterval: *ingestFlush,

@@ -31,10 +31,16 @@ import (
 // first write to a slot since the last checkpoint moves it to a
 // freshly allocated page (the frame is rekeyed in place — same bytes,
 // new home — and the old page is freed into the pager's pending
-// list). Dirty frames are never written back between checkpoints and
-// are never evicted; FlushPaged writes them out and the caller's
-// pager.Commit publishes the new epoch atomically. A crash at any
-// moment therefore leaves the previous checkpoint intact.
+// list). Because the relocated page is never referenced by the
+// durable superblock, its bytes may be written to disk at any moment
+// before the commit: WritebackPaged does exactly that from the
+// background writer, marking flushed frames clean (hence evictable)
+// while the slot stays in the epoch's dirty set. A slot touched again
+// after its writeback re-marks its frame dirty and rejoins the
+// to-flush set — same page, still unreferenced, still safe.
+// FlushPaged writes the remaining unflushed slots out and the
+// caller's pager.Commit publishes the new epoch atomically. A crash
+// at any moment therefore leaves the previous checkpoint intact.
 //
 // I/O errors inside an accessor have no error channel to ~50 call
 // sites, so a failed fault panics with a wrapped pager error:
@@ -94,8 +100,22 @@ type pagedArena struct {
 
 	leafPage  []int64 // page per leaf slot, -1 for free slots
 	innerPage []int64
-	ldirty    []bool // slot modified since the last checkpoint
-	idirty    []bool
+	// ldirty/idirty mark slots modified since the last checkpoint (the
+	// epoch's delta set).
+	// guarded by mu
+	ldirty []bool
+	// guarded by mu
+	idirty []bool
+	// lflushed/iflushed mark dirty slots whose frame the background
+	// writer has already shadow-written this epoch: the frame is
+	// clean/evictable but the slot stays in the epoch's delta. A later
+	// write in the same epoch re-marks the frame and clears the bit
+	// (the page is still unreferenced by the durable superblock, so
+	// rewriting it is as safe as the first shadow write was).
+	// guarded by mu
+	lflushed []bool
+	// guarded by mu
+	iflushed []bool
 
 	lview   []pagedView
 	iview   []pagedView
@@ -142,25 +162,41 @@ func (t *Tree) beginOp(write bool) bool {
 
 // leafView returns the slot's pinned view, faulting the page in on
 // first touch and performing the copy-on-write page move when the
-// current operation is a mutation.
+// current operation is a mutation. A slot already shadow-written by
+// the background writer this epoch needs no new page — the current
+// one is still invisible to the durable superblock — but its frame
+// must be re-marked dirty so the next flush rewrites it.
+//
+//planar:locked
 func (pg *pagedArena) leafView(s int32) *pagedView {
 	v := &pg.lview[s]
 	if v.f == nil {
 		pg.faultLeaf(s, v)
 	}
-	if pg.writeOp && !pg.ldirty[s] {
-		pg.cowLeaf(s, v)
+	if pg.writeOp {
+		if !pg.ldirty[s] {
+			pg.cowLeaf(s, v)
+		} else if pg.lflushed[s] {
+			pg.cache.MarkDirty(v.f)
+			pg.lflushed[s] = false
+		}
 	}
 	return v
 }
 
+//planar:locked
 func (pg *pagedArena) innerView(s int32) *pagedView {
 	v := &pg.iview[s]
 	if v.f == nil {
 		pg.faultInner(s, v)
 	}
-	if pg.writeOp && !pg.idirty[s] {
-		pg.cowInner(s, v)
+	if pg.writeOp {
+		if !pg.idirty[s] {
+			pg.cowInner(s, v)
+		} else if pg.iflushed[s] {
+			pg.cache.MarkDirty(v.f)
+			pg.iflushed[s] = false
+		}
 	}
 	return v
 }
@@ -207,6 +243,8 @@ func (pg *pagedArena) faultInner(s int32, v *pagedView) {
 
 // cowLeaf moves a clean slot to a fresh page before its first write
 // of the epoch, preserving the durable checkpoint's copy.
+//
+//planar:locked
 func (pg *pagedArena) cowLeaf(s int32, v *pagedView) {
 	old := pg.leafPage[s]
 	np := pg.file.Alloc()
@@ -217,6 +255,7 @@ func (pg *pagedArena) cowLeaf(s int32, v *pagedView) {
 	pg.ldirty[s] = true
 }
 
+//planar:locked
 func (pg *pagedArena) cowInner(s int32, v *pagedView) {
 	old := pg.innerPage[s]
 	np := pg.file.Alloc()
@@ -228,24 +267,29 @@ func (pg *pagedArena) cowInner(s int32, v *pagedView) {
 }
 
 // materializeLeaf backs a newly allocated slot with a fresh zeroed
-// page (pinned and dirty: it exists only in the cache until the next
-// checkpoint flush).
+// page (pinned and dirty: it exists only in the cache until the
+// writer or the next checkpoint flush writes it).
+//
+//planar:locked
 func (pg *pagedArena) materializeLeaf(s int32) {
 	np := pg.file.Alloc()
 	f := pg.cache.NewFrame(uint64(np))
 	pg.leafPage[s] = np
 	pg.ldirty[s] = true
+	pg.lflushed[s] = false
 	v := &pg.lview[s]
 	v.f = f
 	v.keys, v.ids = leafColumns(f.Bytes())
 	pg.pinnedL = append(pg.pinnedL, s)
 }
 
+//planar:locked
 func (pg *pagedArena) materializeInner(s int32) {
 	np := pg.file.Alloc()
 	f := pg.cache.NewFrame(uint64(np))
 	pg.innerPage[s] = np
 	pg.idirty[s] = true
+	pg.iflushed[s] = false
 	v := &pg.iview[s]
 	v.f = f
 	v.keys, v.ids, v.kids = innerColumns(f.Bytes())
@@ -253,20 +297,27 @@ func (pg *pagedArena) materializeInner(s int32) {
 }
 
 // growLeaf extends the per-slot bookkeeping for one fresh leaf slot.
+//
+//planar:locked
 func (pg *pagedArena) growLeaf() {
 	pg.leafPage = append(pg.leafPage, -1)
 	pg.ldirty = append(pg.ldirty, false)
+	pg.lflushed = append(pg.lflushed, false)
 	pg.lview = append(pg.lview, pagedView{})
 }
 
+//planar:locked
 func (pg *pagedArena) growInner() {
 	pg.innerPage = append(pg.innerPage, -1)
 	pg.idirty = append(pg.idirty, false)
+	pg.iflushed = append(pg.iflushed, false)
 	pg.iview = append(pg.iview, pagedView{})
 }
 
 // dropLeaf releases a freed slot's page: the frame (pinned or not) is
 // discarded and the page joins the pager's pending free list.
+//
+//planar:locked
 func (pg *pagedArena) dropLeaf(s int32) {
 	if page := pg.leafPage[s]; page >= 0 {
 		if v := &pg.lview[s]; v.f != nil {
@@ -277,9 +328,11 @@ func (pg *pagedArena) dropLeaf(s int32) {
 		pg.file.Free(page)
 		pg.leafPage[s] = -1
 		pg.ldirty[s] = false
+		pg.lflushed[s] = false
 	}
 }
 
+//planar:locked
 func (pg *pagedArena) dropInner(s int32) {
 	if page := pg.innerPage[s]; page >= 0 {
 		if v := &pg.iview[s]; v.f != nil {
@@ -289,6 +342,7 @@ func (pg *pagedArena) dropInner(s int32) {
 		pg.file.Free(page)
 		pg.innerPage[s] = -1
 		pg.idirty[s] = false
+		pg.iflushed[s] = false
 	}
 }
 
@@ -487,6 +541,8 @@ func OpenPaged(file *pager.File, cache *pager.Cache, m *PagedMeta) (*Tree, error
 		innerPage: append([]int64(nil), m.InnerPage...),
 		ldirty:    make([]bool, len(m.LeafPage)),
 		idirty:    make([]bool, len(m.InnerPage)),
+		lflushed:  make([]bool, len(m.LeafPage)),
+		iflushed:  make([]bool, len(m.InnerPage)),
 		lview:     make([]pagedView, len(m.LeafPage)),
 		iview:     make([]pagedView, len(m.InnerPage)),
 	}
@@ -518,24 +574,99 @@ func (t *Tree) pagedMeta() *PagedMeta {
 	return m
 }
 
-// FlushPaged writes every dirty slot back to its (already
-// copy-on-write-relocated) page and returns the metadata to store in
-// the checkpoint. The caller is responsible for pager.Commit; until
-// then the previous checkpoint remains the durable state.
-func (t *Tree) FlushPaged() (*PagedMeta, error) {
+// WritebackPaged shadow-writes up to max dirty slots and marks their
+// frames clean, making them evictable. The slots stay in the epoch's
+// delta set (lflushed/iflushed remember the disk copy is current) so
+// the checkpoint still accounts for them; a slot re-touched by a
+// later write op rejoins the to-flush set via the leafView re-mark
+// hook. Safe at any moment: every dirty slot's page is unreferenced
+// by the durable superblock until pager.Commit flips it. Returns the
+// number of pages written. Serializes with tree ops on the arena
+// mutex, so no frame is mutated mid-write.
+func (t *Tree) WritebackPaged(max int) (int, error) {
 	pg := t.pg
 	if pg == nil {
-		return nil, fmt.Errorf("btree: FlushPaged on a non-paged tree")
+		return 0, nil
 	}
 	pg.mu.Lock()
 	defer pg.mu.Unlock()
+	n := 0
 	for s, dirty := range pg.ldirty {
-		if !dirty {
+		if n >= max {
+			return n, nil
+		}
+		if !dirty || pg.lflushed[s] {
 			continue
 		}
 		f, ok := pg.cache.Lookup(uint64(pg.leafPage[s]))
 		if !ok {
-			return nil, fmt.Errorf("btree: dirty leaf slot %d not resident", s)
+			return n, fmt.Errorf("btree: dirty leaf slot %d not resident", s)
+		}
+		err := pg.file.WritePage(pg.leafPage[s], pager.PageLeaf, f.Bytes()[:leafPayload])
+		if err == nil {
+			pg.cache.MarkClean(f)
+			pg.lflushed[s] = true
+			n++
+		}
+		pg.cache.Unpin(f)
+		if err != nil {
+			return n, err
+		}
+	}
+	for s, dirty := range pg.idirty {
+		if n >= max {
+			return n, nil
+		}
+		if !dirty || pg.iflushed[s] {
+			continue
+		}
+		f, ok := pg.cache.Lookup(uint64(pg.innerPage[s]))
+		if !ok {
+			return n, fmt.Errorf("btree: dirty inner slot %d not resident", s)
+		}
+		err := pg.file.WritePage(pg.innerPage[s], pager.PageInner, f.Bytes()[:innerPayload])
+		if err == nil {
+			pg.cache.MarkClean(f)
+			pg.iflushed[s] = true
+			n++
+		}
+		pg.cache.Unpin(f)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// FlushPaged writes every still-unflushed dirty slot back to its
+// (already copy-on-write-relocated) page, ends the epoch's delta set,
+// and returns the metadata to store in the checkpoint plus the number
+// of pages the epoch touched (the checkpoint's incremental cost).
+// Slots the background writer already shadow-wrote are skipped — their
+// frames may have been evicted, but their disk copy is current. The
+// caller is responsible for pager.Commit; until then the previous
+// checkpoint remains the durable state.
+func (t *Tree) FlushPaged() (*PagedMeta, int, error) {
+	pg := t.pg
+	if pg == nil {
+		return nil, 0, fmt.Errorf("btree: FlushPaged on a non-paged tree")
+	}
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	delta := 0
+	for s, dirty := range pg.ldirty {
+		if !dirty {
+			continue
+		}
+		delta++
+		if pg.lflushed[s] {
+			pg.ldirty[s] = false
+			pg.lflushed[s] = false
+			continue
+		}
+		f, ok := pg.cache.Lookup(uint64(pg.leafPage[s]))
+		if !ok {
+			return nil, delta, fmt.Errorf("btree: dirty leaf slot %d not resident", s)
 		}
 		err := pg.file.WritePage(pg.leafPage[s], pager.PageLeaf, f.Bytes()[:leafPayload])
 		if err == nil {
@@ -544,16 +675,22 @@ func (t *Tree) FlushPaged() (*PagedMeta, error) {
 		}
 		pg.cache.Unpin(f)
 		if err != nil {
-			return nil, err
+			return nil, delta, err
 		}
 	}
 	for s, dirty := range pg.idirty {
 		if !dirty {
 			continue
 		}
+		delta++
+		if pg.iflushed[s] {
+			pg.idirty[s] = false
+			pg.iflushed[s] = false
+			continue
+		}
 		f, ok := pg.cache.Lookup(uint64(pg.innerPage[s]))
 		if !ok {
-			return nil, fmt.Errorf("btree: dirty inner slot %d not resident", s)
+			return nil, delta, fmt.Errorf("btree: dirty inner slot %d not resident", s)
 		}
 		err := pg.file.WritePage(pg.innerPage[s], pager.PageInner, f.Bytes()[:innerPayload])
 		if err == nil {
@@ -562,10 +699,10 @@ func (t *Tree) FlushPaged() (*PagedMeta, error) {
 		}
 		pg.cache.Unpin(f)
 		if err != nil {
-			return nil, err
+			return nil, delta, err
 		}
 	}
-	return t.pagedMeta(), nil
+	return t.pagedMeta(), delta, nil
 }
 
 // WritePaged writes a RAM tree's full contents into the file as one

@@ -139,7 +139,7 @@ func TestPagedMatchesRAM(t *testing.T) {
 		comparePagedRAM(t, ram, paged, rng, keyMax)
 
 		// Checkpoint the paged tree and, mid-test, reopen it cold.
-		m, err := paged.FlushPaged()
+		m, _, err := paged.FlushPaged()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,214 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"planar/internal/pager"
+)
+
+// mutateTwins applies an identical random mutation stream to a RAM
+// tree and its paged twin.
+func mutateTwins(t *testing.T, rng *rand.Rand, ram, paged *Tree, ops int) {
+	t.Helper()
+	for op := 0; op < ops; op++ {
+		if rng.Intn(3) < 2 {
+			k := math.Round(rng.Float64()*8000) / 8
+			id := uint32(rng.Intn(1 << 20))
+			if ram.Insert(k, id) != paged.Insert(k, id) {
+				t.Fatalf("Insert(%v,%d) diverged", k, id)
+			}
+		} else {
+			if e, ok := ram.Min(); ok {
+				if ram.Delete(e.Key, e.ID) != paged.Delete(e.Key, e.ID) {
+					t.Fatalf("Delete(%v) diverged", e)
+				}
+			}
+		}
+	}
+}
+
+// TestWritebackPagedThenFlush checks the background-writeback path:
+// shadow-writing dirty frames mid-epoch must leave FlushPaged with
+// nothing to rewrite for those slots, and the committed file must
+// reopen to the same tree as an untouched RAM twin.
+func TestWritebackPagedThenFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	var entries []Entry
+	for i := 0; i < 3000; i++ {
+		entries = append(entries, Entry{Key: math.Round(rng.Float64()*8000) / 8, ID: uint32(i)})
+	}
+	ram, paged, f, _ := buildPaged(t, entries, 1<<20)
+	defer f.Close()
+
+	mutateTwins(t, rng, ram, paged, 600)
+	n, err := paged.WritebackPaged(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("writeback found no dirty frames after 600 mutations")
+	}
+	// A second pass finds nothing: everything is flushed.
+	n2, err := paged.WritebackPaged(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Fatalf("second writeback rewrote %d pages", n2)
+	}
+
+	m, delta, err := paged.FlushPaged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta < n {
+		t.Fatalf("flush delta %d < %d pages already written back", delta, n)
+	}
+	if err := f.Commit(m.AppendTo(nil), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := pager.Open(f.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	m2, err := DecodePagedMeta(reopened.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := OpenPaged(reopened, pager.NewCache(1<<20, pager.PayloadSize), m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePagedRAM(t, ram, cold, rng, 1000)
+}
+
+// TestWritebackPagedRemark mutates slots again after their frames
+// were written back: the re-mark hook must re-dirty the frame so the
+// later write reaches disk (same page, still pre-flip, still safe).
+func TestWritebackPagedRemark(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	var entries []Entry
+	for i := 0; i < 2000; i++ {
+		entries = append(entries, Entry{Key: math.Round(rng.Float64()*8000) / 8, ID: uint32(i)})
+	}
+	ram, paged, f, _ := buildPaged(t, entries, 1<<20)
+	defer f.Close()
+
+	for round := 0; round < 4; round++ {
+		mutateTwins(t, rng, ram, paged, 300)
+		if _, err := paged.WritebackPaged(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The final round's mutations hit frames already flushed in the
+	// earlier rounds; those writes must still be committed.
+	m, _, err := paged.FlushPaged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(m.AppendTo(nil), 2); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := pager.Open(f.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	m2, err := DecodePagedMeta(reopened.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := OpenPaged(reopened, pager.NewCache(1<<20, pager.PayloadSize), m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePagedRAM(t, ram, cold, rng, 1000)
+}
+
+// TestWritebackPagedEvictRefault runs writeback under a floor-sized
+// cache: flushed frames become evictable mid-epoch, get evicted by
+// scan pressure, refault from their shadow pages, and may be mutated
+// again — the committed result must still match the RAM twin.
+func TestWritebackPagedEvictRefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	var entries []Entry
+	for i := 0; i < 20000; i++ {
+		entries = append(entries, Entry{Key: rng.Float64() * 1000, ID: uint32(i)})
+	}
+	ram, paged, f, cache := buildPaged(t, entries, 0) // floor-sized cache
+	defer f.Close()
+
+	for round := 0; round < 3; round++ {
+		mutateTwins(t, rng, ram, paged, 400)
+		if _, err := paged.WritebackPaged(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		// Scan to push flushed frames out of the tiny cache.
+		if !reflect.DeepEqual(collectAll(ram), collectAll(paged)) {
+			t.Fatalf("round %d: scan diverges after writeback", round)
+		}
+	}
+	if cache.Stats().Evictions == 0 {
+		t.Fatal("floor-sized cache never evicted: test exercised nothing")
+	}
+	m, _, err := paged.FlushPaged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(m.AppendTo(nil), 2); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := pager.Open(f.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	m2, err := DecodePagedMeta(reopened.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := OpenPaged(reopened, pager.NewCache(1<<20, pager.PayloadSize), m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePagedRAM(t, ram, cold, rng, 1000)
+}
+
+// TestWritebackPagedBatchLimit checks the max-pages argument bounds
+// one call and that repeated bounded calls drain the backlog.
+func TestWritebackPagedBatchLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	var entries []Entry
+	for i := 0; i < 3000; i++ {
+		entries = append(entries, Entry{Key: math.Round(rng.Float64()*8000) / 8, ID: uint32(i)})
+	}
+	ram, paged, f, _ := buildPaged(t, entries, 1<<20)
+	defer f.Close()
+	mutateTwins(t, rng, ram, paged, 500)
+
+	total := 0
+	for {
+		n, err := paged.WritebackPaged(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 3 {
+			t.Fatalf("WritebackPaged(3) wrote %d pages", n)
+		}
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("bounded writeback drained nothing")
+	}
+	if n, err := paged.WritebackPaged(1 << 20); err != nil || n != 0 {
+		t.Fatalf("backlog not drained: n=%d err=%v", n, err)
+	}
+}

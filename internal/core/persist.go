@@ -39,12 +39,16 @@ type PrebuiltIndex struct {
 // checkpoint pass (a RAM tree dumped via WritePaged) and are therefore
 // owned — and later freed — by the checkpoint writer; paged trees
 // manage their own pages copy-on-write and Owned is false.
+// DeltaPages counts the pages this checkpoint actually touched for
+// the index (the incremental cost: epoch delta for paged trees, the
+// whole dump for RAM trees).
 type IndexPersist struct {
-	Normal []float64
-	Signs  vecmath.SignPattern
-	Delta  []float64
-	Meta   *btree.PagedMeta
-	Owned  bool
+	Normal     []float64
+	Signs      vecmath.SignPattern
+	Delta      []float64
+	Meta       *btree.PagedMeta
+	Owned      bool
+	DeltaPages int
 }
 
 // newPrebuiltIndex validates a PrebuiltIndex against store and wires
@@ -146,15 +150,52 @@ func (ix *Index) persist(file *pager.File) (IndexPersist, error) {
 	}
 	var err error
 	if ix.tree.Paged() {
-		p.Meta, err = ix.tree.FlushPaged()
+		p.Meta, p.DeltaPages, err = ix.tree.FlushPaged()
 	} else {
 		p.Meta, err = ix.tree.WritePaged(file)
 		p.Owned = true
+		if p.Meta != nil {
+			p.DeltaPages = len(p.Meta.Pages(nil))
+		}
 	}
 	if err != nil {
 		return IndexPersist{}, err
 	}
 	return p, nil
+}
+
+// writeback shadow-flushes up to max of one index's dirty tree pages;
+// see Tree.WritebackPaged. RAM trees have nothing to write back.
+func (ix *Index) writeback(max int) (int, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if !ix.tree.Paged() {
+		return 0, nil
+	}
+	return ix.tree.WritebackPaged(max)
+}
+
+// WritebackIndexes is the background writer's flush callback target:
+// it walks the indexes shadow-writing dirty tree pages until max
+// pages are written or every index is clean. Safe concurrently with
+// queries and mutations — each tree serializes internally and the
+// pages being written are invisible to the durable superblock until
+// the next commit.
+func (m *Multi) WritebackIndexes(max int) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := 0
+	for _, ix := range m.indexes {
+		if total >= max {
+			break
+		}
+		n, err := ix.writeback(max - total)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // CheckpointIndexes flushes or dumps every index's tree into file and

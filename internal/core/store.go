@@ -21,6 +21,11 @@ type PointStore struct {
 	live []bool
 	free []uint32
 	n    int // live count
+	// dirty marks rows whose data changed since the last checkpoint
+	// reset — the incremental checkpoint's delta set. Append and Set
+	// mark; Remove does not (it only flips live/free, which travel in
+	// the checkpoint header, so the row bytes on disk stay correct).
+	dirty []bool
 }
 
 // ErrBadPoint reports an invalid point vector.
@@ -75,7 +80,9 @@ func (s *PointStore) Append(v []float64) (uint32, error) {
 		id = uint32(len(s.live))
 		s.data = append(s.data, v...)
 		s.live = append(s.live, true)
+		s.dirty = append(s.dirty, false)
 	}
+	s.dirty[id] = true
 	s.n++
 	return id, nil
 }
@@ -89,6 +96,7 @@ func (s *PointStore) Set(id uint32, v []float64) error {
 		return fmt.Errorf("core: point %d is not live", id)
 	}
 	copy(s.data[int(id)*s.dim:], v)
+	s.dirty[id] = true
 	return nil
 }
 
@@ -159,6 +167,48 @@ func (s *PointStore) RawRows() (data []float64, live []bool) {
 	return s.data, s.live
 }
 
+// FreeList returns a copy of the free list in recycling order.
+func (s *PointStore) FreeList() []uint32 {
+	return append([]uint32(nil), s.free...)
+}
+
+// EachDirtyRow calls fn for every row marked dirty since the last
+// ResetDirty, in row order.
+func (s *PointStore) EachDirtyRow(fn func(row int)) {
+	for i, d := range s.dirty {
+		if d {
+			fn(i)
+		}
+	}
+}
+
+// DirtyRowCount returns the number of rows in the delta set.
+func (s *PointStore) DirtyRowCount() int {
+	n := 0
+	for _, d := range s.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkAllDirty puts every row in the delta set, forcing the next
+// checkpoint to rewrite the complete data-page set.
+func (s *PointStore) MarkAllDirty() {
+	for i := range s.dirty {
+		s.dirty[i] = true
+	}
+}
+
+// ResetDirty empties the delta set; a checkpoint calls it after its
+// commit succeeds.
+func (s *PointStore) ResetDirty() {
+	for i := range s.dirty {
+		s.dirty[i] = false
+	}
+}
+
 // Raw exports the store's exact internal layout — row-major data
 // (including dead rows), the live bitmap, and the free list in
 // recycling order — so snapshots can preserve point identifiers
@@ -208,6 +258,7 @@ func NewPointStoreFromRaw(dim int, data []float64, live []bool, free []uint32) (
 	s.data = append([]float64(nil), data...)
 	s.live = append([]bool(nil), live...)
 	s.free = append([]uint32(nil), free...)
+	s.dirty = make([]bool, len(live))
 	s.n = n
 	return s, nil
 }

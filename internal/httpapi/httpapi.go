@@ -550,14 +550,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if st, ok := db.PageStats(); ok {
 		body["pageCache"] = map[string]interface{}{
-			"hits":          st.Hits,
-			"misses":        st.Misses,
-			"evictions":     st.Evictions,
-			"hitRatio":      st.HitRatio(),
-			"residentPages": st.Resident,
-			"targetFrames":  st.Target,
-			"totalPages":    st.Pages,
-			"checkpointLSN": st.CheckpointLSN,
+			"hits":             st.Hits,
+			"misses":           st.Misses,
+			"evictions":        st.Evictions,
+			"hitRatio":         st.HitRatio(),
+			"residentPages":    st.Resident,
+			"targetFrames":     st.Target,
+			"totalPages":       st.Pages,
+			"checkpointLSN":    st.CheckpointLSN,
+			"dirtyFrames":      st.DirtyFrames,
+			"dirtySkips":       st.DirtySkips,
+			"softOverflows":    st.SoftOverflows,
+			"writebackPages":   st.WritebackPages,
+			"writebackBytes":   st.WritebackBytes,
+			"writebackErrors":  st.WritebackErrors,
+			"incrementalPages": st.IncrementalPages,
+			"lastCheckpointMs": st.LastCheckpointMs,
 		}
 	}
 	if s.rep != nil {

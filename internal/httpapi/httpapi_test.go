@@ -275,4 +275,21 @@ func TestPagedStats(t *testing.T) {
 	if _, ok := pc["hitRatio"].(float64); !ok {
 		t.Fatalf("pageCache missing hitRatio: %v", pc)
 	}
+	// The background-writeback and incremental-checkpoint counters
+	// must always be present (zero is fine).
+	for _, key := range []string{
+		"dirtyFrames", "dirtySkips", "softOverflows",
+		"writebackPages", "writebackBytes", "writebackErrors",
+		"incrementalPages", "lastCheckpointMs",
+	} {
+		if _, ok := pc[key].(float64); !ok {
+			t.Fatalf("pageCache missing %s: %v", key, pc)
+		}
+	}
+	if pc["incrementalPages"].(float64) <= 0 {
+		t.Fatalf("checkpoint after 50 appends wrote no pages: %v", pc)
+	}
+	if pc["lastCheckpointMs"].(float64) <= 0 {
+		t.Fatalf("checkpoint reported no duration: %v", pc)
+	}
 }

@@ -9,9 +9,10 @@ import (
 
 // Cache is a sharded page cache keyed by page number. Frames carry
 // pin refcounts (a pinned frame is never evicted and its buffer is
-// stable) and dirty bits (a dirty frame is never evicted either: the
-// paged tier writes dirty pages back only at checkpoint, so eviction
-// policy only ever discards clean frames). Eviction is CLOCK over the
+// stable) and dirty bits (a dirty frame is never evicted either: it
+// stays resident until the background writer or a checkpoint writes
+// it back and calls MarkClean, so eviction policy only ever discards
+// frames whose bytes are on disk). Eviction is CLOCK over the
 // clean, unpinned frames of a shard; when every frame is pinned or
 // dirty the shard grows past its target instead of failing, so the
 // capacity is a soft bound.
@@ -26,6 +27,22 @@ type Cache struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	// dirty counts resident dirty frames cache-wide; the background
+	// writer uses it as its pressure signal and Stats surfaces it.
+	dirty atomic.Int64
+	// dirtySkips counts CLOCK passes over dirty frames during victim
+	// search — the cache-pressure symptom of an unflushed write burst.
+	dirtySkips atomic.Uint64
+	// softOverflows counts frame allocations that grew a shard past
+	// its target because every candidate was pinned or dirty.
+	softOverflows atomic.Uint64
+
+	// pressure, when set, is invoked (outside any shard lock) each
+	// time the dirty-frame count crosses pressureAt from below — the
+	// background writer's kick.
+	pressureAt int64
+	pressure   func()
 }
 
 type cacheShard struct {
@@ -67,6 +84,27 @@ func NewCache(capacityBytes, frameBytes int) *Cache {
 	}
 	return c
 }
+
+// SetPressure arranges for fn to run whenever the dirty-frame count
+// reaches threshold from below. fn must be non-blocking (the caller is
+// a mutator path); the background writer installs a channel nudge.
+// Call before the cache is shared; the fields are not synchronised.
+func (c *Cache) SetPressure(threshold int, fn func()) {
+	c.pressureAt = int64(threshold)
+	c.pressure = fn
+}
+
+// noteDirty maintains the dirty counter and fires the pressure hook
+// on an upward crossing. Called outside the shard locks.
+func (c *Cache) noteDirty() {
+	n := c.dirty.Add(1)
+	if c.pressure != nil && n == c.pressureAt {
+		c.pressure()
+	}
+}
+
+// DirtyFrames returns the number of resident dirty frames.
+func (c *Cache) DirtyFrames() int { return int(c.dirty.Load()) }
 
 func (c *Cache) shardOf(key uint64) *cacheShard {
 	// Fibonacci hash of the page number spreads sequential pages
@@ -127,8 +165,8 @@ func (c *Cache) Lookup(key uint64) (*Frame, bool) {
 func (c *Cache) NewFrame(key uint64) *Frame {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.frames[key]; ok {
+		sh.mu.Unlock()
 		panic(fmt.Sprintf("pager: NewFrame for resident page %d", key))
 	}
 	fr := c.takeFrameLocked(sh, key)
@@ -136,6 +174,8 @@ func (c *Cache) NewFrame(key uint64) *Frame {
 		fr.buf[i] = 0
 	}
 	fr.dirty = true
+	sh.mu.Unlock()
+	c.noteDirty()
 	return fr
 }
 
@@ -146,6 +186,11 @@ func (c *Cache) takeFrameLocked(sh *cacheShard, key uint64) *Frame {
 	if len(sh.ring) >= sh.target {
 		if v := c.evictLocked(sh); v != nil {
 			fr = v
+		} else {
+			// Every candidate was pinned or dirty: grow past the
+			// soft capacity and record the overflow so stalls from
+			// an unflushed write burst are diagnosable.
+			c.softOverflows.Add(1)
 		}
 	}
 	if fr == nil {
@@ -170,6 +215,9 @@ func (c *Cache) evictLocked(sh *cacheShard) *Frame {
 		}
 		fr := sh.ring[sh.hand]
 		if fr.pins > 0 || fr.dirty {
+			if fr.dirty && fr.pins == 0 {
+				c.dirtySkips.Add(1)
+			}
 			sh.hand++
 			continue
 		}
@@ -206,8 +254,12 @@ func (c *Cache) Unpin(fr *Frame) {
 func (c *Cache) MarkDirty(fr *Frame) {
 	sh := c.shardOf(fr.key)
 	sh.mu.Lock()
+	was := fr.dirty
 	fr.dirty = true
 	sh.mu.Unlock()
+	if !was {
+		c.noteDirty()
+	}
 }
 
 // MarkClean clears the dirty flag after the caller has written the
@@ -215,8 +267,12 @@ func (c *Cache) MarkDirty(fr *Frame) {
 func (c *Cache) MarkClean(fr *Frame) {
 	sh := c.shardOf(fr.key)
 	sh.mu.Lock()
+	was := fr.dirty
 	fr.dirty = false
 	sh.mu.Unlock()
+	if was {
+		c.dirty.Add(-1)
+	}
 }
 
 // Rekey atomically re-registers a pinned frame under a new page
@@ -262,7 +318,10 @@ func (c *Cache) Drop(key uint64) {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
 	fr, ok := sh.frames[key]
+	wasDirty := false
 	if ok {
+		wasDirty = fr.dirty
+		fr.dirty = false
 		delete(sh.frames, key)
 		for i, r := range sh.ring {
 			if r == fr {
@@ -274,23 +333,32 @@ func (c *Cache) Drop(key uint64) {
 		}
 	}
 	sh.mu.Unlock()
+	if wasDirty {
+		c.dirty.Add(-1)
+	}
 }
 
 // CacheStats is a point-in-time snapshot of cache counters.
 type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Resident  int // frames currently resident
-	Target    int // soft capacity in frames
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Resident      int    // frames currently resident
+	Target        int    // soft capacity in frames
+	DirtyFrames   int    // resident frames awaiting writeback
+	DirtySkips    uint64 // CLOCK passes over dirty frames
+	SoftOverflows uint64 // allocations that grew a shard past target
 }
 
 // Stats returns current counters.
 func (c *Cache) Stats() CacheStats {
 	st := CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		DirtyFrames:   int(c.dirty.Load()),
+		DirtySkips:    c.dirtySkips.Load(),
+		SoftOverflows: c.softOverflows.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
 
 	"planar/internal/core"
 	"planar/internal/vecmath"
@@ -288,5 +289,80 @@ func TestPagedServiceSharded(t *testing.T) {
 	g.compare(15)
 	if st, ok := paged.PageStats(); !ok || st.Pages == 0 {
 		t.Fatalf("sharded PageStats = %+v, %v", st, ok)
+	}
+}
+
+// TestPagedWritebackStats reopens a paged DB (trees in paged mode),
+// mutates it, and checkpoints: the drain-before-lock path must route
+// pages through the background writer and the incremental counters
+// must reflect the delta, both unsharded and sharded.
+func TestPagedWritebackStats(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		dir := t.TempDir()
+		const dim = 3
+		opts := Options{Dim: dim, Paged: true, Shards: shards, WritebackInterval: time.Millisecond}
+		db, err := Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		v := make([]float64, dim)
+		appendOne := func() {
+			for j := range v {
+				v[j] = rng.Float64() * 100
+			}
+			if _, err := db.Append(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		signs := make(vecmath.SignPattern, dim)
+		for i := range signs {
+			signs[i] = 1
+		}
+		if _, err := db.AddNormal([]float64{0.4, 0.8, 1.2}, signs); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 800; i++ {
+			appendOne()
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		db, err = Open(dir, Options{WritebackInterval: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			appendOne()
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		st, ok := db.PageStats()
+		if !ok {
+			t.Fatalf("shards=%d: PageStats unavailable", shards)
+		}
+		if st.WritebackPages == 0 {
+			t.Fatalf("shards=%d: checkpoint drain flushed nothing through the writer (stats %+v)", shards, st)
+		}
+		if st.WritebackErrors != 0 {
+			t.Fatalf("shards=%d: writer errors %d", shards, st.WritebackErrors)
+		}
+		if st.IncrementalPages <= 0 {
+			t.Fatalf("shards=%d: incremental checkpoint wrote %d pages", shards, st.IncrementalPages)
+		}
+		if st.LastCheckpointMs <= 0 {
+			t.Fatalf("shards=%d: checkpoint duration not recorded", shards)
+		}
+		if st.DirtyFrames != 0 {
+			t.Fatalf("shards=%d: %d dirty frames survived a checkpoint", shards, st.DirtyFrames)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"planar/internal/codec"
 	"planar/internal/core"
 	"planar/internal/ingest"
+	"planar/internal/pager"
 	"planar/internal/replog"
 	"planar/internal/shard"
 	"planar/internal/vecmath"
@@ -84,6 +85,23 @@ type Options struct {
 	// default; a small floor is always enforced). In sharded mode the
 	// budget is split evenly across shards.
 	PageCacheBytes int
+	// WritebackInterval is the paged tier's background writer cadence
+	// (0 = a 25ms default). The writer shadow-flushes dirty tree
+	// pages between checkpoints so they become clean and evictable,
+	// keeping the cache's resident set bounded under write pressure.
+	WritebackInterval time.Duration
+	// WritebackBatchPages bounds pages flushed per writer round
+	// (0 = 128).
+	WritebackBatchPages int
+	// DisableWriteback turns the background writer off: dirty frames
+	// then stay resident until the next checkpoint flushes them (the
+	// pre-writeback behaviour; checkpoints also lose their
+	// drain-ahead and flush the whole delta under the write lock).
+	DisableWriteback bool
+	// FullCheckpoints forces every paged checkpoint to rewrite the
+	// complete store page set instead of just the delta since the
+	// last one — the measurement baseline and an escape hatch.
+	FullCheckpoints bool
 	// IngestBatch enables the asynchronous group-commit write pipeline
 	// (internal/ingest): up to this many mutations apply under one
 	// lock acquisition and journal as one WAL frame with one fsync.
@@ -386,6 +404,12 @@ func Open(dir string, opts Options) (*DB, error) {
 				return nil, serr
 			}
 		}
+		if !opts.DisableWriteback {
+			pstore.StartWriter(pager.WriterOptions{
+				Interval:   opts.WritebackInterval,
+				BatchPages: opts.WritebackBatchPages,
+			}, m.WritebackIndexes)
+		}
 	} else if snap, err := codec.Load(snapPath); err == nil {
 		if opts.Dim != 0 && opts.Dim != snap.Dim {
 			return nil, fmt.Errorf("service: snapshot dimension %d, options say %d", snap.Dim, opts.Dim)
@@ -492,6 +516,11 @@ func openSharded(dir string, opts Options) (*DB, error) {
 		Paged:           opts.Paged,
 		PageCacheBytes:  opts.PageCacheBytes,
 		MultiOptions:    opts.MultiOptions,
+
+		WritebackInterval:   opts.WritebackInterval,
+		WritebackBatchPages: opts.WritebackBatchPages,
+		DisableWriteback:    opts.DisableWriteback,
+		FullCheckpoints:     opts.FullCheckpoints,
 	})
 	if err != nil {
 		return nil, err
@@ -705,10 +734,22 @@ func (db *DB) Remove(id uint32) error {
 
 // Checkpoint writes a fresh snapshot atomically (write-temp, sync,
 // rename) and truncates the log. In sharded mode every shard
-// checkpoints in parallel.
+// checkpoints in parallel. On the paged tier the background writer is
+// drained *before* the write lock is taken, so the locked section
+// only flushes the pages dirtied in between — the stop-the-world
+// window shrinks to the residual delta plus the fsync+superblock
+// flip.
 func (db *DB) Checkpoint() error {
 	if db.shards != nil {
 		return db.shards.Checkpoint()
+	}
+	db.mu.RLock()
+	ps := db.pstore
+	db.mu.RUnlock()
+	if ps != nil {
+		if err := ps.DrainWriteback(); err != nil {
+			return err
+		}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -720,10 +761,15 @@ func (db *DB) checkpointLocked() error {
 		return err
 	}
 	if db.pstore != nil {
-		// Paged tier: flush/dump every index tree and the store blob,
-		// then one atomic pager commit carrying the last assigned LSN —
-		// replay after a crash skips records the checkpoint covers.
-		if err := db.pstore.Checkpoint(db.multi, db.seq.Next()-1); err != nil {
+		// Paged tier: COW the data pages dirty rows touch, delta-flush
+		// or dump every index tree, then one atomic pager commit
+		// carrying the last assigned LSN — replay after a crash skips
+		// records the checkpoint covers.
+		cp := db.pstore.Checkpoint
+		if db.opts.FullCheckpoints {
+			cp = db.pstore.CheckpointFull
+		}
+		if err := cp(db.multi, db.seq.Next()-1); err != nil {
 			return err
 		}
 	} else {

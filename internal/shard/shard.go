@@ -11,6 +11,7 @@ import (
 	"planar/internal/codec"
 	"planar/internal/core"
 	"planar/internal/ingest"
+	"planar/internal/pager"
 	"planar/internal/replog"
 	"planar/internal/vecmath"
 	"planar/internal/wal"
@@ -59,6 +60,7 @@ type partition struct {
 
 	syncEveryWrite  bool
 	checkpointEvery int
+	fullCheckpoints bool
 }
 
 // openPartition restores (or initialises) one shard in dir. An empty
@@ -68,6 +70,7 @@ func openPartition(dir string, dim int, opts Options) (*partition, error) {
 		dir:             dir,
 		syncEveryWrite:  opts.SyncEveryWrite,
 		checkpointEvery: opts.CheckpointEvery,
+		fullCheckpoints: opts.FullCheckpoints,
 	}
 	if dir == "" {
 		if dim <= 0 {
@@ -129,6 +132,12 @@ func openPartition(dir string, dim int, opts Options) (*partition, error) {
 				p.pstore.Close()
 				return nil, serr
 			}
+		}
+		if !opts.DisableWriteback {
+			p.pstore.StartWriter(pager.WriterOptions{
+				Interval:   opts.WritebackInterval,
+				BatchPages: opts.WritebackBatchPages,
+			}, m.WritebackIndexes)
 		}
 	} else if snap, err := codec.Load(snapPath); err == nil {
 		if dim != 0 && dim != snap.Dim {
@@ -427,8 +436,18 @@ func (p *partition) flushLog() error {
 	return p.log.Flush()
 }
 
-// checkpoint snapshots the shard and truncates its log.
+// checkpoint snapshots the shard and truncates its log. The paged
+// tier's background writer is drained before the write lock so the
+// locked section only covers the residual delta.
 func (p *partition) checkpoint() error {
+	p.mu.RLock()
+	ps := p.pstore
+	p.mu.RUnlock()
+	if ps != nil {
+		if err := ps.DrainWriteback(); err != nil {
+			return err
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.checkpointLocked()
@@ -442,7 +461,11 @@ func (p *partition) checkpointLocked() error {
 		return err
 	}
 	if p.pstore != nil {
-		if err := p.pstore.Checkpoint(p.multi, p.seq.Next()-1); err != nil {
+		cp := p.pstore.Checkpoint
+		if p.fullCheckpoints {
+			cp = p.pstore.CheckpointFull
+		}
+		if err := cp(p.multi, p.seq.Next()-1); err != nil {
 			return err
 		}
 	} else {

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"planar/internal/codec"
 	"planar/internal/core"
@@ -54,6 +55,17 @@ type Options struct {
 	// PageCacheBytes is the store-wide page-cache budget, split evenly
 	// across shards (each shard enforces a small floor).
 	PageCacheBytes int
+	// WritebackInterval is each shard's background page-writer cadence
+	// (0 = a 25ms default; see service.Options.WritebackInterval).
+	WritebackInterval time.Duration
+	// WritebackBatchPages bounds pages flushed per writer round
+	// (0 = 128).
+	WritebackBatchPages int
+	// DisableWriteback turns the per-shard background writers off.
+	DisableWriteback bool
+	// FullCheckpoints forces full store-page rewrites at every paged
+	// checkpoint instead of the delta since the last one.
+	FullCheckpoints bool
 }
 
 // Store is a hash-partitioned collection of planar index shards with
